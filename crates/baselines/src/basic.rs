@@ -1,0 +1,149 @@
+//! BasicHDC: projection encoding + single-pass training.
+//!
+//! The paper introduces BasicHDC as the baseline whose encoding *and*
+//! associative search are both plain MVMs, making it the apples-to-apples
+//! IMC-mapping comparison point (Table II uses BasicHDC at 10240D).
+
+use crate::HdcClassifier;
+use hd_linalg::Matrix;
+use hdc::{encode_dataset, BinaryAm, EncodedDataset, Encoder, RandomProjectionEncoder};
+use memhd::MemoryReport;
+
+/// Single-centroid HDC with binary random-projection encoding and
+/// single-pass class-vector accumulation (paper §II-C, Table I row
+/// "BasicHDC").
+///
+/// # Example
+///
+/// ```
+/// use hd_baselines::{BasicHdc, HdcClassifier};
+/// use hd_linalg::Matrix;
+///
+/// # fn main() -> hdc::Result<()> {
+/// let x = Matrix::from_rows(&[
+///     &[0.9f32, 0.1, 0.9, 0.1][..], &[0.1, 0.9, 0.1, 0.9][..],
+/// ]).unwrap();
+/// let model = BasicHdc::fit(256, &x, &[0, 1], 2, 42)?;
+/// assert_eq!(model.predict(&[0.9, 0.1, 0.9, 0.1])?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicHdc {
+    encoder: RandomProjectionEncoder,
+    am: BinaryAm,
+}
+
+impl BasicHdc {
+    /// Trains on raw features with labels in `0..num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] for inconsistent inputs.
+    pub fn fit(
+        dim: usize,
+        features: &Matrix,
+        labels: &[usize],
+        num_classes: usize,
+        seed: u64,
+    ) -> hdc::Result<Self> {
+        let encoder = RandomProjectionEncoder::new(features.cols(), dim, seed);
+        let encoded = encode_dataset(&encoder, features)?;
+        Self::fit_encoded(encoder, &encoded, labels, num_classes)
+    }
+
+    /// Trains on a pre-encoded dataset (the encoder must have produced it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] for inconsistent inputs.
+    pub fn fit_encoded(
+        encoder: RandomProjectionEncoder,
+        encoded: &EncodedDataset,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> hdc::Result<Self> {
+        let fp = hdc::train::single_pass(encoded, labels, num_classes)?;
+        // Majority-rule binarization: each class vector at its own mean.
+        // Projection hypervectors are sums of non-negative features, so
+        // row means vary and a global threshold would bias the search
+        // toward ones-heavy classes.
+        Ok(BasicHdc { encoder, am: fp.quantize_per_row() })
+    }
+
+    /// The binary associative memory (`k × D`).
+    pub fn binary_am(&self) -> &BinaryAm {
+        &self.am
+    }
+
+    /// The projection encoder.
+    pub fn encoder(&self) -> &RandomProjectionEncoder {
+        &self.encoder
+    }
+}
+
+impl HdcClassifier for BasicHdc {
+    fn name(&self) -> &'static str {
+        "BasicHDC"
+    }
+
+    fn predict(&self, features: &[f32]) -> hdc::Result<usize> {
+        let q = self.encoder.encode_binary(features)?;
+        self.am.classify(&q)
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        MemoryReport::new(self.encoder.memory_bits(), self.am.memory_bits())
+    }
+
+    fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy;
+
+    #[test]
+    fn learns_toy_problem() {
+        let (x, y) = toy(20, 1);
+        let model = BasicHdc::fit(512, &x, &y, 3, 7).unwrap();
+        let acc = model.evaluate(&x, &y).unwrap();
+        assert!(acc > 0.85, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn memory_report_table1() {
+        let (x, y) = toy(5, 2);
+        let model = BasicHdc::fit(128, &x, &y, 3, 1).unwrap();
+        let r = model.memory_report();
+        assert_eq!(r.em_bits, 12 * 128); // f × D
+        assert_eq!(r.am_bits, 3 * 128); // k × D
+        assert_eq!(model.dim(), 128);
+        assert_eq!(model.name(), "BasicHDC");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = toy(8, 3);
+        let a = BasicHdc::fit(128, &x, &y, 3, 5).unwrap();
+        let b = BasicHdc::fit(128, &x, &y, 3, 5).unwrap();
+        assert_eq!(a.binary_am().as_bit_matrix(), b.binary_am().as_bit_matrix());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let (x, mut y) = toy(5, 4);
+        y[0] = 9;
+        assert!(BasicHdc::fit(64, &x, &y, 3, 1).is_err());
+    }
+
+    #[test]
+    fn evaluate_validates_shapes() {
+        let (x, y) = toy(5, 5);
+        let model = BasicHdc::fit(64, &x, &y, 3, 1).unwrap();
+        assert!(model.evaluate(&x, &y[..3]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Analytical memory model (paper Table I).
+//!
+//! Computes the encoding-module and associative-memory footprints of every
+//! model from the symbolic formulas of Table I, without training anything.
+//! The `table1` bench binary prints this table; the Fig. 3 sweep uses it
+//! for the x-axis.
+
+use memhd::MemoryReport;
+
+/// Identifies one of the compared models for memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// SearcHD: ID-Level EM, `k × D × N` multi-model AM.
+    SearcHd {
+        /// Vector quantization factor `N`.
+        n: usize,
+    },
+    /// QuantHD: ID-Level EM, `k × D` AM.
+    QuantHd,
+    /// LeHDC: ID-Level EM, `k × D` AM.
+    LeHdc,
+    /// BasicHDC: projection EM, `k × D` AM.
+    BasicHdc,
+    /// MEMHD: projection EM, `C × D` fully-utilized multi-centroid AM.
+    Memhd {
+        /// Total memory columns `C`.
+        columns: usize,
+    },
+}
+
+impl BaselineKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::SearcHd { .. } => "SearcHD",
+            BaselineKind::QuantHd => "QuantHD",
+            BaselineKind::LeHdc => "LeHDC",
+            BaselineKind::BasicHdc => "BasicHDC",
+            BaselineKind::Memhd { .. } => "MEMHD",
+        }
+    }
+
+    /// Whether the model's encoding is an MVM (projection) — i.e. directly
+    /// IMC-mappable (Table I discussion).
+    pub fn mvm_encoding(&self) -> bool {
+        matches!(self, BaselineKind::BasicHdc | BaselineKind::Memhd { .. })
+    }
+}
+
+/// Memory requirements in bits per Table I.
+///
+/// * `features` — input feature count `f`
+/// * `levels` — ID-Level quantization levels `L` (ignored for projection
+///   encoders)
+/// * `dim` — hypervector dimensionality `D`
+/// * `num_classes` — `k`
+pub fn baseline_memory(
+    kind: BaselineKind,
+    features: usize,
+    levels: usize,
+    dim: usize,
+    num_classes: usize,
+) -> MemoryReport {
+    let f = features as u64;
+    let l = levels as u64;
+    let d = dim as u64;
+    let k = num_classes as u64;
+    match kind {
+        BaselineKind::SearcHd { n } => {
+            MemoryReport::new((f + l) * d, k * d * n as u64)
+        }
+        BaselineKind::QuantHd | BaselineKind::LeHdc => {
+            MemoryReport::new((f + l) * d, k * d)
+        }
+        BaselineKind::BasicHdc => MemoryReport::new(f * d, k * d),
+        BaselineKind::Memhd { columns } => {
+            MemoryReport::new(f * d, columns as u64 * d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: usize = 784;
+    const L: usize = 256;
+    const K: usize = 10;
+
+    #[test]
+    fn searchd_formula() {
+        let r = baseline_memory(BaselineKind::SearcHd { n: 64 }, F, L, 1024, K);
+        assert_eq!(r.em_bits, (784 + 256) * 1024);
+        assert_eq!(r.am_bits, 10 * 1024 * 64);
+    }
+
+    #[test]
+    fn quanthd_lehdc_formula() {
+        for kind in [BaselineKind::QuantHd, BaselineKind::LeHdc] {
+            let r = baseline_memory(kind, F, L, 2048, K);
+            assert_eq!(r.em_bits, (784 + 256) * 2048);
+            assert_eq!(r.am_bits, 10 * 2048);
+        }
+    }
+
+    #[test]
+    fn basichdc_formula() {
+        let r = baseline_memory(BaselineKind::BasicHdc, F, L, 10240, K);
+        assert_eq!(r.em_bits, 784 * 10240);
+        assert_eq!(r.am_bits, 10 * 10240);
+    }
+
+    #[test]
+    fn memhd_formula() {
+        let r = baseline_memory(BaselineKind::Memhd { columns: 128 }, F, L, 128, K);
+        assert_eq!(r.em_bits, 784 * 128);
+        assert_eq!(r.am_bits, 128 * 128);
+    }
+
+    #[test]
+    fn memhd_beats_basichdc_at_paper_scale() {
+        // The headline claim: MEMHD 128x128 vs BasicHDC 10240D on MNIST.
+        let memhd = baseline_memory(BaselineKind::Memhd { columns: 128 }, F, L, 128, K);
+        let basic = baseline_memory(BaselineKind::BasicHdc, F, L, 10240, K);
+        let ratio = basic.total_bits() as f64 / memhd.total_bits() as f64;
+        // (784+10)·10240 / (784+128)·128 ≈ 69.6
+        assert!(ratio > 60.0, "memory ratio {ratio}");
+    }
+
+    #[test]
+    fn names_and_mvm_flags() {
+        assert_eq!(BaselineKind::BasicHdc.name(), "BasicHDC");
+        assert!(BaselineKind::BasicHdc.mvm_encoding());
+        assert!(BaselineKind::Memhd { columns: 4 }.mvm_encoding());
+        assert!(!BaselineKind::QuantHd.mvm_encoding());
+        assert!(!BaselineKind::SearcHd { n: 2 }.mvm_encoding());
+        assert!(!BaselineKind::LeHdc.mvm_encoding());
+    }
+}

@@ -1,0 +1,161 @@
+//! QuantHD: ID-Level encoding + quantization-aware iterative learning.
+//!
+//! QuantHD \[13\] introduced quantization-aware training for HDC: the
+//! model keeps a floating-point associative memory for updates but
+//! evaluates mispredictions against the **quantized** memory, so training
+//! optimizes exactly the model that will run. MEMHD generalizes this idea
+//! to its multi-centroid memory; this implementation is the original
+//! single-centroid form.
+
+use crate::HdcClassifier;
+use hd_linalg::Matrix;
+use hdc::train::QatEpoch;
+use hdc::{encode_dataset, BinaryAm, EncodedDataset, Encoder, IdLevelEncoder};
+use memhd::MemoryReport;
+
+/// Configuration for [`QuantHd`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantHdConfig {
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Quantization levels `L` (the paper's baselines use 256).
+    pub levels: usize,
+    /// Learning rate for the iterative updates.
+    pub learning_rate: f32,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QuantHdConfig {
+    /// Paper-style defaults: `L = 256`, `α = 0.05`, 20 epochs.
+    pub fn new(dim: usize) -> Self {
+        QuantHdConfig { dim, levels: 256, learning_rate: 0.05, epochs: 20, seed: 0 }
+    }
+}
+
+/// The QuantHD baseline model (Table I row "QuantHD").
+#[derive(Debug, Clone)]
+pub struct QuantHd {
+    encoder: IdLevelEncoder,
+    am: BinaryAm,
+    history: Vec<QatEpoch>,
+}
+
+impl QuantHd {
+    /// Trains on raw features in `[0, 1]` with labels in `0..num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] for inconsistent inputs.
+    pub fn fit(
+        config: &QuantHdConfig,
+        features: &Matrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> hdc::Result<Self> {
+        let encoder =
+            IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
+        let encoded = encode_dataset(&encoder, features)?;
+        Self::fit_encoded(config, encoder, &encoded, labels, num_classes)
+    }
+
+    /// Trains on a pre-encoded dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] for inconsistent inputs.
+    pub fn fit_encoded(
+        config: &QuantHdConfig,
+        encoder: IdLevelEncoder,
+        encoded: &EncodedDataset,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> hdc::Result<Self> {
+        let mut fp = hdc::train::single_pass(encoded, labels, num_classes)?;
+        let (am, history) = hdc::train::quantization_aware(
+            &mut fp,
+            encoded,
+            labels,
+            config.learning_rate,
+            config.epochs,
+        )?;
+        Ok(QuantHd { encoder, am, history })
+    }
+
+    /// Per-epoch training telemetry.
+    pub fn history(&self) -> &[QatEpoch] {
+        &self.history
+    }
+
+    /// The binary associative memory (`k × D`).
+    pub fn binary_am(&self) -> &BinaryAm {
+        &self.am
+    }
+}
+
+impl HdcClassifier for QuantHd {
+    fn name(&self) -> &'static str {
+        "QuantHD"
+    }
+
+    fn predict(&self, features: &[f32]) -> hdc::Result<usize> {
+        let q = self.encoder.encode_binary(features)?;
+        self.am.classify(&q)
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        MemoryReport::new(self.encoder.memory_bits(), self.am.memory_bits())
+    }
+
+    fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy;
+
+    #[test]
+    fn learns_toy_problem() {
+        let (x, y) = toy(20, 1);
+        let cfg = QuantHdConfig { levels: 16, epochs: 15, ..QuantHdConfig::new(512) };
+        let model = QuantHd::fit(&cfg, &x, &y, 3).unwrap();
+        let acc = model.evaluate(&x, &y).unwrap();
+        assert!(acc > 0.8, "train accuracy {acc}");
+        assert!(!model.history().is_empty());
+    }
+
+    #[test]
+    fn memory_report_table1() {
+        let (x, y) = toy(5, 2);
+        let cfg = QuantHdConfig { levels: 8, epochs: 1, ..QuantHdConfig::new(128) };
+        let model = QuantHd::fit(&cfg, &x, &y, 3).unwrap();
+        let r = model.memory_report();
+        assert_eq!(r.em_bits, (12 + 8) * 128); // (f + L) × D
+        assert_eq!(r.am_bits, 3 * 128); // k × D
+        assert_eq!(model.name(), "QuantHD");
+    }
+
+    #[test]
+    fn training_does_not_regress_start() {
+        let (x, y) = toy(15, 3);
+        let cfg = QuantHdConfig { levels: 16, epochs: 10, ..QuantHdConfig::new(256) };
+        let model = QuantHd::fit(&cfg, &x, &y, 3).unwrap();
+        let hist = model.history();
+        let first = hist.first().unwrap().train_accuracy;
+        let best =
+            hist.iter().map(|e| e.train_accuracy).fold(f64::NEG_INFINITY, f64::max);
+        assert!(best >= first);
+    }
+
+    #[test]
+    fn default_config_values() {
+        let cfg = QuantHdConfig::new(1024);
+        assert_eq!(cfg.levels, 256);
+        assert_eq!(cfg.dim, 1024);
+    }
+}

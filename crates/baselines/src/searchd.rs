@@ -1,0 +1,265 @@
+//! SearcHD: memory-centric multi-model HDC with stochastic training.
+//!
+//! SearcHD \[14\] is the baseline closest in spirit to MEMHD: instead of
+//! one class vector it quantizes a non-binary class vector into `N` binary
+//! vectors per class (the paper's evaluation fixes `N = 64`). Training is
+//! *stochastic*: on a misprediction, bits of the most-similar true-class
+//! model are flipped toward the sample hypervector with a fixed
+//! probability, and bits of the winning wrong model are flipped away.
+//! The key difference from MEMHD is that SearcHD's `N` is a quantization
+//! fan-out (all `N` vectors chase the same class prototype) rather than a
+//! set of clustered intra-class modes, and its memory grows as `k × D × N`.
+
+use crate::HdcClassifier;
+use hd_linalg::rng::{derive_seed, seeded};
+use hd_linalg::{BitVector, Matrix};
+use hdc::{encode_dataset, BinaryAm, EncodedDataset, Encoder, IdLevelEncoder};
+use memhd::MemoryReport;
+use rand::Rng;
+
+/// Configuration for [`SearcHd`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearcHdConfig {
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Quantization levels `L` for the ID-Level encoder.
+    pub levels: usize,
+    /// Binary models per class `N` (the paper fixes `N = 64`).
+    pub models_per_class: usize,
+    /// Probability of flipping a disagreeing bit during an update.
+    pub flip_probability: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearcHdConfig {
+    /// Paper-style defaults: `L = 256`, `N = 64`, flip probability 0.05,
+    /// 20 epochs.
+    pub fn new(dim: usize) -> Self {
+        SearcHdConfig {
+            dim,
+            levels: 256,
+            models_per_class: 64,
+            flip_probability: 0.05,
+            epochs: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// The SearcHD baseline model (Table I row "SearcHD").
+#[derive(Debug, Clone)]
+pub struct SearcHd {
+    encoder: IdLevelEncoder,
+    am: BinaryAm,
+    models_per_class: usize,
+}
+
+impl SearcHd {
+    /// Trains on raw features in `[0, 1]` with labels in `0..num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] for inconsistent inputs (including a
+    /// class with no samples, which leaves its models unseeded).
+    pub fn fit(
+        config: &SearcHdConfig,
+        features: &Matrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> hdc::Result<Self> {
+        let encoder =
+            IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
+        let encoded = encode_dataset(&encoder, features)?;
+        Self::fit_encoded(config, encoder, &encoded, labels, num_classes)
+    }
+
+    /// Trains on a pre-encoded dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] for inconsistent inputs.
+    pub fn fit_encoded(
+        config: &SearcHdConfig,
+        encoder: IdLevelEncoder,
+        encoded: &EncodedDataset,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> hdc::Result<Self> {
+        if config.models_per_class == 0 {
+            return Err(hdc::HdcError::InvalidParameter {
+                name: "models_per_class",
+                reason: "must be positive".into(),
+            });
+        }
+        if encoded.len() != labels.len() || encoded.is_empty() {
+            return Err(hdc::HdcError::InvalidTrainingSet {
+                reason: format!("{} samples vs {} labels", encoded.len(), labels.len()),
+            });
+        }
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+        for (i, &l) in labels.iter().enumerate() {
+            if l >= num_classes {
+                return Err(hdc::HdcError::UnknownClass { class: l, num_classes });
+            }
+            by_class[l].push(i);
+        }
+        if let Some(empty) = by_class.iter().position(Vec::is_empty) {
+            return Err(hdc::HdcError::InvalidTrainingSet {
+                reason: format!("class {empty} has no samples"),
+            });
+        }
+
+        let mut rng = seeded(derive_seed(config.seed, 0x73_6864)); // "shd"
+        // Initialize each class's N models from random samples of the class.
+        let n = config.models_per_class;
+        let mut rows: Vec<BitVector> = Vec::with_capacity(num_classes * n);
+        let mut classes: Vec<usize> = Vec::with_capacity(num_classes * n);
+        for (class, members) in by_class.iter().enumerate() {
+            for _ in 0..n {
+                let pick = members[rng.gen_range(0..members.len())];
+                rows.push(encoded.bin[pick].clone());
+                classes.push(class);
+            }
+        }
+
+        // Stochastic training: flip bits of the best true-class model
+        // toward the sample and bits of the winning wrong model away.
+        // Rows of one class are contiguous (class c owns rows c·n..(c+1)·n).
+        for _epoch in 0..config.epochs {
+            let mut updates = 0usize;
+            for (i, &label) in labels.iter().enumerate() {
+                let q = &encoded.bin[i];
+                let mut pred_row = 0usize;
+                let mut pred_score = rows[0].dot(q);
+                let mut true_row = label * n;
+                let mut true_score = rows[true_row].dot(q);
+                for (r, row) in rows.iter().enumerate() {
+                    let s = row.dot(q);
+                    if s > pred_score {
+                        pred_score = s;
+                        pred_row = r;
+                    }
+                    if classes[r] == label && s > true_score {
+                        true_score = s;
+                        true_row = r;
+                    }
+                }
+                if classes[pred_row] == label {
+                    continue;
+                }
+                for bit in 0..q.len() {
+                    let qb = q.get(bit);
+                    // Pull the true model toward the sample.
+                    if rows[true_row].get(bit) != qb && rng.gen_bool(config.flip_probability) {
+                        rows[true_row].set(bit, qb);
+                    }
+                    // Push the wrong model away from the sample.
+                    if rows[pred_row].get(bit) == qb && rng.gen_bool(config.flip_probability) {
+                        rows[pred_row].set(bit, !qb);
+                    }
+                }
+                updates += 1;
+            }
+            if updates == 0 {
+                break;
+            }
+        }
+
+        let centroids: Vec<(usize, BitVector)> = classes.into_iter().zip(rows).collect();
+        let am = BinaryAm::from_centroids(num_classes, centroids)?;
+        Ok(SearcHd { encoder, am, models_per_class: config.models_per_class })
+    }
+
+    /// The binary associative memory (`k·N` rows of `D` bits).
+    pub fn binary_am(&self) -> &BinaryAm {
+        &self.am
+    }
+
+    /// Binary models per class `N`.
+    pub fn models_per_class(&self) -> usize {
+        self.models_per_class
+    }
+}
+
+impl HdcClassifier for SearcHd {
+    fn name(&self) -> &'static str {
+        "SearcHD"
+    }
+
+    fn predict(&self, features: &[f32]) -> hdc::Result<usize> {
+        let q = self.encoder.encode_binary(features)?;
+        self.am.classify(&q)
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        // Table I: AM = k × D × N.
+        MemoryReport::new(self.encoder.memory_bits(), self.am.memory_bits())
+    }
+
+    fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy;
+
+    fn quick_config(dim: usize) -> SearcHdConfig {
+        SearcHdConfig {
+            levels: 16,
+            models_per_class: 4,
+            epochs: 10,
+            flip_probability: 0.2,
+            ..SearcHdConfig::new(dim)
+        }
+    }
+
+    #[test]
+    fn learns_toy_problem() {
+        let (x, y) = toy(15, 1);
+        let model = SearcHd::fit(&quick_config(512), &x, &y, 3).unwrap();
+        let acc = model.evaluate(&x, &y).unwrap();
+        assert!(acc > 0.7, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn am_has_k_times_n_rows() {
+        let (x, y) = toy(6, 2);
+        let model = SearcHd::fit(&quick_config(128), &x, &y, 3).unwrap();
+        assert_eq!(model.binary_am().num_centroids(), 3 * 4);
+        assert_eq!(model.models_per_class(), 4);
+    }
+
+    #[test]
+    fn memory_report_table1() {
+        let (x, y) = toy(5, 3);
+        let model = SearcHd::fit(&quick_config(128), &x, &y, 3).unwrap();
+        let r = model.memory_report();
+        assert_eq!(r.em_bits, (12 + 16) * 128); // (f + L) × D
+        assert_eq!(r.am_bits, 3 * 128 * 4); // k × D × N
+        assert_eq!(model.name(), "SearcHD");
+    }
+
+    #[test]
+    fn zero_models_rejected() {
+        let (x, y) = toy(5, 4);
+        let cfg = SearcHdConfig { models_per_class: 0, ..quick_config(64) };
+        assert!(SearcHd::fit(&cfg, &x, &y, 3).is_err());
+    }
+
+    #[test]
+    fn missing_class_rejected() {
+        let (x, mut y) = toy(5, 5);
+        for l in y.iter_mut() {
+            if *l == 2 {
+                *l = 0;
+            }
+        }
+        assert!(SearcHd::fit(&quick_config(64), &x, &y, 3).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-model integration tests: all four baselines trained on the same
+//! multi-modal dataset, checked for the orderings the paper's evaluation
+//! relies on.
+
+use hd_baselines::{
+    BasicHdc, HdcClassifier, LeHdc, LeHdcConfig, QuantHd, QuantHdConfig, SearcHd, SearcHdConfig,
+};
+use hd_datasets::synthetic::SyntheticSpec;
+
+fn dataset() -> hd_datasets::Dataset {
+    SyntheticSpec::mnist_like(60, 20).generate(9).expect("valid spec")
+}
+
+#[test]
+fn all_baselines_beat_chance() {
+    let ds = dataset();
+    let k = ds.num_classes;
+    let chance = 1.0 / k as f64;
+    let dim = 512;
+
+    let basic = BasicHdc::fit(dim, &ds.train_features, &ds.train_labels, k, 1).unwrap();
+    let quant = QuantHd::fit(
+        &QuantHdConfig { levels: 16, epochs: 8, ..QuantHdConfig::new(dim) },
+        &ds.train_features,
+        &ds.train_labels,
+        k,
+    )
+    .unwrap();
+    let lehdc = LeHdc::fit(
+        &LeHdcConfig { levels: 16, epochs: 8, ..LeHdcConfig::new(dim) },
+        &ds.train_features,
+        &ds.train_labels,
+        k,
+    )
+    .unwrap();
+    // SearcHD's stochastic training needs more dimensionality and more
+    // models per class to function at this small sample budget (it is
+    // also the weakest baseline in the paper's Fig. 3).
+    let searchd = SearcHd::fit(
+        &SearcHdConfig {
+            levels: 16,
+            models_per_class: 16,
+            epochs: 10,
+            flip_probability: 0.1,
+            ..SearcHdConfig::new(1024)
+        },
+        &ds.train_features,
+        &ds.train_labels,
+        k,
+    )
+    .unwrap();
+
+    let models: [&dyn HdcClassifier; 3] = [&basic, &quant, &lehdc];
+    for model in models {
+        let acc = model.evaluate(&ds.test_features, &ds.test_labels).unwrap();
+        assert!(
+            acc > 2.0 * chance,
+            "{} accuracy {acc} not clearly above chance {chance}",
+            model.name()
+        );
+    }
+    let acc = searchd.evaluate(&ds.test_features, &ds.test_labels).unwrap();
+    assert!(acc > 2.0 * chance, "SearcHD accuracy {acc} vs chance {chance}");
+}
+
+#[test]
+fn memory_orderings_match_table1() {
+    let ds = dataset();
+    let k = ds.num_classes;
+    let dim = 256;
+    let basic = BasicHdc::fit(dim, &ds.train_features, &ds.train_labels, k, 1).unwrap();
+    let quant = QuantHd::fit(
+        &QuantHdConfig { levels: 16, epochs: 1, ..QuantHdConfig::new(dim) },
+        &ds.train_features,
+        &ds.train_labels,
+        k,
+    )
+    .unwrap();
+    let searchd = SearcHd::fit(
+        &SearcHdConfig {
+            levels: 16,
+            models_per_class: 4,
+            epochs: 1,
+            ..SearcHdConfig::new(dim)
+        },
+        &ds.train_features,
+        &ds.train_labels,
+        k,
+    )
+    .unwrap();
+
+    // ID-Level encoders cost more than projection at the same D.
+    assert!(quant.memory_report().em_bits > basic.memory_report().em_bits);
+    // SearcHD's multi-model AM is N× the single-centroid AM.
+    assert_eq!(
+        searchd.memory_report().am_bits,
+        4 * quant.memory_report().am_bits
+    );
+}
+
+#[test]
+fn trait_objects_are_usable() {
+    // The HdcClassifier trait must stay object-safe: the bench harness
+    // sweeps heterogeneous model collections through it.
+    let ds = dataset();
+    let k = ds.num_classes;
+    let boxed: Vec<Box<dyn HdcClassifier>> = vec![Box::new(
+        BasicHdc::fit(128, &ds.train_features, &ds.train_labels, k, 2).unwrap(),
+    )];
+    for model in &boxed {
+        assert_eq!(model.dim(), 128);
+        let pred = model.predict(ds.test_features.row(0)).unwrap();
+        assert!(pred < k);
+    }
+}

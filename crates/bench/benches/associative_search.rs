@@ -1,0 +1,51 @@
+//! Associative-search latency: the software popcount sweep behind every
+//! training epoch, at the AM shapes of Table II.
+//!
+//! MEMHD 128×128 (one array worth of memory) vs BasicHDC 10240×10 (the
+//! high-dimensional baseline) — the software echo of the paper's 80×
+//! cycle-count gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hd_linalg::rng::seeded;
+use hd_linalg::BitVector;
+use hdc::BinaryAm;
+use rand::Rng;
+
+fn random_am(k: usize, vectors: usize, dim: usize, seed: u64) -> BinaryAm {
+    let mut rng = seeded(seed);
+    let centroids: Vec<(usize, BitVector)> = (0..vectors)
+        .map(|v| {
+            let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+            (v % k, BitVector::from_bools(&bits))
+        })
+        .collect();
+    BinaryAm::from_centroids(k, centroids).expect("valid AM")
+}
+
+fn random_query(dim: usize, seed: u64) -> BitVector {
+    let mut rng = seeded(seed);
+    let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+    BitVector::from_bools(&bits)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("associative_search");
+    // (label, k, vectors, dim) — Table II structures.
+    let shapes = [
+        ("memhd_128x128", 10usize, 128usize, 128usize),
+        ("memhd_512x128", 26, 128, 512),
+        ("basic_10240x10", 10, 10, 10240),
+        ("searchd_1024x160", 10, 160, 1024),
+    ];
+    for (label, k, vectors, dim) in shapes {
+        let am = random_am(k, vectors, dim, 3);
+        let q = random_query(dim, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &am, |b, am| {
+            b.iter(|| am.search(&q).expect("search"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

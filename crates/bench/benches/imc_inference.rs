@@ -1,0 +1,66 @@
+//! Mapped-array inference: the functional IMC simulation across the three
+//! mapping strategies, versus the plain software search. The cycle counts
+//! these mappings report are the quantities behind Table II and Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hd_linalg::rng::seeded;
+use hd_linalg::BitVector;
+use hdc::BinaryAm;
+use imc_sim::{AmMapping, ArraySpec, MappingStrategy};
+use rand::Rng;
+
+fn random_am(k: usize, vectors: usize, dim: usize, seed: u64) -> BinaryAm {
+    let mut rng = seeded(seed);
+    let centroids: Vec<(usize, BitVector)> = (0..vectors)
+        .map(|v| {
+            let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+            (v % k, BitVector::from_bools(&bits))
+        })
+        .collect();
+    BinaryAm::from_centroids(k, centroids).expect("valid AM")
+}
+
+fn bench_mapped_inference(c: &mut Criterion) {
+    let spec = ArraySpec::default();
+    let mut group = c.benchmark_group("imc_inference");
+
+    // MEMHD 128x128: one-shot mapping.
+    let memhd_am = random_am(10, 128, 128, 1);
+    let memhd_map = AmMapping::new(&memhd_am, spec, MappingStrategy::Basic).expect("map");
+    let memhd_q = {
+        let mut rng = seeded(2);
+        let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
+        BitVector::from_bools(&bits)
+    };
+    group.bench_function("memhd_128x128_mapped", |b| {
+        b.iter(|| memhd_map.search(&memhd_q).expect("search"))
+    });
+    group.bench_function("memhd_128x128_software", |b| {
+        b.iter(|| memhd_am.search(&memhd_q).expect("search"))
+    });
+
+    // BasicHDC 10240x10 under each strategy.
+    let basic_am = random_am(10, 10, 10240, 3);
+    let basic_q = {
+        let mut rng = seeded(4);
+        let bits: Vec<bool> = (0..10240).map(|_| rng.gen()).collect();
+        BitVector::from_bools(&bits)
+    };
+    for (label, strategy) in [
+        ("basic", MappingStrategy::Basic),
+        ("partitioned_p5", MappingStrategy::Partitioned { partitions: 5 }),
+        ("partitioned_p10", MappingStrategy::Partitioned { partitions: 10 }),
+    ] {
+        let mapping = AmMapping::new(&basic_am, spec, strategy).expect("map");
+        group.bench_with_input(
+            BenchmarkId::new("basichdc_10240x10", label),
+            &mapping,
+            |b, m| b.iter(|| m.search(&basic_q).expect("search")),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapped_inference);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Training-phase costs: classwise k-means initialization and one
+//! quantization-aware learning epoch, at bench-scale problem sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hd_datasets::synthetic::SyntheticSpec;
+use hdc::{encode_dataset, RandomProjectionEncoder};
+use memhd::{init, train, MemhdConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let ds = SyntheticSpec::mnist_like(40, 10).generate(5).expect("dataset");
+    let encoder = RandomProjectionEncoder::new(ds.feature_dim(), 128, 9);
+    let encoded = encode_dataset(&encoder, &ds.train_features).expect("encode");
+    let cfg = MemhdConfig::new(128, 64, ds.num_classes).expect("config").with_seed(1);
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    group.bench_function("clustering_init_128x64", |b| {
+        b.iter(|| init::clustering_init(&cfg, &encoded, &ds.train_labels).expect("init"))
+    });
+
+    group.bench_function("random_sampling_init_128x64", |b| {
+        b.iter(|| init::random_sampling_init(&cfg, &encoded, &ds.train_labels).expect("init"))
+    });
+
+    let fp_template = init::clustering_init(&cfg, &encoded, &ds.train_labels).expect("init");
+    group.bench_function("qat_epoch_128x64", |b| {
+        b.iter_batched(
+            || fp_template.clone(),
+            |mut fp| {
+                train::quantization_aware_train(
+                    &mut fp,
+                    &encoded,
+                    &ds.train_labels,
+                    0.01,
+                    1,
+                    1,
+                    train::TrainOptions::default(),
+                )
+                .expect("train")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

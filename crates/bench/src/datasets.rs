@@ -1,0 +1,114 @@
+//! Dataset presets scaled to the run mode.
+//!
+//! Quick mode keeps per-class budgets small enough for minute-scale runs;
+//! full mode uses budgets that preserve the paper's per-class sample
+//! regime (ISOLET's ≈240/class is kept exactly — its scarcity drives the
+//! Fig. 4 overfitting observation — while the image sets are scaled from
+//! 6000/class to 1000/class to keep CPU runtime tractable; the per-class
+//! *ratio* between datasets is what the experiments depend on).
+
+use crate::runconfig::RunMode;
+use hd_datasets::synthetic::SyntheticSpec;
+use hd_datasets::Dataset;
+
+/// Which of the paper's three evaluation datasets to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corpus {
+    /// MNIST stand-in: f=784, k=10, well separated.
+    Mnist,
+    /// Fashion-MNIST stand-in: f=784, k=10, higher class overlap.
+    Fmnist,
+    /// ISOLET stand-in: f=617, k=26, few samples per class.
+    Isolet,
+}
+
+impl Corpus {
+    /// All three corpora in paper order.
+    pub const ALL: [Corpus; 3] = [Corpus::Mnist, Corpus::Fmnist, Corpus::Isolet];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Corpus::Mnist => "MNIST",
+            Corpus::Fmnist => "FMNIST",
+            Corpus::Isolet => "ISOLET",
+        }
+    }
+
+    /// Number of classes `k`.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            Corpus::Mnist | Corpus::Fmnist => 10,
+            Corpus::Isolet => 26,
+        }
+    }
+
+    /// Feature width `f`.
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            Corpus::Mnist | Corpus::Fmnist => 784,
+            Corpus::Isolet => 617,
+        }
+    }
+
+    /// Per-class (train, test) budgets for a run mode.
+    pub fn budgets(&self, mode: RunMode) -> (usize, usize) {
+        match (self, mode) {
+            (Corpus::Isolet, RunMode::Quick) => (120, 30),
+            (Corpus::Isolet, RunMode::Full) => (240, 60), // paper scale
+            (_, RunMode::Quick) => (200, 50),
+            (_, RunMode::Full) => (1000, 200),
+        }
+    }
+
+    /// Generates the synthetic stand-in for this corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the preset itself is invalid, which would be a bug.
+    pub fn generate(&self, mode: RunMode, seed: u64) -> Dataset {
+        let (train, test) = self.budgets(mode);
+        let spec = match self {
+            Corpus::Mnist => SyntheticSpec::mnist_like(train, test),
+            Corpus::Fmnist => SyntheticSpec::fmnist_like(train, test),
+            Corpus::Isolet => SyntheticSpec::isolet_like(train, test),
+        };
+        spec.generate(seed).expect("preset specs are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        for c in Corpus::ALL {
+            let ds = c.generate(RunMode::Quick, 1);
+            assert_eq!(ds.num_classes, c.num_classes());
+            assert_eq!(ds.feature_dim(), c.feature_dim());
+        }
+    }
+
+    #[test]
+    fn isolet_full_is_paper_scale() {
+        let (train, test) = Corpus::Isolet.budgets(RunMode::Full);
+        assert_eq!((train, test), (240, 60));
+    }
+
+    #[test]
+    fn quick_budgets_are_smaller() {
+        for c in Corpus::ALL {
+            let (qt, _) = c.budgets(RunMode::Quick);
+            let (ft, _) = c.budgets(RunMode::Full);
+            assert!(qt <= ft);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Corpus::Mnist.name(), "MNIST");
+        assert_eq!(Corpus::Fmnist.name(), "FMNIST");
+        assert_eq!(Corpus::Isolet.name(), "ISOLET");
+    }
+}

@@ -1,0 +1,61 @@
+//! Benchmark harness shared by the per-table/per-figure binaries.
+//!
+//! Every table and figure in the paper's evaluation section has a binary
+//! in `src/bin/` that regenerates it:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — memory requirements of baseline HDC models |
+//! | `fig3` | Fig. 3 — accuracy vs memory (KB) across three datasets |
+//! | `fig4` | Fig. 4 — accuracy heatmap over dimensions × columns |
+//! | `fig5` | Fig. 5 — clustering vs random-sampling initialization |
+//! | `fig6` | Fig. 6 — accuracy vs initial cluster ratio `R` |
+//! | `table2` | Table II — cycles / arrays / utilization on 128×128 arrays |
+//! | `fig7` | Fig. 7 — normalized AM energy and cycles vs array usage |
+//!
+//! Each binary accepts `--quick` (reduced sweep, default) or `--full`
+//! (paper-protocol 5-trial averaging and wider sweeps), plus `--trials N`
+//! and `--seed S` overrides. The Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod runconfig;
+pub mod table;
+
+use hd_linalg::stats::Welford;
+
+/// Averages `f(trial_seed)` over `trials` seeds derived from `base_seed`,
+/// mirroring the paper's "5 trials, average reported" protocol.
+pub fn average_over_trials<F: FnMut(u64) -> f64>(
+    trials: usize,
+    base_seed: u64,
+    mut f: F,
+) -> (f64, f64) {
+    let mut w = Welford::new();
+    for t in 0..trials {
+        w.push(f(hd_linalg::rng::derive_seed(base_seed, t as u64)));
+    }
+    (w.mean(), w.sample_std_dev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averaging_is_deterministic_and_correct() {
+        let (mean, sd) = average_over_trials(4, 9, |seed| (seed % 7) as f64);
+        let (mean2, _) = average_over_trials(4, 9, |seed| (seed % 7) as f64);
+        assert_eq!(mean, mean2);
+        assert!(sd >= 0.0);
+    }
+
+    #[test]
+    fn single_trial_zero_sd() {
+        let (_, sd) = average_over_trials(1, 0, |_| 5.0);
+        assert_eq!(sd, 0.0);
+    }
+}

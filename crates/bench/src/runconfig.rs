@@ -1,0 +1,126 @@
+//! Command-line handling shared by the bench binaries.
+
+/// Sweep scale: quick (default, minutes) or full (paper protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Reduced sweeps and sample budgets; finishes in minutes.
+    #[default]
+    Quick,
+    /// Paper-protocol sweeps: wider grids, more samples, 5-trial averages.
+    Full,
+}
+
+/// Parsed command-line options for a bench binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Sweep scale.
+    pub mode: RunMode,
+    /// Trials to average over (paper uses 5).
+    pub trials: usize,
+    /// Base seed for trial derivation.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { mode: RunMode::Quick, trials: 2, seed: 2025 }
+    }
+}
+
+impl RunConfig {
+    /// Parses options from an argument iterator (excluding argv\[0\]).
+    ///
+    /// Recognized flags: `--quick`, `--full`, `--trials N`, `--seed S`.
+    /// Unknown flags are reported in the returned error string.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = RunConfig::default();
+        let mut trials_explicit = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => cfg.mode = RunMode::Quick,
+                "--full" => {
+                    cfg.mode = RunMode::Full;
+                    if !trials_explicit {
+                        cfg.trials = 5;
+                    }
+                }
+                "--trials" => {
+                    let v = it.next().ok_or("--trials needs a value")?;
+                    cfg.trials =
+                        v.parse().map_err(|e| format!("invalid --trials {v}: {e}"))?;
+                    if cfg.trials == 0 {
+                        return Err("--trials must be positive".into());
+                    }
+                    trials_explicit = true;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cfg.seed = v.parse().map_err(|e| format!("invalid --seed {v}: {e}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--quick|--full] [--trials N] [--seed S]".into())
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Parses from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunConfig, String> {
+        RunConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.mode, RunMode::Quick);
+        assert_eq!(cfg.trials, 2);
+    }
+
+    #[test]
+    fn full_bumps_trials_to_five() {
+        let cfg = parse(&["--full"]).unwrap();
+        assert_eq!(cfg.mode, RunMode::Full);
+        assert_eq!(cfg.trials, 5);
+    }
+
+    #[test]
+    fn explicit_trials_survive_full() {
+        let cfg = parse(&["--trials", "3", "--full"]).unwrap();
+        assert_eq!(cfg.trials, 3);
+        let cfg = parse(&["--full", "--trials", "3"]).unwrap();
+        assert_eq!(cfg.trials, 3);
+    }
+
+    #[test]
+    fn seed_parsing() {
+        let cfg = parse(&["--seed", "42"]).unwrap();
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "zero"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

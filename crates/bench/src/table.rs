@@ -1,0 +1,110 @@
+//! Minimal aligned-column table printer for bench output.
+
+/// An aligned text table accumulated row by row.
+///
+/// # Example
+///
+/// ```
+/// use memhd_bench::table::Table;
+///
+/// let mut t = Table::new(&["model", "accuracy"]);
+/// t.row(&["MEMHD", "95.2%"]);
+/// let out = t.render();
+/// assert!(out.contains("MEMHD"));
+/// assert!(out.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> =
+            cells.iter().take(self.headers.len()).map(|c| c.as_ref().to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_padding() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        t.row(&["z"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn truncates_long_rows() {
+        let mut t = Table::new(&["one"]);
+        t.row(&["a", "b", "c"]);
+        assert!(t.render().contains('a'));
+        assert!(!t.render().contains('b'));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for k-means: structural invariants that must hold
+//! for any data, any k, and any metric.
+
+use hd_clustering::{kmeans, KmeansConfig, KmeansDistance, KmeansInit};
+use hd_linalg::Matrix;
+use proptest::prelude::*;
+
+fn data_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..20, 1usize..6).prop_flat_map(|(n, d)| {
+        prop::collection::vec(prop::collection::vec(-50.0f32..50.0, d), n)
+            .prop_map(|rows| Matrix::from_rows(&rows).expect("consistent rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every point gets a valid assignment and every cluster index is used
+    /// or repaired away; sizes sum to n.
+    #[test]
+    fn assignments_partition_the_data(
+        data in data_matrix(),
+        k in 1usize..5,
+        metric in prop::sample::select(vec![
+            KmeansDistance::DotSimilarity,
+            KmeansDistance::Euclidean,
+            KmeansDistance::Cosine,
+        ]),
+        seed in 0u64..20,
+    ) {
+        prop_assume!(k <= data.rows());
+        let cfg = KmeansConfig::new(k)
+            .with_distance(metric)
+            .with_max_iters(10)
+            .with_seed(seed);
+        let r = kmeans(&data, &cfg).unwrap();
+        prop_assert_eq!(r.assignments.len(), data.rows());
+        for &a in &r.assignments {
+            prop_assert!(a < k);
+        }
+        prop_assert_eq!(r.cluster_sizes().iter().sum::<usize>(), data.rows());
+        prop_assert_eq!(r.centroids.shape(), (k, data.cols()));
+        prop_assert!(r.inertia >= 0.0);
+        prop_assert!(r.iterations >= 1 && r.iterations <= 10);
+    }
+
+    /// With k = 1 and Euclidean distance, the centroid is the data mean
+    /// and the inertia equals the total variance mass.
+    #[test]
+    fn single_cluster_is_the_mean(data in data_matrix(), seed in 0u64..10) {
+        let cfg = KmeansConfig::new(1)
+            .with_distance(KmeansDistance::Euclidean)
+            .with_seed(seed);
+        let r = kmeans(&data, &cfg).unwrap();
+        let (n, d) = data.shape();
+        for c in 0..d {
+            let mean: f64 =
+                (0..n).map(|i| data.get(i, c) as f64).sum::<f64>() / n as f64;
+            let got = r.centroids.get(0, c) as f64;
+            prop_assert!(
+                (got - mean).abs() <= 1e-3 * (1.0 + mean.abs()),
+                "col {c}: centroid {got} vs mean {mean}"
+            );
+        }
+    }
+
+    /// More clusters never increase Euclidean inertia (on the same seed
+    /// family, comparing best-of-3 seeds to smooth seeding luck).
+    #[test]
+    fn inertia_decreases_with_k(data in data_matrix()) {
+        prop_assume!(data.rows() >= 4);
+        let best = |k: usize| -> f64 {
+            (0..3u64)
+                .map(|s| {
+                    let cfg = KmeansConfig::new(k)
+                        .with_distance(KmeansDistance::Euclidean)
+                        .with_max_iters(20)
+                        .with_seed(s);
+                    kmeans(&data, &cfg).unwrap().inertia
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let i1 = best(1);
+        let i2 = best(2);
+        let i4 = best(4);
+        prop_assert!(i2 <= i1 + 1e-6, "k=2 inertia {i2} > k=1 {i1}");
+        prop_assert!(i4 <= i2 + 1e-6, "k=4 inertia {i4} > k=2 {i2}");
+    }
+
+    /// Random init and k-means++ both satisfy the same structural
+    /// invariants.
+    #[test]
+    fn init_strategies_equivalent_contracts(
+        data in data_matrix(),
+        k in 1usize..4,
+        seed in 0u64..10,
+    ) {
+        prop_assume!(k <= data.rows());
+        for init in [KmeansInit::KmeansPlusPlus, KmeansInit::Random] {
+            let cfg = KmeansConfig::new(k)
+                .with_distance(KmeansDistance::Euclidean)
+                .with_init(init)
+                .with_seed(seed);
+            let r = kmeans(&data, &cfg).unwrap();
+            prop_assert_eq!(r.assignments.len(), data.rows());
+            prop_assert!(r.inertia.is_finite());
+        }
+    }
+}

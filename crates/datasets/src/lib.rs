@@ -1,0 +1,300 @@
+//! Dataset substrate for the MEMHD reproduction.
+//!
+//! The paper evaluates on MNIST, Fashion-MNIST, and ISOLET. Those corpora
+//! are not available in this offline environment, so this crate provides
+//! **synthetic multi-modal stand-ins** with matched shape and matched
+//! *structure* (see `DESIGN.md` §4 for the substitution argument):
+//!
+//! * each class is a mixture of several Gaussian sub-clusters ("modes") —
+//!   the property that makes a multi-centroid associative memory win over
+//!   a single class vector;
+//! * per-class sample budgets match the originals (≈6000/class for the
+//!   image sets, ≈240/class for ISOLET), which drives the paper's Fig. 4
+//!   overfitting observation on ISOLET;
+//! * dataset difficulty is ordered MNIST < FMNIST (more class overlap),
+//!   with ISOLET having many classes and few samples.
+//!
+//! Loaders for the real corpora (IDX for MNIST-format files, CSV for
+//! ISOLET) are in [`loader`], so absolute accuracy can be re-checked
+//! whenever the files are present.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loader;
+pub mod synthetic;
+
+use hd_linalg::Matrix;
+use std::fmt;
+
+/// Errors produced by dataset construction and loading.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// Generator or loader parameters were invalid.
+    InvalidSpec {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An I/O error while reading a real dataset file.
+    Io(std::io::Error),
+    /// A real dataset file was malformed.
+    Malformed {
+        /// Description of the format violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
+            DatasetError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            DatasetError::Malformed { reason } => write!(f, "malformed dataset file: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+/// A labeled classification dataset split into train and test partitions.
+///
+/// Features are `f32` in `[0, 1]`; labels are `0..num_classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"mnist-like"`).
+    pub name: String,
+    /// `n_train × f` training features.
+    pub train_features: Matrix,
+    /// Training labels, parallel to `train_features` rows.
+    pub train_labels: Vec<usize>,
+    /// `n_test × f` test features.
+    pub test_features: Matrix,
+    /// Test labels, parallel to `test_features` rows.
+    pub test_labels: Vec<usize>,
+    /// Number of classes `k`.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Validates internal consistency and constructs a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSpec`] if label counts disagree with
+    /// feature rows, a label is out of range, or the partitions disagree on
+    /// feature width.
+    pub fn new(
+        name: impl Into<String>,
+        train_features: Matrix,
+        train_labels: Vec<usize>,
+        test_features: Matrix,
+        test_labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if train_features.rows() != train_labels.len() {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!(
+                    "{} train rows vs {} train labels",
+                    train_features.rows(),
+                    train_labels.len()
+                ),
+            });
+        }
+        if test_features.rows() != test_labels.len() {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!(
+                    "{} test rows vs {} test labels",
+                    test_features.rows(),
+                    test_labels.len()
+                ),
+            });
+        }
+        if test_features.rows() > 0 && train_features.cols() != test_features.cols() {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!(
+                    "train width {} vs test width {}",
+                    train_features.cols(),
+                    test_features.cols()
+                ),
+            });
+        }
+        if let Some(&bad) =
+            train_labels.iter().chain(test_labels.iter()).find(|&&l| l >= num_classes)
+        {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!("label {bad} out of range for {num_classes} classes"),
+            });
+        }
+        Ok(Dataset {
+            name: name.into(),
+            train_features,
+            train_labels,
+            test_features,
+            test_labels,
+            num_classes,
+        })
+    }
+
+    /// Number of input features `f`.
+    pub fn feature_dim(&self) -> usize {
+        self.train_features.cols()
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+
+    /// Per-class training sample counts.
+    pub fn train_class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.train_labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Returns a copy with at most `per_class` training samples per class
+    /// (deterministic selection from `seed`), keeping the test split
+    /// intact — useful for few-shot experiments and quick sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSpec`] if `per_class` is zero.
+    pub fn subsample_train(&self, per_class: usize, seed: u64) -> Result<Self, DatasetError> {
+        use hd_linalg::rng::{derive_seed, seeded};
+        use rand::Rng;
+        if per_class == 0 {
+            return Err(DatasetError::InvalidSpec {
+                reason: "per_class must be positive".into(),
+            });
+        }
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        for (i, &l) in self.train_labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut rng = seeded(derive_seed(seed, 0x73756273)); // "subs"
+        let mut keep: Vec<usize> = Vec::new();
+        for members in &mut by_class {
+            let take = per_class.min(members.len());
+            // Partial Fisher–Yates for a deterministic random subset.
+            for i in 0..take {
+                let j = rng.gen_range(i..members.len());
+                members.swap(i, j);
+            }
+            keep.extend_from_slice(&members[..take]);
+        }
+        keep.sort_unstable();
+        let rows: Vec<&[f32]> = keep.iter().map(|&i| self.train_features.row(i)).collect();
+        let features = Matrix::from_rows(&rows)
+            .map_err(|e| DatasetError::InvalidSpec { reason: e.to_string() })?;
+        let labels: Vec<usize> = keep.iter().map(|&i| self.train_labels[i]).collect();
+        Dataset::new(
+            self.name.clone(),
+            features,
+            labels,
+            self.test_features.clone(),
+            self.test_labels.clone(),
+            self.num_classes,
+        )
+    }
+
+    /// Returns the training samples of one class as a feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSpec`] if the class is out of range
+    /// or has no samples.
+    pub fn train_samples_of_class(&self, class: usize) -> Result<Matrix, DatasetError> {
+        if class >= self.num_classes {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!("class {class} out of range for {}", self.num_classes),
+            });
+        }
+        let rows: Vec<&[f32]> = self
+            .train_labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| self.train_features.row(i))
+            .collect();
+        if rows.is_empty() {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!("class {class} has no training samples"),
+            });
+        }
+        Matrix::from_rows(&rows).map_err(|e| DatasetError::InvalidSpec { reason: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsample_train_respects_budget() {
+        let ds = synthetic::SyntheticSpec::mnist_like(20, 5).generate(1).unwrap();
+        let small = ds.subsample_train(7, 3).unwrap();
+        assert_eq!(small.train_class_counts(), vec![7; 10]);
+        assert_eq!(small.test_len(), ds.test_len());
+        // Deterministic under seed.
+        let again = ds.subsample_train(7, 3).unwrap();
+        assert_eq!(small.train_features, again.train_features);
+        // Budget above availability keeps everything.
+        let all = ds.subsample_train(500, 3).unwrap();
+        assert_eq!(all.train_len(), ds.train_len());
+        assert!(ds.subsample_train(0, 3).is_err());
+    }
+
+    #[test]
+    fn train_samples_of_class_filters() {
+        let ds = synthetic::SyntheticSpec::mnist_like(9, 2).generate(2).unwrap();
+        let m = ds.train_samples_of_class(4).unwrap();
+        assert_eq!(m.rows(), 9);
+        assert_eq!(m.cols(), ds.feature_dim());
+        assert!(ds.train_samples_of_class(10).is_err());
+    }
+
+    #[test]
+    fn dataset_validation() {
+        let train = Matrix::zeros(4, 3);
+        let test = Matrix::zeros(2, 3);
+        let ds =
+            Dataset::new("t", train.clone(), vec![0, 1, 0, 1], test.clone(), vec![0, 1], 2)
+                .unwrap();
+        assert_eq!(ds.feature_dim(), 3);
+        assert_eq!(ds.train_len(), 4);
+        assert_eq!(ds.test_len(), 2);
+        assert_eq!(ds.train_class_counts(), vec![2, 2]);
+
+        // label count mismatch
+        assert!(Dataset::new("t", train.clone(), vec![0], test.clone(), vec![0, 1], 2).is_err());
+        // out-of-range label
+        assert!(
+            Dataset::new("t", train.clone(), vec![0, 1, 0, 5], test.clone(), vec![0, 1], 2)
+                .is_err()
+        );
+        // width mismatch
+        let bad_test = Matrix::zeros(2, 4);
+        assert!(Dataset::new("t", train, vec![0, 1, 0, 1], bad_test, vec![0, 1], 2).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Loaders for real dataset files (used when the corpora are available).
+//!
+//! * [`load_idx_images`] / [`load_idx_labels`] — the IDX binary format used
+//!   by MNIST and Fashion-MNIST (`train-images-idx3-ubyte` etc.).
+//! * [`load_csv`] — comma-separated feature rows with a trailing integer
+//!   label, the common distribution format for ISOLET.
+//!
+//! All loaders normalize features into `[0, 1]`.
+
+use crate::{Dataset, DatasetError};
+use bytes::Buf;
+use hd_linalg::Matrix;
+use std::io::Read;
+use std::path::Path;
+
+const IDX_IMAGES_MAGIC: u32 = 0x0000_0803;
+const IDX_LABELS_MAGIC: u32 = 0x0000_0801;
+
+/// Parses an IDX3 image file (`magic 0x803`) into an `n × (rows·cols)`
+/// matrix with pixel values scaled to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Malformed`] for a bad magic number or truncated
+/// payload.
+pub fn parse_idx_images(mut raw: &[u8]) -> Result<Matrix, DatasetError> {
+    if raw.len() < 16 {
+        return Err(DatasetError::Malformed { reason: "IDX image header too short".into() });
+    }
+    let magic = raw.get_u32();
+    if magic != IDX_IMAGES_MAGIC {
+        return Err(DatasetError::Malformed {
+            reason: format!("bad IDX image magic {magic:#010x}"),
+        });
+    }
+    let n = raw.get_u32() as usize;
+    let rows = raw.get_u32() as usize;
+    let cols = raw.get_u32() as usize;
+    let pixels = n * rows * cols;
+    if raw.remaining() < pixels {
+        return Err(DatasetError::Malformed {
+            reason: format!("expected {pixels} pixels, found {}", raw.remaining()),
+        });
+    }
+    let data: Vec<f32> = raw[..pixels].iter().map(|&b| b as f32 / 255.0).collect();
+    Matrix::from_vec(n, rows * cols, data)
+        .map_err(|e| DatasetError::Malformed { reason: e.to_string() })
+}
+
+/// Parses an IDX1 label file (`magic 0x801`) into a label vector.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Malformed`] for a bad magic number or truncated
+/// payload.
+pub fn parse_idx_labels(mut raw: &[u8]) -> Result<Vec<usize>, DatasetError> {
+    if raw.len() < 8 {
+        return Err(DatasetError::Malformed { reason: "IDX label header too short".into() });
+    }
+    let magic = raw.get_u32();
+    if magic != IDX_LABELS_MAGIC {
+        return Err(DatasetError::Malformed {
+            reason: format!("bad IDX label magic {magic:#010x}"),
+        });
+    }
+    let n = raw.get_u32() as usize;
+    if raw.remaining() < n {
+        return Err(DatasetError::Malformed {
+            reason: format!("expected {n} labels, found {}", raw.remaining()),
+        });
+    }
+    Ok(raw[..n].iter().map(|&b| b as usize).collect())
+}
+
+/// Reads and parses an IDX3 image file from disk.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on read failure, or
+/// [`DatasetError::Malformed`] for format violations.
+pub fn load_idx_images(path: impl AsRef<Path>) -> Result<Matrix, DatasetError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    parse_idx_images(&buf)
+}
+
+/// Reads and parses an IDX1 label file from disk.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on read failure, or
+/// [`DatasetError::Malformed`] for format violations.
+pub fn load_idx_labels(path: impl AsRef<Path>) -> Result<Vec<usize>, DatasetError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    parse_idx_labels(&buf)
+}
+
+/// Assembles an MNIST-format dataset from the four standard IDX files.
+///
+/// # Errors
+///
+/// Propagates loader errors and [`DatasetError::InvalidSpec`] if the files
+/// disagree (e.g. image/label count mismatch).
+pub fn load_mnist_format(
+    name: &str,
+    train_images: impl AsRef<Path>,
+    train_labels: impl AsRef<Path>,
+    test_images: impl AsRef<Path>,
+    test_labels: impl AsRef<Path>,
+) -> Result<Dataset, DatasetError> {
+    let train_x = load_idx_images(train_images)?;
+    let train_y = load_idx_labels(train_labels)?;
+    let test_x = load_idx_images(test_images)?;
+    let test_y = load_idx_labels(test_labels)?;
+    let k = train_y.iter().chain(test_y.iter()).copied().max().map_or(0, |m| m + 1);
+    Dataset::new(name, train_x, train_y, test_x, test_y, k)
+}
+
+/// Parses CSV text where each line is `f` comma-separated feature values
+/// followed by one integer class label (1-based labels, as distributed for
+/// ISOLET, are shifted to 0-based when `one_based_labels` is true).
+///
+/// Features are min–max normalized to `[0, 1]` per column.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Malformed`] for unparsable or ragged rows.
+pub fn parse_csv(
+    text: &str,
+    one_based_labels: bool,
+) -> Result<(Matrix, Vec<usize>), DatasetError> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(DatasetError::Malformed {
+                reason: format!("line {}: fewer than 2 fields", lineno + 1),
+            });
+        }
+        let (feat_fields, label_field) = fields.split_at(fields.len() - 1);
+        let feats: Result<Vec<f32>, _> = feat_fields.iter().map(|s| s.parse::<f32>()).collect();
+        let feats = feats.map_err(|e| DatasetError::Malformed {
+            reason: format!("line {}: {e}", lineno + 1),
+        })?;
+        let label: f32 = label_field[0].parse().map_err(|e| DatasetError::Malformed {
+            reason: format!("line {}: label: {e}", lineno + 1),
+        })?;
+        let mut label = label as isize;
+        if one_based_labels {
+            label -= 1;
+        }
+        if label < 0 {
+            return Err(DatasetError::Malformed {
+                reason: format!("line {}: negative label", lineno + 1),
+            });
+        }
+        if let Some(first) = rows.first() {
+            if feats.len() != first.len() {
+                return Err(DatasetError::Malformed {
+                    reason: format!(
+                        "line {}: {} features, expected {}",
+                        lineno + 1,
+                        feats.len(),
+                        first.len()
+                    ),
+                });
+            }
+        }
+        rows.push(feats);
+        labels.push(label as usize);
+    }
+    if rows.is_empty() {
+        return Err(DatasetError::Malformed { reason: "no data rows".into() });
+    }
+
+    // Per-column min–max normalization to [0, 1].
+    let cols = rows[0].len();
+    let mut mins = vec![f32::MAX; cols];
+    let mut maxs = vec![f32::MIN; cols];
+    for row in &rows {
+        for (c, &v) in row.iter().enumerate() {
+            mins[c] = mins[c].min(v);
+            maxs[c] = maxs[c].max(v);
+        }
+    }
+    for row in &mut rows {
+        for (c, v) in row.iter_mut().enumerate() {
+            let range = maxs[c] - mins[c];
+            *v = if range > 0.0 { (*v - mins[c]) / range } else { 0.5 };
+        }
+    }
+
+    let m = Matrix::from_rows(&rows)
+        .map_err(|e| DatasetError::Malformed { reason: e.to_string() })?;
+    Ok((m, labels))
+}
+
+/// Loads a CSV dataset file (see [`parse_csv`]).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on read failure, or
+/// [`DatasetError::Malformed`] for format violations.
+pub fn load_csv(
+    path: impl AsRef<Path>,
+    one_based_labels: bool,
+) -> Result<(Matrix, Vec<usize>), DatasetError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_csv(&text, one_based_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx_image_bytes(n: usize, rows: usize, cols: usize) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&IDX_IMAGES_MAGIC.to_be_bytes());
+        v.extend_from_slice(&(n as u32).to_be_bytes());
+        v.extend_from_slice(&(rows as u32).to_be_bytes());
+        v.extend_from_slice(&(cols as u32).to_be_bytes());
+        for i in 0..n * rows * cols {
+            v.push((i % 256) as u8);
+        }
+        v
+    }
+
+    #[test]
+    fn idx_images_roundtrip() {
+        let raw = idx_image_bytes(2, 3, 3);
+        let m = parse_idx_images(&raw).unwrap();
+        assert_eq!(m.shape(), (2, 9));
+        assert_eq!(m.get(0, 0), 0.0);
+        assert!((m.get(0, 1) - 1.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idx_images_bad_magic() {
+        let mut raw = idx_image_bytes(1, 2, 2);
+        raw[3] = 0x99;
+        assert!(matches!(parse_idx_images(&raw), Err(DatasetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn idx_images_truncated() {
+        let raw = idx_image_bytes(2, 3, 3);
+        assert!(matches!(
+            parse_idx_images(&raw[..raw.len() - 1]),
+            Err(DatasetError::Malformed { .. })
+        ));
+        assert!(matches!(parse_idx_images(&raw[..4]), Err(DatasetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn idx_labels_roundtrip() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&IDX_LABELS_MAGIC.to_be_bytes());
+        raw.extend_from_slice(&3u32.to_be_bytes());
+        raw.extend_from_slice(&[7, 0, 9]);
+        assert_eq!(parse_idx_labels(&raw).unwrap(), vec![7, 0, 9]);
+    }
+
+    #[test]
+    fn idx_labels_bad() {
+        assert!(parse_idx_labels(&[0, 0]).is_err());
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0xdeadbeefu32.to_be_bytes());
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        assert!(parse_idx_labels(&raw).is_err());
+    }
+
+    #[test]
+    fn csv_parse_and_normalize() {
+        let text = "0.0, 10.0, 1\n5.0, 20.0, 2\n10.0, 30.0, 1\n";
+        let (m, labels) = parse_csv(text, true).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(labels, vec![0, 1, 0]);
+        // Column 0: min 0, max 10 -> 0.0, 0.5, 1.0
+        assert_eq!(m.column(0), vec![0.0, 0.5, 1.0]);
+        assert_eq!(m.column(1), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn csv_constant_column_maps_to_half() {
+        let text = "3.0,1.0,0\n3.0,2.0,1\n";
+        let (m, _) = parse_csv(text, false).unwrap();
+        assert_eq!(m.column(0), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_and_garbage() {
+        assert!(parse_csv("1.0,2.0,0\n1.0,0\n", false).is_err());
+        assert!(parse_csv("a,b,0\n", false).is_err());
+        assert!(parse_csv("", false).is_err());
+        assert!(parse_csv("1.0,1\n", true).is_ok());
+        // one_based shift below zero
+        assert!(parse_csv("1.0,0\n", true).is_err());
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let text = "\n1.0,2.0,0\n\n3.0,4.0,1\n\n";
+        let (m, labels) = parse_csv(text, false).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(labels, vec![0, 1]);
+    }
+}

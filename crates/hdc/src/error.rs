@@ -1,0 +1,113 @@
+//! Error types for the HDC substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, HdcError>;
+
+/// Errors produced by HDC encoding, memory, and training operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A feature vector did not match the encoder's expected input width.
+    FeatureWidthMismatch {
+        /// Width the encoder was built for.
+        expected: usize,
+        /// Width actually supplied.
+        found: usize,
+    },
+    /// A hypervector did not match the memory's dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the memory.
+        expected: usize,
+        /// Dimensionality supplied.
+        found: usize,
+    },
+    /// A class label was outside the memory's class range.
+    UnknownClass {
+        /// The offending label.
+        class: usize,
+        /// Number of classes in the memory.
+        num_classes: usize,
+    },
+    /// A training set was empty or labels disagreed with features.
+    InvalidTrainingSet {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An invalid hyperparameter was supplied (e.g. zero dimensions).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// An underlying linear algebra operation failed.
+    Linalg(hd_linalg::LinalgError),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::FeatureWidthMismatch { expected, found } => {
+                write!(f, "feature width mismatch: encoder expects {expected}, found {found}")
+            }
+            HdcError::DimensionMismatch { expected, found } => {
+                write!(f, "hypervector dimension mismatch: expected {expected}, found {found}")
+            }
+            HdcError::UnknownClass { class, num_classes } => {
+                write!(f, "class label {class} out of range for {num_classes} classes")
+            }
+            HdcError::InvalidTrainingSet { reason } => {
+                write!(f, "invalid training set: {reason}")
+            }
+            HdcError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            HdcError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HdcError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hd_linalg::LinalgError> for HdcError {
+    fn from(e: hd_linalg::LinalgError) -> Self {
+        HdcError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HdcError::FeatureWidthMismatch { expected: 784, found: 617 };
+        assert!(e.to_string().contains("784"));
+        let e = HdcError::UnknownClass { class: 12, num_classes: 10 };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn linalg_error_wraps_with_source() {
+        use std::error::Error;
+        let inner = hd_linalg::LinalgError::Empty { op: "mean" };
+        let e: HdcError = inner.clone().into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Similarity measures for associative search (paper §II-D).
+//!
+//! MEMHD standardizes on **dot similarity** (Eq. 3) because it is exactly
+//! what an IMC array computes in one MVM; Hamming and cosine are provided
+//! for completeness and for cross-checking the baselines.
+
+use hd_linalg::BitVector;
+
+/// The similarity metric used by an associative search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Similarity {
+    /// Dot product (Eq. 3) — the IMC-native metric; MEMHD's default.
+    #[default]
+    Dot,
+    /// Cosine similarity (dot normalized by both magnitudes).
+    Cosine,
+    /// Negated Hamming distance (higher = more similar).
+    Hamming,
+}
+
+impl Similarity {
+    /// Evaluates this metric between two real-valued hypervectors.
+    ///
+    /// Higher is always "more similar", so Hamming distance is negated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn eval_f32(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Similarity::Dot => hd_linalg::dot(a, b),
+            Similarity::Cosine => {
+                let na = hd_linalg::l2_norm(a);
+                let nb = hd_linalg::l2_norm(b);
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    hd_linalg::dot(a, b) / (na * nb)
+                }
+            }
+            Similarity::Hamming => {
+                // Real-valued "Hamming": count of sign disagreements, negated.
+                let d = a
+                    .iter()
+                    .zip(b)
+                    .filter(|(x, y)| (**x > 0.0) != (**y > 0.0))
+                    .count();
+                -(d as f32)
+            }
+        }
+    }
+
+    /// Evaluates this metric between two binary hypervectors.
+    ///
+    /// Higher is always "more similar".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn eval_binary(&self, a: &BitVector, b: &BitVector) -> f32 {
+        match self {
+            Similarity::Dot => a.dot(b) as f32,
+            Similarity::Cosine => {
+                let na = (a.count_ones() as f32).sqrt();
+                let nb = (b.count_ones() as f32).sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    a.dot(b) as f32 / (na * nb)
+                }
+            }
+            Similarity::Hamming => -(a.hamming(b) as f32),
+        }
+    }
+}
+
+/// Dot similarity between two real hypervectors (Eq. 3).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    hd_linalg::dot(a, b)
+}
+
+/// Dot similarity between two binary hypervectors: `popcount(a AND b)`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_binary(a: &BitVector, b: &BitVector) -> u32 {
+    a.dot(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_linalg() {
+        assert_eq!(dot_f32(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn dot_binary_counts_overlap() {
+        let a = BitVector::from_bools(&[true, true, false]);
+        let b = BitVector::from_bools(&[true, false, false]);
+        assert_eq!(dot_binary(&a, &b), 1);
+    }
+
+    #[test]
+    fn similarity_dot_f32() {
+        let s = Similarity::Dot.eval_f32(&[1.0, -1.0], &[2.0, 2.0]);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn similarity_cosine_unit() {
+        let s = Similarity::Cosine.eval_f32(&[1.0, 0.0], &[2.0, 0.0]);
+        assert!((s - 1.0).abs() < 1e-6);
+        // Orthogonal vectors
+        let s = Similarity::Cosine.eval_f32(&[1.0, 0.0], &[0.0, 3.0]);
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_cosine_zero_vector() {
+        assert_eq!(Similarity::Cosine.eval_f32(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn similarity_hamming_negated() {
+        let a = BitVector::from_bools(&[true, false, true]);
+        let b = BitVector::from_bools(&[true, true, false]);
+        assert_eq!(Similarity::Hamming.eval_binary(&a, &b), -2.0);
+        // Identical vectors have maximal (zero) similarity.
+        assert_eq!(Similarity::Hamming.eval_binary(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn binary_cosine_in_unit_range() {
+        let a = BitVector::from_bools(&[true, true, true, false]);
+        let b = BitVector::from_bools(&[true, false, true, true]);
+        let s = Similarity::Cosine.eval_binary(&a, &b);
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn default_is_dot() {
+        assert_eq!(Similarity::default(), Similarity::Dot);
+    }
+}

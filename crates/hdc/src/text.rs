@@ -1,0 +1,231 @@
+//! N-gram text encoding — the language-processing workload the paper's
+//! introduction cites (Rahimi et al., "A Robust and Energy-Efficient
+//! Classifier Using Brain-Inspired Hyperdimensional Computing").
+//!
+//! Each symbol gets a random binary hypervector; an n-gram binds its
+//! symbols with position-marking rotations and XOR
+//! (`G = ρ^{n-1}(s₁) ⊕ … ⊕ ρ(s_{n-1}) ⊕ s_n`), and a text bundles all of
+//! its n-grams by bipolar majority. The result is a hypervector in exactly
+//! the same space the associative memories consume, so MEMHD's
+//! multi-centroid pipeline (`memhd::init` / `memhd::train`) runs on text
+//! unchanged — see the `language_identification` example.
+
+use crate::error::{HdcError, Result};
+use hd_linalg::rng::{derive_seed, seeded};
+use hd_linalg::BitVector;
+use rand::Rng;
+
+/// Encodes lowercase text into hypervectors via rotated-XOR n-grams.
+///
+/// The alphabet is `a–z` plus space; all other characters are treated as
+/// spaces. Texts shorter than `n` symbols cannot be encoded.
+///
+/// # Example
+///
+/// ```
+/// use hdc::TextNgramEncoder;
+///
+/// # fn main() -> hdc::Result<()> {
+/// let enc = TextNgramEncoder::new(3, 1024, 7)?;
+/// let a = enc.encode_binary("the quick brown fox")?;
+/// let b = enc.encode_binary("the quick brown fox")?;
+/// assert_eq!(a, b); // deterministic
+/// assert_eq!(a.len(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextNgramEncoder {
+    symbols: Vec<BitVector>,
+    n: usize,
+    dim: usize,
+}
+
+/// Number of symbols: `a–z` + space.
+const ALPHABET: usize = 27;
+
+impl TextNgramEncoder {
+    /// Creates an encoder for `n`-grams in `dim`-dimensional space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidParameter`] if `n == 0` or `dim == 0`.
+    pub fn new(n: usize, dim: usize, seed: u64) -> Result<Self> {
+        if n == 0 {
+            return Err(HdcError::InvalidParameter {
+                name: "n",
+                reason: "n-gram size must be positive".into(),
+            });
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidParameter {
+                name: "dim",
+                reason: "dimensionality must be positive".into(),
+            });
+        }
+        let mut rng = seeded(derive_seed(seed, 0x7465_7874)); // "text"
+        let symbols = (0..ALPHABET)
+            .map(|_| {
+                let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                BitVector::from_bools(&bits)
+            })
+            .collect();
+        Ok(TextNgramEncoder { symbols, n, dim })
+    }
+
+    /// N-gram size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn symbol_index(c: char) -> usize {
+        match c {
+            'a'..='z' => c as usize - 'a' as usize,
+            _ => 26, // everything else maps to the space symbol
+        }
+    }
+
+    /// Encodes text into a floating-point hypervector: the bipolar bundle
+    /// of all its n-grams (each dimension holds `#ones − #zeros` across
+    /// the bound n-gram vectors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidTrainingSet`] if the text has fewer than
+    /// `n` symbols.
+    pub fn encode(&self, text: &str) -> Result<Vec<f32>> {
+        let symbols: Vec<usize> = text
+            .to_lowercase()
+            .chars()
+            .map(Self::symbol_index)
+            .collect();
+        if symbols.len() < self.n {
+            return Err(HdcError::InvalidTrainingSet {
+                reason: format!(
+                    "text of {} symbols is shorter than the n-gram size {}",
+                    symbols.len(),
+                    self.n
+                ),
+            });
+        }
+        let mut acc = vec![0.0f32; self.dim];
+        for window in symbols.windows(self.n) {
+            // G = ρ^{n-1}(s1) ⊕ ... ⊕ ρ(s_{n-1}) ⊕ s_n
+            let mut gram = self.symbols[window[0]].rotate_left(self.n - 1);
+            for (offset, &s) in window.iter().enumerate().skip(1) {
+                gram = gram.xor(&self.symbols[s].rotate_left(self.n - 1 - offset));
+            }
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += if gram.get(j) { 1.0 } else { -1.0 };
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Encodes text into a binary hypervector by majority rule (bundled
+    /// sums are symmetric around zero).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TextNgramEncoder::encode`].
+    pub fn encode_binary(&self, text: &str) -> Result<BitVector> {
+        Ok(BitVector::from_threshold(&self.encode(text)?, 0.0))
+    }
+
+    /// Encodes a batch of texts into an [`crate::EncodedDataset`] ready for
+    /// the associative-memory training APIs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first text shorter than `n` symbols, or if `texts` is
+    /// empty.
+    pub fn encode_corpus<S: AsRef<str>>(&self, texts: &[S]) -> Result<crate::EncodedDataset> {
+        if texts.is_empty() {
+            return Err(HdcError::InvalidTrainingSet { reason: "empty corpus".into() });
+        }
+        let mut flat = Vec::with_capacity(texts.len() * self.dim);
+        let mut bin = Vec::with_capacity(texts.len());
+        for t in texts {
+            let fp = self.encode(t.as_ref())?;
+            bin.push(BitVector::from_threshold(&fp, 0.0));
+            flat.extend_from_slice(&fp);
+        }
+        Ok(crate::EncodedDataset {
+            fp: hd_linalg::Matrix::from_vec(texts.len(), self.dim, flat)?,
+            bin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let enc = TextNgramEncoder::new(3, 256, 1).unwrap();
+        let a = enc.encode("hello world").unwrap();
+        let b = enc.encode("hello world").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 256);
+        assert_eq!(enc.n(), 3);
+        assert_eq!(enc.dim(), 256);
+    }
+
+    #[test]
+    fn case_and_punctuation_normalized() {
+        let enc = TextNgramEncoder::new(2, 128, 2).unwrap();
+        assert_eq!(enc.encode("Hello").unwrap(), enc.encode("hello").unwrap());
+        // Punctuation behaves like a space.
+        assert_eq!(enc.encode("a,b").unwrap(), enc.encode("a b").unwrap());
+    }
+
+    #[test]
+    fn similar_texts_closer_than_different() {
+        let enc = TextNgramEncoder::new(3, 2048, 3).unwrap();
+        let base = enc.encode_binary("the cat sat on the mat and purred").unwrap();
+        let near = enc.encode_binary("the cat sat on the mat and slept").unwrap();
+        let far = enc.encode_binary("zyx wvu tsr qpo nml kji hgf edc").unwrap();
+        assert!(base.hamming(&near) < base.hamming(&far));
+    }
+
+    #[test]
+    fn ngram_order_matters() {
+        let enc = TextNgramEncoder::new(3, 1024, 4).unwrap();
+        let ab = enc.encode_binary("abcabcabcabc").unwrap();
+        let ba = enc.encode_binary("cbacbacbacba").unwrap();
+        // Reversed trigrams should look (near-)random relative to forward.
+        let d = ab.hamming(&ba) as f64 / 1024.0;
+        assert!(d > 0.3, "reversed text too similar: {d}");
+    }
+
+    #[test]
+    fn too_short_text_rejected() {
+        let enc = TextNgramEncoder::new(4, 64, 5).unwrap();
+        assert!(enc.encode("abc").is_err());
+        assert!(enc.encode("abcd").is_ok());
+    }
+
+    #[test]
+    fn corpus_encoding_matches_single() {
+        let enc = TextNgramEncoder::new(2, 128, 6).unwrap();
+        let texts = ["hello there", "general kenobi"];
+        let ds = enc.encode_corpus(&texts).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.fp.row(0), enc.encode(texts[0]).unwrap().as_slice());
+        assert_eq!(ds.bin[1], enc.encode_binary(texts[1]).unwrap());
+        let empty: [&str; 0] = [];
+        assert!(enc.encode_corpus(&empty).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(TextNgramEncoder::new(0, 64, 1).is_err());
+        assert!(TextNgramEncoder::new(3, 0, 1).is_err());
+    }
+}

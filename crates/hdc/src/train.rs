@@ -1,0 +1,315 @@
+//! Training routines for single-centroid associative memories (paper §II-C).
+//!
+//! These are the classic HDC learning rules the baselines build on:
+//!
+//! * [`single_pass`] — `C_k = Σᵢ H_k^i`: accumulate every sample
+//!   hypervector into its class vector in one pass.
+//! * [`iterative`] — perceptron-style refinement on the floating-point AM
+//!   (Eq. 2): on misprediction, pull the true class vector toward the
+//!   sample and push the predicted one away.
+//! * [`quantization_aware`] — QuantHD-style training: similarity is
+//!   evaluated against the *binary* AM with *binary* queries (exactly what
+//!   inference will do), updates land on the FP shadow AM, and the binary
+//!   AM is refreshed by re-binarizing each epoch.
+//!
+//! The multi-centroid extension with update-target selection (Eqs. 4–6) is
+//! in the `memhd` crate.
+
+use crate::am::{BinaryAm, FloatAm};
+use crate::encoder::EncodedDataset;
+use crate::error::{HdcError, Result};
+use hd_linalg::argmax;
+
+fn check_labels(encoded: &EncodedDataset, labels: &[usize], num_classes: usize) -> Result<()> {
+    if encoded.is_empty() {
+        return Err(HdcError::InvalidTrainingSet { reason: "empty training set".into() });
+    }
+    if encoded.len() != labels.len() {
+        return Err(HdcError::InvalidTrainingSet {
+            reason: format!("{} samples but {} labels", encoded.len(), labels.len()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+        return Err(HdcError::UnknownClass { class: bad, num_classes });
+    }
+    Ok(())
+}
+
+/// Single-pass training: `C_k = Σ_{i: label=k} H_k^i`.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidTrainingSet`] for an empty set or mismatched
+/// label count, and [`HdcError::UnknownClass`] for an out-of-range label.
+pub fn single_pass(
+    encoded: &EncodedDataset,
+    labels: &[usize],
+    num_classes: usize,
+) -> Result<FloatAm> {
+    check_labels(encoded, labels, num_classes)?;
+    let mut am = FloatAm::zeroed_single_centroid(num_classes, encoded.dim());
+    for (i, &label) in labels.iter().enumerate() {
+        am.update(label, 1.0, encoded.fp.row(i))?;
+    }
+    Ok(am)
+}
+
+/// One epoch of floating-point iterative learning (Eq. 2).
+///
+/// For every misclassified sample (by FP dot similarity), applies
+/// `C_true += α·H` and `C_pred −= α·H`. Returns the number of updates
+/// (mispredictions) performed.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`single_pass`], plus
+/// [`HdcError::DimensionMismatch`] if the AM and encoding disagree on `D`.
+pub fn iterative_epoch(
+    am: &mut FloatAm,
+    encoded: &EncodedDataset,
+    labels: &[usize],
+    alpha: f32,
+) -> Result<usize> {
+    check_labels(encoded, labels, am.num_classes())?;
+    let mut updates = 0;
+    for (i, &label) in labels.iter().enumerate() {
+        let h = encoded.fp.row(i);
+        let scores = am.scores(h)?;
+        let pred_row = argmax(&scores).expect("AM has at least one centroid");
+        let pred = am.class_of(pred_row);
+        if pred != label {
+            // Single-centroid layout: row index == class label.
+            am.update(label, alpha, h)?;
+            am.update(pred_row, -alpha, h)?;
+            updates += 1;
+        }
+    }
+    Ok(updates)
+}
+
+/// Runs [`iterative_epoch`] for `epochs` epochs (or until an epoch makes
+/// zero updates) and returns the per-epoch update counts.
+///
+/// # Errors
+///
+/// Propagates errors from [`iterative_epoch`].
+pub fn iterative(
+    am: &mut FloatAm,
+    encoded: &EncodedDataset,
+    labels: &[usize],
+    alpha: f32,
+    epochs: usize,
+) -> Result<Vec<usize>> {
+    let mut history = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let updates = iterative_epoch(am, encoded, labels, alpha)?;
+        history.push(updates);
+        if updates == 0 {
+            break;
+        }
+    }
+    Ok(history)
+}
+
+/// Per-epoch record emitted by [`quantization_aware`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QatEpoch {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mispredictions (= updates) during the epoch.
+    pub updates: usize,
+    /// Training accuracy of the *binary* AM measured during the epoch.
+    pub train_accuracy: f64,
+}
+
+/// Quantization-aware iterative training for a single-centroid AM
+/// (QuantHD \[13\]): evaluate with the binary AM on binary queries, update
+/// the FP AM, re-binarize after each epoch.
+///
+/// Returns the final binary AM and the per-epoch history. Stops early if an
+/// epoch makes zero updates.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`single_pass`].
+pub fn quantization_aware(
+    fp_am: &mut FloatAm,
+    encoded: &EncodedDataset,
+    labels: &[usize],
+    alpha: f32,
+    epochs: usize,
+) -> Result<(BinaryAm, Vec<QatEpoch>)> {
+    check_labels(encoded, labels, fp_am.num_classes())?;
+    let mut binary = fp_am.quantize();
+    let mut history = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let mut updates = 0;
+        let mut correct = 0usize;
+        for (i, &label) in labels.iter().enumerate() {
+            let hb = &encoded.bin[i];
+            let hit = binary.search(hb)?;
+            if hit.class == label {
+                correct += 1;
+            } else {
+                let h = encoded.fp.row(i);
+                fp_am.update(label, alpha, h)?;
+                fp_am.update(hit.row, -alpha, h)?;
+                updates += 1;
+            }
+        }
+        binary = fp_am.quantize();
+        history.push(QatEpoch {
+            epoch,
+            updates,
+            train_accuracy: correct as f64 / labels.len() as f64,
+        });
+        if updates == 0 {
+            break;
+        }
+    }
+    Ok((binary, history))
+}
+
+/// Classifies every query with `am` and returns the predictions.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if a query width disagrees with
+/// the AM.
+pub fn predict_all(
+    am: &BinaryAm,
+    queries: &[hd_linalg::BitVector],
+) -> Result<Vec<usize>> {
+    queries.iter().map(|q| am.classify(q)).collect()
+}
+
+/// Test-set accuracy of a binary AM.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidTrainingSet`] if `queries` and `labels`
+/// disagree in length or are empty, or a dimension error from the search.
+pub fn evaluate(
+    am: &BinaryAm,
+    queries: &[hd_linalg::BitVector],
+    labels: &[usize],
+) -> Result<f64> {
+    if queries.is_empty() || queries.len() != labels.len() {
+        return Err(HdcError::InvalidTrainingSet {
+            reason: format!("{} queries vs {} labels", queries.len(), labels.len()),
+        });
+    }
+    let preds = predict_all(am, queries)?;
+    Ok(hd_linalg::stats::accuracy(&preds, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode_dataset, RandomProjectionEncoder};
+    use hd_linalg::rng::{seeded, Normal};
+    use hd_linalg::Matrix;
+    use rand::Rng;
+
+    /// Two well-separated Gaussian blobs in 8-D feature space.
+    fn toy_problem(n_per_class: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let noise = Normal::new(0.0, 0.08);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..2usize {
+            for _ in 0..n_per_class {
+                let base = if class == 0 { 0.25 } else { 0.75 };
+                let row: Vec<f32> = (0..8)
+                    .map(|j| {
+                        let wiggle = if j % 2 == class { 0.15 } else { -0.15 };
+                        (base + wiggle + noise.sample(&mut rng)).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                rows.push(row);
+                labels.push(class);
+            }
+        }
+        // Shuffle to interleave classes.
+        for i in (1..rows.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            rows.swap(i, j);
+            labels.swap(i, j);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn single_pass_sums_by_class() {
+        let enc = RandomProjectionEncoder::new(8, 64, 3);
+        let (x, y) = toy_problem(10, 42);
+        let ds = encode_dataset(&enc, &x).unwrap();
+        let am = single_pass(&ds, &y, 2).unwrap();
+        // Class vector must equal the sum of its samples' hypervectors.
+        let mut expected = vec![0.0f32; 64];
+        for (i, &label) in y.iter().enumerate() {
+            if label == 0 {
+                for (e, v) in expected.iter_mut().zip(ds.fp.row(i)) {
+                    *e += v;
+                }
+            }
+        }
+        assert_eq!(am.centroid(0), expected.as_slice());
+    }
+
+    #[test]
+    fn single_pass_validates() {
+        let enc = RandomProjectionEncoder::new(8, 32, 3);
+        let (x, mut y) = toy_problem(3, 1);
+        let ds = encode_dataset(&enc, &x).unwrap();
+        assert!(single_pass(&ds, &y[..3], 2).is_err()); // label count mismatch
+        y[0] = 9;
+        assert!(matches!(single_pass(&ds, &y, 2), Err(HdcError::UnknownClass { .. })));
+    }
+
+    #[test]
+    fn iterative_reduces_errors() {
+        let enc = RandomProjectionEncoder::new(8, 256, 3);
+        let (x, y) = toy_problem(40, 7);
+        let ds = encode_dataset(&enc, &x).unwrap();
+        let mut am = single_pass(&ds, &y, 2).unwrap();
+        let history = iterative(&mut am, &ds, &y, 0.05, 20).unwrap();
+        assert!(!history.is_empty());
+        // Errors at the end should not exceed errors at the start.
+        assert!(history.last().unwrap() <= history.first().unwrap());
+    }
+
+    #[test]
+    fn quantization_aware_learns_separable_problem() {
+        let enc = RandomProjectionEncoder::new(8, 256, 3);
+        let (x, y) = toy_problem(40, 11);
+        let ds = encode_dataset(&enc, &x).unwrap();
+        let mut fp = single_pass(&ds, &y, 2).unwrap();
+        let (bam, history) = quantization_aware(&mut fp, &ds, &y, 0.05, 30).unwrap();
+        assert!(!history.is_empty());
+        let acc = evaluate(&bam, &ds.bin, &y).unwrap();
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_checks_lengths() {
+        let enc = RandomProjectionEncoder::new(8, 32, 3);
+        let (x, y) = toy_problem(5, 2);
+        let ds = encode_dataset(&enc, &x).unwrap();
+        let am = single_pass(&ds, &y, 2).unwrap().quantize();
+        assert!(evaluate(&am, &ds.bin, &y[..4]).is_err());
+        assert!(evaluate(&am, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn predict_all_matches_classify() {
+        let enc = RandomProjectionEncoder::new(8, 64, 3);
+        let (x, y) = toy_problem(6, 5);
+        let ds = encode_dataset(&enc, &x).unwrap();
+        let am = single_pass(&ds, &y, 2).unwrap().quantize();
+        let preds = predict_all(&am, &ds.bin).unwrap();
+        for (i, q) in ds.bin.iter().enumerate() {
+            assert_eq!(preds[i], am.classify(q).unwrap());
+        }
+    }
+}

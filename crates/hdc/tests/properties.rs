@@ -1,0 +1,127 @@
+//! Property-based tests for the HDC substrate: encoder laws, binarization
+//! invariants, and associative-memory behavior under arbitrary inputs.
+
+use hd_linalg::{BitVector, Matrix};
+use hdc::{BinaryAm, Encoder, FloatAm, IdLevelEncoder, RandomProjectionEncoder};
+use proptest::prelude::*;
+
+fn features(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..1.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Projection encoding is linear in the features: H(a·x) = a·H(x).
+    #[test]
+    fn projection_is_homogeneous(x in features(16), scale in 0.1f32..4.0) {
+        let enc = RandomProjectionEncoder::new(16, 64, 3);
+        let hx = enc.encode(&x).unwrap();
+        let scaled: Vec<f32> = x.iter().map(|v| v * scale).collect();
+        let hs = enc.encode(&scaled).unwrap();
+        for (a, b) in hx.iter().zip(&hs) {
+            prop_assert!((a * scale - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Projection encoding is additive: H(x + y) = H(x) + H(y).
+    #[test]
+    fn projection_is_additive(x in features(12), y in features(12)) {
+        let enc = RandomProjectionEncoder::new(12, 48, 5);
+        let hx = enc.encode(&x).unwrap();
+        let hy = enc.encode(&y).unwrap();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let hsum = enc.encode(&sum).unwrap();
+        for i in 0..48 {
+            let expect = hx[i] + hy[i];
+            prop_assert!((hsum[i] - expect).abs() <= 1e-3 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// Mean-threshold binarization never sets every bit (there is always a
+    /// value <= the mean) and is invariant to uniform shifts.
+    #[test]
+    fn binarization_shift_invariant(x in features(10), shift in -5.0f32..5.0) {
+        let enc = RandomProjectionEncoder::new(10, 96, 7);
+        let h = enc.encode(&x).unwrap();
+        let hb = BitVector::from_mean_threshold(&h);
+        prop_assert!(hb.count_ones() < 96);
+        let shifted: Vec<f32> = h.iter().map(|v| v + shift).collect();
+        let hb2 = BitVector::from_mean_threshold(&shifted);
+        prop_assert_eq!(hb, hb2);
+    }
+
+    /// ID-Level encoding maps equal inputs to equal hypervectors and stays
+    /// within the ±f envelope per dimension.
+    #[test]
+    fn id_level_bounded(x in features(8)) {
+        let enc = IdLevelEncoder::new(8, 64, 8, 11);
+        let h = enc.encode(&x).unwrap();
+        prop_assert_eq!(h.len(), 64);
+        for &v in &h {
+            prop_assert!(v.abs() <= 8.0 + 1e-6, "bundled value {v} out of envelope");
+        }
+        prop_assert_eq!(enc.encode(&x).unwrap(), h);
+    }
+
+    /// A query identical to a stored centroid always achieves that
+    /// centroid's maximal possible score (its own popcount).
+    #[test]
+    fn self_query_maximizes_score(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 40), 1..6),
+        pick in 0usize..6,
+    ) {
+        let centroids: Vec<(usize, BitVector)> = rows
+            .iter()
+            .map(|bits| (0usize, BitVector::from_bools(bits)))
+            .collect();
+        let n = centroids.len();
+        let am = BinaryAm::from_centroids(1, centroids).unwrap();
+        let target = pick % n;
+        let q = am.centroid(target);
+        let scores = am.scores(&q).unwrap();
+        prop_assert_eq!(scores[target], q.count_ones());
+        for &s in &scores {
+            prop_assert!(s <= q.count_ones());
+        }
+    }
+
+    /// center_and_normalize makes every non-constant row zero-mean and
+    /// unit-norm; quantizing then splits each row near-evenly.
+    #[test]
+    fn center_normalize_invariants(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 32), 1..5),
+    ) {
+        let centroids: Vec<(usize, Vec<f32>)> =
+            rows.iter().map(|r| (0usize, r.clone())).collect();
+        let mut am = FloatAm::from_centroids(1, centroids).unwrap();
+        am.center_and_normalize();
+        for (i, original) in rows.iter().enumerate() {
+            let row = am.centroid(i);
+            let constant = original.iter().all(|v| (v - original[0]).abs() < f32::EPSILON);
+            if constant {
+                continue; // centered constant rows are all-zero
+            }
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            prop_assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
+            let norm = hd_linalg::l2_norm(row);
+            prop_assert!((norm - 1.0).abs() < 1e-3, "row {i} norm {norm}");
+        }
+    }
+
+    /// encode_dataset output rows agree with per-sample encoding for any
+    /// feature matrix.
+    #[test]
+    fn encode_dataset_rowwise_agreement(
+        rows in prop::collection::vec(features(6), 1..8),
+    ) {
+        let enc = RandomProjectionEncoder::new(6, 32, 13);
+        let m = Matrix::from_rows(&rows).unwrap();
+        let ds = hdc::encode_dataset(&enc, &m).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let expected = enc.encode(row).unwrap();
+            prop_assert_eq!(ds.fp.row(i), expected.as_slice());
+            prop_assert_eq!(&ds.bin[i], &enc.encode_binary(row).unwrap());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! ADC readout modeling.
+//!
+//! An analog IMC column produces a current proportional to the popcount
+//! dot product; a per-column ADC digitizes it with limited resolution. A
+//! `D`-row array can produce column sums up to `D`, so an ADC with fewer
+//! than `log2(D+1)` bits quantizes (and saturates) the similarity scores
+//! the argmax sees. This module models that readout so the accuracy cost
+//! of cheap ADCs — a first-order design knob in every IMC paper — can be
+//! measured on real searches.
+
+use crate::error::{ImcError, Result};
+
+/// A uniform per-column ADC with `bits` of resolution over the input range
+/// `0..=full_scale`.
+///
+/// # Example
+///
+/// ```
+/// use imc_sim::AdcModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 4-bit ADC reading a 128-row column: 16 levels over 0..=128.
+/// let adc = AdcModel::new(4, 128)?;
+/// assert_eq!(adc.levels(), 16);
+/// assert_eq!(adc.quantize(0), 0);
+/// // Values snap to the 9-wide quantization steps...
+/// assert_eq!(adc.quantize(100), 99);
+/// // ...and saturate above full scale.
+/// assert_eq!(adc.quantize(500), adc.quantize(128));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdcModel {
+    bits: u32,
+    full_scale: u32,
+}
+
+impl AdcModel {
+    /// Creates an ADC with the given resolution and full-scale input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if `bits` is 0 or above 16, or if
+    /// `full_scale` is 0.
+    pub fn new(bits: u32, full_scale: u32) -> Result<Self> {
+        if bits == 0 || bits > 16 {
+            return Err(ImcError::InvalidSpec {
+                reason: format!("ADC resolution {bits} bits outside 1..=16"),
+            });
+        }
+        if full_scale == 0 {
+            return Err(ImcError::InvalidSpec { reason: "ADC full scale must be positive".into() });
+        }
+        Ok(AdcModel { bits, full_scale })
+    }
+
+    /// An ADC with enough resolution to pass `full_scale` through
+    /// losslessly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if `full_scale` is 0.
+    pub fn lossless(full_scale: u32) -> Result<Self> {
+        if full_scale == 0 {
+            return Err(ImcError::InvalidSpec { reason: "ADC full scale must be positive".into() });
+        }
+        let bits = 32 - full_scale.leading_zeros();
+        Self::new(bits.clamp(1, 16), full_scale)
+    }
+
+    /// ADC resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of output codes (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Full-scale analog input (the maximum representable column sum).
+    pub fn full_scale(&self) -> u32 {
+        self.full_scale
+    }
+
+    /// Width of one quantization step in input units (1 when lossless).
+    pub fn step(&self) -> u32 {
+        (self.full_scale + 1).div_ceil(self.levels()).max(1)
+    }
+
+    /// Digitizes one column sum and returns the *reconstructed* value:
+    /// uniform quantization over `0..=full_scale` (saturating above),
+    /// mapped back to input units so scores from different ADCs and
+    /// different partition counts stay comparable.
+    pub fn quantize(&self, column_sum: u32) -> u32 {
+        let clipped = column_sum.min(self.full_scale);
+        let step = self.step();
+        (clipped / step) * step
+    }
+
+    /// Digitizes a whole score vector in place.
+    pub fn quantize_scores(&self, scores: &mut [u32]) {
+        for s in scores {
+            *s = self.quantize(*s);
+        }
+    }
+
+    /// Whether this ADC is lossless for inputs up to `full_scale` (one
+    /// code per possible input value).
+    pub fn is_lossless(&self) -> bool {
+        self.levels() > self.full_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_is_identity_up_to_full_scale() {
+        let adc = AdcModel::lossless(128).unwrap();
+        assert!(adc.is_lossless());
+        assert_eq!(adc.bits(), 8);
+        assert_eq!(adc.step(), 1);
+        for v in 0..=128u32 {
+            assert_eq!(adc.quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn low_resolution_collapses_codes() {
+        let adc = AdcModel::new(2, 128).unwrap(); // 4 codes, step 33
+        assert!(!adc.is_lossless());
+        assert_eq!(adc.step(), 33);
+        assert_eq!(adc.quantize(0), 0);
+        assert_eq!(adc.quantize(32), 0);
+        assert_eq!(adc.quantize(33), 33);
+        assert_eq!(adc.quantize(128), 99);
+        // Monotone non-decreasing.
+        let mut prev = 0;
+        for v in 0..=128 {
+            let q = adc.quantize(v);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn saturation_above_full_scale() {
+        let adc = AdcModel::new(3, 100).unwrap();
+        assert_eq!(adc.quantize(100), adc.quantize(1_000_000));
+    }
+
+    #[test]
+    fn quantize_scores_in_place() {
+        let adc = AdcModel::new(1, 10).unwrap(); // 2 codes, step 6
+        let mut scores = vec![0, 3, 6, 10];
+        adc.quantize_scores(&mut scores);
+        assert_eq!(scores, vec![0, 0, 6, 6]);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(AdcModel::new(0, 128).is_err());
+        assert!(AdcModel::new(17, 128).is_err());
+        assert!(AdcModel::new(4, 0).is_err());
+        assert!(AdcModel::lossless(0).is_err());
+    }
+
+    #[test]
+    fn lossless_of_small_scales() {
+        let adc = AdcModel::lossless(1).unwrap();
+        assert_eq!(adc.bits(), 1);
+        assert!(adc.is_lossless());
+        assert_eq!(adc.quantize(0), 0);
+        assert_eq!(adc.quantize(1), 1);
+        assert_eq!(adc.step(), 1);
+    }
+}

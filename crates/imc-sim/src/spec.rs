@@ -1,0 +1,162 @@
+//! IMC array geometry.
+
+use crate::error::{ImcError, Result};
+
+/// Physical dimensions of one IMC array (wordlines × bitlines).
+///
+/// The paper's evaluation standardizes on 128×128 SRAM arrays
+/// ([`ArraySpec::default`]).
+///
+/// # Example
+///
+/// ```
+/// use imc_sim::ArraySpec;
+///
+/// let spec = ArraySpec::default();
+/// assert_eq!((spec.rows(), spec.cols()), (128, 128));
+/// let big = ArraySpec::new(256, 512).unwrap();
+/// assert_eq!(big.cells(), 256 * 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArraySpec {
+    rows: usize,
+    cols: usize,
+}
+
+impl ArraySpec {
+    /// Creates an array specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(ImcError::InvalidSpec {
+                reason: format!("{rows}x{cols} has a zero dimension"),
+            });
+        }
+        Ok(ArraySpec { rows, cols })
+    }
+
+    /// Rows (wordlines) per array.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (bitlines) per array.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total cells per array.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for ArraySpec {
+    /// The paper's 128×128 SRAM array.
+    fn default() -> Self {
+        ArraySpec { rows: 128, cols: 128 }
+    }
+}
+
+impl std::fmt::Display for ArraySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// The tile decomposition of a `rows × cols` logical matrix over arrays of
+/// a given [`ArraySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileGrid {
+    /// Tiles along the row (wordline) dimension.
+    pub row_tiles: usize,
+    /// Tiles along the column (bitline) dimension.
+    pub col_tiles: usize,
+}
+
+impl TileGrid {
+    /// Total number of tiles (= arrays needed, = cycles when serialized
+    /// onto one physical array and every tile is driven once).
+    pub fn tiles(&self) -> usize {
+        self.row_tiles * self.col_tiles
+    }
+}
+
+/// Computes the tile grid for mapping a `rows × cols` logical matrix.
+///
+/// This is the arithmetic behind every arrays/cycles entry in Table II:
+/// `ceil(rows / spec.rows) × ceil(cols / spec.cols)`.
+///
+/// # Example
+///
+/// ```
+/// use imc_sim::{tile_grid, ArraySpec};
+///
+/// // BasicHDC EM on MNIST: 784 × 10240 over 128×128 arrays = 7 × 80.
+/// let g = tile_grid(784, 10240, ArraySpec::default());
+/// assert_eq!(g.tiles(), 560);
+/// ```
+pub fn tile_grid(rows: usize, cols: usize, spec: ArraySpec) -> TileGrid {
+    TileGrid {
+        row_tiles: rows.div_ceil(spec.rows()),
+        col_tiles: cols.div_ceil(spec.cols()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_128x128() {
+        let s = ArraySpec::default();
+        assert_eq!(s.rows(), 128);
+        assert_eq!(s.cols(), 128);
+        assert_eq!(s.cells(), 16384);
+        assert_eq!(s.to_string(), "128x128");
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(ArraySpec::new(0, 128).is_err());
+        assert!(ArraySpec::new(128, 0).is_err());
+    }
+
+    #[test]
+    fn table2_em_grids() {
+        let spec = ArraySpec::default();
+        // MNIST/FMNIST EM: 784 × 10240 -> 7 × 80 = 560 (Table II basic).
+        assert_eq!(tile_grid(784, 10240, spec).tiles(), 560);
+        // ISOLET EM: 617 × 10240 -> 5 × 80 = 400.
+        assert_eq!(tile_grid(617, 10240, spec).tiles(), 400);
+        // MEMHD MNIST EM: 784 × 128 -> 7 × 1 = 7.
+        assert_eq!(tile_grid(784, 128, spec).tiles(), 7);
+        // MEMHD ISOLET EM: 617 × 512 -> 5 × 4 = 20.
+        assert_eq!(tile_grid(617, 512, spec).tiles(), 20);
+    }
+
+    #[test]
+    fn table2_am_grids() {
+        let spec = ArraySpec::default();
+        // BasicHDC AM: 10240 × 10 -> 80 × 1 = 80.
+        assert_eq!(tile_grid(10240, 10, spec).tiles(), 80);
+        // Partitioned P=5: 2048 × 50 -> 16 × 1 = 16 arrays.
+        assert_eq!(tile_grid(2048, 50, spec).tiles(), 16);
+        // Partitioned P=10: 1024 × 100 -> 8 × 1 = 8 arrays.
+        assert_eq!(tile_grid(1024, 100, spec).tiles(), 8);
+        // MEMHD 128×128 -> exactly 1.
+        assert_eq!(tile_grid(128, 128, spec).tiles(), 1);
+        // MEMHD ISOLET 512 × 128 -> 4.
+        assert_eq!(tile_grid(512, 128, spec).tiles(), 4);
+    }
+
+    #[test]
+    fn exact_fit_has_no_padding_tiles() {
+        let g = tile_grid(256, 256, ArraySpec::default());
+        assert_eq!(g.row_tiles, 2);
+        assert_eq!(g.col_tiles, 2);
+    }
+}

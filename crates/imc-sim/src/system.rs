@@ -1,0 +1,173 @@
+//! Whole-system accounting: encoding module + associative memory
+//! (the complete rows of Table II).
+
+use crate::mapping::AmMapping;
+use crate::spec::tile_grid;
+use std::fmt;
+
+/// Cycles, arrays, and utilization for a full model (EM + AM) mapped onto
+/// IMC arrays — one column of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemReport {
+    /// Encoding-module cycles per inference.
+    pub em_cycles: usize,
+    /// Associative-memory cycles per inference.
+    pub am_cycles: usize,
+    /// Arrays holding the encoding module.
+    pub em_arrays: usize,
+    /// Arrays holding the associative memory.
+    pub am_arrays: usize,
+    /// AM column utilization in `[0, 1]`.
+    pub am_utilization: f64,
+}
+
+impl SystemReport {
+    /// Total cycles per inference.
+    pub fn total_cycles(&self) -> usize {
+        self.em_cycles + self.am_cycles
+    }
+
+    /// Total arrays for the full model.
+    pub fn total_arrays(&self) -> usize {
+        self.em_arrays + self.am_arrays
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles EM {} + AM {} = {}; arrays EM {} + AM {} = {}; AM util {:.2}%",
+            self.em_cycles,
+            self.am_cycles,
+            self.total_cycles(),
+            self.em_arrays,
+            self.am_arrays,
+            self.total_arrays(),
+            self.am_utilization * 100.0
+        )
+    }
+}
+
+/// Builds the Table II metrics for a model whose projection encoding maps
+/// an `features × D` matrix and whose AM is already mapped.
+///
+/// The encoding module is an MVM over an `f × D` binary matrix, so its
+/// tile grid (and therefore cycles = arrays, each tile driven once) is
+/// `⌈f/rows⌉ × ⌈D/cols⌉`.
+pub fn system_report(features: usize, am: &AmMapping) -> SystemReport {
+    let em_grid = tile_grid(features, am.dim(), am.spec());
+    let am_stats = am.stats();
+    SystemReport {
+        em_cycles: em_grid.tiles(),
+        am_cycles: am_stats.cycles,
+        em_arrays: em_grid.tiles(),
+        am_arrays: am_stats.arrays,
+        am_utilization: am_stats.utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArraySpec, MappingStrategy};
+    use hd_linalg::rng::seeded;
+    use hd_linalg::BitVector;
+    use hdc::BinaryAm;
+    use rand::Rng;
+
+    fn random_am(num_classes: usize, per_class: usize, dim: usize, seed: u64) -> BinaryAm {
+        let mut rng = seeded(seed);
+        let centroids: Vec<(usize, BitVector)> = (0..num_classes)
+            .flat_map(|c| {
+                (0..per_class)
+                    .map(|_| {
+                        let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                        (c, BitVector::from_bools(&bits))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        BinaryAm::from_centroids(num_classes, centroids).unwrap()
+    }
+
+    #[test]
+    fn table2_mnist_basic_row() {
+        // BasicHDC, MNIST: f=784, D=10240, k=10, 128×128 arrays.
+        let am = random_am(10, 1, 10240, 1);
+        let mapping =
+            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let r = system_report(784, &mapping);
+        assert_eq!(r.em_cycles, 560);
+        assert_eq!(r.am_cycles, 80);
+        assert_eq!(r.total_cycles(), 640);
+        assert_eq!(r.em_arrays, 560);
+        assert_eq!(r.am_arrays, 80);
+        assert_eq!(r.total_arrays(), 640);
+    }
+
+    #[test]
+    fn table2_mnist_memhd_row() {
+        // MEMHD 128×128 on MNIST: total 8 cycles and 8 arrays, 80×/71×
+        // better than basic per the paper.
+        let am = random_am(10, 12, 128, 2);
+        let mut centroids: Vec<(usize, BitVector)> = (0..am.num_centroids())
+            .map(|r| (am.class_of(r), am.centroid(r)))
+            .collect();
+        let mut rng = seeded(3);
+        while centroids.len() < 128 {
+            let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
+            centroids.push((0, BitVector::from_bools(&bits)));
+        }
+        let am = BinaryAm::from_centroids(10, centroids).unwrap();
+        let mapping =
+            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let r = system_report(784, &mapping);
+        assert_eq!(r.total_cycles(), 8);
+        assert_eq!(r.total_arrays(), 8);
+        assert!((r.am_utilization - 1.0).abs() < 1e-9);
+        // Improvement factors vs the basic row.
+        assert_eq!(640 / r.total_cycles(), 80);
+        assert_eq!(640 / r.total_arrays(), 80); // array ratio 640/8 = 80; paper reports 71x vs 568
+    }
+
+    #[test]
+    fn table2_isolet_rows() {
+        // ISOLET basic: f=617, D=10240, k=26 -> 400 + 80 = 480.
+        let am = random_am(26, 1, 10240, 4);
+        let mapping =
+            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let r = system_report(617, &mapping);
+        assert_eq!(r.total_cycles(), 480);
+        assert_eq!(r.total_arrays(), 480);
+
+        // MEMHD 512×128: 20 + 4 = 24 cycles/arrays (20× / 17.5×... -> 480/24 = 20).
+        let memhd_am = random_am(26, 4, 512, 5);
+        let mut centroids: Vec<(usize, BitVector)> = (0..memhd_am.num_centroids())
+            .map(|r| (memhd_am.class_of(r), memhd_am.centroid(r)))
+            .collect();
+        let mut rng = seeded(6);
+        while centroids.len() < 128 {
+            let bits: Vec<bool> = (0..512).map(|_| rng.gen()).collect();
+            centroids.push((0, BitVector::from_bools(&bits)));
+        }
+        let memhd_am = BinaryAm::from_centroids(26, centroids).unwrap();
+        let mapping =
+            AmMapping::new(&memhd_am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let r = system_report(617, &mapping);
+        assert_eq!(r.total_cycles(), 24);
+        assert_eq!(r.total_arrays(), 24);
+        assert_eq!(480 / r.total_cycles(), 20);
+    }
+
+    #[test]
+    fn display_format() {
+        let am = random_am(2, 1, 128, 7);
+        let mapping =
+            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let r = system_report(64, &mapping);
+        let s = r.to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("util"));
+    }
+}

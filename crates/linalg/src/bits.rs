@@ -1,0 +1,678 @@
+//! Bit-packed binary vectors and matrices.
+//!
+//! Binary hypervectors in MEMHD take values in `{0, 1}` and are compared
+//! with *dot similarity*, which for binary operands is the popcount of the
+//! bitwise AND. Packing 64 components per `u64` word makes an associative
+//! search over a whole memory a handful of popcount instructions per class
+//! vector — the software analogue of the single-cycle in-memory MVM the
+//! paper maps onto SRAM arrays.
+
+use crate::error::{LinalgError, Result};
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Mask selecting the valid bits of the final word of a `len`-bit vector.
+#[inline]
+fn tail_mask(len: usize) -> u64 {
+    let rem = len % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// A bit-packed binary (`{0,1}`) vector.
+///
+/// The unused bits of the final storage word are always zero, so popcount
+/// based operations never see garbage.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::BitVector;
+///
+/// let a = BitVector::from_bools(&[true, true, false]);
+/// let b = BitVector::from_bools(&[true, false, false]);
+/// assert_eq!(a.dot(&b), 1);
+/// assert_eq!(a.hamming(&b), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVector {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVector { len, words: vec![0; words_for(len)] }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVector { len, words: vec![u64::MAX; words_for(len)] };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector from booleans (`true` ⇒ 1).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVector::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector by thresholding `values`: bit `i` is 1 iff
+    /// `values[i] > threshold`.
+    ///
+    /// This is the 1-bit quantization primitive of the paper (§III-B):
+    /// MEMHD binarizes the floating-point associative memory at its mean.
+    pub fn from_threshold(values: &[f32], threshold: f32) -> Self {
+        let mut v = BitVector::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x > threshold {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector by thresholding `values` at their own mean.
+    pub fn from_mean_threshold(values: &[f32]) -> Self {
+        Self::from_threshold(values, crate::vector::mean(values))
+    }
+
+    /// Reconstructs a vector from its packed word representation (the
+    /// inverse of [`BitVector::as_words`]), for deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the word count does not
+    /// match `len`, and [`LinalgError::IndexOutOfBounds`] if bits beyond
+    /// `len` are set in the final word.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Result<Self> {
+        if words.len() != words_for(len) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_words",
+                expected: words_for(len),
+                found: words.len(),
+            });
+        }
+        if let Some(&last) = words.last() {
+            if last & !tail_mask(len) != 0 {
+                return Err(LinalgError::IndexOutOfBounds { index: len, bound: len });
+            }
+        }
+        Ok(BitVector { len, words })
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Dot similarity for binary vectors: `popcount(a AND b)`.
+    ///
+    /// This is the similarity measure of paper Eq. (3) specialized to
+    /// `{0,1}` operands, and the quantity an IMC array computes per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVector) -> u32 {
+        assert_eq!(self.len, other.len, "dot: length mismatch ({} vs {})", self.len, other.len);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones()).sum()
+    }
+
+    /// Hamming distance: `popcount(a XOR b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &BitVector) -> u32 {
+        assert_eq!(self.len, other.len, "hamming: length mismatch ({} vs {})", self.len, other.len);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum()
+    }
+
+    /// Expands to a `{0.0, 1.0}` float vector.
+    pub fn to_f32(&self) -> Vec<f32> {
+        (0..self.len).map(|i| if self.get(i) { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Selective sum: `Σ values[i]` over set bits `i`.
+    ///
+    /// Equivalent to the dot product of this binary vector with a real
+    /// vector — the kernel of binary random-projection encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn dot_f32(&self, values: &[f32]) -> f32 {
+        assert_eq!(
+            values.len(),
+            self.len,
+            "dot_f32: length mismatch ({} vs {})",
+            values.len(),
+            self.len
+        );
+        let mut acc = 0.0f32;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            let base = wi * WORD_BITS;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                acc += values[base + bit];
+                w &= w - 1;
+            }
+        }
+        acc
+    }
+
+    /// Returns a copy rotated left by `k` positions (bit `i` moves to
+    /// `(i + k) mod len`).
+    ///
+    /// Cyclic shifts are the classic HDC *permutation* operation: they
+    /// produce a vector nearly orthogonal to the original, which n-gram
+    /// text encoders use to mark symbol positions.
+    pub fn rotate_left(&self, k: usize) -> BitVector {
+        if self.len == 0 {
+            return self.clone();
+        }
+        let k = k % self.len;
+        let mut out = BitVector::zeros(self.len);
+        for i in self.iter_ones() {
+            out.set((i + k) % self.len, true);
+        }
+        out
+    }
+
+    /// Bitwise XOR — HDC's binding operator for binary hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor(&self, other: &BitVector) -> BitVector {
+        assert_eq!(self.len, other.len, "xor: length mismatch ({} vs {})", self.len, other.len);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
+        BitVector { len: self.len, words }
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { vec: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Zeroes any bits beyond `len` in the last word, restoring the
+    /// invariant relied on by popcount operations.
+    fn mask_tail(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.len);
+        }
+    }
+
+    /// Raw packed words (little-endian bit order within each word).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVector`], produced by
+/// [`BitVector::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    vec: &'a BitVector,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_idx];
+        }
+    }
+}
+
+/// A matrix of bit-packed binary rows.
+///
+/// MEMHD's binary associative memory stores one class vector per IMC array
+/// *column*; in software we keep each class vector as one bit-packed *row*
+/// so an associative search is a row-wise popcount sweep
+/// ([`BitMatrix::dot_all`]).
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitMatrix, BitVector};
+///
+/// let rows = vec![
+///     BitVector::from_bools(&[true, false, true]),
+///     BitVector::from_bools(&[false, true, true]),
+/// ];
+/// let m = BitMatrix::from_rows(&rows).unwrap();
+/// let q = BitVector::from_bools(&[true, true, true]);
+/// assert_eq!(m.dot_all(&q), vec![2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` bit matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let wpr = words_for(cols);
+        BitMatrix { rows, cols, words_per_row: wpr, data: vec![0; rows * wpr] }
+    }
+
+    /// Builds a matrix from equal-length [`BitVector`] rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty row set and
+    /// [`LinalgError::RaggedRows`] if rows disagree on length.
+    pub fn from_rows(rows: &[BitVector]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { op: "BitMatrix::from_rows" });
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::RaggedRows { first: cols, row: i, len: r.len() });
+            }
+        }
+        let wpr = words_for(cols);
+        let mut data = Vec::with_capacity(rows.len() * wpr);
+        for r in rows {
+            data.extend_from_slice(r.as_words());
+        }
+        Ok(BitMatrix { rows: rows.len(), cols, words_per_row: wpr, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bits per row).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    fn row_words(&self, r: usize) -> &[u64] {
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Returns bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "bit index ({r},{c}) out of bounds");
+        (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.rows && c < self.cols, "bit index ({r},{c}) out of bounds");
+        let idx = r * self.words_per_row + c / WORD_BITS;
+        let mask = 1u64 << (c % WORD_BITS);
+        if value {
+            self.data[idx] |= mask;
+        } else {
+            self.data[idx] &= !mask;
+        }
+    }
+
+    /// Copies row `r` out as a [`BitVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> BitVector {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        BitVector { len: self.cols, words: self.row_words(r).to_vec() }
+    }
+
+    /// Overwrites row `r` with `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `values.len() != cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn set_row(&mut self, r: usize, values: &BitVector) -> Result<()> {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        if values.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "set_row",
+                expected: self.cols,
+                found: values.len(),
+            });
+        }
+        let start = r * self.words_per_row;
+        self.data[start..start + self.words_per_row].copy_from_slice(values.as_words());
+        Ok(())
+    }
+
+    /// Dot similarity of row `r` with a binary query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or `r >= rows`.
+    pub fn row_dot(&self, r: usize, query: &BitVector) -> u32 {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        assert_eq!(query.len(), self.cols, "row_dot: query length mismatch");
+        self.row_words(r).iter().zip(query.as_words()).map(|(a, b)| (a & b).count_ones()).sum()
+    }
+
+    /// Dot similarity of every row with a binary query — a full associative
+    /// search (one in-memory MVM in the paper's architecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query length differs from `cols`.
+    pub fn dot_all(&self, query: &BitVector) -> Vec<u32> {
+        assert_eq!(query.len(), self.cols, "dot_all: query length mismatch");
+        (0..self.rows).map(|r| self.row_dot(r, query)).collect()
+    }
+
+    /// Dot product of every row with a real-valued input — a binary-weight
+    /// MVM (`y = B·x`), the kernel of binary random-projection encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_f32(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec_f32: input length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = 0.0f32;
+                for (wi, &word) in self.row_words(r).iter().enumerate() {
+                    let mut w = word;
+                    let base = wi * WORD_BITS;
+                    while w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        acc += x[base + bit];
+                        w &= w - 1;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Total number of set bits in the matrix.
+    pub fn count_ones(&self) -> u64 {
+        self.data.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Memory footprint of the payload in bits (`rows × cols`), the
+    /// quantity the paper's memory-requirement comparisons use.
+    pub fn payload_bits(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_counts() {
+        assert_eq!(BitVector::zeros(100).count_ones(), 0);
+        assert_eq!(BitVector::ones(100).count_ones(), 100);
+    }
+
+    #[test]
+    fn tail_bits_masked() {
+        let v = BitVector::ones(65);
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(v.as_words().len(), 2);
+        assert_eq!(v.as_words()[1], 1);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVector::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        let mut v = BitVector::zeros(70);
+        v.set(0, true);
+        v.set(69, true);
+        let back = BitVector::from_words(70, v.as_words().to_vec()).unwrap();
+        assert_eq!(back, v);
+        // Wrong word count rejected.
+        assert!(BitVector::from_words(70, vec![0]).is_err());
+        // Garbage in the tail rejected.
+        assert!(BitVector::from_words(70, vec![0, u64::MAX]).is_err());
+    }
+
+    #[test]
+    fn dot_and_hamming_known() {
+        let a = BitVector::from_bools(&[true, true, false, true]);
+        let b = BitVector::from_bools(&[true, false, false, true]);
+        assert_eq!(a.dot(&b), 2);
+        assert_eq!(a.hamming(&b), 1);
+    }
+
+    #[test]
+    fn threshold_construction() {
+        let v = BitVector::from_threshold(&[0.1, 0.9, 0.5, 0.4999], 0.5);
+        assert_eq!(v.to_f32(), vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_threshold_centers() {
+        // mean = 2.5 -> bits above the mean are 3 and 4
+        let v = BitVector::from_mean_threshold(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.to_f32(), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_f32_matches_expanded() {
+        let bits = BitVector::from_bools(&[true, false, true, true, false]);
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let expanded: f32 =
+            bits.to_f32().iter().zip(x.iter()).map(|(b, v)| b * v).sum();
+        assert_eq!(bits.dot_f32(&x), expanded);
+    }
+
+    #[test]
+    fn rotate_left_moves_bits_cyclically() {
+        let v = BitVector::from_bools(&[true, false, false, true, false]);
+        let r = v.rotate_left(2);
+        assert_eq!(r.to_f32(), vec![1.0, 0.0, 1.0, 0.0, 0.0]);
+        // Full rotation is the identity; popcount is invariant.
+        assert_eq!(v.rotate_left(5), v);
+        assert_eq!(v.rotate_left(3).count_ones(), v.count_ones());
+        // Rotating an empty vector is a no-op.
+        assert_eq!(BitVector::zeros(0).rotate_left(7).len(), 0);
+    }
+
+    #[test]
+    fn xor_binding_properties() {
+        let a = BitVector::from_bools(&[true, true, false, false]);
+        let b = BitVector::from_bools(&[true, false, true, false]);
+        let bound = a.xor(&b);
+        assert_eq!(bound.to_f32(), vec![0.0, 1.0, 1.0, 0.0]);
+        // Self-inverse: unbinding recovers the operand.
+        assert_eq!(bound.xor(&b), a);
+        assert_eq!(a.xor(&a), BitVector::zeros(4));
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let mut v = BitVector::zeros(200);
+        for i in [3usize, 64, 70, 199] {
+            v.set(i, true);
+        }
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 70, 199]);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        assert_eq!(BitVector::zeros(10).iter_ones().count(), 0);
+        assert_eq!(BitVector::zeros(0).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn bitmatrix_roundtrip() {
+        let rows = vec![
+            BitVector::from_bools(&[true, false, true]),
+            BitVector::from_bools(&[false, true, false]),
+        ];
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(0), rows[0]);
+        assert_eq!(m.row(1), rows[1]);
+        assert!(m.get(0, 2));
+        assert!(!m.get(1, 2));
+    }
+
+    #[test]
+    fn bitmatrix_ragged_rejected() {
+        let rows = vec![BitVector::zeros(3), BitVector::zeros(4)];
+        assert!(matches!(
+            BitMatrix::from_rows(&rows),
+            Err(LinalgError::RaggedRows { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bitmatrix_empty_rejected() {
+        assert!(matches!(BitMatrix::from_rows(&[]), Err(LinalgError::Empty { .. })));
+    }
+
+    #[test]
+    fn dot_all_matches_row_dots() {
+        let rows = vec![
+            BitVector::from_bools(&[true, true, false, true]),
+            BitVector::from_bools(&[false, true, true, true]),
+        ];
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let q = BitVector::from_bools(&[true, true, true, false]);
+        assert_eq!(m.dot_all(&q), vec![m.row_dot(0, &q), m.row_dot(1, &q)]);
+        assert_eq!(m.dot_all(&q), vec![2, 2]);
+    }
+
+    #[test]
+    fn matvec_f32_matches_dense() {
+        let rows = vec![
+            BitVector::from_bools(&[true, false, true, true]),
+            BitVector::from_bools(&[false, false, false, true]),
+        ];
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let x = [0.5f32, 1.5, 2.5, 3.5];
+        assert_eq!(m.matvec_f32(&x), vec![6.5, 3.5]);
+    }
+
+    #[test]
+    fn set_row_and_counts() {
+        let mut m = BitMatrix::zeros(2, 70);
+        let r = BitVector::ones(70);
+        m.set_row(1, &r).unwrap();
+        assert_eq!(m.count_ones(), 70);
+        assert_eq!(m.payload_bits(), 140);
+        assert!(m.set_row(0, &BitVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        BitVector::zeros(3).dot(&BitVector::zeros(4));
+    }
+}

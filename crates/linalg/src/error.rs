@@ -1,0 +1,93 @@
+//! Error types for the linear algebra substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by shape-checked linear algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// `expected` and `found` describe the dimension that failed to match,
+    /// and `op` names the operation that was attempted.
+    ShapeMismatch {
+        /// Operation that was attempted (e.g. `"matvec"`).
+        op: &'static str,
+        /// The dimension the operation required.
+        expected: usize,
+        /// The dimension that was actually supplied.
+        found: usize,
+    },
+    /// A matrix or vector was constructed with inconsistent row lengths.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Length of the offending row.
+        len: usize,
+    },
+    /// An operation that requires a non-empty operand received an empty one.
+    Empty {
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, expected, found } => {
+                write!(f, "shape mismatch in {op}: expected dimension {expected}, found {found}")
+            }
+            LinalgError::RaggedRows { first, row, len } => {
+                write!(f, "ragged rows: row 0 has length {first} but row {row} has length {len}")
+            }
+            LinalgError::Empty { op } => write!(f, "operation {op} requires a non-empty operand"),
+            LinalgError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch { op: "matvec", expected: 3, found: 2 };
+        assert_eq!(e.to_string(), "shape mismatch in matvec: expected dimension 3, found 2");
+    }
+
+    #[test]
+    fn display_ragged() {
+        let e = LinalgError::RaggedRows { first: 4, row: 2, len: 3 };
+        assert!(e.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn display_empty_and_oob() {
+        assert!(LinalgError::Empty { op: "mean" }.to_string().contains("mean"));
+        assert!(LinalgError::IndexOutOfBounds { index: 9, bound: 4 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Dense and bit-packed linear algebra substrate for the MEMHD reproduction.
+//!
+//! The MEMHD paper's pipeline is built almost entirely out of matrix–vector
+//! multiplications (MVMs): random-projection encoding (`H = Mᵀ F`),
+//! associative search (dot similarity against every class vector), k-means
+//! distance evaluation, and the in-memory-computing array model. This crate
+//! provides the two representations those MVMs run on:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix used for floating-point
+//!   associative memories, projection matrices before binarization, and
+//!   dataset features.
+//! * [`BitMatrix`] / [`BitVector`] — bit-packed binary (`{0,1}`) structures
+//!   with popcount-based dot products, used for binary hypervectors, the
+//!   quantized associative memory, and the binary encoding module.
+//!
+//! It intentionally replaces `ndarray` (not on the approved dependency list)
+//! with the small, well-tested subset of operations this workspace needs.
+//!
+//! # Example
+//!
+//! ```
+//! use hd_linalg::{Matrix, BitVector};
+//!
+//! let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]][..]).unwrap();
+//! let y = m.matvec(&[1.0, 1.0]).unwrap();
+//! assert_eq!(y, vec![3.0, 7.0]);
+//!
+//! let a = BitVector::from_bools(&[true, false, true, true]);
+//! let b = BitVector::from_bools(&[true, true, false, true]);
+//! assert_eq!(a.dot(&b), 2); // overlap at positions 0 and 3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod error;
+mod matrix;
+pub mod rng;
+pub mod stats;
+mod vector;
+
+pub use bits::{BitMatrix, BitVector};
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use vector::{argmax, axpy, dot, l2_norm, mean, normalize_l2, scale_in_place, variance};

@@ -1,0 +1,476 @@
+//! Row-major dense `f32` matrix.
+
+use crate::error::{LinalgError, Result};
+use crate::vector;
+
+/// A row-major dense matrix of `f32` values.
+///
+/// This is the workhorse behind floating-point associative memories, raw
+/// projection matrices, and dataset feature tables. Rows are stored
+/// contiguously, so iterating a row is cache-friendly; the column-major
+/// operations ([`Matrix::matvec_t`]) are written to stream over rows anyway.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m.set(0, 0, 1.0);
+/// m.set(1, 2, 5.0);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.shape(), (2, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                expected: rows * cols,
+                found: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty row set and
+    /// [`LinalgError::RaggedRows`] if rows disagree on length.
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let cols = rows[0].as_ref().len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            let r = r.as_ref();
+            if r.len() != cols {
+                return Err(LinalgError::RaggedRows { first: cols, row: i, len: r.len() });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a freshly allocated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column index {c} out of bounds");
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Overwrites column `c` with `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `values.len() != rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn set_column(&mut self, c: usize, values: &[f32]) -> Result<()> {
+        assert!(c < self.cols, "column index {c} out of bounds");
+        if values.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "set_column",
+                expected: self.rows,
+                found: values.len(),
+            });
+        }
+        for (r, v) in values.iter().enumerate() {
+            self.data[r * self.cols + c] = *v;
+        }
+        Ok(())
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the underlying buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Computes `y = A·x` where `A` is `self` (`rows × cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                expected: self.cols,
+                found: x.len(),
+            });
+        }
+        Ok(self.iter_rows().map(|row| vector::dot(row, x)).collect())
+    }
+
+    /// Computes `y = Aᵀ·x` where `A` is `self` (so `y` has length `cols`).
+    ///
+    /// This is the shape used by random-projection encoding (`H = Mᵀ F`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_t",
+                expected: self.rows,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0f32; self.cols];
+        for (row, &xi) in self.iter_rows().zip(x.iter()) {
+            if xi == 0.0 {
+                continue;
+            }
+            vector::axpy(xi, row, &mut y);
+        }
+        Ok(y)
+    }
+
+    /// Computes the matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                expected: self.cols,
+                found: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            // Accumulate into the output row to keep the inner loop streaming
+            // over contiguous memory of `other`.
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = out.row_mut(i);
+                vector::axpy(aik, b_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for a 0-element matrix.
+    pub fn mean(&self) -> Result<f32> {
+        if self.data.is_empty() {
+            return Err(LinalgError::Empty { op: "mean" });
+        }
+        Ok(vector::mean(&self.data))
+    }
+
+    /// Multiplies every element by `factor` in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Adds `alpha * row_values` to row `r` in place.
+    ///
+    /// This is the primitive behind the iterative-learning update
+    /// `C ← C ± α·H` (paper Eqs. 2 and 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `row_values.len() != cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn add_scaled_row(&mut self, r: usize, alpha: f32, row_values: &[f32]) -> Result<()> {
+        if row_values.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_scaled_row",
+                expected: self.cols,
+                found: row_values.len(),
+            });
+        }
+        vector::axpy(alpha, row_values, self.row_mut(r));
+        Ok(())
+    }
+
+    /// Element-wise addition, returning a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                expected: self.data.len(),
+                found: other.data.len(),
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Frobenius norm (`sqrt(Σ aᵢⱼ²)`).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0f32, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Matrix::from_rows(&[&[1.0f32, 2.0][..], &[1.0][..]]).unwrap_err();
+        assert!(matches!(err, LinalgError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn empty_rows_rejected() {
+        let rows: &[&[f32]] = &[];
+        assert!(matches!(Matrix::from_rows(rows), Err(LinalgError::Empty { .. })));
+    }
+
+    #[test]
+    fn matvec_basic() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, 1.0]).unwrap(), vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_shape_error() {
+        let m = sample();
+        assert!(m.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let m = sample();
+        let x = [0.5f32, -1.5];
+        let direct = m.matvec_t(&x).unwrap();
+        let via_transpose = m.transpose().matvec(&x).unwrap();
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let eye = Matrix::from_rows(&[
+            &[1.0f32, 0.0, 0.0][..],
+            &[0.0, 1.0, 0.0][..],
+            &[0.0, 0.0, 1.0][..],
+        ])
+        .unwrap();
+        assert_eq!(m.matmul(&eye).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let m = sample();
+        assert!(m.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn column_roundtrip() {
+        let mut m = sample();
+        m.set_column(1, &[9.0, 10.0]).unwrap();
+        assert_eq!(m.column(1), vec![9.0, 10.0]);
+    }
+
+    #[test]
+    fn set_column_shape_error() {
+        let mut m = sample();
+        assert!(m.set_column(0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn mean_and_scale() {
+        let mut m = sample();
+        assert!((m.mean().unwrap() - 3.5).abs() < 1e-6);
+        m.scale(2.0);
+        assert_eq!(m.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn add_scaled_row_updates() {
+        let mut m = sample();
+        m.add_scaled_row(0, 2.0, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(m.row(0), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let m = sample();
+        let sum = m.add(&m).unwrap();
+        assert_eq!(sum.get(1, 1), 10.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0f32, 4.0][..]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        sample().get(5, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic random number helpers.
+//!
+//! All stochastic stages of the reproduction (projection matrices, dataset
+//! synthesis, k-means seeding, stochastic training) draw from explicitly
+//! seeded generators so that every table and figure is regenerable
+//! bit-for-bit. The paper averages over 5 trials; the bench harness does the
+//! same by offsetting a base seed per trial.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = hd_linalg::rng::seeded(42);
+/// let mut b = hd_linalg::rng::seeded(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a stream-specific seed from a base seed and a stream index.
+///
+/// Uses SplitMix64 mixing so nearby `(seed, stream)` pairs produce
+/// decorrelated generators.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples from a normal distribution via the Box–Muller transform.
+///
+/// `rand_distr` is not on the approved offline dependency list, so the
+/// Gaussian sampling needed by the synthetic datasets lives here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f32,
+    std_dev: f32,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(mean: f32, std_dev: f32) -> Self {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be finite and non-negative");
+        Normal { mean, std_dev }
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f32 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std_dev(&self) -> f32 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box–Muller: u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z as f32
+    }
+
+    /// Fills `out` with independent samples.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f32]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+impl Default for Normal {
+    /// The standard normal `N(0, 1)`.
+    fn default() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let s0 = derive_seed(100, 0);
+        let s1 = derive_seed(100, 1);
+        assert_ne!(s0, s1);
+        // Stability check: the mix must be a pure function.
+        assert_eq!(derive_seed(100, 1), s1);
+    }
+
+    #[test]
+    fn normal_moments_approximate() {
+        let dist = Normal::new(3.0, 2.0);
+        let mut rng = seeded(99);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = crate::vector::mean(&samples);
+        let var = crate::vector::variance(&samples);
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let dist = Normal::new(5.0, 0.0);
+        let mut rng = seeded(1);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let dist = Normal::default();
+        let mut rng = seeded(3);
+        let mut buf = vec![f32::NAN; 32];
+        dist.fill(&mut rng, &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn negative_std_panics() {
+        Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Small statistics helpers shared by the evaluation harness.
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the bench harness to aggregate accuracy over the paper's
+/// 5-trial averaging protocol without storing every sample.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 3);
+/// assert!((w.mean() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+/// Classification accuracy: fraction of `predictions[i] == labels[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "accuracy: length mismatch");
+    assert!(!predictions.is_empty(), "accuracy: empty input");
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// A `k × k` confusion matrix over class labels `0..k`.
+///
+/// Row = true class, column = predicted class. This is the structure that
+/// drives MEMHD's cluster-allocation phase (§III-A-2): classes with high
+/// off-diagonal mass receive additional centroids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an all-zero `k × k` confusion matrix.
+    pub fn new(k: usize) -> Self {
+        ConfusionMatrix { k, counts: vec![0; k * k] }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is `>= k`.
+    pub fn record(&mut self, true_class: usize, predicted_class: usize) {
+        assert!(true_class < self.k && predicted_class < self.k, "class label out of range");
+        self.counts[true_class * self.k + predicted_class] += 1;
+    }
+
+    /// Count of samples with the given true/predicted pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is `>= k`.
+    pub fn count(&self, true_class: usize, predicted_class: usize) -> u64 {
+        assert!(true_class < self.k && predicted_class < self.k, "class label out of range");
+        self.counts[true_class * self.k + predicted_class]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of misclassified samples whose *true* class is `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= k`.
+    pub fn misses_for_class(&self, class: usize) -> u64 {
+        assert!(class < self.k, "class label out of range");
+        let row = &self.counts[class * self.k..(class + 1) * self.k];
+        row.iter().sum::<u64>() - row[class]
+    }
+
+    /// Total samples whose true class is `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= k`.
+    pub fn row_total(&self, class: usize) -> u64 {
+        assert!(class < self.k, "class label out of range");
+        self.counts[class * self.k..(class + 1) * self.k].iter().sum()
+    }
+
+    /// Misclassification *rate* per class (misses / row total; 0 for empty
+    /// rows). This is the allocation priority signal in §III-A-2.
+    pub fn miss_rates(&self) -> Vec<f64> {
+        (0..self.k)
+            .map(|c| {
+                let total = self.row_total(c);
+                if total == 0 {
+                    0.0
+                } else {
+                    self.misses_for_class(c) as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Overall accuracy (diagonal mass / total). Returns 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.k).map(|c| self.count(c, c)).sum();
+        diag as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_defaults() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_known() {
+        assert!((accuracy(&[0, 1, 2, 2], &[0, 1, 1, 2]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 5);
+        assert_eq!(cm.count(0, 1), 2);
+        assert_eq!(cm.misses_for_class(0), 2);
+        assert_eq!(cm.misses_for_class(1), 0);
+        assert_eq!(cm.row_total(0), 3);
+        assert!((cm.accuracy() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rates_normalized() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1); // class 0: 1/1 wrong
+        cm.record(1, 1);
+        cm.record(1, 1); // class 1: 0/2 wrong
+        let rates = cm.miss_rates();
+        assert_eq!(rates, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn miss_rates_empty_row_is_zero() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.miss_rates(), vec![0.0, 0.0]);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_out_of_range_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the linear algebra substrate.
+
+use hd_linalg::{argmax, dot, BitMatrix, BitVector, Matrix};
+use proptest::prelude::*;
+
+fn bool_vec(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), len)
+}
+
+fn f32_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    /// popcount identity: dot(a,b) + hamming-overlap decomposition.
+    /// For {0,1} vectors: |a| + |b| = 2*dot(a,b) + hamming(a,b).
+    #[test]
+    fn dot_hamming_duality(bits_a in bool_vec(257), bits_b in bool_vec(257)) {
+        let a = BitVector::from_bools(&bits_a);
+        let b = BitVector::from_bools(&bits_b);
+        let lhs = a.count_ones() + b.count_ones();
+        let rhs = 2 * a.dot(&b) + a.hamming(&b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Bit dot is symmetric and bounded by the smaller popcount.
+    #[test]
+    fn bit_dot_symmetric_bounded(bits_a in bool_vec(130), bits_b in bool_vec(130)) {
+        let a = BitVector::from_bools(&bits_a);
+        let b = BitVector::from_bools(&bits_b);
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+        prop_assert!(a.dot(&b) <= a.count_ones().min(b.count_ones()));
+    }
+
+    /// Self-dot equals popcount; self-hamming is zero.
+    #[test]
+    fn bit_self_identities(bits in bool_vec(100)) {
+        let a = BitVector::from_bools(&bits);
+        prop_assert_eq!(a.dot(&a), a.count_ones());
+        prop_assert_eq!(a.hamming(&a), 0);
+    }
+
+    /// to_f32 roundtrips through from_threshold at 0.5.
+    #[test]
+    fn bitvector_f32_roundtrip(bits in bool_vec(99)) {
+        let a = BitVector::from_bools(&bits);
+        let back = BitVector::from_threshold(&a.to_f32(), 0.5);
+        prop_assert_eq!(a, back);
+    }
+
+    /// dot_f32 agrees with the dense dot product of the expanded vector.
+    #[test]
+    fn dot_f32_agrees_with_dense(bits in bool_vec(77), xs in f32_vec(77)) {
+        let a = BitVector::from_bools(&bits);
+        let dense = dot(&a.to_f32(), &xs);
+        let packed = a.dot_f32(&xs);
+        prop_assert!((dense - packed).abs() <= 1e-3 * (1.0 + dense.abs()));
+    }
+
+    /// Matrix-vector multiplication is linear: A(x+y) = Ax + Ay.
+    #[test]
+    fn matvec_linearity(
+        rows in prop::collection::vec(f32_vec(9), 1..6),
+        x in f32_vec(9),
+        y in f32_vec(9),
+    ) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = m.matvec(&sum).unwrap();
+        let ax = m.matvec(&x).unwrap();
+        let ay = m.matvec(&y).unwrap();
+        for i in 0..lhs.len() {
+            let rhs = ax[i] + ay[i];
+            prop_assert!((lhs[i] - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// matvec_t is consistent with transpose().matvec.
+    #[test]
+    fn matvec_t_consistent(rows in prop::collection::vec(f32_vec(7), 1..6)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let x: Vec<f32> = (0..m.rows()).map(|i| i as f32 - 1.5).collect();
+        let a = m.matvec_t(&x).unwrap();
+        let b = m.transpose().matvec(&x).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() <= 1e-3 * (1.0 + v.abs()));
+        }
+    }
+
+    /// BitMatrix::dot_all equals per-row BitVector dots.
+    #[test]
+    fn bitmatrix_dot_all_consistent(
+        rows in prop::collection::vec(bool_vec(70), 1..5),
+        q in bool_vec(70),
+    ) {
+        let bvs: Vec<BitVector> = rows.iter().map(|r| BitVector::from_bools(r)).collect();
+        let m = BitMatrix::from_rows(&bvs).unwrap();
+        let query = BitVector::from_bools(&q);
+        let fast = m.dot_all(&query);
+        let slow: Vec<u32> = bvs.iter().map(|r| r.dot(&query)).collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// argmax returns an index whose value is >= every element.
+    #[test]
+    fn argmax_is_maximal(xs in f32_vec(40)) {
+        let i = argmax(&xs).unwrap();
+        for &v in &xs {
+            prop_assert!(xs[i] >= v);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! MEMHD hyperparameter configuration.
+
+use crate::error::{MemhdError, Result};
+
+/// How the multi-centroid AM is seeded before quantization-aware learning
+/// (paper §III-A and Fig. 5's ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitMethod {
+    /// Clustering-based initialization (the paper's method): classwise
+    /// k-means under dot similarity plus confusion-matrix-driven allocation
+    /// of the remaining columns.
+    Clustering,
+    /// Random sampling: centroids are random training hypervectors, with
+    /// columns distributed evenly across classes. The Fig. 5 baseline.
+    RandomSampling,
+}
+
+/// Configuration for a [`crate::MemhdModel`].
+///
+/// The two structural hyperparameters mirror the target IMC array
+/// (paper Fig. 1c): `dim` (`D`) should match the array's **rows** and
+/// `columns` (`C`) its **columns**, e.g. `128×128` for a 128×128 array.
+///
+/// # Example
+///
+/// ```
+/// use memhd::MemhdConfig;
+///
+/// # fn main() -> Result<(), memhd::MemhdError> {
+/// let config = MemhdConfig::new(128, 128, 10)?
+///     .with_initial_cluster_ratio(0.8)?
+///     .with_learning_rate(0.05)?
+///     .with_epochs(100)
+///     .with_seed(1);
+/// assert_eq!(config.dim(), 128);
+/// assert_eq!(config.initial_clusters_per_class(), 10); // max(1, ⌊C·R/k⌋)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemhdConfig {
+    dim: usize,
+    columns: usize,
+    num_classes: usize,
+    initial_cluster_ratio: f32,
+    learning_rate: f32,
+    epochs: usize,
+    allocation_rounds: usize,
+    init_method: InitMethod,
+    kmeans_max_iters: usize,
+    seed: u64,
+}
+
+impl MemhdConfig {
+    /// Creates a configuration for a `dim × columns` AM over `num_classes`
+    /// classes, with the paper's default hyperparameters: `R = 0.8`,
+    /// `α = 0.01`, 20 epochs, clustering-based initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::InvalidConfig`] if any dimension is zero or
+    /// `columns < num_classes` (every class needs at least one centroid).
+    pub fn new(dim: usize, columns: usize, num_classes: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "dim",
+                reason: "must be positive".into(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "num_classes",
+                reason: "must be positive".into(),
+            });
+        }
+        if columns < num_classes {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "columns",
+                reason: format!(
+                    "{columns} columns cannot represent {num_classes} classes \
+                     (need at least one centroid per class)"
+                ),
+            });
+        }
+        Ok(MemhdConfig {
+            dim,
+            columns,
+            num_classes,
+            initial_cluster_ratio: 0.8,
+            learning_rate: 0.01,
+            epochs: 20,
+            allocation_rounds: 4,
+            init_method: InitMethod::Clustering,
+            kmeans_max_iters: 25,
+            seed: 0,
+        })
+    }
+
+    /// Sets the initial cluster ratio `R` (§III-A-1): the fraction of the
+    /// `C` columns seeded by classwise clustering before confusion-driven
+    /// allocation distributes the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::InvalidConfig`] unless `0 < ratio <= 1`.
+    pub fn with_initial_cluster_ratio(mut self, ratio: f32) -> Result<Self> {
+        if !(ratio > 0.0 && ratio <= 1.0) {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "initial_cluster_ratio",
+                reason: format!("{ratio} outside (0, 1]"),
+            });
+        }
+        self.initial_cluster_ratio = ratio;
+        Ok(self)
+    }
+
+    /// Sets the learning rate `α` (§III-C-3; the paper uses 0.01–0.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::InvalidConfig`] unless `rate` is positive and
+    /// finite.
+    pub fn with_learning_rate(mut self, rate: f32) -> Result<Self> {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "learning_rate",
+                reason: format!("{rate} must be positive and finite"),
+            });
+        }
+        self.learning_rate = rate;
+        Ok(self)
+    }
+
+    /// Sets the number of quantization-aware training epochs (the paper
+    /// trains for 100).
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the initialization method (Fig. 5 compares the two).
+    pub fn with_init_method(mut self, method: InitMethod) -> Self {
+        self.init_method = method;
+        self
+    }
+
+    /// Sets how many validate-allocate-recluster rounds distribute the
+    /// remaining `C(1−R)` columns (§III-A-2). The paper repeats until no
+    /// columns remain; batching the allocation into a fixed number of
+    /// rounds bounds the number of full validation passes while preserving
+    /// the miss-rate-driven distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::InvalidConfig`] if `rounds == 0`.
+    pub fn with_allocation_rounds(mut self, rounds: usize) -> Result<Self> {
+        if rounds == 0 {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "allocation_rounds",
+                reason: "must be positive".into(),
+            });
+        }
+        self.allocation_rounds = rounds;
+        Ok(self)
+    }
+
+    /// Sets the Lloyd-iteration cap for each classwise k-means run.
+    pub fn with_kmeans_max_iters(mut self, iters: usize) -> Self {
+        self.kmeans_max_iters = iters;
+        self
+    }
+
+    /// Sets the RNG seed. Everything downstream (projection matrix,
+    /// clustering, epoch shuffles) derives from it, so a fixed seed makes
+    /// the whole pipeline reproducible.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Hypervector dimensionality `D` (IMC array rows).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of centroids `C` (IMC array columns).
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Number of classes `k`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Initial cluster ratio `R`.
+    pub fn initial_cluster_ratio(&self) -> f32 {
+        self.initial_cluster_ratio
+    }
+
+    /// Learning rate `α`.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Training epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Validate-allocate-recluster rounds.
+    pub fn allocation_rounds(&self) -> usize {
+        self.allocation_rounds
+    }
+
+    /// Initialization method.
+    pub fn init_method(&self) -> InitMethod {
+        self.init_method
+    }
+
+    /// Lloyd-iteration cap per classwise k-means run.
+    pub fn kmeans_max_iters(&self) -> usize {
+        self.kmeans_max_iters
+    }
+
+    /// RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Initial clusters per class: `n = max(1, ⌊C·R/k⌋)` (§III-A-1).
+    pub fn initial_clusters_per_class(&self) -> usize {
+        let n = (self.columns as f32 * self.initial_cluster_ratio) as usize / self.num_classes;
+        n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MemhdConfig::new(128, 128, 10).unwrap();
+        assert_eq!(c.initial_cluster_ratio(), 0.8);
+        assert_eq!(c.learning_rate(), 0.01);
+        assert_eq!(c.init_method(), InitMethod::Clustering);
+    }
+
+    #[test]
+    fn initial_clusters_formula() {
+        // 128 columns, R=0.8, k=10 -> floor(102.4 / 10) = 10
+        let c = MemhdConfig::new(128, 128, 10).unwrap();
+        assert_eq!(c.initial_clusters_per_class(), 10);
+        // Small C with many classes clamps to 1.
+        let c = MemhdConfig::new(64, 26, 26).unwrap();
+        assert_eq!(c.initial_clusters_per_class(), 1);
+        // R = 1.0, 128 cols, 26 classes -> floor(128/26) = 4
+        let c = MemhdConfig::new(512, 128, 26)
+            .unwrap()
+            .with_initial_cluster_ratio(1.0)
+            .unwrap();
+        assert_eq!(c.initial_clusters_per_class(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(MemhdConfig::new(0, 10, 2).is_err());
+        assert!(MemhdConfig::new(64, 0, 2).is_err());
+        assert!(MemhdConfig::new(64, 10, 0).is_err());
+        assert!(MemhdConfig::new(64, 9, 10).is_err()); // C < k
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let c = MemhdConfig::new(64, 16, 4).unwrap();
+        assert!(c.clone().with_initial_cluster_ratio(0.0).is_err());
+        assert!(c.clone().with_initial_cluster_ratio(1.5).is_err());
+        assert!(c.clone().with_learning_rate(0.0).is_err());
+        assert!(c.clone().with_learning_rate(f32::NAN).is_err());
+        assert!(c.clone().with_allocation_rounds(0).is_err());
+        assert!(c.with_initial_cluster_ratio(1.0).is_ok());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = MemhdConfig::new(256, 64, 8)
+            .unwrap()
+            .with_epochs(7)
+            .with_seed(99)
+            .with_kmeans_max_iters(5)
+            .with_init_method(InitMethod::RandomSampling);
+        assert_eq!(c.epochs(), 7);
+        assert_eq!(c.seed(), 99);
+        assert_eq!(c.kmeans_max_iters(), 5);
+        assert_eq!(c.init_method(), InitMethod::RandomSampling);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the MEMHD crate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MemhdError>;
+
+/// Errors produced by MEMHD configuration, initialization, and training.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MemhdError {
+    /// A configuration constraint was violated.
+    InvalidConfig {
+        /// Parameter that failed validation.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The training data was unusable (empty, mislabeled, too small for
+    /// the requested column count, ...).
+    InvalidData {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An underlying HDC substrate operation failed.
+    Hdc(hdc::HdcError),
+    /// Classwise clustering failed.
+    Clustering(hd_clustering::ClusteringError),
+}
+
+impl fmt::Display for MemhdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemhdError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid config parameter {parameter}: {reason}")
+            }
+            MemhdError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            MemhdError::Hdc(e) => write!(f, "hdc error: {e}"),
+            MemhdError::Clustering(e) => write!(f, "clustering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MemhdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemhdError::Hdc(e) => Some(e),
+            MemhdError::Clustering(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdc::HdcError> for MemhdError {
+    fn from(e: hdc::HdcError) -> Self {
+        MemhdError::Hdc(e)
+    }
+}
+
+impl From<hd_clustering::ClusteringError> for MemhdError {
+    fn from(e: hd_clustering::ClusteringError) -> Self {
+        MemhdError::Clustering(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MemhdError::InvalidConfig { parameter: "columns", reason: "must be >= k".into() };
+        assert!(e.to_string().contains("columns"));
+        let e = MemhdError::InvalidData { reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e: MemhdError = hdc::HdcError::DimensionMismatch { expected: 1, found: 2 }.into();
+        assert!(e.source().is_some());
+        let e: MemhdError =
+            hd_clustering::ClusteringError::TooFewPoints { points: 1, clusters: 2 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemhdError>();
+    }
+}

@@ -1,0 +1,78 @@
+//! Memory accounting (paper Table I).
+//!
+//! MEMHD's footprint is `f × D` bits for the projection encoding module
+//! plus `C × D` bits for the multi-centroid associative memory — both
+//! binary, both sized to the IMC array rather than to a 10k-dimensional
+//! hypervector space.
+
+use std::fmt;
+
+/// Memory requirements of a model, split by module (all in bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryReport {
+    /// Encoding-module bits (`f × D` for projection encoding).
+    pub em_bits: u64,
+    /// Associative-memory bits (`C × D`).
+    pub am_bits: u64,
+}
+
+impl MemoryReport {
+    /// Creates a report from per-module bit counts.
+    pub fn new(em_bits: u64, am_bits: u64) -> Self {
+        MemoryReport { em_bits, am_bits }
+    }
+
+    /// Total bits across both modules.
+    pub fn total_bits(&self) -> u64 {
+        self.em_bits + self.am_bits
+    }
+
+    /// Encoding-module size in kilobytes (1 KB = 8192 bits).
+    pub fn em_kb(&self) -> f64 {
+        self.em_bits as f64 / 8192.0
+    }
+
+    /// Associative-memory size in kilobytes.
+    pub fn am_kb(&self) -> f64 {
+        self.am_bits as f64 / 8192.0
+    }
+
+    /// Total size in kilobytes — the x-axis of the paper's Fig. 3.
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8192.0
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EM {:.2} KB + AM {:.2} KB = {:.2} KB",
+            self.em_kb(),
+            self.am_kb(),
+            self.total_kb()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        // MEMHD 128x128 on MNIST: EM = 784*128 bits, AM = 128*128 bits.
+        let r = MemoryReport::new(784 * 128, 128 * 128);
+        assert_eq!(r.total_bits(), 784 * 128 + 128 * 128);
+        assert!((r.em_kb() - 784.0 * 128.0 / 8192.0).abs() < 1e-9);
+        assert!((r.total_kb() - (784.0 + 128.0) * 128.0 / 8192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let r = MemoryReport::new(8192, 8192);
+        let s = r.to_string();
+        assert!(s.contains("EM 1.00 KB"));
+        assert!(s.contains("2.00 KB"));
+    }
+}

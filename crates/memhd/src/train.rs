@@ -1,0 +1,458 @@
+//! Quantization-aware iterative learning for the multi-centroid AM
+//! (paper §III-C, Fig. 2c).
+//!
+//! Each epoch walks the training set (in a seeded shuffle) and, for every
+//! sample, runs an associative search of the **binary** query against the
+//! **binary** AM — the exact comparison inference performs. On a
+//! misprediction the update targets are chosen per the paper:
+//!
+//! * **Predicted side (Eq. 4):** the winning centroid itself — the
+//!   `(class, sub-label)` pair with the globally highest similarity.
+//! * **True side (Eq. 5):** among the true class's centroids, the one most
+//!   similar to the query, so each sample consistently trains "its" mode.
+//!
+//! The floating-point shadow AM is then updated (Eq. 6):
+//! `Cⁿ_l += α·Ĥ`, `Cᵐ_l' −= α·Ĥ`, where `Ĥ` is the sample hypervector
+//! scaled to unit norm so one update moves every centroid by a comparable
+//! amount. After the epoch the FP AM is re-normalized per centroid
+//! (§III-C-4) and re-binarized at its mean to refresh the binary AM.
+
+use crate::error::Result;
+use hd_linalg::rng::{derive_seed, seeded};
+use hd_linalg::BitVector;
+use hdc::{BinaryAm, EncodedDataset, FloatAm};
+use rand::Rng;
+
+/// One epoch's worth of training telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch number; 0 is the pre-training state of the initialized AM.
+    pub epoch: usize,
+    /// Mispredictions (= centroid update pairs) during the epoch. Zero for
+    /// the pre-training record.
+    pub updates: usize,
+    /// Training accuracy of the binary AM *at the end of* the epoch.
+    pub train_accuracy: f64,
+    /// Accuracy on the optional held-out set at the end of the epoch.
+    pub eval_accuracy: Option<f64>,
+}
+
+/// The full training trajectory (Fig. 5 plots these curves).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingHistory {
+    records: Vec<EpochRecord>,
+}
+
+impl TrainingHistory {
+    /// All per-epoch records, starting with the epoch-0 (pre-training)
+    /// snapshot.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Number of *training* epochs executed (excludes the epoch-0 record).
+    pub fn epochs_run(&self) -> usize {
+        self.records.len().saturating_sub(1)
+    }
+
+    /// Accuracy of the initialized AM before any updates — the quantity
+    /// Fig. 5 compares between clustering and random-sampling init.
+    pub fn initial_accuracy(&self) -> Option<f64> {
+        self.records.first().map(|r| r.train_accuracy)
+    }
+
+    /// Final training accuracy.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.records.last().map(|r| r.train_accuracy)
+    }
+
+    /// Appends another history (e.g. from [`refinement`]) with epoch
+    /// numbers continued after this history's last epoch. The appended
+    /// history's epoch-0 snapshot is skipped — it describes the same state
+    /// as this history's final record.
+    ///
+    /// [`refinement`]: crate::MemhdModel::refine
+    pub fn append_continued(&mut self, other: &TrainingHistory) {
+        let offset = self.records.last().map(|r| r.epoch).unwrap_or(0);
+        for r in other.records.iter().skip(usize::from(!self.records.is_empty())) {
+            self.records.push(EpochRecord { epoch: offset + r.epoch, ..*r });
+        }
+    }
+
+    /// The first epoch whose training accuracy is within `tolerance` of
+    /// the best observed — a convergence-speed proxy.
+    pub fn convergence_epoch(&self, tolerance: f64) -> Option<usize> {
+        let best = self
+            .records
+            .iter()
+            .map(|r| r.train_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.records.iter().find(|r| r.train_accuracy >= best - tolerance).map(|r| r.epoch)
+    }
+}
+
+/// Options for [`quantization_aware_train`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainOptions<'a> {
+    /// Optional held-out queries evaluated at the end of every epoch.
+    pub eval: Option<(&'a [BitVector], &'a [usize])>,
+    /// Stop early when an epoch performs zero updates.
+    pub stop_on_zero_updates: bool,
+}
+
+fn measure(am: &BinaryAm, queries: &[BitVector], labels: &[usize]) -> Result<f64> {
+    Ok(hdc::train::evaluate(am, queries, labels).map_err(crate::MemhdError::Hdc)?)
+}
+
+/// Runs quantization-aware iterative learning for up to `epochs` epochs.
+///
+/// `fp_am` is updated in place; the returned [`BinaryAm`] is the quantized
+/// snapshot with the **best training accuracy** across the run (including
+/// the pre-training state). Pass the training-set encodings in
+/// `encoded`/`labels`.
+///
+/// # Errors
+///
+/// Returns an error if the encoded set, labels, and AM disagree on shape
+/// or labeling.
+pub fn quantization_aware_train(
+    fp_am: &mut FloatAm,
+    encoded: &EncodedDataset,
+    labels: &[usize],
+    alpha: f32,
+    epochs: usize,
+    seed: u64,
+    options: TrainOptions<'_>,
+) -> Result<(BinaryAm, TrainingHistory)> {
+    if encoded.len() != labels.len() || encoded.is_empty() {
+        return Err(crate::MemhdError::InvalidData {
+            reason: format!("{} samples vs {} labels", encoded.len(), labels.len()),
+        });
+    }
+
+    // Update vectors are *centered* (their mean removed) and unit-norm
+    // scaled. Raw projection hypervectors carry a large common-mode
+    // component (every entry is a sum of non-negative features), and the
+    // informative signal is the variation around that mean — which is also
+    // exactly what the mean-threshold binarization keeps. Updating with the
+    // raw vector would shift whole centroids uniformly and saturate the
+    // global-mean quantizer; updating with the centered vector moves only
+    // the bits.
+    let centered: Vec<Vec<f32>> = (0..encoded.len())
+        .map(|i| {
+            let row = encoded.fp.row(i);
+            let mean = hd_linalg::mean(row);
+            let mut v: Vec<f32> = row.iter().map(|x| x - mean).collect();
+            hd_linalg::normalize_l2(&mut v);
+            v
+        })
+        .collect();
+
+    let mut binary = fp_am.quantize();
+    let mut history = TrainingHistory::default();
+
+    // Epoch-0 snapshot: accuracy of the initialized AM.
+    let initial_accuracy = measure(&binary, &encoded.bin, labels)?;
+    history.records.push(EpochRecord {
+        epoch: 0,
+        updates: 0,
+        train_accuracy: initial_accuracy,
+        eval_accuracy: match options.eval {
+            Some((q, l)) => Some(measure(&binary, q, l)?),
+            None => None,
+        },
+    });
+
+    // The returned AM is the best-training-accuracy quantized snapshot:
+    // the paper trains for a fixed 100 epochs, and keeping the best
+    // snapshot makes the fixed horizon robust to late-epoch oscillation.
+    let mut best = (binary.clone(), initial_accuracy);
+
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    for epoch in 1..=epochs {
+        // Deterministic per-epoch shuffle.
+        let mut rng = seeded(derive_seed(seed, 0x7472_0000 | epoch as u64));
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+
+        let mut updates = 0usize;
+        for &i in &order {
+            let label = labels[i];
+            let hb = &encoded.bin[i];
+            let scores = binary.scores(hb).map_err(crate::MemhdError::Hdc)?;
+
+            // Global argmax (Eq. 4): ties toward the lower row.
+            let mut pred_row = 0usize;
+            for (r, &s) in scores.iter().enumerate() {
+                if s > scores[pred_row] {
+                    pred_row = r;
+                }
+            }
+            if binary.class_of(pred_row) == label {
+                continue;
+            }
+
+            // True-side target (Eq. 5): best centroid within the class.
+            let true_rows = binary.rows_of_class(label);
+            let true_row = *true_rows
+                .iter()
+                .max_by_key(|&&r| (scores[r], std::cmp::Reverse(r)))
+                .expect("every class has at least one centroid");
+
+            let h = &centered[i];
+            fp_am.update(true_row, alpha, h).map_err(crate::MemhdError::Hdc)?;
+            fp_am.update(pred_row, -alpha, h).map_err(crate::MemhdError::Hdc)?;
+            updates += 1;
+        }
+
+        // §III-C-4: center + normalize every centroid, then refresh the
+        // binary AM by re-quantizing.
+        fp_am.center_and_normalize();
+        binary = fp_am.quantize();
+
+        let train_accuracy = measure(&binary, &encoded.bin, labels)?;
+        history.records.push(EpochRecord {
+            epoch,
+            updates,
+            train_accuracy,
+            eval_accuracy: match options.eval {
+                Some((q, l)) => Some(measure(&binary, q, l)?),
+                None => None,
+            },
+        });
+        if train_accuracy > best.1 {
+            best = (binary.clone(), train_accuracy);
+        }
+
+        if options.stop_on_zero_updates && updates == 0 {
+            break;
+        }
+    }
+
+    Ok((best.0, history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemhdConfig;
+    use crate::init::clustering_init;
+    use hd_linalg::rng::Normal;
+    use hd_linalg::Matrix;
+    use hdc::{encode_dataset, RandomProjectionEncoder};
+
+    fn toy(per_class: usize, seed: u64) -> (EncodedDataset, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let noise = Normal::new(0.0, 0.06);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..3usize {
+            for s in 0..per_class {
+                let mode = s % 2;
+                let row: Vec<f32> = (0..12)
+                    .map(|j| {
+                        let hot = j / 4 == class;
+                        let base = if hot { 0.8 } else { 0.2 };
+                        let shift = if hot && (j % 2 == mode) { 0.2 } else { 0.0 };
+                        (base - shift + noise.sample(&mut rng)).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                rows.push(row);
+                labels.push(class);
+            }
+        }
+        let feats = Matrix::from_rows(&rows).unwrap();
+        let enc = RandomProjectionEncoder::new(12, 256, 7);
+        (encode_dataset(&enc, &feats).unwrap(), labels)
+    }
+
+    #[test]
+    fn training_improves_or_holds_accuracy() {
+        let (encoded, labels) = toy(25, 1);
+        let cfg = MemhdConfig::new(256, 9, 3).unwrap().with_seed(2);
+        let mut fp = clustering_init(&cfg, &encoded, &labels).unwrap();
+        let (_bam, hist) = quantization_aware_train(
+            &mut fp,
+            &encoded,
+            &labels,
+            0.05,
+            15,
+            2,
+            TrainOptions::default(),
+        )
+        .unwrap();
+        let initial = hist.initial_accuracy().unwrap();
+        let best = hist
+            .records()
+            .iter()
+            .map(|r| r.train_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best >= initial, "best {best} < initial {initial}");
+        assert!(best > 0.8, "best accuracy {best}");
+    }
+
+    #[test]
+    fn history_structure() {
+        let (encoded, labels) = toy(10, 3);
+        let cfg = MemhdConfig::new(256, 6, 3).unwrap().with_seed(1);
+        let mut fp = clustering_init(&cfg, &encoded, &labels).unwrap();
+        let (_bam, hist) = quantization_aware_train(
+            &mut fp,
+            &encoded,
+            &labels,
+            0.05,
+            4,
+            1,
+            TrainOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(hist.records()[0].epoch, 0);
+        assert_eq!(hist.records()[0].updates, 0);
+        assert_eq!(hist.epochs_run(), 4);
+        assert!(hist.convergence_epoch(0.0).is_some());
+    }
+
+    #[test]
+    fn eval_set_recorded() {
+        let (encoded, labels) = toy(10, 4);
+        let cfg = MemhdConfig::new(256, 6, 3).unwrap().with_seed(1);
+        let mut fp = clustering_init(&cfg, &encoded, &labels).unwrap();
+        let (_bam, hist) = quantization_aware_train(
+            &mut fp,
+            &encoded,
+            &labels,
+            0.05,
+            2,
+            1,
+            TrainOptions { eval: Some((&encoded.bin, &labels)), stop_on_zero_updates: false },
+        )
+        .unwrap();
+        for r in hist.records() {
+            let e = r.eval_accuracy.expect("eval recorded");
+            assert!((r.train_accuracy - e).abs() < 1e-12, "eval==train when same set");
+        }
+    }
+
+    #[test]
+    fn early_stop_on_zero_updates() {
+        let (encoded, labels) = toy(12, 5);
+        // One centroid per class, trivially separable: converges quickly.
+        let cfg = MemhdConfig::new(256, 3, 3).unwrap().with_seed(1);
+        let mut fp = clustering_init(&cfg, &encoded, &labels).unwrap();
+        let (_bam, hist) = quantization_aware_train(
+            &mut fp,
+            &encoded,
+            &labels,
+            0.05,
+            50,
+            1,
+            TrainOptions { eval: None, stop_on_zero_updates: true },
+        )
+        .unwrap();
+        if hist.records().iter().any(|r| r.epoch > 0 && r.updates == 0) {
+            assert!(hist.epochs_run() < 50, "should have stopped early");
+        }
+    }
+
+    #[test]
+    fn updates_target_correct_rows() {
+        // Hand-built scenario: 2 classes, 2 centroids each; the query is
+        // closest to class 1's first centroid but labeled class 0.
+        let centroids = vec![
+            (0usize, vec![0.1f32, 0.1, 0.9, 0.9]),
+            (0, vec![0.9, 0.9, 0.1, 0.1]),
+            (1, vec![1.0, 1.0, 0.6, 0.2]),
+            (1, vec![0.0, 0.0, 0.0, 1.0]),
+        ];
+        let mut fp = FloatAm::from_centroids(2, centroids).unwrap();
+        let before = fp.as_matrix().clone();
+
+        // Query strongly matching row 2 (class 1) but labeled class 0.
+        let fp_q = vec![1.0f32, 1.0, 1.0, 0.0];
+        let bin_q = BitVector::from_bools(&[true, true, true, false]);
+        let encoded = EncodedDataset {
+            fp: Matrix::from_rows(&[fp_q.clone()]).unwrap(),
+            bin: vec![bin_q],
+        };
+        let (_bam, hist) = quantization_aware_train(
+            &mut fp,
+            &encoded,
+            &[0usize],
+            0.5,
+            1,
+            0,
+            TrainOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(hist.records()[1].updates, 1);
+
+        // Row 2 (mispredicted winner) must have moved away from the query
+        // and some class-0 row toward it. Updates and the epoch-end
+        // normalization both operate in centered space (the mean component
+        // carries no information after mean-threshold binarization), so
+        // compare *centered* cosines: there the update is exactly
+        // `row ∓ α·q̂` and the direction change is deterministic.
+        fn centered_cos(a: &[f32], b: &[f32]) -> f32 {
+            let center = |v: &[f32]| {
+                let m = hd_linalg::mean(v);
+                let mut c: Vec<f32> = v.iter().map(|x| x - m).collect();
+                hd_linalg::normalize_l2(&mut c);
+                c
+            };
+            hd_linalg::dot(&center(a), &center(b))
+        }
+        let q = &fp_q;
+        assert!(
+            centered_cos(fp.centroid(2), q) < centered_cos(before.row(2), q) - 1e-4,
+            "mispredicted centroid did not move away from the query"
+        );
+        let gained = (0..2)
+            .any(|r| centered_cos(fp.centroid(r), q) > centered_cos(before.row(r), q) + 1e-4);
+        assert!(gained, "no class-0 centroid moved toward the query");
+    }
+
+    #[test]
+    fn append_continued_renumbers_epochs() {
+        let mut a = TrainingHistory {
+            records: vec![
+                EpochRecord { epoch: 0, updates: 0, train_accuracy: 0.5, eval_accuracy: None },
+                EpochRecord { epoch: 1, updates: 3, train_accuracy: 0.6, eval_accuracy: None },
+            ],
+        };
+        let b = TrainingHistory {
+            records: vec![
+                EpochRecord { epoch: 0, updates: 0, train_accuracy: 0.6, eval_accuracy: None },
+                EpochRecord { epoch: 1, updates: 2, train_accuracy: 0.7, eval_accuracy: None },
+                EpochRecord { epoch: 2, updates: 1, train_accuracy: 0.8, eval_accuracy: None },
+            ],
+        };
+        a.append_continued(&b);
+        let epochs: Vec<usize> = a.records().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2, 3]);
+        assert_eq!(a.final_accuracy(), Some(0.8));
+        // Appending into an empty history keeps everything.
+        let mut empty = TrainingHistory::default();
+        empty.append_continued(&b);
+        assert_eq!(empty.records().len(), 3);
+        assert_eq!(empty.initial_accuracy(), Some(0.6));
+    }
+
+    #[test]
+    fn rejects_mismatched_labels() {
+        let (encoded, labels) = toy(5, 6);
+        let cfg = MemhdConfig::new(256, 3, 3).unwrap();
+        let mut fp = clustering_init(&cfg, &encoded, &labels).unwrap();
+        let r = quantization_aware_train(
+            &mut fp,
+            &encoded,
+            &labels[..3],
+            0.05,
+            1,
+            0,
+            TrainOptions::default(),
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for multi-centroid AM initialization: for *any*
+//! labeled dataset shape that satisfies the preconditions, initialization
+//! must produce a fully-utilized, validly-labeled, normalized AM.
+
+use hd_linalg::rng::{seeded, Normal};
+use hd_linalg::Matrix;
+use hdc::{encode_dataset, EncodedDataset, RandomProjectionEncoder};
+use memhd::{init, InitMethod, MemhdConfig, MemhdModel};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Generates a random labeled problem: `k` classes, `per_class` samples,
+/// random class anchors in feature space.
+fn random_problem(
+    k: usize,
+    per_class: usize,
+    feature_dim: usize,
+    seed: u64,
+) -> (EncodedDataset, Vec<usize>) {
+    let mut rng = seeded(seed);
+    let noise = Normal::new(0.0, 0.1);
+    let anchors: Vec<Vec<f32>> = (0..k)
+        .map(|_| (0..feature_dim).map(|_| rng.gen::<f32>()).collect())
+        .collect();
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (class, anchor) in anchors.iter().enumerate() {
+        for _ in 0..per_class {
+            rows.push(
+                anchor
+                    .iter()
+                    .map(|&a| (a + noise.sample(&mut rng)).clamp(0.0, 1.0))
+                    .collect::<Vec<f32>>(),
+            );
+            labels.push(class);
+        }
+    }
+    let features = Matrix::from_rows(&rows).expect("consistent rows");
+    let encoder = RandomProjectionEncoder::new(feature_dim, 64, seed ^ 0xabc);
+    (encode_dataset(&encoder, &features).expect("encode"), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both init methods always produce exactly C centroids, at least one
+    /// per class, all rows unit-norm, for arbitrary (k, C, R) combinations
+    /// satisfying the documented preconditions.
+    #[test]
+    fn init_always_fully_utilizes(
+        k in 2usize..5,
+        extra_cols in 0usize..10,
+        per_class in 6usize..12,
+        ratio in 0.2f32..=1.0,
+        seed in 0u64..50,
+    ) {
+        let columns = k + extra_cols;
+        prop_assume!(columns <= k * per_class);
+        let (encoded, labels) = random_problem(k, per_class, 24, seed);
+        let cfg = MemhdConfig::new(64, columns, k)
+            .unwrap()
+            .with_initial_cluster_ratio(ratio)
+            .unwrap()
+            .with_kmeans_max_iters(5)
+            .with_seed(seed);
+
+        for method in [InitMethod::Clustering, InitMethod::RandomSampling] {
+            let am = match method {
+                InitMethod::Clustering => init::clustering_init(&cfg, &encoded, &labels),
+                InitMethod::RandomSampling => {
+                    init::random_sampling_init(&cfg, &encoded, &labels)
+                }
+            }
+            .expect("init succeeds under preconditions");
+            prop_assert_eq!(am.num_centroids(), columns, "{:?}", method);
+            for class in 0..k {
+                prop_assert!(
+                    !am.rows_of_class(class).is_empty(),
+                    "{:?}: class {} lost all centroids",
+                    method,
+                    class
+                );
+            }
+            for r in 0..am.num_centroids() {
+                let norm = hd_linalg::l2_norm(am.centroid(r));
+                prop_assert!((norm - 1.0).abs() < 1e-3, "row {} norm {}", r, norm);
+            }
+        }
+    }
+
+    /// The full fit pipeline never panics and always yields a model whose
+    /// predictions are in-range, for arbitrary valid shapes.
+    #[test]
+    fn fit_yields_valid_predictions(
+        k in 2usize..4,
+        extra_cols in 0usize..6,
+        seed in 0u64..20,
+    ) {
+        let columns = k + extra_cols;
+        let per_class = 8usize;
+        prop_assume!(columns <= k * per_class);
+        let mut rng = seeded(seed);
+        let noise = Normal::new(0.0, 0.1);
+        let anchors: Vec<Vec<f32>> =
+            (0..k).map(|_| (0..16).map(|_| rng.gen::<f32>()).collect()).collect();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (class, anchor) in anchors.iter().enumerate() {
+            for _ in 0..per_class {
+                rows.push(
+                    anchor
+                        .iter()
+                        .map(|&a| (a + noise.sample(&mut rng)).clamp(0.0, 1.0))
+                        .collect::<Vec<f32>>(),
+                );
+                labels.push(class);
+            }
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let cfg = MemhdConfig::new(48, columns, k)
+            .unwrap()
+            .with_epochs(2)
+            .with_kmeans_max_iters(5)
+            .with_seed(seed);
+        let model = MemhdModel::fit(&cfg, &features, &labels).expect("fit");
+        let preds = model.predict_batch(&features).expect("predict");
+        for p in preds {
+            prop_assert!(p < k);
+        }
+    }
+}

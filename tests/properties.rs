@@ -1,0 +1,134 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! associative memory, any mapping strategy, and any query.
+
+use hd_linalg::BitVector;
+use hdc::BinaryAm;
+use imc_sim::{tile_grid, AmMapping, ArraySpec, MappingStrategy};
+use proptest::prelude::*;
+
+/// Strategy: a random binary AM plus a matching random query.
+fn am_and_query(
+    max_classes: usize,
+    max_vectors: usize,
+    dims: Vec<usize>,
+) -> impl Strategy<Value = (usize, Vec<(usize, Vec<bool>)>, Vec<bool>)> {
+    (2..=max_classes, prop::sample::select(dims)).prop_flat_map(move |(k, dim)| {
+        let vectors = prop::collection::vec(
+            (0..k, prop::collection::vec(any::<bool>(), dim)),
+            k..=max_vectors,
+        );
+        let query = prop::collection::vec(any::<bool>(), dim);
+        (Just(k), vectors, query)
+    })
+}
+
+fn build_am(k: usize, raw: &[(usize, Vec<bool>)]) -> BinaryAm {
+    let centroids: Vec<(usize, BitVector)> =
+        raw.iter().map(|(c, bits)| (*c, BitVector::from_bools(bits))).collect();
+    BinaryAm::from_centroids(k, centroids).expect("valid AM")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mapping (Basic or any valid partitioning) computes exactly the
+    /// software associative-search scores.
+    #[test]
+    fn mapped_search_equals_software(
+        (k, raw, qbits) in am_and_query(4, 8, vec![60, 64, 120, 128]),
+        partitions in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let am = build_am(k, &raw);
+        let dim = am.dim();
+        prop_assume!(dim % partitions == 0);
+        let strategy = if partitions == 1 {
+            MappingStrategy::Basic
+        } else {
+            MappingStrategy::Partitioned { partitions }
+        };
+        let mapping = AmMapping::new(&am, ArraySpec::new(32, 16).unwrap(), strategy).unwrap();
+        let q = BitVector::from_bools(&qbits);
+        let hw = mapping.search(&q).unwrap();
+        let sw = am.scores(&q).unwrap();
+        prop_assert_eq!(&hw.scores, &sw);
+        prop_assert_eq!(hw.predicted_class, am.search(&q).unwrap().class);
+    }
+
+    /// Mapping stats invariants: cycles >= arrays/..., utilization in
+    /// (0, 1], partitioned cycles == P x row-tiles when columns fit.
+    #[test]
+    fn mapping_stats_invariants(
+        (k, raw, _q) in am_and_query(3, 6, vec![64, 128]),
+        partitions in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let am = build_am(k, &raw);
+        prop_assume!(am.dim() % partitions == 0);
+        let strategy = if partitions == 1 {
+            MappingStrategy::Basic
+        } else {
+            MappingStrategy::Partitioned { partitions }
+        };
+        let spec = ArraySpec::new(32, 64).unwrap();
+        let stats = AmMapping::new(&am, spec, strategy).unwrap().stats();
+        prop_assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
+        prop_assert!(stats.arrays >= 1);
+        prop_assert!(stats.cycles >= stats.arrays.div_ceil(partitions));
+        // With all partition columns in one tile, cycles = P * row_tiles.
+        let cols = am.num_centroids() * partitions;
+        if cols <= spec.cols() {
+            let row_tiles = (am.dim() / partitions).div_ceil(spec.rows());
+            prop_assert_eq!(stats.cycles, partitions * row_tiles);
+        }
+    }
+
+    /// The tile grid covers the logical matrix with no gap: tiles * array
+    /// capacity >= logical cells, and removing one tile row/col would be
+    /// too small.
+    #[test]
+    fn tile_grid_is_tight(rows in 1usize..500, cols in 1usize..500) {
+        let spec = ArraySpec::new(37, 53).unwrap();
+        let g = tile_grid(rows, cols, spec);
+        prop_assert!(g.row_tiles * 37 >= rows);
+        prop_assert!(g.col_tiles * 53 >= cols);
+        prop_assert!((g.row_tiles - 1) * 37 < rows);
+        prop_assert!((g.col_tiles - 1) * 53 < cols);
+    }
+
+    /// Associative search is permutation-equivariant in the centroids: the
+    /// winning *class* does not depend on row order (up to ties).
+    #[test]
+    fn search_winner_score_invariant_under_row_shuffle(
+        (k, raw, qbits) in am_and_query(3, 6, vec![64]),
+    ) {
+        let am = build_am(k, &raw);
+        let q = BitVector::from_bools(&qbits);
+        let best = am.search(&q).unwrap().score;
+        let mut reversed = raw.clone();
+        reversed.reverse();
+        let am_rev = build_am(k, &reversed);
+        prop_assert_eq!(am_rev.search(&q).unwrap().score, best);
+    }
+
+    /// Quantize-per-row always produces balanced-ish rows: the popcount of
+    /// each binarized centroid never exceeds the dimensionality and is 0
+    /// only for constant rows.
+    #[test]
+    fn per_row_quantization_balance(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 32), 1..5),
+    ) {
+        let centroids: Vec<(usize, Vec<f32>)> =
+            rows.iter().map(|r| (0usize, r.clone())).collect();
+        let fam = hdc::FloatAm::from_centroids(1, centroids).unwrap();
+        let bam = fam.quantize_per_row();
+        for (i, row) in rows.iter().enumerate() {
+            let ones = bam.centroid(i).count_ones() as usize;
+            prop_assert!(ones <= 32);
+            let constant = row.iter().all(|v| (v - row[0]).abs() < f32::EPSILON);
+            if constant {
+                prop_assert_eq!(ones, 0, "constant row has no above-mean entries");
+            } else {
+                prop_assert!(ones >= 1, "non-constant row must keep at least one bit");
+            }
+        }
+    }
+}
