@@ -92,6 +92,11 @@ impl HdcClassifier for BasicHdc {
         self.am.classify(&q)
     }
 
+    fn predict_batch(&self, features: &Matrix) -> hdc::Result<Vec<usize>> {
+        let batch = self.encoder.encode_binary_batch(features)?;
+        self.am.classify_batch(&batch)
+    }
+
     fn memory_report(&self) -> MemoryReport {
         MemoryReport::new(self.encoder.memory_bits(), self.am.memory_bits())
     }

@@ -64,8 +64,7 @@ impl LeHdc {
         labels: &[usize],
         num_classes: usize,
     ) -> hdc::Result<Self> {
-        let encoder =
-            IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
+        let encoder = IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
         let encoded = encode_dataset(&encoder, features)?;
         Self::fit_encoded(config, encoder, &encoded, labels, num_classes)
     }
@@ -90,11 +89,8 @@ impl LeHdc {
         for c in 0..num_classes {
             let row = single.centroid(c);
             let mean = hd_linalg::mean(row);
-            let max_abs = row
-                .iter()
-                .map(|v| (v - mean).abs())
-                .fold(0.0f32, f32::max)
-                .max(f32::MIN_POSITIVE);
+            let max_abs =
+                row.iter().map(|v| (v - mean).abs()).fold(0.0f32, f32::max).max(f32::MIN_POSITIVE);
             for (j, &v) in row.iter().enumerate() {
                 w.set(c, j, (v - mean) / max_abs);
             }
@@ -137,8 +133,8 @@ impl LeHdc {
 
                 // STE backward: gradient w.r.t. the binary weight passes
                 // through to the FP shadow on active query bits.
-                for c in 0..num_classes {
-                    let g = exps[c] / sum - if c == label { 1.0 } else { 0.0 };
+                for (c, &e) in exps.iter().enumerate() {
+                    let g = e / sum - if c == label { 1.0 } else { 0.0 };
                     if g == 0.0 {
                         continue;
                     }
@@ -158,9 +154,8 @@ impl LeHdc {
         }
 
         // Final binarization: positive shadow weight ⇒ bit 1.
-        let centroids: Vec<(usize, BitVector)> = (0..num_classes)
-            .map(|c| (c, BitVector::from_threshold(w.row(c), 0.0)))
-            .collect();
+        let centroids: Vec<(usize, BitVector)> =
+            (0..num_classes).map(|c| (c, BitVector::from_threshold(w.row(c), 0.0))).collect();
         let am = BinaryAm::from_centroids(num_classes, centroids)?;
         Ok(LeHdc { encoder, am, train_accuracy: history })
     }
@@ -185,6 +180,11 @@ impl HdcClassifier for LeHdc {
     fn predict(&self, features: &[f32]) -> hdc::Result<usize> {
         let q = self.encoder.encode_binary(features)?;
         self.am.classify(&q)
+    }
+
+    fn predict_batch(&self, features: &Matrix) -> hdc::Result<Vec<usize>> {
+        let batch = self.encoder.encode_binary_batch(features)?;
+        self.am.classify_batch(&batch)
     }
 
     fn memory_report(&self) -> MemoryReport {

@@ -49,7 +49,20 @@ pub trait HdcClassifier {
     /// model's encoder.
     fn predict(&self, features: &[f32]) -> hdc::Result<usize>;
 
-    /// Accuracy over a labeled feature matrix.
+    /// Classifies every row of `features` — the preferred inference entry
+    /// point. Every model overrides the default with the batched
+    /// encode-then-search pipeline (packed queries, one tiled popcount
+    /// sweep); the default falls back to per-row [`HdcClassifier::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hdc::HdcError`] if the feature width does not match the
+    /// model's encoder.
+    fn predict_batch(&self, features: &Matrix) -> hdc::Result<Vec<usize>> {
+        (0..features.rows()).map(|i| self.predict(features.row(i))).collect()
+    }
+
+    /// Accuracy over a labeled feature matrix (batched inference path).
     ///
     /// # Errors
     ///
@@ -60,12 +73,8 @@ pub trait HdcClassifier {
                 reason: format!("{} rows vs {} labels", features.rows(), labels.len()),
             });
         }
-        let mut correct = 0usize;
-        for (i, &l) in labels.iter().enumerate() {
-            if self.predict(features.row(i))? == l {
-                correct += 1;
-            }
-        }
+        let preds = self.predict_batch(features)?;
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len() as f64)
     }
 

@@ -66,16 +66,10 @@ pub fn baseline_memory(
     let d = dim as u64;
     let k = num_classes as u64;
     match kind {
-        BaselineKind::SearcHd { n } => {
-            MemoryReport::new((f + l) * d, k * d * n as u64)
-        }
-        BaselineKind::QuantHd | BaselineKind::LeHdc => {
-            MemoryReport::new((f + l) * d, k * d)
-        }
+        BaselineKind::SearcHd { n } => MemoryReport::new((f + l) * d, k * d * n as u64),
+        BaselineKind::QuantHd | BaselineKind::LeHdc => MemoryReport::new((f + l) * d, k * d),
         BaselineKind::BasicHdc => MemoryReport::new(f * d, k * d),
-        BaselineKind::Memhd { columns } => {
-            MemoryReport::new(f * d, columns as u64 * d)
-        }
+        BaselineKind::Memhd { columns } => MemoryReport::new(f * d, columns as u64 * d),
     }
 }
 

@@ -55,8 +55,7 @@ impl QuantHd {
         labels: &[usize],
         num_classes: usize,
     ) -> hdc::Result<Self> {
-        let encoder =
-            IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
+        let encoder = IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
         let encoded = encode_dataset(&encoder, features)?;
         Self::fit_encoded(config, encoder, &encoded, labels, num_classes)
     }
@@ -105,6 +104,11 @@ impl HdcClassifier for QuantHd {
         self.am.classify(&q)
     }
 
+    fn predict_batch(&self, features: &Matrix) -> hdc::Result<Vec<usize>> {
+        let batch = self.encoder.encode_binary_batch(features)?;
+        self.am.classify_batch(&batch)
+    }
+
     fn memory_report(&self) -> MemoryReport {
         MemoryReport::new(self.encoder.memory_bits(), self.am.memory_bits())
     }
@@ -147,8 +151,7 @@ mod tests {
         let model = QuantHd::fit(&cfg, &x, &y, 3).unwrap();
         let hist = model.history();
         let first = hist.first().unwrap().train_accuracy;
-        let best =
-            hist.iter().map(|e| e.train_accuracy).fold(f64::NEG_INFINITY, f64::max);
+        let best = hist.iter().map(|e| e.train_accuracy).fold(f64::NEG_INFINITY, f64::max);
         assert!(best >= first);
     }
 

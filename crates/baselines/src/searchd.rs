@@ -70,8 +70,7 @@ impl SearcHd {
         labels: &[usize],
         num_classes: usize,
     ) -> hdc::Result<Self> {
-        let encoder =
-            IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
+        let encoder = IdLevelEncoder::new(features.cols(), config.dim, config.levels, config.seed);
         let encoded = encode_dataset(&encoder, features)?;
         Self::fit_encoded(config, encoder, &encoded, labels, num_classes)
     }
@@ -113,7 +112,7 @@ impl SearcHd {
         }
 
         let mut rng = seeded(derive_seed(config.seed, 0x73_6864)); // "shd"
-        // Initialize each class's N models from random samples of the class.
+                                                                   // Initialize each class's N models from random samples of the class.
         let n = config.models_per_class;
         let mut rows: Vec<BitVector> = Vec::with_capacity(num_classes * n);
         let mut classes: Vec<usize> = Vec::with_capacity(num_classes * n);
@@ -192,6 +191,11 @@ impl HdcClassifier for SearcHd {
     fn predict(&self, features: &[f32]) -> hdc::Result<usize> {
         let q = self.encoder.encode_binary(features)?;
         self.am.classify(&q)
+    }
+
+    fn predict_batch(&self, features: &Matrix) -> hdc::Result<Vec<usize>> {
+        let batch = self.encoder.encode_binary_batch(features)?;
+        self.am.classify_batch(&batch)
     }
 
     fn memory_report(&self) -> MemoryReport {

@@ -77,12 +77,7 @@ fn memory_orderings_match_table1() {
     )
     .unwrap();
     let searchd = SearcHd::fit(
-        &SearcHdConfig {
-            levels: 16,
-            models_per_class: 4,
-            epochs: 1,
-            ..SearcHdConfig::new(dim)
-        },
+        &SearcHdConfig { levels: 16, models_per_class: 4, epochs: 1, ..SearcHdConfig::new(dim) },
         &ds.train_features,
         &ds.train_labels,
         k,
@@ -92,10 +87,7 @@ fn memory_orderings_match_table1() {
     // ID-Level encoders cost more than projection at the same D.
     assert!(quant.memory_report().em_bits > basic.memory_report().em_bits);
     // SearcHD's multi-model AM is N× the single-centroid AM.
-    assert_eq!(
-        searchd.memory_report().am_bits,
-        4 * quant.memory_report().am_bits
-    );
+    assert_eq!(searchd.memory_report().am_bits, 4 * quant.memory_report().am_bits);
 }
 
 #[test]
@@ -104,9 +96,8 @@ fn trait_objects_are_usable() {
     // sweeps heterogeneous model collections through it.
     let ds = dataset();
     let k = ds.num_classes;
-    let boxed: Vec<Box<dyn HdcClassifier>> = vec![Box::new(
-        BasicHdc::fit(128, &ds.train_features, &ds.train_labels, k, 2).unwrap(),
-    )];
+    let boxed: Vec<Box<dyn HdcClassifier>> =
+        vec![Box::new(BasicHdc::fit(128, &ds.train_features, &ds.train_labels, k, 2).unwrap())];
     for model in &boxed {
         assert_eq!(model.dim(), 128);
         let pred = model.predict(ds.test_features.row(0)).unwrap();

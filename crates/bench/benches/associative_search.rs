@@ -5,9 +5,9 @@
 //! high-dimensional baseline) — the software echo of the paper's 80×
 //! cycle-count gap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hd_linalg::rng::seeded;
-use hd_linalg::BitVector;
+use hd_linalg::{BitVector, QueryBatch};
 use hdc::BinaryAm;
 use rand::Rng;
 
@@ -47,5 +47,42 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search);
+/// Batched vs per-query associative search at the MEMHD 128×128 shape —
+/// the throughput comparison behind the committed `BENCH_search.json`
+/// perf trajectory. The per-query loop already runs the shared popcount
+/// kernel; the batched path additionally amortizes memory-row loads over
+/// register-blocked query tiles and drops all per-query allocation.
+fn bench_search_batched(c: &mut Criterion) {
+    let (k, vectors, dim) = (10usize, 128usize, 128usize);
+    let am = random_am(k, vectors, dim, 3);
+    let mut group = c.benchmark_group("associative_search_batched");
+    for &n_queries in &[1_000usize, 10_000] {
+        let queries: Vec<BitVector> =
+            (0..n_queries).map(|i| random_query(dim, 1000 + i as u64)).collect();
+        let batch = QueryBatch::from_vectors(&queries).expect("batch");
+        group.throughput(Throughput::Elements(n_queries as u64));
+        group.bench_with_input(
+            BenchmarkId::new("single_loop", n_queries),
+            &queries,
+            |b, queries| {
+                b.iter(|| queries.iter().map(|q| am.search(q).expect("search").row).sum::<usize>())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("batched", n_queries), &batch, |b, batch| {
+            b.iter(|| {
+                am.search_batch(batch).expect("search").hits().iter().map(|h| h.row).sum::<usize>()
+            })
+        });
+        // Winners-only sweep: the classification fast path (no score
+        // matrix is materialized).
+        group.bench_with_input(
+            BenchmarkId::new("batched_classify", n_queries),
+            &batch,
+            |b, batch| b.iter(|| am.classify_batch(batch).expect("search").iter().sum::<usize>()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_search_batched);
 criterion_main!(benches);

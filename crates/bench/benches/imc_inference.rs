@@ -52,11 +52,9 @@ fn bench_mapped_inference(c: &mut Criterion) {
         ("partitioned_p10", MappingStrategy::Partitioned { partitions: 10 }),
     ] {
         let mapping = AmMapping::new(&basic_am, spec, strategy).expect("map");
-        group.bench_with_input(
-            BenchmarkId::new("basichdc_10240x10", label),
-            &mapping,
-            |b, m| b.iter(|| m.search(&basic_q).expect("search")),
-        );
+        group.bench_with_input(BenchmarkId::new("basichdc_10240x10", label), &mapping, |b, m| {
+            b.iter(|| m.search(&basic_q).expect("search"))
+        });
     }
 
     group.finish();

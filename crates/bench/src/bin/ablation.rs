@@ -18,7 +18,7 @@
 use hd_baselines::BasicHdc;
 use hd_linalg::rng::derive_seed;
 use hd_linalg::stats::Welford;
-use hdc::{encode_dataset, Encoder, RandomProjectionEncoder};
+use hdc::{Encoder, RandomProjectionEncoder};
 use imc_sim::{AmMapping, ArraySpec, FaultModel, FaultyAmMapping, MappingStrategy};
 use memhd::{MemhdConfig, MemhdModel};
 use memhd_bench::datasets::Corpus;
@@ -52,11 +52,14 @@ fn main() {
                 .expect("ratio")
                 .with_epochs(epochs)
                 .with_seed(seed);
-            let model =
-                MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+            let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
             w.push(model.evaluate(&ds.test_features, &ds.test_labels).expect("eval") * 100.0);
         }
-        t.row(&[rounds.to_string(), format!("{:.2}", w.mean()), format!("{:.2}", w.sample_std_dev())]);
+        t.row(&[
+            rounds.to_string(),
+            format!("{:.2}", w.mean()),
+            format!("{:.2}", w.sample_std_dev()),
+        ]);
     }
     println!("1) allocation rounds (R = 0.5 so half the columns go through allocation):");
     t.print();
@@ -74,8 +77,7 @@ fn main() {
                 .expect("lr")
                 .with_epochs(epochs)
                 .with_seed(seed);
-            let model =
-                MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+            let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
             w.push(model.evaluate(&ds.test_features, &ds.test_labels).expect("eval") * 100.0);
         }
         t.row(&[format!("{lr}"), format!("{:.2}", w.mean()), format!("{:.2}", w.sample_std_dev())]);
@@ -96,8 +98,7 @@ fn main() {
                 .expect("ratio")
                 .with_epochs(epochs)
                 .with_seed(seed);
-            let model =
-                MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
+            let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
             w.push(model.evaluate(&ds.test_features, &ds.test_labels).expect("eval") * 100.0);
         }
         t.row(&[format!("{r}"), format!("{:.2}", w.mean()), format!("{:.2}", w.sample_std_dev())]);
@@ -116,20 +117,16 @@ fn main() {
         let ds = corpus.generate(rc.mode, seed);
         let cfg =
             MemhdConfig::new(128, 128, k).expect("config").with_epochs(epochs).with_seed(seed);
-        let memhd =
-            MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("memhd fit");
-        let basic = BasicHdc::fit(1024, &ds.train_features, &ds.train_labels, k, seed)
-            .expect("basic fit");
+        let memhd = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("memhd fit");
+        let basic =
+            BasicHdc::fit(1024, &ds.train_features, &ds.train_labels, k, seed).expect("basic fit");
 
-        // Pre-encode the test queries once per model.
-        let memhd_queries: Vec<_> = (0..ds.test_len())
-            .map(|i| memhd.encoder().encode_binary(ds.test_features.row(i)).expect("enc"))
-            .collect();
-        let basic_enc = encode_dataset(
-            &RandomProjectionEncoder::new(ds.feature_dim(), 1024, seed),
-            &ds.test_features,
-        )
-        .expect("enc");
+        // Pre-encode the test queries once per model, packed for the
+        // batched mapped search.
+        let memhd_batch = memhd.encoder().encode_binary_batch(&ds.test_features).expect("enc");
+        let basic_batch = RandomProjectionEncoder::new(ds.feature_dim(), 1024, seed)
+            .encode_binary_batch(&ds.test_features)
+            .expect("enc");
 
         let spec = ArraySpec::default();
         let memhd_map =
@@ -142,16 +139,10 @@ fn main() {
                 .expect("faulty");
             let fb = FaultyAmMapping::program(&basic_map, FaultModel::bit_flip(ber), seed)
                 .expect("faulty");
-            let mut correct_m = 0usize;
-            let mut correct_b = 0usize;
-            for (i, &label) in ds.test_labels.iter().enumerate() {
-                if fm.search(&memhd_queries[i]).expect("search").predicted_class == label {
-                    correct_m += 1;
-                }
-                if fb.search(&basic_enc.bin[i]).expect("search").predicted_class == label {
-                    correct_b += 1;
-                }
-            }
+            let preds_m = fm.search_batch(&memhd_batch).expect("search").predicted_classes;
+            let preds_b = fb.search_batch(&basic_batch).expect("search").predicted_classes;
+            let correct_m = preds_m.iter().zip(&ds.test_labels).filter(|(p, l)| p == l).count();
+            let correct_b = preds_b.iter().zip(&ds.test_labels).filter(|(p, l)| p == l).count();
             memhd_acc[bi].push(correct_m as f64 / ds.test_len() as f64 * 100.0);
             basic_acc[bi].push(correct_b as f64 / ds.test_len() as f64 * 100.0);
         }

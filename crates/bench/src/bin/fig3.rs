@@ -61,22 +61,19 @@ fn main() {
             let ds = corpus.generate(rc.mode, seed);
             let f = ds.feature_dim();
             let mut idx = 0usize;
-            let mut push = |points: &mut Vec<Point>,
-                            model: &str,
-                            config: String,
-                            kb: f64,
-                            acc: f64| {
-                if trial == 0 {
-                    points.push(Point {
-                        model: model.into(),
-                        config,
-                        memory_kb: kb,
-                        accuracy: Welford::new(),
-                    });
-                }
-                points[idx].accuracy.push(acc);
-                idx += 1;
-            };
+            let mut push =
+                |points: &mut Vec<Point>, model: &str, config: String, kb: f64, acc: f64| {
+                    if trial == 0 {
+                        points.push(Point {
+                            model: model.into(),
+                            config,
+                            memory_kb: kb,
+                            accuracy: Welford::new(),
+                        });
+                    }
+                    points[idx].accuracy.push(acc);
+                    idx += 1;
+                };
 
             // --- MEMHD sweep ---
             let memhd_shapes: Vec<(usize, usize)> = match corpus {
@@ -90,8 +87,7 @@ fn main() {
                     .with_seed(seed);
                 let model =
                     MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
-                let acc =
-                    model.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+                let acc = model.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
                 push(
                     &mut points,
                     "MEMHD",
@@ -103,10 +99,9 @@ fn main() {
 
             // --- BasicHDC sweep (projection encoding) ---
             for &dim in &basic_dims {
-                let model = BasicHdc::fit(dim, &ds.train_features, &ds.train_labels, k, seed)
-                    .expect("fit");
-                let acc =
-                    model.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+                let model =
+                    BasicHdc::fit(dim, &ds.train_features, &ds.train_labels, k, seed).expect("fit");
+                let acc = model.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
                 push(
                     &mut points,
                     "BasicHDC",
@@ -121,12 +116,8 @@ fn main() {
                 let encoder = IdLevelEncoder::new(f, dim, LEVELS, seed);
                 let train = encode_dataset(&encoder, &ds.train_features).expect("encode");
 
-                let q_cfg = QuantHdConfig {
-                    levels: LEVELS,
-                    epochs,
-                    seed,
-                    ..QuantHdConfig::new(dim)
-                };
+                let q_cfg =
+                    QuantHdConfig { levels: LEVELS, epochs, seed, ..QuantHdConfig::new(dim) };
                 let quant =
                     QuantHd::fit_encoded(&q_cfg, encoder.clone(), &train, &ds.train_labels, k)
                         .expect("fit");
@@ -139,8 +130,7 @@ fn main() {
                     acc * 100.0,
                 );
 
-                let l_cfg =
-                    LeHdcConfig { levels: LEVELS, epochs, seed, ..LeHdcConfig::new(dim) };
+                let l_cfg = LeHdcConfig { levels: LEVELS, epochs, seed, ..LeHdcConfig::new(dim) };
                 let lehdc =
                     LeHdc::fit_encoded(&l_cfg, encoder.clone(), &train, &ds.train_labels, k)
                         .expect("fit");
@@ -160,11 +150,9 @@ fn main() {
                     seed,
                     ..SearcHdConfig::new(dim)
                 };
-                let searchd =
-                    SearcHd::fit_encoded(&s_cfg, encoder, &train, &ds.train_labels, k)
-                        .expect("fit");
-                let acc =
-                    searchd.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+                let searchd = SearcHd::fit_encoded(&s_cfg, encoder, &train, &ds.train_labels, k)
+                    .expect("fit");
+                let acc = searchd.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
                 push(
                     &mut points,
                     "SearcHD",

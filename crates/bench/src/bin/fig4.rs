@@ -22,9 +22,7 @@ fn main() {
     let rc = RunConfig::from_env();
     let (dims, cols, epochs) = match rc.mode {
         RunMode::Quick => (vec![64usize, 128, 256], vec![64usize, 128, 256], 8usize),
-        RunMode::Full => {
-            (vec![64, 128, 256, 512, 1024], vec![64, 128, 256, 512, 1024], 25)
-        }
+        RunMode::Full => (vec![64, 128, 256, 512, 1024], vec![64, 128, 256, 512, 1024], 25),
     };
 
     println!(
@@ -55,8 +53,7 @@ fn main() {
                     dim,
                     derive_seed(seed, 0x656e63),
                 );
-                let train =
-                    encode_dataset(&encoder, &ds.train_features).expect("encode train");
+                let train = encode_dataset(&encoder, &ds.train_features).expect("encode train");
                 let test = encode_dataset(&encoder, &ds.test_features).expect("encode test");
 
                 // Sweep columns in parallel over one shared encoding.
@@ -74,13 +71,9 @@ fn main() {
                                     .expect("valid shape")
                                     .with_epochs(epochs)
                                     .with_seed(seed);
-                                let model = MemhdModel::fit_encoded(
-                                    &cfg,
-                                    encoder,
-                                    train,
-                                    &ds.train_labels,
-                                )
-                                .expect("fit");
+                                let model =
+                                    MemhdModel::fit_encoded(&cfg, encoder, train, &ds.train_labels)
+                                        .expect("fit");
                                 let acc = model
                                     .evaluate_encoded(&test.bin, &ds.test_labels)
                                     .expect("eval");

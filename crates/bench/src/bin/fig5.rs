@@ -41,11 +41,8 @@ fn main() {
         for trial in 0..rc.trials {
             let seed = derive_seed(rc.seed, trial as u64);
             let ds = corpus.generate(rc.mode, seed);
-            let encoder = RandomProjectionEncoder::new(
-                ds.feature_dim(),
-                dim,
-                derive_seed(seed, 0x656e63),
-            );
+            let encoder =
+                RandomProjectionEncoder::new(ds.feature_dim(), dim, derive_seed(seed, 0x656e63));
             let train = encode_dataset(&encoder, &ds.train_features).expect("encode train");
             let test = encode_dataset(&encoder, &ds.test_features).expect("encode test");
 
@@ -68,11 +65,11 @@ fn main() {
                 let records = model.history().records();
                 // Early-stopped runs hold their last value to the horizon.
                 let mut last = 0.0;
-                for e in 0..=epochs {
+                for (e, bucket) in curves[mi].iter_mut().enumerate() {
                     if let Some(r) = records.get(e) {
                         last = r.eval_accuracy.expect("eval recorded") * 100.0;
                     }
-                    curves[mi][e].push(last);
+                    bucket.push(last);
                 }
             }
         }
@@ -83,12 +80,7 @@ fn main() {
         for e in (0..=epochs).step_by(step) {
             let c = curves[0][e].mean();
             let r = curves[1][e].mean();
-            t.row(&[
-                e.to_string(),
-                format!("{c:.2}"),
-                format!("{r:.2}"),
-                format!("{:+.2}", c - r),
-            ]);
+            t.row(&[e.to_string(), format!("{c:.2}"), format!("{r:.2}"), format!("{:+.2}", c - r)]);
         }
         t.print();
         let init_gap = curves[0][0].mean() - curves[1][0].mean();

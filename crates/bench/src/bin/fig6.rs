@@ -18,25 +18,19 @@ use memhd_bench::table::Table;
 fn main() {
     let rc = RunConfig::from_env();
     // (corpus, D, list of C) — paper: FMNIST and ISOLET at 512x512 / 512x64.
-    let (scenarios, ratios, epochs): (Vec<(Corpus, usize, Vec<usize>)>, Vec<f32>, usize) =
-        match rc.mode {
-            RunMode::Quick => (
-                vec![
-                    (Corpus::Fmnist, 256, vec![128, 64]),
-                    (Corpus::Isolet, 256, vec![128, 64]),
-                ],
-                vec![0.2, 0.4, 0.6, 0.8, 1.0],
-                8,
-            ),
-            RunMode::Full => (
-                vec![
-                    (Corpus::Fmnist, 512, vec![512, 64]),
-                    (Corpus::Isolet, 512, vec![512, 64]),
-                ],
-                (1..=10).map(|i| i as f32 / 10.0).collect(),
-                25,
-            ),
-        };
+    type Scenario = (Corpus, usize, Vec<usize>);
+    let (scenarios, ratios, epochs): (Vec<Scenario>, Vec<f32>, usize) = match rc.mode {
+        RunMode::Quick => (
+            vec![(Corpus::Fmnist, 256, vec![128, 64]), (Corpus::Isolet, 256, vec![128, 64])],
+            vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            8,
+        ),
+        RunMode::Full => (
+            vec![(Corpus::Fmnist, 512, vec![512, 64]), (Corpus::Isolet, 512, vec![512, 64])],
+            (1..=10).map(|i| i as f32 / 10.0).collect(),
+            25,
+        ),
+    };
 
     println!(
         "Fig. 6: accuracy vs initial cluster ratio R; mode {:?}, {} trial(s)\n",
@@ -56,8 +50,7 @@ fn main() {
                     dim,
                     derive_seed(seed, 0x656e63),
                 );
-                let train =
-                    encode_dataset(&encoder, &ds.train_features).expect("encode train");
+                let train = encode_dataset(&encoder, &ds.train_features).expect("encode train");
                 let test = encode_dataset(&encoder, &ds.test_features).expect("encode test");
 
                 // Sweep R in parallel over the shared encoding.
@@ -77,13 +70,9 @@ fn main() {
                                     .expect("valid ratio")
                                     .with_epochs(epochs)
                                     .with_seed(seed);
-                                let model = MemhdModel::fit_encoded(
-                                    &cfg,
-                                    encoder,
-                                    train,
-                                    &ds.train_labels,
-                                )
-                                .expect("fit");
+                                let model =
+                                    MemhdModel::fit_encoded(&cfg, encoder, train, &ds.train_labels)
+                                        .expect("fit");
                                 let acc = model
                                     .evaluate_encoded(&test.bin, &ds.test_labels)
                                     .expect("eval");

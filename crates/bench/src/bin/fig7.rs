@@ -43,7 +43,13 @@ fn main() {
     // reports for the AM structure, i.e. the quantized class vectors that
     // participate in one search cycle group.
     let configs = [
-        Config { label: "BasicHDC 10240x10", dim: 10240, vectors: 10, k: 10, strategy: MappingStrategy::Basic },
+        Config {
+            label: "BasicHDC 10240x10",
+            dim: 10240,
+            vectors: 10,
+            k: 10,
+            strategy: MappingStrategy::Basic,
+        },
         Config {
             label: "BasicHDC 1024x100 (P=10)",
             dim: 10240,
@@ -51,7 +57,13 @@ fn main() {
             k: 10,
             strategy: MappingStrategy::Partitioned { partitions: 10 },
         },
-        Config { label: "SearcHD 8000x10", dim: 8000, vectors: 10, k: 10, strategy: MappingStrategy::Basic },
+        Config {
+            label: "SearcHD 8000x10",
+            dim: 8000,
+            vectors: 10,
+            k: 10,
+            strategy: MappingStrategy::Basic,
+        },
         Config {
             label: "SearcHD 800x100 (P=10)",
             dim: 8000,
@@ -59,7 +71,13 @@ fn main() {
             k: 10,
             strategy: MappingStrategy::Partitioned { partitions: 10 },
         },
-        Config { label: "QuantHD 1600x10", dim: 1600, vectors: 10, k: 10, strategy: MappingStrategy::Basic },
+        Config {
+            label: "QuantHD 1600x10",
+            dim: 1600,
+            vectors: 10,
+            k: 10,
+            strategy: MappingStrategy::Basic,
+        },
         Config {
             label: "QuantHD 160x100 (P=10)",
             dim: 1600,
@@ -67,7 +85,13 @@ fn main() {
             k: 10,
             strategy: MappingStrategy::Partitioned { partitions: 10 },
         },
-        Config { label: "LeHDC 400x10", dim: 400, vectors: 10, k: 10, strategy: MappingStrategy::Basic },
+        Config {
+            label: "LeHDC 400x10",
+            dim: 400,
+            vectors: 10,
+            k: 10,
+            strategy: MappingStrategy::Basic,
+        },
         Config {
             label: "LeHDC 100x40 (P=4)",
             dim: 400,
@@ -75,10 +99,18 @@ fn main() {
             k: 10,
             strategy: MappingStrategy::Partitioned { partitions: 4 },
         },
-        Config { label: "MEMHD 128x128", dim: 128, vectors: 128, k: 10, strategy: MappingStrategy::Basic },
+        Config {
+            label: "MEMHD 128x128",
+            dim: 128,
+            vectors: 128,
+            k: 10,
+            strategy: MappingStrategy::Basic,
+        },
     ];
 
-    println!("Fig. 7: normalized AM energy and cycles vs array usage (FMNIST-equivalent accuracy)\n");
+    println!(
+        "Fig. 7: normalized AM energy and cycles vs array usage (FMNIST-equivalent accuracy)\n"
+    );
     let mut rows = Vec::new();
     for c in &configs {
         let am = random_am(c.k, c.vectors, c.dim, 7);

@@ -19,7 +19,14 @@ fn main() {
     for (dataset, f, k) in [("MNIST/FMNIST", 784usize, 10usize), ("ISOLET", 617, 26)] {
         println!("== {dataset} (f = {f}, k = {k}) ==");
         let mut t = Table::new(&[
-            "model", "encoding", "D", "EM formula", "AM formula", "EM KB", "AM KB", "total KB",
+            "model",
+            "encoding",
+            "D",
+            "EM formula",
+            "AM formula",
+            "EM KB",
+            "AM KB",
+            "total KB",
         ]);
         let entries: Vec<(BaselineKind, usize, &str, String, String)> = vec![
             (
@@ -32,13 +39,7 @@ fn main() {
             (BaselineKind::QuantHd, 10240, "ID-Level", "(f+L)*D".into(), "k*D".into()),
             (BaselineKind::LeHdc, 10240, "ID-Level", "(f+L)*D".into(), "k*D".into()),
             (BaselineKind::BasicHdc, 10240, "Projection", "f*D".into(), "k*D".into()),
-            (
-                BaselineKind::Memhd { columns: 128 },
-                128,
-                "Projection",
-                "f*D".into(),
-                "C*D".into(),
-            ),
+            (BaselineKind::Memhd { columns: 128 }, 128, "Projection", "f*D".into(), "C*D".into()),
         ];
         for (kind, dim, encoding, em_formula, am_formula) in entries {
             let r = baseline_memory(kind, f, LEVELS, dim, k);

@@ -43,17 +43,18 @@ fn report(features: usize, k: usize, spec: ArraySpec, row: &RowSpec) -> SystemRe
     system_report(features, &mapping)
 }
 
-fn print_dataset(
-    title: &str,
-    features: usize,
-    k: usize,
-    rows: &[RowSpec],
-    spec: ArraySpec,
-) {
+fn print_dataset(title: &str, features: usize, k: usize, rows: &[RowSpec], spec: ArraySpec) {
     println!("== {title} (f = {features}, k = {k}, arrays {spec}) ==");
     let mut t = Table::new(&[
-        "mapping", "AM structure", "EM cyc", "AM cyc", "total cyc", "EM arr", "AM arr",
-        "total arr", "AM util",
+        "mapping",
+        "AM structure",
+        "EM cyc",
+        "AM cyc",
+        "total cyc",
+        "EM arr",
+        "AM arr",
+        "total arr",
+        "AM util",
     ]);
     let mut reports = Vec::new();
     for row in rows {
@@ -88,8 +89,7 @@ fn print_dataset(
          utilization {:.2}% -> {:.2}%\n",
         basic.total_cycles() as f64 / memhd.total_cycles() as f64,
         basic.total_arrays() as f64 / memhd.total_arrays() as f64,
-        best_partition_arrays.unwrap_or(basic.total_arrays()) as f64
-            / memhd.total_arrays() as f64,
+        best_partition_arrays.unwrap_or(basic.total_arrays()) as f64 / memhd.total_arrays() as f64,
         basic.am_utilization * 100.0,
         memhd.am_utilization * 100.0,
     );
@@ -117,7 +117,12 @@ fn main() {
                 strategy: MappingStrategy::Partitioned { partitions: 10 },
                 memhd: false,
             },
-            RowSpec { label: "MEMHD 128x128", dim: 128, strategy: MappingStrategy::Basic, memhd: true },
+            RowSpec {
+                label: "MEMHD 128x128",
+                dim: 128,
+                strategy: MappingStrategy::Basic,
+                memhd: true,
+            },
         ],
         spec,
     );
@@ -140,7 +145,12 @@ fn main() {
                 strategy: MappingStrategy::Partitioned { partitions: 4 },
                 memhd: false,
             },
-            RowSpec { label: "MEMHD 512x128", dim: 512, strategy: MappingStrategy::Basic, memhd: true },
+            RowSpec {
+                label: "MEMHD 512x128",
+                dim: 512,
+                strategy: MappingStrategy::Basic,
+                memhd: true,
+            },
         ],
         spec,
     );

@@ -47,8 +47,7 @@ impl RunConfig {
                 }
                 "--trials" => {
                     let v = it.next().ok_or("--trials needs a value")?;
-                    cfg.trials =
-                        v.parse().map_err(|e| format!("invalid --trials {v}: {e}"))?;
+                    cfg.trials = v.parse().map_err(|e| format!("invalid --trials {v}: {e}"))?;
                     if cfg.trials == 0 {
                         return Err("--trials must be positive".into());
                     }

@@ -247,10 +247,10 @@ fn seed_centroids(data: &Matrix, k: usize, init: KmeansInit, rng: &mut StdRng) -
                     pick
                 };
                 chosen.push(next);
-                for i in 0..n {
+                for (i, slot) in dist2.iter_mut().enumerate() {
                     let d = squared_euclidean(data.row(i), data.row(next));
-                    if d < dist2[i] {
-                        dist2[i] = d;
+                    if d < *slot {
+                        *slot = d;
                     }
                 }
             }
@@ -298,7 +298,7 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> Result<KmeansResult, Clus
         iterations = iter + 1;
         // Assignment step.
         let mut changed = false;
-        for i in 0..n {
+        for (i, assignment) in assignments.iter_mut().enumerate() {
             let point = data.row(i);
             let mut best = 0usize;
             let mut best_score = config.distance.score(point, centroids.row(0));
@@ -309,8 +309,8 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> Result<KmeansResult, Clus
                     best = c;
                 }
             }
-            if assignments[i] != best {
-                assignments[i] = best;
+            if *assignment != best {
+                *assignment = best;
                 changed = true;
             }
         }
@@ -322,19 +322,18 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> Result<KmeansResult, Clus
         // Update step: centroid = mean of members.
         let mut sums = Matrix::zeros(config.k, d);
         let mut counts = vec![0usize; config.k];
-        for i in 0..n {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             hd_linalg::axpy(1.0, data.row(i), sums.row_mut(c));
             counts[c] += 1;
         }
-        for c in 0..config.k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Empty-cluster repair: steal the point farthest from its
                 // centroid.
                 let mut worst = 0usize;
                 let mut worst_d = -1.0f64;
-                for i in 0..n {
-                    let dd = squared_euclidean(data.row(i), centroids.row(assignments[i]));
+                for (i, &a) in assignments.iter().enumerate() {
+                    let dd = squared_euclidean(data.row(i), centroids.row(a));
                     if dd > worst_d {
                         worst_d = dd;
                         worst = i;

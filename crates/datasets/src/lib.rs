@@ -184,9 +184,7 @@ impl Dataset {
         use hd_linalg::rng::{derive_seed, seeded};
         use rand::Rng;
         if per_class == 0 {
-            return Err(DatasetError::InvalidSpec {
-                reason: "per_class must be positive".into(),
-            });
+            return Err(DatasetError::InvalidSpec { reason: "per_class must be positive".into() });
         }
         let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
         for (i, &l) in self.train_labels.iter().enumerate() {
@@ -278,9 +276,8 @@ mod tests {
     fn dataset_validation() {
         let train = Matrix::zeros(4, 3);
         let test = Matrix::zeros(2, 3);
-        let ds =
-            Dataset::new("t", train.clone(), vec![0, 1, 0, 1], test.clone(), vec![0, 1], 2)
-                .unwrap();
+        let ds = Dataset::new("t", train.clone(), vec![0, 1, 0, 1], test.clone(), vec![0, 1], 2)
+            .unwrap();
         assert_eq!(ds.feature_dim(), 3);
         assert_eq!(ds.train_len(), 4);
         assert_eq!(ds.test_len(), 2);
@@ -289,10 +286,8 @@ mod tests {
         // label count mismatch
         assert!(Dataset::new("t", train.clone(), vec![0], test.clone(), vec![0, 1], 2).is_err());
         // out-of-range label
-        assert!(
-            Dataset::new("t", train.clone(), vec![0, 1, 0, 5], test.clone(), vec![0, 1], 2)
-                .is_err()
-        );
+        assert!(Dataset::new("t", train.clone(), vec![0, 1, 0, 5], test.clone(), vec![0, 1], 2)
+            .is_err());
         // width mismatch
         let bad_test = Matrix::zeros(2, 4);
         assert!(Dataset::new("t", train, vec![0, 1, 0, 1], bad_test, vec![0, 1], 2).is_err());

@@ -8,10 +8,28 @@
 //! All loaders normalize features into `[0, 1]`.
 
 use crate::{Dataset, DatasetError};
-use bytes::Buf;
 use hd_linalg::Matrix;
 use std::io::Read;
 use std::path::Path;
+
+/// Minimal big-endian cursor over a byte slice (the `bytes` crate is not
+/// available offline; IDX headers only need `get_u32`/`remaining`).
+trait Buf {
+    fn get_u32(&mut self) -> u32;
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for &[u8] {
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
 
 const IDX_IMAGES_MAGIC: u32 = 0x0000_0803;
 const IDX_LABELS_MAGIC: u32 = 0x0000_0801;
@@ -36,7 +54,14 @@ pub fn parse_idx_images(mut raw: &[u8]) -> Result<Matrix, DatasetError> {
     let n = raw.get_u32() as usize;
     let rows = raw.get_u32() as usize;
     let cols = raw.get_u32() as usize;
-    let pixels = n * rows * cols;
+    // Checked arithmetic: the header is untrusted, and a crafted file must
+    // produce Malformed, not an overflow panic (or a wrapped size that
+    // dodges the length check in release builds).
+    let pixels = rows.checked_mul(cols).and_then(|px| px.checked_mul(n)).ok_or_else(|| {
+        DatasetError::Malformed {
+            reason: format!("IDX image dimensions {n}x{rows}x{cols} overflow"),
+        }
+    })?;
     if raw.remaining() < pixels {
         return Err(DatasetError::Malformed {
             reason: format!("expected {pixels} pixels, found {}", raw.remaining()),
@@ -126,10 +151,7 @@ pub fn load_mnist_format(
 /// # Errors
 ///
 /// Returns [`DatasetError::Malformed`] for unparsable or ragged rows.
-pub fn parse_csv(
-    text: &str,
-    one_based_labels: bool,
-) -> Result<(Matrix, Vec<usize>), DatasetError> {
+pub fn parse_csv(text: &str, one_based_labels: bool) -> Result<(Matrix, Vec<usize>), DatasetError> {
     let mut rows: Vec<Vec<f32>> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -145,9 +167,8 @@ pub fn parse_csv(
         }
         let (feat_fields, label_field) = fields.split_at(fields.len() - 1);
         let feats: Result<Vec<f32>, _> = feat_fields.iter().map(|s| s.parse::<f32>()).collect();
-        let feats = feats.map_err(|e| DatasetError::Malformed {
-            reason: format!("line {}: {e}", lineno + 1),
-        })?;
+        let feats = feats
+            .map_err(|e| DatasetError::Malformed { reason: format!("line {}: {e}", lineno + 1) })?;
         let label: f32 = label_field[0].parse().map_err(|e| DatasetError::Malformed {
             reason: format!("line {}: label: {e}", lineno + 1),
         })?;
@@ -196,8 +217,8 @@ pub fn parse_csv(
         }
     }
 
-    let m = Matrix::from_rows(&rows)
-        .map_err(|e| DatasetError::Malformed { reason: e.to_string() })?;
+    let m =
+        Matrix::from_rows(&rows).map_err(|e| DatasetError::Malformed { reason: e.to_string() })?;
     Ok((m, labels))
 }
 
@@ -229,6 +250,18 @@ mod tests {
             v.push((i % 256) as u8);
         }
         v
+    }
+
+    #[test]
+    fn idx_images_overflowing_header_rejected() {
+        // Header whose n*rows*cols overflows usize must yield Malformed,
+        // not a panic or a wrapped size that passes the length check.
+        let mut v = Vec::new();
+        v.extend_from_slice(&IDX_IMAGES_MAGIC.to_be_bytes());
+        v.extend_from_slice(&u32::MAX.to_be_bytes());
+        v.extend_from_slice(&u32::MAX.to_be_bytes());
+        v.extend_from_slice(&16u32.to_be_bytes());
+        assert!(matches!(parse_idx_images(&v), Err(DatasetError::Malformed { .. })));
     }
 
     #[test]

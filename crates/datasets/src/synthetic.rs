@@ -48,11 +48,7 @@ impl SyntheticSpec {
     ///
     /// Defaults: 4 modes/class, 100 train and 20 test samples per class,
     /// anchor spread 0.35, mode spread 0.18, noise 0.08.
-    pub fn builder(
-        name: impl Into<String>,
-        feature_dim: usize,
-        num_classes: usize,
-    ) -> Self {
+    pub fn builder(name: impl Into<String>, feature_dim: usize, num_classes: usize) -> Self {
         SyntheticSpec {
             name: name.into(),
             feature_dim,
@@ -72,11 +68,7 @@ impl SyntheticSpec {
     /// `train_per_class`/`test_per_class` control the sample budget; the
     /// paper-scale values are 6000/1000.
     pub fn mnist_like(train_per_class: usize, test_per_class: usize) -> Self {
-        SyntheticSpec {
-            train_per_class,
-            test_per_class,
-            ..Self::builder("mnist-like", 784, 10)
-        }
+        SyntheticSpec { train_per_class, test_per_class, ..Self::builder("mnist-like", 784, 10) }
     }
 
     /// Fashion-MNIST-shaped preset: same shape as MNIST but with class
@@ -193,16 +185,14 @@ impl SyntheticSpec {
             let n = per_class * self.num_classes;
             let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
             let mut labels = Vec::with_capacity(n);
-            for class in 0..self.num_classes {
+            for (class, class_centers) in mode_centers.iter().enumerate() {
                 for s in 0..per_class {
                     // Cycle modes so every mode gets samples even for tiny
                     // budgets, then add Gaussian noise and clamp to [0,1].
                     let mode = s % self.modes_per_class;
-                    let center = &mode_centers[class][mode];
-                    let row: Vec<f32> = center
-                        .iter()
-                        .map(|&c| (c + noise.sample(rng)).clamp(0.0, 1.0))
-                        .collect();
+                    let center = &class_centers[mode];
+                    let row: Vec<f32> =
+                        center.iter().map(|&c| (c + noise.sample(rng)).clamp(0.0, 1.0)).collect();
                     rows.push(row);
                     labels.push(class);
                 }
@@ -299,10 +289,8 @@ mod tests {
             let row = ds.test_features.row(i);
             let pred = (0..ds.num_classes)
                 .min_by(|&a, &b| {
-                    let da: f32 =
-                        row.iter().zip(&means[a]).map(|(x, y)| (x - y) * (x - y)).sum();
-                    let db: f32 =
-                        row.iter().zip(&means[b]).map(|(x, y)| (x - y) * (x - y)).sum();
+                    let da: f32 = row.iter().zip(&means[a]).map(|(x, y)| (x - y) * (x - y)).sum();
+                    let db: f32 = row.iter().zip(&means[b]).map(|(x, y)| (x - y) * (x - y)).sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

@@ -9,7 +9,7 @@
 //! special case of one centroid per class.
 
 use crate::error::{HdcError, Result};
-use hd_linalg::{BitMatrix, BitVector, Matrix};
+use hd_linalg::{BitMatrix, BitVector, Matrix, QueryBatch, ScoreMatrix};
 
 /// Identifies one centroid: the class it belongs to plus a per-class
 /// sub-label (paper notation: class index `j`, sub-label `i` in Eq. 4).
@@ -48,10 +48,7 @@ impl FloatAm {
     /// Returns [`HdcError::InvalidTrainingSet`] if `centroids` is empty or
     /// vectors have inconsistent dimensionality, and
     /// [`HdcError::UnknownClass`] if a class label is `>= num_classes`.
-    pub fn from_centroids(
-        num_classes: usize,
-        centroids: Vec<(usize, Vec<f32>)>,
-    ) -> Result<Self> {
+    pub fn from_centroids(num_classes: usize, centroids: Vec<(usize, Vec<f32>)>) -> Result<Self> {
         if centroids.is_empty() {
             return Err(HdcError::InvalidTrainingSet { reason: "no centroids supplied".into() });
         }
@@ -68,11 +65,7 @@ impl FloatAm {
             classes.push(*class);
             flat.extend_from_slice(v);
         }
-        Ok(FloatAm {
-            vectors: Matrix::from_vec(centroids.len(), dim, flat)?,
-            classes,
-            num_classes,
-        })
+        Ok(FloatAm { vectors: Matrix::from_vec(centroids.len(), dim, flat)?, classes, num_classes })
     }
 
     /// Creates a zeroed AM with exactly one centroid per class — the
@@ -127,11 +120,7 @@ impl FloatAm {
 
     /// Row indices of all centroids belonging to `class`.
     pub fn rows_of_class(&self, class: usize) -> Vec<usize> {
-        self.classes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &c)| (c == class).then_some(i))
-            .collect()
+        self.classes.iter().enumerate().filter_map(|(i, &c)| (c == class).then_some(i)).collect()
     }
 
     /// Borrows centroid row `row`.
@@ -248,6 +237,22 @@ impl FloatAm {
         Ok(self.vectors.matvec(query)?)
     }
 
+    /// Dot-similarity scores of every row of `queries` against every
+    /// centroid: returns a `Q × C` matrix (row `q` = scores of query `q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `queries.cols() != dim()`.
+    pub fn scores_batch(&self, queries: &Matrix) -> Result<Matrix> {
+        if queries.cols() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                found: queries.cols(),
+            });
+        }
+        Ok(queries.matmul(&self.vectors.transpose())?)
+    }
+
     /// Borrows the underlying centroid matrix (rows = centroids).
     pub fn as_matrix(&self) -> &Matrix {
         &self.vectors
@@ -268,6 +273,61 @@ pub struct SearchHit {
     pub class: usize,
     /// Dot-similarity score of the winning row.
     pub score: u32,
+}
+
+/// Results of a batched associative search against a [`BinaryAm`]: one
+/// [`SearchHit`] per query, plus the full score matrix for callers that
+/// need runner-up scores (e.g. the within-class argmax of MEMHD's
+/// quantization-aware training, paper Eq. 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResults {
+    hits: Vec<SearchHit>,
+    scores: ScoreMatrix,
+}
+
+impl SearchResults {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// The winning hit of query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn hit(&self, q: usize) -> &SearchHit {
+        &self.hits[q]
+    }
+
+    /// All hits, parallel to the batch's queries.
+    pub fn hits(&self) -> &[SearchHit] {
+        &self.hits
+    }
+
+    /// Predicted classes, one per query.
+    pub fn classes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.hits.iter().map(|h| h.class)
+    }
+
+    /// Scores of query `q` against every centroid row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn scores(&self, q: usize) -> &[u32] {
+        self.scores.scores(q)
+    }
+
+    /// The full `Q × C` score matrix.
+    pub fn score_matrix(&self) -> &ScoreMatrix {
+        &self.scores
+    }
 }
 
 /// 1-bit quantized associative memory — what actually maps onto the IMC
@@ -291,10 +351,7 @@ impl BinaryAm {
     /// Returns [`HdcError::InvalidTrainingSet`] if empty,
     /// [`HdcError::DimensionMismatch`] on ragged vectors, and
     /// [`HdcError::UnknownClass`] for out-of-range labels.
-    pub fn from_centroids(
-        num_classes: usize,
-        centroids: Vec<(usize, BitVector)>,
-    ) -> Result<Self> {
+    pub fn from_centroids(num_classes: usize, centroids: Vec<(usize, BitVector)>) -> Result<Self> {
         if centroids.is_empty() {
             return Err(HdcError::InvalidTrainingSet { reason: "no centroids supplied".into() });
         }
@@ -340,11 +397,7 @@ impl BinaryAm {
 
     /// Row indices of all centroids belonging to `class`.
     pub fn rows_of_class(&self, class: usize) -> Vec<usize> {
-        self.classes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &c)| (c == class).then_some(i))
-            .collect()
+        self.classes.iter().enumerate().filter_map(|(i, &c)| (c == class).then_some(i)).collect()
     }
 
     /// Dot-similarity scores of a binary query against every centroid —
@@ -363,20 +416,18 @@ impl BinaryAm {
     /// Full associative search: returns the best row, its class, and score
     /// (`pred = argmax_{i,j} δ_dot(C^b_ij, H^b)`, §III-D).
     ///
-    /// Ties break toward the lower row index.
+    /// Ties break toward the lower row index. This is the single-query
+    /// slice of [`BinaryAm::search_batch`] — both run the same popcount
+    /// kernel and winner selection; prefer the batched entry point when
+    /// classifying many queries.
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if `query.len() != dim()`.
     pub fn search(&self, query: &BitVector) -> Result<SearchHit> {
         let scores = self.scores(query)?;
-        let mut best = 0usize;
-        for (i, &s) in scores.iter().enumerate() {
-            if s > scores[best] {
-                best = i;
-            }
-        }
-        Ok(SearchHit { row: best, class: self.classes[best], score: scores[best] })
+        let (row, score) = hd_linalg::argmax_u32(&scores);
+        Ok(SearchHit { row, class: self.classes[row], score })
     }
 
     /// Predicted class for a query (convenience over [`BinaryAm::search`]).
@@ -386,6 +437,59 @@ impl BinaryAm {
     /// Returns [`HdcError::DimensionMismatch`] if `query.len() != dim()`.
     pub fn classify(&self, query: &BitVector) -> Result<usize> {
         Ok(self.search(query)?.class)
+    }
+
+    /// Dot-similarity scores of every query in `batch` against every
+    /// centroid — `Q` in-memory MVMs answered in one tiled sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `batch.dim() != dim()`.
+    pub fn scores_batch(&self, batch: &QueryBatch) -> Result<ScoreMatrix> {
+        if batch.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), found: batch.dim() });
+        }
+        Ok(self.vectors.dot_batch(batch)?)
+    }
+
+    /// Batched associative search — the preferred inference entry point.
+    ///
+    /// Equivalent to calling [`BinaryAm::search`] once per query (same
+    /// kernel, same low-row tie-break) but tiled so each stored centroid
+    /// word is loaded once per query tile, with no per-query allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `batch.dim() != dim()`.
+    pub fn search_batch(&self, batch: &QueryBatch) -> Result<SearchResults> {
+        let raw = self.vectors.search_batch(batch).map_err(|_| HdcError::DimensionMismatch {
+            expected: self.dim(),
+            found: batch.dim(),
+        })?;
+        let hits = (0..raw.len())
+            .map(|q| {
+                let (row, score) = raw.winner(q);
+                SearchHit { row, class: self.classes[row], score }
+            })
+            .collect();
+        let scores = raw.into_score_matrix();
+        Ok(SearchResults { hits, scores })
+    }
+
+    /// Predicted class per query of `batch`.
+    ///
+    /// Uses the winners-only blocked sweep (scores are reduced while
+    /// cache-hot, never materialized), which is the fastest path when
+    /// only predictions are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `batch.dim() != dim()`.
+    pub fn classify_batch(&self, batch: &QueryBatch) -> Result<Vec<usize>> {
+        let winners = self.vectors.winners_batch(batch).map_err(|_| {
+            HdcError::DimensionMismatch { expected: self.dim(), found: batch.dim() }
+        })?;
+        Ok(winners.into_iter().map(|(row, _)| self.classes[row]).collect())
     }
 
     /// Borrows centroid row `row`.
@@ -445,9 +549,7 @@ mod tests {
     fn float_am_rejects_bad_input() {
         assert!(FloatAm::from_centroids(2, vec![]).is_err());
         assert!(FloatAm::from_centroids(1, vec![(1, vec![0.0])]).is_err());
-        assert!(
-            FloatAm::from_centroids(2, vec![(0, vec![0.0, 1.0]), (1, vec![0.0])]).is_err()
-        );
+        assert!(FloatAm::from_centroids(2, vec![(0, vec![0.0, 1.0]), (1, vec![0.0])]).is_err());
     }
 
     #[test]
@@ -536,8 +638,7 @@ mod tests {
 
     #[test]
     fn binary_am_dimension_checked() {
-        let am =
-            BinaryAm::from_centroids(1, vec![(0, BitVector::zeros(8))]).unwrap();
+        let am = BinaryAm::from_centroids(1, vec![(0, BitVector::zeros(8))]).unwrap();
         assert!(am.scores(&BitVector::zeros(9)).is_err());
     }
 

@@ -13,7 +13,7 @@
 
 use crate::error::{HdcError, Result};
 use hd_linalg::rng::{derive_seed, seeded};
-use hd_linalg::{BitMatrix, BitVector, Matrix};
+use hd_linalg::{BitMatrix, BitVector, Matrix, QueryBatch};
 use rand::Rng;
 
 /// A hypervector encoding module (EM).
@@ -53,6 +53,59 @@ pub trait Encoder: Send + Sync {
     /// `features.len() != input_width()`.
     fn encode_binary(&self, features: &[f32]) -> Result<BitVector> {
         Ok(BitVector::from_mean_threshold(&self.encode(features)?))
+    }
+
+    /// Encodes every row of `features` into binary hypervectors, packed as
+    /// a [`QueryBatch`] ready for a batched associative search — the
+    /// preferred inference-path entry point.
+    ///
+    /// The default implementation encodes rows in parallel across the
+    /// machine's cores (same strategy as [`encode_dataset`] — encoding is
+    /// the dominant cost of batched inference) and packs once at the end;
+    /// implementations with a cheaper bulk path may override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureWidthMismatch`] if
+    /// `features.cols() != input_width()` and
+    /// [`HdcError::InvalidTrainingSet`] if `features` has no rows.
+    fn encode_binary_batch(&self, features: &Matrix) -> Result<QueryBatch> {
+        let n = features.rows();
+        if n == 0 {
+            return Err(HdcError::InvalidTrainingSet { reason: "no rows to encode".into() });
+        }
+        if features.cols() != self.input_width() {
+            return Err(HdcError::FeatureWidthMismatch {
+                expected: self.input_width(),
+                found: features.cols(),
+            });
+        }
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+        let chunk = n.div_ceil(threads);
+        let rows: Vec<&[f32]> = features.iter_rows().collect();
+        let mut results: Vec<Result<Vec<BitVector>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice.iter().map(|r| self.encode_binary(r)).collect::<Result<Vec<_>>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("encoder thread panicked"));
+            }
+        });
+        let mut packed = BitMatrix::zeros(n, self.dim());
+        let mut r = 0usize;
+        for chunk_result in results {
+            for hb in chunk_result? {
+                packed.set_row(r, &hb)?;
+                r += 1;
+            }
+        }
+        Ok(QueryBatch::from_matrix(packed))
     }
 
     /// Memory the encoding module occupies, in bits (Table I).
@@ -254,11 +307,11 @@ impl Encoder for IdLevelEncoder {
                 let bound = !(idw ^ lvw);
                 let base = w * 64;
                 let end = (base + 64).min(self.dim);
-                for j in base..end {
-                    if (bound >> (j - base)) & 1 == 1 {
-                        acc[j] += 1.0;
+                for (offset, slot) in acc[base..end].iter_mut().enumerate() {
+                    if (bound >> offset) & 1 == 1 {
+                        *slot += 1.0;
                     } else {
-                        acc[j] -= 1.0;
+                        *slot -= 1.0;
                     }
                 }
             }
@@ -305,6 +358,18 @@ impl EncodedDataset {
     pub fn dim(&self) -> usize {
         self.fp.cols()
     }
+
+    /// Packs the binarized hypervectors into a [`QueryBatch`] for batched
+    /// associative search. Pack once per sweep (e.g. before a training
+    /// epoch loop), then reuse the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidTrainingSet`] if the set is empty.
+    pub fn to_query_batch(&self) -> Result<QueryBatch> {
+        QueryBatch::from_vectors(&self.bin)
+            .map_err(|e| HdcError::InvalidTrainingSet { reason: e.to_string() })
+    }
 }
 
 /// Encodes every row of `features` with `encoder`, in parallel across the
@@ -333,8 +398,9 @@ pub fn encode_dataset<E: Encoder + ?Sized>(
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
     let chunk = n.div_ceil(threads);
 
+    type EncodedPair = (Vec<f32>, BitVector);
     let rows: Vec<&[f32]> = features.iter_rows().collect();
-    let mut results: Vec<Result<Vec<(Vec<f32>, BitVector)>>> = Vec::new();
+    let mut results: Vec<Result<Vec<EncodedPair>>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = rows
             .chunks(chunk)
@@ -488,10 +554,7 @@ mod tests {
     fn encode_dataset_width_mismatch_rejected() {
         let enc = RandomProjectionEncoder::new(6, 32, 9);
         let m = Matrix::zeros(3, 5);
-        assert!(matches!(
-            encode_dataset(&enc, &m),
-            Err(HdcError::FeatureWidthMismatch { .. })
-        ));
+        assert!(matches!(encode_dataset(&enc, &m), Err(HdcError::FeatureWidthMismatch { .. })));
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! and iterative learning, §II-C) live in [`train`]; the multi-centroid
 //! machinery that is the paper's contribution lives in the `memhd` crate.
 //!
+//! **Batched inference is the preferred entry point**: encode whole
+//! feature matrices with [`Encoder::encode_binary_batch`] and answer them
+//! with [`BinaryAm::search_batch`] / [`BinaryAm::classify_batch`] — one
+//! tiled popcount sweep per batch, identical results to the per-query
+//! methods.
+//!
 //! # Example
 //!
 //! ```
@@ -41,7 +47,7 @@ pub mod similarity;
 mod text;
 pub mod train;
 
-pub use am::{BinaryAm, CentroidId, FloatAm};
+pub use am::{BinaryAm, CentroidId, FloatAm, SearchHit, SearchResults};
 pub use encoder::{
     encode_dataset, EncodedDataset, Encoder, IdLevelEncoder, RandomProjectionEncoder,
 };

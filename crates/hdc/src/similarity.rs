@@ -40,11 +40,7 @@ impl Similarity {
             }
             Similarity::Hamming => {
                 // Real-valued "Hamming": count of sign disagreements, negated.
-                let d = a
-                    .iter()
-                    .zip(b)
-                    .filter(|(x, y)| (**x > 0.0) != (**y > 0.0))
-                    .count();
+                let d = a.iter().zip(b).filter(|(x, y)| (**x > 0.0) != (**y > 0.0)).count();
                 -(d as f32)
             }
         }

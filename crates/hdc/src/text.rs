@@ -99,11 +99,7 @@ impl TextNgramEncoder {
     /// Returns [`HdcError::InvalidTrainingSet`] if the text has fewer than
     /// `n` symbols.
     pub fn encode(&self, text: &str) -> Result<Vec<f32>> {
-        let symbols: Vec<usize> = text
-            .to_lowercase()
-            .chars()
-            .map(Self::symbol_index)
-            .collect();
+        let symbols: Vec<usize> = text.to_lowercase().chars().map(Self::symbol_index).collect();
         if symbols.len() < self.n {
             return Err(HdcError::InvalidTrainingSet {
                 reason: format!(

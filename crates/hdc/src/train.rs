@@ -140,14 +140,18 @@ pub fn quantization_aware(
     epochs: usize,
 ) -> Result<(BinaryAm, Vec<QatEpoch>)> {
     check_labels(encoded, labels, fp_am.num_classes())?;
+    // The binary AM is constant within an epoch (it is re-quantized only
+    // at the epoch boundary), so the whole epoch's associative searches
+    // batch into one tiled sweep; updates then replay in sample order.
+    let batch = encoded.to_query_batch()?;
     let mut binary = fp_am.quantize();
     let mut history = Vec::with_capacity(epochs);
     for epoch in 0..epochs {
+        let results = binary.search_batch(&batch)?;
         let mut updates = 0;
         let mut correct = 0usize;
         for (i, &label) in labels.iter().enumerate() {
-            let hb = &encoded.bin[i];
-            let hit = binary.search(hb)?;
+            let hit = results.hit(i);
             if hit.class == label {
                 correct += 1;
             } else {
@@ -172,15 +176,31 @@ pub fn quantization_aware(
 
 /// Classifies every query with `am` and returns the predictions.
 ///
+/// Packs the queries once and runs the batched search kernel; identical
+/// to calling [`BinaryAm::classify`] per query.
+///
 /// # Errors
 ///
 /// Returns [`HdcError::DimensionMismatch`] if a query width disagrees with
 /// the AM.
-pub fn predict_all(
-    am: &BinaryAm,
-    queries: &[hd_linalg::BitVector],
-) -> Result<Vec<usize>> {
-    queries.iter().map(|q| am.classify(q)).collect()
+pub fn predict_all(am: &BinaryAm, queries: &[hd_linalg::BitVector]) -> Result<Vec<usize>> {
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let batch = hd_linalg::QueryBatch::from_vectors(queries)
+        .map_err(|e| HdcError::InvalidTrainingSet { reason: e.to_string() })?;
+    am.classify_batch(&batch)
+}
+
+/// Classifies every query of an already-packed batch (avoids re-packing
+/// when the same query set is evaluated repeatedly, e.g. per epoch).
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if the batch width disagrees
+/// with the AM.
+pub fn predict_batch(am: &BinaryAm, batch: &hd_linalg::QueryBatch) -> Result<Vec<usize>> {
+    am.classify_batch(batch)
 }
 
 /// Test-set accuracy of a binary AM.
@@ -189,17 +209,33 @@ pub fn predict_all(
 ///
 /// Returns [`HdcError::InvalidTrainingSet`] if `queries` and `labels`
 /// disagree in length or are empty, or a dimension error from the search.
-pub fn evaluate(
-    am: &BinaryAm,
-    queries: &[hd_linalg::BitVector],
-    labels: &[usize],
-) -> Result<f64> {
+pub fn evaluate(am: &BinaryAm, queries: &[hd_linalg::BitVector], labels: &[usize]) -> Result<f64> {
     if queries.is_empty() || queries.len() != labels.len() {
         return Err(HdcError::InvalidTrainingSet {
             reason: format!("{} queries vs {} labels", queries.len(), labels.len()),
         });
     }
     let preds = predict_all(am, queries)?;
+    Ok(hd_linalg::stats::accuracy(&preds, labels))
+}
+
+/// Test-set accuracy over an already-packed query batch.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidTrainingSet`] if `batch` and `labels`
+/// disagree in length or are empty, or a dimension error from the search.
+pub fn evaluate_batch(
+    am: &BinaryAm,
+    batch: &hd_linalg::QueryBatch,
+    labels: &[usize],
+) -> Result<f64> {
+    if batch.is_empty() || batch.len() != labels.len() {
+        return Err(HdcError::InvalidTrainingSet {
+            reason: format!("{} queries vs {} labels", batch.len(), labels.len()),
+        });
+    }
+    let preds = predict_batch(am, batch)?;
     Ok(hd_linalg::stats::accuracy(&preds, labels))
 }
 

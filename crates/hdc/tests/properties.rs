@@ -124,4 +124,73 @@ proptest! {
             prop_assert_eq!(&ds.bin[i], &enc.encode_binary(row).unwrap());
         }
     }
+
+    /// search_batch returns identical hits (row, class, and score) to N
+    /// independent calls of search, for any multi-centroid AM — including
+    /// tail-word dimensionalities and score ties between centroids of
+    /// different classes (the duplicated rows below force exact ties,
+    /// which both paths must break toward the lower row).
+    #[test]
+    fn search_batch_equals_sequential_search(
+        dim in prop::sample::select(vec![65usize, 128, 130]),
+        k in 2usize..4,
+        per_class in 1usize..4,
+        queries in prop::collection::vec(prop::collection::vec(any::<bool>(), 130), 1..10),
+        dup_first in any::<bool>(),
+    ) {
+        // Deterministic centroids with duplicates when dup_first is set:
+        // the first centroid of every class is identical, so every query
+        // ties across k rows and tie-breaking behavior is observable.
+        let mut centroids = Vec::new();
+        for class in 0..k {
+            for s in 0..per_class {
+                let bits: Vec<bool> = (0..dim)
+                    .map(|d| {
+                        if dup_first && s == 0 {
+                            d % 2 == 0
+                        } else {
+                            (d * 7 + class * 13 + s * 29) % 5 < 2
+                        }
+                    })
+                    .collect();
+                centroids.push((class, BitVector::from_bools(&bits)));
+            }
+        }
+        let am = BinaryAm::from_centroids(k, centroids).unwrap();
+        let qvs: Vec<BitVector> = queries
+            .iter()
+            .map(|q| BitVector::from_bools(&q[..dim]))
+            .collect();
+        let batch = hd_linalg::QueryBatch::from_vectors(&qvs).unwrap();
+        let results = am.search_batch(&batch).unwrap();
+        prop_assert_eq!(results.len(), qvs.len());
+        for (i, q) in qvs.iter().enumerate() {
+            let single = am.search(q).unwrap();
+            prop_assert_eq!(results.hit(i), &single, "query {}", i);
+            prop_assert_eq!(results.scores(i), am.scores(q).unwrap().as_slice());
+        }
+        // classify_batch is the class projection of the same winners.
+        let classes: Vec<usize> = am.classify_batch(&batch).unwrap();
+        for (i, q) in qvs.iter().enumerate() {
+            prop_assert_eq!(classes[i], am.classify(q).unwrap());
+        }
+    }
+
+    /// encode_binary_batch packs exactly the per-row encode_binary
+    /// results, for both encoder families.
+    #[test]
+    fn encode_binary_batch_equals_rowwise(
+        rows in prop::collection::vec(features(6), 1..8),
+    ) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let proj = RandomProjectionEncoder::new(6, 65, 17);
+        let idlv = IdLevelEncoder::new(6, 64, 8, 17);
+        let pb = proj.encode_binary_batch(&m).unwrap();
+        let ib = idlv.encode_binary_batch(&m).unwrap();
+        prop_assert_eq!(pb.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(pb.query(i), proj.encode_binary(row).unwrap());
+            prop_assert_eq!(ib.query(i), idlv.encode_binary(row).unwrap());
+        }
+    }
 }

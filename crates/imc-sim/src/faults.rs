@@ -61,9 +61,7 @@ impl FaultModel {
             }
         }
         if self.stuck_at_zero_rate + self.stuck_at_one_rate > 1.0 {
-            return Err(ImcError::InvalidSpec {
-                reason: "stuck-at rates sum above 1".into(),
-            });
+            return Err(ImcError::InvalidSpec { reason: "stuck-at rates sum above 1".into() });
         }
         Ok(())
     }
@@ -168,6 +166,19 @@ impl FaultyAmMapping {
         self.mapping.search(query)
     }
 
+    /// Batched associative search on the faulty arrays (the preferred
+    /// path for accuracy sweeps over whole test sets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] on a bad batch width.
+    pub fn search_batch(
+        &self,
+        batch: &hd_linalg::QueryBatch,
+    ) -> Result<crate::mapping::BatchInferenceStats> {
+        self.mapping.search_batch(batch)
+    }
+
     /// The underlying (perturbed) mapping.
     pub fn as_mapping(&self) -> &AmMapping {
         &self.mapping
@@ -192,8 +203,7 @@ mod tests {
     }
 
     fn mapping(dim: usize, seed: u64) -> AmMapping {
-        AmMapping::new(&small_am(dim, seed), ArraySpec::default(), MappingStrategy::Basic)
-            .unwrap()
+        AmMapping::new(&small_am(dim, seed), ArraySpec::default(), MappingStrategy::Basic).unwrap()
     }
 
     #[test]
@@ -226,11 +236,8 @@ mod tests {
     #[test]
     fn stuck_at_one_saturates() {
         let ideal = mapping(64, 4);
-        let model = FaultModel {
-            bit_error_rate: 0.0,
-            stuck_at_zero_rate: 0.0,
-            stuck_at_one_rate: 1.0,
-        };
+        let model =
+            FaultModel { bit_error_rate: 0.0, stuck_at_zero_rate: 0.0, stuck_at_one_rate: 1.0 };
         let faulty = FaultyAmMapping::program(&ideal, model, 5).unwrap();
         // Every query now scores popcount(query) against every centroid.
         let q = BitVector::from_bools(&[true; 64]);
@@ -253,11 +260,8 @@ mod tests {
     #[test]
     fn invalid_rates_rejected() {
         let ideal = mapping(64, 6);
-        let bad = FaultModel {
-            bit_error_rate: 0.0,
-            stuck_at_zero_rate: 0.7,
-            stuck_at_one_rate: 0.7,
-        };
+        let bad =
+            FaultModel { bit_error_rate: 0.0, stuck_at_zero_rate: 0.7, stuck_at_one_rate: 0.7 };
         assert!(FaultyAmMapping::program(&ideal, bad, 1).is_err());
         let bad = FaultModel { bit_error_rate: 1.5, ..FaultModel::ideal() };
         assert!(bad.validate().is_err());

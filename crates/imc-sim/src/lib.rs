@@ -45,6 +45,6 @@ pub use adc::AdcModel;
 pub use energy::EnergyModel;
 pub use error::{ImcError, Result};
 pub use faults::{FaultModel, FaultyAmMapping};
-pub use mapping::{AmMapping, InferenceStats, MappingStats, MappingStrategy};
+pub use mapping::{AmMapping, BatchInferenceStats, InferenceStats, MappingStats, MappingStrategy};
 pub use spec::{tile_grid, ArraySpec, TileGrid};
-pub use system::{system_report, SystemReport};
+pub use system::{batch_system_report, system_report, BatchSystemReport, SystemReport};

@@ -10,7 +10,7 @@
 use crate::energy::EnergyModel;
 use crate::error::{ImcError, Result};
 use crate::spec::{tile_grid, ArraySpec};
-use hd_linalg::{BitMatrix, BitVector};
+use hd_linalg::{BitMatrix, BitVector, QueryBatch, ScoreMatrix};
 use hdc::BinaryAm;
 
 /// How the AM is laid out across arrays.
@@ -66,6 +66,39 @@ pub struct InferenceStats {
     pub cycles: usize,
 }
 
+/// Result of a batched mapped associative search
+/// ([`AmMapping::search_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchInferenceStats {
+    /// `Q × V` dot-similarity scores, bit-exact against the software
+    /// batched search.
+    pub scores: ScoreMatrix,
+    /// Winning centroid row per query.
+    pub predicted_rows: Vec<usize>,
+    /// Class owning the winning centroid, per query.
+    pub predicted_classes: Vec<usize>,
+    /// Tile activations consumed **per query**; the array answers queries
+    /// independently, so a batch of `Q` costs `Q × cycles_per_query`.
+    pub cycles_per_query: usize,
+}
+
+impl BatchInferenceStats {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.predicted_rows.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.predicted_rows.is_empty()
+    }
+
+    /// Total tile activations for the whole batch.
+    pub fn total_cycles(&self) -> usize {
+        self.cycles_per_query * self.len()
+    }
+}
+
 /// A binary associative memory programmed onto IMC arrays.
 ///
 /// # Example
@@ -98,10 +131,12 @@ pub struct AmMapping {
     classes: Vec<usize>,
     /// Segment length `D / P`.
     seg_len: usize,
-    /// Packed logical columns: row `p·V + v` holds segment `p` of class
-    /// vector `v` (`seg_len` bits). Physically these are the bitline
-    /// columns of the arrays.
-    columns: BitMatrix,
+    /// Packed logical columns, one matrix per partition: row `v` of
+    /// `partitions[p]` holds segment `p` of class vector `v` (`seg_len`
+    /// bits). Physically these are the bitline columns of the arrays; the
+    /// per-partition split lets batched searches run the shared tiled
+    /// kernel directly on each partition.
+    partitions: Vec<BitMatrix>,
 }
 
 impl AmMapping {
@@ -122,7 +157,7 @@ impl AmMapping {
                 reason: "partition count must be positive".into(),
             });
         }
-        if dim % p != 0 {
+        if !dim.is_multiple_of(p) {
             return Err(ImcError::InvalidPartitioning {
                 dim,
                 partitions: p,
@@ -131,14 +166,13 @@ impl AmMapping {
         }
         let seg_len = dim / p;
 
-        let mut columns = BitMatrix::zeros(p * num_vectors, seg_len);
+        let mut partitions = vec![BitMatrix::zeros(num_vectors, seg_len); p];
         for v in 0..num_vectors {
             let row = am.centroid(v);
-            for d in 0..dim {
-                if row.get(d) {
-                    let part = d / seg_len;
-                    columns.set(part * num_vectors + v, d % seg_len, true);
-                }
+            for (part, matrix) in partitions.iter_mut().enumerate() {
+                matrix
+                    .set_row(v, &row.slice(part * seg_len, seg_len))
+                    .expect("segment width matches partition matrix");
             }
         }
 
@@ -149,7 +183,7 @@ impl AmMapping {
             num_vectors,
             classes: am.class_labels().to_vec(),
             seg_len,
-            columns,
+            partitions,
         })
     }
 
@@ -193,11 +227,7 @@ impl AmMapping {
         }
 
         let capacity = grid.col_tiles * self.spec.cols();
-        MappingStats {
-            arrays: grid.tiles(),
-            cycles,
-            utilization: cols as f64 / capacity as f64,
-        }
+        MappingStats { arrays: grid.tiles(), cycles, utilization: cols as f64 / capacity as f64 }
     }
 
     /// Executes one associative search on the mapped arrays.
@@ -217,39 +247,83 @@ impl AmMapping {
                 found: query.len(),
             });
         }
-        let p = self.strategy.partitions();
         let mut scores = vec![0u32; self.num_vectors];
-
-        // Split the query into P segments once.
-        let mut segments = Vec::with_capacity(p);
-        for part in 0..p {
-            let mut seg = BitVector::zeros(self.seg_len);
-            for d in 0..self.seg_len {
-                if query.get(part * self.seg_len + d) {
-                    seg.set(d, true);
-                }
-            }
-            segments.push(seg);
-        }
-
-        for part in 0..p {
-            let seg = &segments[part];
-            for v in 0..self.num_vectors {
-                scores[v] += self.columns.row_dot(part * self.num_vectors + v, seg);
+        for (part, matrix) in self.partitions.iter().enumerate() {
+            let seg = query.slice(part * self.seg_len, self.seg_len);
+            for (v, slot) in scores.iter_mut().enumerate() {
+                *slot += matrix.row_dot(v, &seg);
             }
         }
 
-        let mut best = 0usize;
-        for (v, &s) in scores.iter().enumerate() {
-            if s > scores[best] {
-                best = v;
-            }
-        }
+        let (best, _) = hd_linalg::argmax_u32(&scores);
         Ok(InferenceStats {
             predicted_row: best,
             predicted_class: self.classes[best],
             cycles: self.stats().cycles,
             scores,
+        })
+    }
+
+    /// Executes a batched associative search on the mapped arrays: every
+    /// query's per-partition segment MVMs run through the shared tiled
+    /// popcount kernel, and partial scores accumulate digitally — exactly
+    /// `Q` independent copies of [`AmMapping::search`], bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] if the batch width is
+    /// not `D`.
+    pub fn search_batch(&self, batch: &QueryBatch) -> Result<BatchInferenceStats> {
+        if batch.dim() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: batch.dim(),
+            });
+        }
+        let q = batch.len();
+        let mut scores = ScoreMatrix::zeros(q, self.num_vectors);
+        if self.partitions.len() == 1 {
+            // Basic / MEMHD layout: the batch drives the one partition
+            // directly — no segment extraction at all.
+            self.partitions[0]
+                .dot_batch_into(batch, &mut scores)
+                .expect("basic layout matches the full query width");
+        } else {
+            // Partitioned layout: extract each query once, then slice a
+            // segment batch per partition and accumulate the partials.
+            let queries: Vec<BitVector> = (0..q).map(|i| batch.query(i)).collect();
+            let mut scratch = ScoreMatrix::zeros(0, 0);
+            for (part, matrix) in self.partitions.iter().enumerate() {
+                let segments: Vec<BitVector> = queries
+                    .iter()
+                    .map(|query| query.slice(part * self.seg_len, self.seg_len))
+                    .collect();
+                let seg_batch = QueryBatch::from_vectors(&segments)
+                    .expect("segments are equal-length and non-empty");
+                matrix
+                    .dot_batch_into(&seg_batch, &mut scratch)
+                    .expect("segment width matches partition matrix");
+                for i in 0..q {
+                    let partials = scratch.scores(i);
+                    for (dst, &s) in scores.scores_mut(i).iter_mut().zip(partials) {
+                        *dst += s;
+                    }
+                }
+            }
+        }
+
+        let mut predicted_rows = Vec::with_capacity(q);
+        let mut predicted_classes = Vec::with_capacity(q);
+        for i in 0..q {
+            let (best, _) = scores.argmax(i);
+            predicted_rows.push(best);
+            predicted_classes.push(self.classes[best]);
+        }
+        Ok(BatchInferenceStats {
+            scores,
+            predicted_rows,
+            predicted_classes,
+            cycles_per_query: self.stats().cycles,
         })
     }
 
@@ -281,26 +355,14 @@ impl AmMapping {
                 found: query.len(),
             });
         }
-        let p = self.strategy.partitions();
         let mut scores = vec![0u32; self.num_vectors];
-        for part in 0..p {
-            let mut seg = BitVector::zeros(self.seg_len);
-            for d in 0..self.seg_len {
-                if query.get(part * self.seg_len + d) {
-                    seg.set(d, true);
-                }
-            }
-            for v in 0..self.num_vectors {
-                let partial = self.columns.row_dot(part * self.num_vectors + v, &seg);
-                scores[v] += adc.quantize(partial);
+        for (part, matrix) in self.partitions.iter().enumerate() {
+            let seg = query.slice(part * self.seg_len, self.seg_len);
+            for (v, slot) in scores.iter_mut().enumerate() {
+                *slot += adc.quantize(matrix.row_dot(v, &seg));
             }
         }
-        let mut best = 0usize;
-        for (v, &s) in scores.iter().enumerate() {
-            if s > scores[best] {
-                best = v;
-            }
-        }
+        let (best, _) = hd_linalg::argmax_u32(&scores);
         Ok(InferenceStats {
             predicted_row: best,
             predicted_class: self.classes[best],
@@ -313,13 +375,15 @@ impl AmMapping {
     /// perturb it. Cells are visited in a fixed (column-major by logical
     /// column, then bit) order so fault sampling is reproducible.
     pub(crate) fn for_each_cell_mut<F: FnMut(&mut bool)>(&mut self, mut f: F) {
-        for r in 0..self.columns.rows() {
-            for c in 0..self.columns.cols() {
-                let mut bit = self.columns.get(r, c);
-                let before = bit;
-                f(&mut bit);
-                if bit != before {
-                    self.columns.set(r, c, bit);
+        for matrix in &mut self.partitions {
+            for r in 0..matrix.rows() {
+                for c in 0..matrix.cols() {
+                    let mut bit = matrix.get(r, c);
+                    let before = bit;
+                    f(&mut bit);
+                    if bit != before {
+                        matrix.set(r, c, bit);
+                    }
                 }
             }
         }
@@ -368,8 +432,7 @@ mod tests {
     #[test]
     fn basic_mapping_is_bit_exact() {
         let am = random_am(4, 3, 300, 1);
-        let mapping =
-            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let mapping = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
         for s in 0..5 {
             let q = random_query(300, 100 + s);
             let hw = mapping.search(&q).unwrap();
@@ -439,10 +502,9 @@ mod tests {
     fn table2_memhd_one_shot() {
         // MEMHD 128×128: exactly one array, one cycle, 100% utilization.
         let am = random_am(10, 12, 128, 5); // 120 centroids
-        // Pad to exactly 128 columns with 8 more of class 9.
-        let mut centroids: Vec<(usize, BitVector)> = (0..am.num_centroids())
-            .map(|r| (am.class_of(r), am.centroid(r)))
-            .collect();
+                                            // Pad to exactly 128 columns with 8 more of class 9.
+        let mut centroids: Vec<(usize, BitVector)> =
+            (0..am.num_centroids()).map(|r| (am.class_of(r), am.centroid(r))).collect();
         let mut rng = seeded(9);
         for _ in 0..8 {
             let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
@@ -493,8 +555,7 @@ mod tests {
             centroids.push((25, BitVector::from_bools(&bits)));
         }
         let memhd_am = BinaryAm::from_centroids(26, centroids).unwrap();
-        let sm =
-            AmMapping::new(&memhd_am, spec, MappingStrategy::Basic).unwrap().stats();
+        let sm = AmMapping::new(&memhd_am, spec, MappingStrategy::Basic).unwrap().stats();
         assert_eq!(sm.arrays, 4);
         assert_eq!(sm.cycles, 4);
         assert!((sm.utilization - 1.0).abs() < 1e-9);
@@ -504,9 +565,7 @@ mod tests {
     fn lossless_adc_matches_ideal_search() {
         let am = random_am(3, 2, 256, 12);
         let spec = ArraySpec::default();
-        for strategy in
-            [MappingStrategy::Basic, MappingStrategy::Partitioned { partitions: 2 }]
-        {
+        for strategy in [MappingStrategy::Basic, MappingStrategy::Partitioned { partitions: 2 }] {
             let m = AmMapping::new(&am, spec, strategy).unwrap();
             let seg_len = m.logical_shape().0;
             let adc = crate::AdcModel::lossless(seg_len as u32).unwrap();
@@ -540,8 +599,7 @@ mod tests {
         let adc = crate::AdcModel::new(3, 512).unwrap();
         let basic = AmMapping::new(&am, spec, MappingStrategy::Basic).unwrap();
         let part =
-            AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 8 })
-                .unwrap();
+            AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 8 }).unwrap();
         // Both run; scores differ in scale (one-shot codes vs summed
         // partial codes) but both stay argmax-comparable structures.
         let q = random_query(512, 16);
@@ -579,10 +637,9 @@ mod tests {
         let am = random_am(10, 1, 1024, 10);
         let spec = ArraySpec::default();
         let basic = AmMapping::new(&am, spec, MappingStrategy::Basic).unwrap().stats();
-        let part =
-            AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 4 })
-                .unwrap()
-                .stats();
+        let part = AmMapping::new(&am, spec, MappingStrategy::Partitioned { partitions: 4 })
+            .unwrap()
+            .stats();
         assert!(part.arrays < basic.arrays);
         assert_eq!(part.cycles, basic.cycles);
         assert!(part.utilization > basic.utilization);

@@ -100,10 +100,7 @@ impl TileGrid {
 /// assert_eq!(g.tiles(), 560);
 /// ```
 pub fn tile_grid(rows: usize, cols: usize, spec: ArraySpec) -> TileGrid {
-    TileGrid {
-        row_tiles: rows.div_ceil(spec.rows()),
-        col_tiles: cols.div_ceil(spec.cols()),
-    }
+    TileGrid { row_tiles: rows.div_ceil(spec.rows()), col_tiles: cols.div_ceil(spec.cols()) }
 }
 
 #[cfg(test)]

@@ -67,6 +67,39 @@ pub fn system_report(features: usize, am: &AmMapping) -> SystemReport {
     }
 }
 
+/// Throughput accounting for a batch of queries served by one mapped
+/// system: the per-query cycle cost of [`system_report`] scaled by the
+/// batch size, plus the classification results of the batched mapped
+/// search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSystemReport {
+    /// Static per-query metrics.
+    pub per_query: SystemReport,
+    /// Predicted class per query.
+    pub predicted_classes: Vec<usize>,
+    /// Total cycles (EM + AM) to serve the whole batch on one physical
+    /// array pipeline.
+    pub total_cycles: usize,
+}
+
+/// Runs a batched mapped inference and reports whole-batch cycle costs —
+/// the system-level entry point for throughput experiments.
+///
+/// # Errors
+///
+/// Returns [`crate::ImcError::QueryDimensionMismatch`] if the batch width
+/// differs from the mapping's dimensionality.
+pub fn batch_system_report(
+    features: usize,
+    am: &AmMapping,
+    batch: &hd_linalg::QueryBatch,
+) -> crate::error::Result<BatchSystemReport> {
+    let per_query = system_report(features, am);
+    let results = am.search_batch(batch)?;
+    let total_cycles = per_query.total_cycles() * results.len();
+    Ok(BatchSystemReport { per_query, predicted_classes: results.predicted_classes, total_cycles })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,8 +128,7 @@ mod tests {
     fn table2_mnist_basic_row() {
         // BasicHDC, MNIST: f=784, D=10240, k=10, 128×128 arrays.
         let am = random_am(10, 1, 10240, 1);
-        let mapping =
-            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let mapping = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
         let r = system_report(784, &mapping);
         assert_eq!(r.em_cycles, 560);
         assert_eq!(r.am_cycles, 80);
@@ -111,17 +143,15 @@ mod tests {
         // MEMHD 128×128 on MNIST: total 8 cycles and 8 arrays, 80×/71×
         // better than basic per the paper.
         let am = random_am(10, 12, 128, 2);
-        let mut centroids: Vec<(usize, BitVector)> = (0..am.num_centroids())
-            .map(|r| (am.class_of(r), am.centroid(r)))
-            .collect();
+        let mut centroids: Vec<(usize, BitVector)> =
+            (0..am.num_centroids()).map(|r| (am.class_of(r), am.centroid(r))).collect();
         let mut rng = seeded(3);
         while centroids.len() < 128 {
             let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
             centroids.push((0, BitVector::from_bools(&bits)));
         }
         let am = BinaryAm::from_centroids(10, centroids).unwrap();
-        let mapping =
-            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let mapping = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
         let r = system_report(784, &mapping);
         assert_eq!(r.total_cycles(), 8);
         assert_eq!(r.total_arrays(), 8);
@@ -135,8 +165,7 @@ mod tests {
     fn table2_isolet_rows() {
         // ISOLET basic: f=617, D=10240, k=26 -> 400 + 80 = 480.
         let am = random_am(26, 1, 10240, 4);
-        let mapping =
-            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let mapping = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
         let r = system_report(617, &mapping);
         assert_eq!(r.total_cycles(), 480);
         assert_eq!(r.total_arrays(), 480);
@@ -163,8 +192,7 @@ mod tests {
     #[test]
     fn display_format() {
         let am = random_am(2, 1, 128, 7);
-        let mapping =
-            AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let mapping = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
         let r = system_report(64, &mapping);
         let s = r.to_string();
         assert!(s.contains("cycles"));

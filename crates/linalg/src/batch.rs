@@ -1,0 +1,864 @@
+//! Batched associative-search kernels.
+//!
+//! The MEMHD hardware answers *many* queries per array activation; the
+//! software analogue is a popcount sweep that amortizes every load of the
+//! memory matrix across a register-blocked tile of queries. This module is
+//! the single popcount engine of the workspace: the one-query entry points
+//! ([`BitMatrix::dot_all`], [`BitVector::dot`]) and the batched ones
+//! ([`BitMatrix::dot_batch`], [`BitMatrix::search_batch`]) all bottom out
+//! in the same word kernels, so there is exactly one implementation to
+//! test and optimize.
+//!
+//! Layout: a [`QueryBatch`] packs `Q` equal-length queries row-major (the
+//! same packing as [`BitMatrix`]); a [`ScoreMatrix`] holds the resulting
+//! `Q × R` scores with one contiguous row per query. Kernels tile over
+//! queries in blocks of [`QUERY_TILE`] so each memory-row word is loaded
+//! once per tile and feeds independent popcount accumulator chains; for
+//! the short packed rows typical of MEMHD-sized memories (≤ 8 words, i.e.
+//! `D ≤ 512`) a const-generic kernel with fully unrolled word loops
+//! removes all per-row slicing overhead.
+//!
+//! With the `rayon` feature enabled, batches above a size threshold are
+//! swept in parallel query chunks (scoped threads; this offline
+//! environment has no rayon crate, but the feature name matches the
+//! conventional opt-in so downstream crates forward it unchanged). Results
+//! are bit-identical with and without the feature.
+
+use crate::bits::{BitMatrix, BitVector};
+use crate::error::{LinalgError, Result};
+
+/// Queries per register-blocked tile in the batched kernels.
+pub(crate) const QUERY_TILE: usize = 8;
+
+/// Minimum `Q × R` word-products before the `rayon` feature spreads a
+/// batch across threads; below this the spawn cost dominates.
+#[cfg(feature = "rayon")]
+const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// Popcount dot product of two equal-length word slices — the scalar
+/// kernel every similarity in the workspace reduces to.
+#[inline]
+pub(crate) fn dot_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// Popcount XOR (Hamming distance) of two equal-length word slices.
+#[inline]
+pub(crate) fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// A packed batch of equal-length binary queries.
+///
+/// Construction packs the queries once; every subsequent batched search
+/// reuses the packed words without touching the originals.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitVector, QueryBatch};
+///
+/// let queries = vec![
+///     BitVector::from_bools(&[true, false, true]),
+///     BitVector::from_bools(&[false, true, true]),
+/// ];
+/// let batch = QueryBatch::from_vectors(&queries).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.dim(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBatch {
+    queries: BitMatrix,
+}
+
+impl QueryBatch {
+    /// Packs a slice of equal-length queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty slice and
+    /// [`LinalgError::RaggedRows`] on length disagreement.
+    pub fn from_vectors(queries: &[BitVector]) -> Result<Self> {
+        Ok(QueryBatch { queries: BitMatrix::from_rows(queries)? })
+    }
+
+    /// Wraps an existing packed matrix (rows = queries).
+    pub fn from_matrix(queries: BitMatrix) -> Self {
+        QueryBatch { queries }
+    }
+
+    /// Number of queries `Q`.
+    pub fn len(&self) -> usize {
+        self.queries.rows()
+    }
+
+    /// Whether the batch is empty (never true for a constructed batch).
+    pub fn is_empty(&self) -> bool {
+        self.queries.rows() == 0
+    }
+
+    /// Query dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.queries.cols()
+    }
+
+    /// Copies query `q` back out as a [`BitVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn query(&self, q: usize) -> BitVector {
+        self.queries.row(q)
+    }
+
+    /// The underlying packed matrix.
+    pub fn as_bit_matrix(&self) -> &BitMatrix {
+        &self.queries
+    }
+
+    #[inline]
+    pub(crate) fn query_words(&self, q: usize) -> &[u64] {
+        self.queries.row_words_pub(q)
+    }
+}
+
+/// A dense `Q × R` matrix of dot-similarity scores: row `q` holds query
+/// `q`'s score against every memory row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreMatrix {
+    queries: usize,
+    rows: usize,
+    data: Vec<u32>,
+}
+
+impl ScoreMatrix {
+    /// Creates a zeroed `queries × rows` score matrix (reusable scratch for
+    /// [`BitMatrix::dot_batch_into`]).
+    pub fn zeros(queries: usize, rows: usize) -> Self {
+        ScoreMatrix { queries, rows, data: vec![0; queries * rows] }
+    }
+
+    /// `(queries, rows)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.queries, self.rows)
+    }
+
+    /// Number of queries `Q`.
+    pub fn num_queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Number of memory rows `R` scored per query.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Scores of query `q` against every memory row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_queries()`.
+    pub fn scores(&self, q: usize) -> &[u32] {
+        &self.data[q * self.rows..(q + 1) * self.rows]
+    }
+
+    /// Winning `(row, score)` for query `q`, ties toward the lower row
+    /// index — the tie-break every associative search in the workspace
+    /// uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_queries()` or the matrix has zero rows.
+    pub fn argmax(&self, q: usize) -> (usize, u32) {
+        argmax_scores(self.scores(q))
+    }
+
+    /// Mutable scores of query `q` — for callers that accumulate partial
+    /// scores across sub-searches (e.g. partitioned IMC mappings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_queries()`.
+    pub fn scores_mut(&mut self, q: usize) -> &mut [u32] {
+        &mut self.data[q * self.rows..(q + 1) * self.rows]
+    }
+
+    /// Resizes (reallocating only on growth) and zeroes the matrix.
+    pub fn reset(&mut self, queries: usize, rows: usize) {
+        self.queries = queries;
+        self.rows = rows;
+        self.data.clear();
+        self.data.resize(queries * rows, 0);
+    }
+}
+
+/// Winner selection over a score row: highest score, ties toward the
+/// lower index — the tie-break every associative search in the workspace
+/// shares (exported as [`crate::argmax_u32`]).
+///
+/// Two passes, both branch-predictable and auto-vectorizable: a `u32` max
+/// reduction, then the first position holding the max (which IS the
+/// lowest-index tie-break).
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+#[inline]
+pub fn argmax_scores(scores: &[u32]) -> (usize, u32) {
+    assert!(!scores.is_empty(), "argmax over empty score row");
+    let max = scores.iter().copied().max().expect("non-empty");
+    let idx = scores.iter().position(|&s| s == max).expect("max exists");
+    (idx, max)
+}
+
+/// Winners of a batched associative search: per query, the best memory row
+/// under dot similarity (ties toward the lower row), plus the full score
+/// matrix for callers that need runner-ups (e.g. within-class argmax during
+/// training).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResults {
+    scores: ScoreMatrix,
+    winners: Vec<(usize, u32)>,
+}
+
+impl SearchResults {
+    pub(crate) fn from_scores(scores: ScoreMatrix) -> Self {
+        let winners = (0..scores.num_queries()).map(|q| scores.argmax(q)).collect();
+        SearchResults { scores, winners }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.winners.len()
+    }
+
+    /// Whether there are no results.
+    pub fn is_empty(&self) -> bool {
+        self.winners.is_empty()
+    }
+
+    /// Winning `(row, score)` of query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn winner(&self, q: usize) -> (usize, u32) {
+        self.winners[q]
+    }
+
+    /// Winning row indices, one per query.
+    pub fn rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.winners.iter().map(|&(r, _)| r)
+    }
+
+    /// The full `Q × R` score matrix.
+    pub fn score_matrix(&self) -> &ScoreMatrix {
+        &self.scores
+    }
+
+    /// Consumes the results, yielding the score matrix without a copy.
+    pub fn into_score_matrix(self) -> ScoreMatrix {
+        self.scores
+    }
+
+    /// Scores of query `q` against every memory row.
+    pub fn scores(&self, q: usize) -> &[u32] {
+        self.scores.scores(q)
+    }
+}
+
+impl BitVector {
+    /// Dot similarity of this vector against each of `others` — the
+    /// one-query-many-memories fast path (all popcounts through the shared
+    /// word kernel, no per-pair temporaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element of `others` has a different length.
+    pub fn dot_many(&self, others: &[BitVector]) -> Vec<u32> {
+        others
+            .iter()
+            .map(|o| {
+                assert_eq!(
+                    o.len(),
+                    self.len(),
+                    "dot_many: length mismatch ({} vs {})",
+                    o.len(),
+                    self.len()
+                );
+                dot_words(self.as_words(), o.as_words())
+            })
+            .collect()
+    }
+
+    /// Hamming distance of this vector against each of `others`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element of `others` has a different length.
+    pub fn hamming_many(&self, others: &[BitVector]) -> Vec<u32> {
+        others
+            .iter()
+            .map(|o| {
+                assert_eq!(
+                    o.len(),
+                    self.len(),
+                    "hamming_many: length mismatch ({} vs {})",
+                    o.len(),
+                    self.len()
+                );
+                hamming_words(self.as_words(), o.as_words())
+            })
+            .collect()
+    }
+}
+
+/// Core tiled kernel: scores `q_count` queries of `batch` starting at
+/// `q_offset` against every row of `memory`, writing row-major into `out`
+/// (`q_count × rows` values). Queries advance in tiles of [`QUERY_TILE`]
+/// so each memory word is loaded once per tile and feeds independent
+/// popcount accumulator chains (ILP), with no per-query allocation.
+///
+/// Packed-row widths up to 8 words (`D ≤ 512` — every MEMHD AM shape)
+/// dispatch to a const-generic kernel whose word loops unroll completely;
+/// wider memories take the generic sliced path, where per-word popcounts
+/// dominate anyway.
+fn dot_batch_kernel(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    q_count: usize,
+    out: &mut [u32],
+) {
+    debug_assert_eq!(out.len(), q_count * memory.rows());
+    match memory.words_per_row_pub() {
+        1 => kernel_fixed::<1>(memory, batch, q_offset, q_count, out),
+        2 => kernel_fixed::<2>(memory, batch, q_offset, q_count, out),
+        3 => kernel_fixed::<3>(memory, batch, q_offset, q_count, out),
+        4 => kernel_fixed::<4>(memory, batch, q_offset, q_count, out),
+        5 => kernel_fixed::<5>(memory, batch, q_offset, q_count, out),
+        6 => kernel_fixed::<6>(memory, batch, q_offset, q_count, out),
+        7 => kernel_fixed::<7>(memory, batch, q_offset, q_count, out),
+        8 => kernel_fixed::<8>(memory, batch, q_offset, q_count, out),
+        _ => kernel_generic(memory, batch, q_offset, q_count, out),
+    }
+}
+
+/// Splits the output block of one query tile into per-query score rows.
+#[inline]
+fn tile_outputs(out: &mut [u32], q: usize, rows: usize) -> [&mut [u32]; QUERY_TILE] {
+    let mut chunks = out[q * rows..(q + QUERY_TILE) * rows].chunks_exact_mut(rows);
+    std::array::from_fn(|_| chunks.next().expect("tile output block is QUERY_TILE rows"))
+}
+
+/// Fixed-width kernel: `W` = packed words per memory row, known at compile
+/// time so the per-row word loop unrolls into straight-line popcounts and
+/// the tile's query words live in registers across the whole row sweep.
+fn kernel_fixed<const W: usize>(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    q_count: usize,
+    out: &mut [u32],
+) {
+    let rows = memory.rows();
+    let words = memory.data_words_pub();
+    debug_assert_eq!(words.len(), rows * W);
+    let mut q = 0usize;
+    while q + QUERY_TILE <= q_count {
+        let mut qw = [[0u64; W]; QUERY_TILE];
+        for (j, qj) in qw.iter_mut().enumerate() {
+            qj.copy_from_slice(batch.query_words(q_offset + q + j));
+        }
+        let mut outs = tile_outputs(out, q, rows);
+        for (r, rw) in words.chunks_exact(W).enumerate() {
+            let mut acc = [0u32; QUERY_TILE];
+            for i in 0..W {
+                let w = rw[i];
+                for (a, qj) in acc.iter_mut().zip(&qw) {
+                    *a += (w & qj[i]).count_ones();
+                }
+            }
+            for (o, a) in outs.iter_mut().zip(acc) {
+                o[r] = a;
+            }
+        }
+        q += QUERY_TILE;
+    }
+    kernel_tail(memory, batch, q_offset, q, q_count, out);
+}
+
+/// Generic-width kernel for memories wider than 8 packed words; the
+/// re-sliced word loop lets the compiler elide bounds checks, and the
+/// per-word popcount stream dominates the per-row overhead at this size.
+fn kernel_generic(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    q_count: usize,
+    out: &mut [u32],
+) {
+    let rows = memory.rows();
+    let mut q = 0usize;
+    while q + QUERY_TILE <= q_count {
+        let qs: [&[u64]; QUERY_TILE] = std::array::from_fn(|j| batch.query_words(q_offset + q + j));
+        let mut outs = tile_outputs(out, q, rows);
+        for r in 0..rows {
+            let row = memory.row_words_pub(r);
+            let n = row.len();
+            let mut acc = [0u32; QUERY_TILE];
+            for (a, qj) in acc.iter_mut().zip(qs) {
+                *a = dot_words(row, &qj[..n]);
+            }
+            for (o, a) in outs.iter_mut().zip(acc) {
+                o[r] = a;
+            }
+        }
+        q += QUERY_TILE;
+    }
+    kernel_tail(memory, batch, q_offset, q, q_count, out);
+}
+
+/// Scores the final `q_count - q` queries one at a time through the
+/// shared word kernel.
+fn kernel_tail(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    mut q: usize,
+    q_count: usize,
+    out: &mut [u32],
+) {
+    let rows = memory.rows();
+    while q < q_count {
+        let qw = batch.query_words(q_offset + q);
+        let row_out = &mut out[q * rows..(q + 1) * rows];
+        for (r, slot) in row_out.iter_mut().enumerate() {
+            *slot = dot_words(memory.row_words_pub(r), qw);
+        }
+        q += 1;
+    }
+}
+
+#[cfg(feature = "rayon")]
+fn dot_batch_dispatch(memory: &BitMatrix, batch: &QueryBatch, out: &mut ScoreMatrix) {
+    let q = batch.len();
+    let rows = memory.rows();
+    let work = q * rows * memory.words_per_row_pub();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if threads < 2 || work < PARALLEL_THRESHOLD || q < 2 * QUERY_TILE {
+        dot_batch_kernel(memory, batch, 0, q, &mut out.data);
+        return;
+    }
+    // Chunk queries across threads; each chunk owns a disjoint slice of
+    // the output, so the sweep is embarrassingly parallel and the result
+    // is bit-identical to the serial order. Chunks align to the query
+    // tile so only the final chunk runs the scalar tail.
+    let chunks = threads.min(q.div_ceil(QUERY_TILE));
+    let per_chunk = q.div_ceil(chunks).next_multiple_of(QUERY_TILE);
+    let mut jobs: Vec<(usize, usize, &mut [u32])> = Vec::with_capacity(chunks);
+    let mut rest = out.data.as_mut_slice();
+    let mut offset = 0usize;
+    while offset < q {
+        let take = per_chunk.min(q - offset);
+        let (head, tail) = rest.split_at_mut(take * rows);
+        jobs.push((offset, take, head));
+        rest = tail;
+        offset += take;
+    }
+    std::thread::scope(|scope| {
+        for (q_offset, q_count, chunk_out) in jobs {
+            scope.spawn(move || dot_batch_kernel(memory, batch, q_offset, q_count, chunk_out));
+        }
+    });
+}
+
+#[cfg(not(feature = "rayon"))]
+fn dot_batch_dispatch(memory: &BitMatrix, batch: &QueryBatch, out: &mut ScoreMatrix) {
+    dot_batch_kernel(memory, batch, 0, batch.len(), &mut out.data);
+}
+
+impl BitMatrix {
+    /// Dot similarity of every row against every query of `batch` — the
+    /// batched associative search (`Q` in-memory MVMs in the paper's
+    /// architecture, answered in one sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the batch dimensionality
+    /// differs from `cols`.
+    pub fn dot_batch(&self, batch: &QueryBatch) -> Result<ScoreMatrix> {
+        let mut out = ScoreMatrix::zeros(batch.len(), self.rows());
+        self.dot_batch_into(batch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`BitMatrix::dot_batch`] but reuses `out` as scratch (resized
+    /// as needed) — the zero-allocation path for tiled sweeps that call
+    /// the kernel repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the batch dimensionality
+    /// differs from `cols`.
+    pub fn dot_batch_into(&self, batch: &QueryBatch, out: &mut ScoreMatrix) -> Result<()> {
+        if batch.dim() != self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "dot_batch",
+                expected: self.cols(),
+                found: batch.dim(),
+            });
+        }
+        out.reset(batch.len(), self.rows());
+        dot_batch_dispatch(self, batch, out);
+        Ok(())
+    }
+
+    /// Batched associative search: per query, the winning row under dot
+    /// similarity (ties toward the lower row) plus the full score matrix.
+    ///
+    /// When only the winners are needed, prefer
+    /// [`BitMatrix::winners_batch`], which never materializes the `Q × R`
+    /// score matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the batch dimensionality
+    /// differs from `cols`.
+    pub fn search_batch(&self, batch: &QueryBatch) -> Result<SearchResults> {
+        Ok(SearchResults::from_scores(self.dot_batch(batch)?))
+    }
+
+    /// Batched associative search returning only the winning `(row,
+    /// score)` per query.
+    ///
+    /// Runs the same tiled kernel as [`BitMatrix::dot_batch`] but in
+    /// query blocks whose score scratch stays cache-resident: scores are
+    /// reduced to winners while hot instead of being streamed out, which
+    /// is what makes large-batch classification markedly faster than the
+    /// per-query loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the batch dimensionality
+    /// differs from `cols`.
+    pub fn winners_batch(&self, batch: &QueryBatch) -> Result<Vec<(usize, u32)>> {
+        if batch.dim() != self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "winners_batch",
+                expected: self.cols(),
+                found: batch.dim(),
+            });
+        }
+        let q_total = batch.len();
+        let mut winners = vec![(0usize, 0u32); q_total];
+        winners_dispatch(self, batch, &mut winners);
+        Ok(winners)
+    }
+}
+
+/// Blocked winners sweep over queries `[q_offset, q_offset + out.len())`.
+///
+/// Fixed-width memories use a fused kernel that tracks each tile query's
+/// running winner in registers (no score matrix is ever written); wider
+/// memories fill a cache-resident scratch block and reduce it while hot.
+fn winners_range(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    out: &mut [(usize, u32)],
+) {
+    match memory.words_per_row_pub() {
+        1 => winners_kernel_fixed::<1>(memory, batch, q_offset, out),
+        2 => winners_kernel_fixed::<2>(memory, batch, q_offset, out),
+        3 => winners_kernel_fixed::<3>(memory, batch, q_offset, out),
+        4 => winners_kernel_fixed::<4>(memory, batch, q_offset, out),
+        5 => winners_kernel_fixed::<5>(memory, batch, q_offset, out),
+        6 => winners_kernel_fixed::<6>(memory, batch, q_offset, out),
+        7 => winners_kernel_fixed::<7>(memory, batch, q_offset, out),
+        8 => winners_kernel_fixed::<8>(memory, batch, q_offset, out),
+        _ => winners_blocked(memory, batch, q_offset, out),
+    }
+}
+
+/// Query-side width of the fused winners kernel's 2-D register block.
+/// Small enough that the tile's query words stay in registers.
+const WINNER_QT: usize = 4;
+/// Row-side depth of the 2-D block: each loaded memory word feeds
+/// [`WINNER_QT`] queries, and each loaded query word feeds this many rows.
+const WINNER_RT: usize = 4;
+
+/// Fused fixed-width winners kernel: a 2-D register block (4 rows × 4
+/// queries) so every loaded word — memory or query — feeds four popcount
+/// chains, and each query's best `(row, score)` is tracked in registers
+/// with a strict `>` compare (which preserves the lowest-row tie-break).
+/// No score ever touches memory.
+fn winners_kernel_fixed<const W: usize>(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    out: &mut [(usize, u32)],
+) {
+    let rows = memory.rows();
+    let words = memory.data_words_pub();
+    debug_assert_eq!(words.len(), rows * W);
+    let q_count = out.len();
+    let mut q = 0usize;
+    while q + WINNER_QT <= q_count {
+        let mut qw = [[0u64; W]; WINNER_QT];
+        for (j, qj) in qw.iter_mut().enumerate() {
+            qj.copy_from_slice(batch.query_words(q_offset + q + j));
+        }
+        let mut best_score = [0u32; WINNER_QT];
+        let mut best_row = [0u32; WINNER_QT];
+        let mut r = 0usize;
+        while r + WINNER_RT <= rows {
+            let block = &words[r * W..(r + WINNER_RT) * W];
+            let mut acc = [[0u32; WINNER_QT]; WINNER_RT];
+            for i in 0..W {
+                for t in 0..WINNER_RT {
+                    let w = block[t * W + i];
+                    for j in 0..WINNER_QT {
+                        acc[t][j] += (w & qw[j][i]).count_ones();
+                    }
+                }
+            }
+            for (t, acc_row) in acc.iter().enumerate() {
+                for j in 0..WINNER_QT {
+                    if acc_row[j] > best_score[j] {
+                        best_score[j] = acc_row[j];
+                        best_row[j] = (r + t) as u32;
+                    }
+                }
+            }
+            r += WINNER_RT;
+        }
+        // Tail rows of the memory.
+        while r < rows {
+            let rw = &words[r * W..(r + 1) * W];
+            for j in 0..WINNER_QT {
+                let s = dot_words(rw, &qw[j]);
+                if s > best_score[j] {
+                    best_score[j] = s;
+                    best_row[j] = r as u32;
+                }
+            }
+            r += 1;
+        }
+        for j in 0..WINNER_QT {
+            out[q + j] = (best_row[j] as usize, best_score[j]);
+        }
+        q += WINNER_QT;
+    }
+    // Tail queries: same strict-> winner scan, one query at a time.
+    while q < q_count {
+        let qw = batch.query_words(q_offset + q);
+        let mut best = (0usize, 0u32);
+        for (r, rw) in words.chunks_exact(W).enumerate() {
+            let s = dot_words(rw, qw);
+            if s > best.1 {
+                best = (r, s);
+            }
+        }
+        out[q] = best;
+        q += 1;
+    }
+}
+
+/// Winners for wide memories: the tiled kernel fills a cache-resident
+/// scratch block, which is reduced to per-query winners while hot.
+fn winners_blocked(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    out: &mut [(usize, u32)],
+) {
+    let rows = memory.rows();
+    // Keep (block × rows) u32 scratch around L1 size.
+    let block = (8192 / rows.max(1)).clamp(QUERY_TILE, 256).next_multiple_of(QUERY_TILE);
+    let q_total = out.len();
+    let mut scratch = vec![0u32; block.min(q_total.max(1)) * rows];
+    let mut done = 0usize;
+    while done < q_total {
+        let count = block.min(q_total - done);
+        let scores = &mut scratch[..count * rows];
+        dot_batch_kernel(memory, batch, q_offset + done, count, scores);
+        for q in 0..count {
+            out[done + q] = argmax_scores(&scores[q * rows..(q + 1) * rows]);
+        }
+        done += count;
+    }
+}
+
+#[cfg(feature = "rayon")]
+fn winners_dispatch(memory: &BitMatrix, batch: &QueryBatch, winners: &mut [(usize, u32)]) {
+    let q = winners.len();
+    let work = q * memory.rows() * memory.words_per_row_pub();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if threads < 2 || work < PARALLEL_THRESHOLD || q < 2 * QUERY_TILE {
+        winners_range(memory, batch, 0, winners);
+        return;
+    }
+    let chunks = threads.min(q.div_ceil(QUERY_TILE));
+    let per_chunk = q.div_ceil(chunks).next_multiple_of(QUERY_TILE);
+    let mut jobs: Vec<(usize, &mut [(usize, u32)])> = Vec::with_capacity(chunks);
+    let mut rest = winners;
+    let mut offset = 0usize;
+    while !rest.is_empty() {
+        let take = per_chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        jobs.push((offset, head));
+        rest = tail;
+        offset += take;
+    }
+    std::thread::scope(|scope| {
+        for (q_offset, chunk) in jobs {
+            scope.spawn(move || winners_range(memory, batch, q_offset, chunk));
+        }
+    });
+}
+
+#[cfg(not(feature = "rayon"))]
+fn winners_dispatch(memory: &BitMatrix, batch: &QueryBatch, winners: &mut [(usize, u32)]) {
+    winners_range(memory, batch, 0, winners);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use rand::Rng;
+
+    fn random_bits(len: usize, rng: &mut rand::rngs::StdRng) -> BitVector {
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+        BitVector::from_bools(&bits)
+    }
+
+    #[test]
+    fn batch_matches_sequential_dot_all() {
+        let mut rng = seeded(1);
+        for dim in [1usize, 63, 64, 65, 128, 257] {
+            let rows: Vec<BitVector> = (0..13).map(|_| random_bits(dim, &mut rng)).collect();
+            let m = BitMatrix::from_rows(&rows).unwrap();
+            let queries: Vec<BitVector> = (0..9).map(|_| random_bits(dim, &mut rng)).collect();
+            let batch = QueryBatch::from_vectors(&queries).unwrap();
+            let scores = m.dot_batch(&batch).unwrap();
+            for (q, query) in queries.iter().enumerate() {
+                assert_eq!(scores.scores(q), m.dot_all(query).as_slice(), "dim {dim} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_winners_match_argmax() {
+        let mut rng = seeded(2);
+        let rows: Vec<BitVector> = (0..7).map(|_| random_bits(100, &mut rng)).collect();
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let queries: Vec<BitVector> = (0..21).map(|_| random_bits(100, &mut rng)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let results = m.search_batch(&batch).unwrap();
+        assert_eq!(results.len(), 21);
+        for (q, query) in queries.iter().enumerate() {
+            let scores = m.dot_all(query);
+            let (row, score) = results.winner(q);
+            assert_eq!(score, scores[row]);
+            // Low-row tie-break: no earlier row may match the best score.
+            for (r, &s) in scores.iter().enumerate().take(row) {
+                assert!(s < score, "query {q}: row {r} ties winner {row}");
+            }
+            assert!(scores.iter().all(|&s| s <= score));
+        }
+    }
+
+    #[test]
+    fn dot_many_and_hamming_many_match_pairwise() {
+        let mut rng = seeded(3);
+        let v = random_bits(130, &mut rng);
+        let others: Vec<BitVector> = (0..6).map(|_| random_bits(130, &mut rng)).collect();
+        let dots = v.dot_many(&others);
+        let hams = v.hamming_many(&others);
+        for (i, o) in others.iter().enumerate() {
+            assert_eq!(dots[i], v.dot(o));
+            assert_eq!(hams[i], v.hamming(o));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_resets_state() {
+        let mut rng = seeded(4);
+        let rows: Vec<BitVector> = (0..3).map(|_| random_bits(64, &mut rng)).collect();
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let q1: Vec<BitVector> = (0..5).map(|_| random_bits(64, &mut rng)).collect();
+        let q2: Vec<BitVector> = (0..2).map(|_| random_bits(64, &mut rng)).collect();
+        let mut scratch = ScoreMatrix::zeros(0, 0);
+        m.dot_batch_into(&QueryBatch::from_vectors(&q1).unwrap(), &mut scratch).unwrap();
+        assert_eq!(scratch.shape(), (5, 3));
+        m.dot_batch_into(&QueryBatch::from_vectors(&q2).unwrap(), &mut scratch).unwrap();
+        assert_eq!(scratch.shape(), (2, 3));
+        assert_eq!(scratch.scores(1), m.dot_all(&q2[1]).as_slice());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let m = BitMatrix::zeros(2, 64);
+        let batch = QueryBatch::from_vectors(&[BitVector::zeros(65)]).unwrap();
+        assert!(matches!(
+            m.dot_batch(&batch),
+            Err(LinalgError::ShapeMismatch { op: "dot_batch", .. })
+        ));
+    }
+
+    #[test]
+    fn query_batch_roundtrip() {
+        let queries = vec![BitVector::from_bools(&[true, false, true]), BitVector::zeros(3)];
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        assert_eq!(batch.query(0), queries[0]);
+        assert_eq!(batch.query(1), queries[1]);
+        assert!(QueryBatch::from_vectors(&[]).is_err());
+    }
+
+    #[test]
+    fn winners_batch_matches_search_batch() {
+        let mut rng = seeded(7);
+        for (n_rows, dim, n_queries) in [(3usize, 64usize, 5usize), (128, 128, 300)] {
+            let rows: Vec<BitVector> = (0..n_rows).map(|_| random_bits(dim, &mut rng)).collect();
+            let m = BitMatrix::from_rows(&rows).unwrap();
+            let queries: Vec<BitVector> =
+                (0..n_queries).map(|_| random_bits(dim, &mut rng)).collect();
+            let batch = QueryBatch::from_vectors(&queries).unwrap();
+            let winners = m.winners_batch(&batch).unwrap();
+            let full = m.search_batch(&batch).unwrap();
+            assert_eq!(winners.len(), n_queries);
+            for (q, &w) in winners.iter().enumerate() {
+                assert_eq!(w, full.winner(q), "query {q}");
+            }
+        }
+        // Dimension mismatch is rejected.
+        let m = BitMatrix::zeros(2, 64);
+        let bad = QueryBatch::from_vectors(&[BitVector::zeros(63)]).unwrap();
+        assert!(m.winners_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn argmax_scores_tie_break() {
+        assert_eq!(argmax_scores(&[3, 5, 5, 1]), (1, 5));
+        assert_eq!(argmax_scores(&[7]), (0, 7));
+        assert_eq!(argmax_scores(&[0, 0, 0]), (0, 0));
+    }
+
+    #[test]
+    fn large_batch_exercises_tiling_tails() {
+        // 10 queries: two full tiles of 4 plus a tail of 2.
+        let mut rng = seeded(5);
+        let rows: Vec<BitVector> = (0..5).map(|_| random_bits(65, &mut rng)).collect();
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let queries: Vec<BitVector> = (0..10).map(|_| random_bits(65, &mut rng)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let scores = m.dot_batch(&batch).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            assert_eq!(scores.scores(q), query.dot_many(&rows).as_slice());
+        }
+    }
+}

@@ -171,7 +171,7 @@ impl BitVector {
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &BitVector) -> u32 {
         assert_eq!(self.len, other.len, "dot: length mismatch ({} vs {})", self.len, other.len);
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones()).sum()
+        crate::batch::dot_words(&self.words, &other.words)
     }
 
     /// Hamming distance: `popcount(a XOR b)`.
@@ -181,7 +181,7 @@ impl BitVector {
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &BitVector) -> u32 {
         assert_eq!(self.len, other.len, "hamming: length mismatch ({} vs {})", self.len, other.len);
-        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum()
+        crate::batch::hamming_words(&self.words, &other.words)
     }
 
     /// Expands to a `{0.0, 1.0}` float vector.
@@ -245,6 +245,38 @@ impl BitVector {
         assert_eq!(self.len, other.len, "xor: length mismatch ({} vs {})", self.len, other.len);
         let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
         BitVector { len: self.len, words }
+    }
+
+    /// Copies out the `len`-bit sub-vector starting at bit `start`, using
+    /// word-level shifts (the segment-extraction primitive of partitioned
+    /// IMC mappings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    pub fn slice(&self, start: usize, len: usize) -> BitVector {
+        assert!(
+            start + len <= self.len,
+            "slice [{start}, {start}+{len}) out of bounds for length {}",
+            self.len
+        );
+        let mut out = BitVector::zeros(len);
+        if len == 0 {
+            return out;
+        }
+        let word_off = start / WORD_BITS;
+        let bit_off = start % WORD_BITS;
+        for i in 0..out.words.len() {
+            let lo = self.words.get(word_off + i).copied().unwrap_or(0) >> bit_off;
+            let hi = if bit_off == 0 {
+                0
+            } else {
+                self.words.get(word_off + i + 1).copied().unwrap_or(0) << (WORD_BITS - bit_off)
+            };
+            out.words[i] = lo | hi;
+        }
+        out.mask_tail();
+        out
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -376,6 +408,27 @@ impl BitMatrix {
         &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
     }
 
+    /// Packed words of row `r` — crate-internal access for the batched
+    /// kernels in [`crate::batch`].
+    #[inline]
+    pub(crate) fn row_words_pub(&self, r: usize) -> &[u64] {
+        self.row_words(r)
+    }
+
+    /// Words per packed row — crate-internal access for kernel dispatch in
+    /// [`crate::batch`].
+    #[inline]
+    pub(crate) fn words_per_row_pub(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The full packed word buffer (row-major) — crate-internal access for
+    /// the fixed-width batched kernels.
+    #[inline]
+    pub(crate) fn data_words_pub(&self) -> &[u64] {
+        &self.data
+    }
+
     /// Returns bit `(r, c)`.
     ///
     /// # Panics
@@ -445,18 +498,24 @@ impl BitMatrix {
     pub fn row_dot(&self, r: usize, query: &BitVector) -> u32 {
         assert!(r < self.rows, "row index {r} out of bounds");
         assert_eq!(query.len(), self.cols, "row_dot: query length mismatch");
-        self.row_words(r).iter().zip(query.as_words()).map(|(a, b)| (a & b).count_ones()).sum()
+        crate::batch::dot_words(self.row_words(r), query.as_words())
     }
 
     /// Dot similarity of every row with a binary query — a full associative
     /// search (one in-memory MVM in the paper's architecture).
+    ///
+    /// This is the single-query slice of the batched kernel
+    /// ([`BitMatrix::dot_batch`]); both paths reduce to the same word-level
+    /// popcount implementation. Prefer the batched entry point when
+    /// answering many queries.
     ///
     /// # Panics
     ///
     /// Panics if the query length differs from `cols`.
     pub fn dot_all(&self, query: &BitVector) -> Vec<u32> {
         assert_eq!(query.len(), self.cols, "dot_all: query length mismatch");
-        (0..self.rows).map(|r| self.row_dot(r, query)).collect()
+        let qw = query.as_words();
+        (0..self.rows).map(|r| crate::batch::dot_words(self.row_words(r), qw)).collect()
     }
 
     /// Dot product of every row with a real-valued input — a binary-weight
@@ -565,8 +624,7 @@ mod tests {
     fn dot_f32_matches_expanded() {
         let bits = BitVector::from_bools(&[true, false, true, true, false]);
         let x = [1.0f32, 2.0, 3.0, 4.0, 5.0];
-        let expanded: f32 =
-            bits.to_f32().iter().zip(x.iter()).map(|(b, v)| b * v).sum();
+        let expanded: f32 = bits.to_f32().iter().zip(x.iter()).map(|(b, v)| b * v).sum();
         assert_eq!(bits.dot_f32(&x), expanded);
     }
 
@@ -626,10 +684,7 @@ mod tests {
     #[test]
     fn bitmatrix_ragged_rejected() {
         let rows = vec![BitVector::zeros(3), BitVector::zeros(4)];
-        assert!(matches!(
-            BitMatrix::from_rows(&rows),
-            Err(LinalgError::RaggedRows { row: 1, .. })
-        ));
+        assert!(matches!(BitMatrix::from_rows(&rows), Err(LinalgError::RaggedRows { row: 1, .. })));
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! It intentionally replaces `ndarray` (not on the approved dependency list)
 //! with the small, well-tested subset of operations this workspace needs.
 //!
+//! **Batched search is the preferred entry point.** Many-query workloads
+//! should pack their queries into a [`QueryBatch`] and call
+//! [`BitMatrix::dot_batch`] / [`BitMatrix::search_batch`] (or
+//! [`BitMatrix::winners_batch`] when only predictions are needed): one
+//! tiled popcount sweep answers the whole batch with no per-query
+//! allocation. The single-query operations are thin slices of the same
+//! kernels.
+//!
 //! # Example
 //!
 //! ```
@@ -33,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bits;
 mod error;
 mod matrix;
@@ -40,6 +49,7 @@ pub mod rng;
 pub mod stats;
 mod vector;
 
+pub use batch::{argmax_scores as argmax_u32, QueryBatch, ScoreMatrix, SearchResults};
 pub use bits::{BitMatrix, BitVector};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;

@@ -195,6 +195,23 @@ impl Matrix {
         self.data
     }
 
+    /// Copies out the first `n` rows as a new matrix — handy for carving a
+    /// probe batch out of a larger feature set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `n > rows`.
+    pub fn take_rows(&self, n: usize) -> Result<Matrix> {
+        if n > self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "take_rows",
+                expected: self.rows,
+                found: n,
+            });
+        }
+        Matrix::from_vec(n, self.cols, self.data[..n * self.cols].to_vec())
+    }
+
     /// Computes `y = A·x` where `A` is `self` (`rows × cols`).
     ///
     /// # Errors

@@ -1,6 +1,6 @@
 //! Property-based tests for the linear algebra substrate.
 
-use hd_linalg::{argmax, dot, BitMatrix, BitVector, Matrix};
+use hd_linalg::{argmax, dot, BitMatrix, BitVector, Matrix, QueryBatch};
 use proptest::prelude::*;
 
 fn bool_vec(len: usize) -> impl Strategy<Value = Vec<bool>> {
@@ -107,6 +107,92 @@ proptest! {
         let i = argmax(&xs).unwrap();
         for &v in &xs {
             prop_assert!(xs[i] >= v);
+        }
+    }
+
+    /// Batched dot scores equal N sequential dot_all sweeps, across
+    /// tail-word widths (the dims straddle 64-bit word boundaries) and
+    /// query counts that exercise both full tiles and scalar tails.
+    #[test]
+    fn dot_batch_equals_sequential(
+        dim in prop::sample::select(vec![1usize, 63, 64, 65, 127, 128, 257]),
+        n_rows in 1usize..6,
+        n_queries in 1usize..11,
+        seed_bits in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        // Derive deterministic row/query patterns from the sampled bits.
+        let pattern = |salt: usize, i: usize, j: usize| {
+            seed_bits[(salt * 7 + i * 3 + j) % seed_bits.len()] ^ (i + j * salt).is_multiple_of(3)
+        };
+        let rows: Vec<BitVector> = (0..n_rows)
+            .map(|r| BitVector::from_bools(
+                &(0..dim).map(|d| pattern(1, r, d)).collect::<Vec<_>>(),
+            ))
+            .collect();
+        let queries: Vec<BitVector> = (0..n_queries)
+            .map(|q| BitVector::from_bools(
+                &(0..dim).map(|d| pattern(2, q, d)).collect::<Vec<_>>(),
+            ))
+            .collect();
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let scores = m.dot_batch(&batch).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            prop_assert_eq!(scores.scores(q), m.dot_all(query).as_slice());
+        }
+    }
+
+    /// search_batch winners equal per-query argmax with the low-row
+    /// tie-break.
+    #[test]
+    fn search_batch_equals_sequential(
+        rows in prop::collection::vec(bool_vec(70), 1..6),
+        queries in prop::collection::vec(bool_vec(70), 1..9),
+    ) {
+        let bvs: Vec<BitVector> = rows.iter().map(|r| BitVector::from_bools(r)).collect();
+        let m = BitMatrix::from_rows(&bvs).unwrap();
+        let qvs: Vec<BitVector> = queries.iter().map(|q| BitVector::from_bools(q)).collect();
+        let batch = QueryBatch::from_vectors(&qvs).unwrap();
+        let results = m.search_batch(&batch).unwrap();
+        for (q, query) in qvs.iter().enumerate() {
+            let scores = m.dot_all(query);
+            let (row, score) = results.winner(q);
+            let (expect_row, expect_score) = hd_linalg::argmax_u32(&scores);
+            prop_assert_eq!(row, expect_row);
+            prop_assert_eq!(score, expect_score);
+        }
+    }
+
+    /// dot_many / hamming_many match pairwise dot / hamming.
+    #[test]
+    fn many_fast_paths_match_pairwise(
+        v in bool_vec(129),
+        others in prop::collection::vec(bool_vec(129), 1..6),
+    ) {
+        let v = BitVector::from_bools(&v);
+        let os: Vec<BitVector> = others.iter().map(|o| BitVector::from_bools(o)).collect();
+        let dots = v.dot_many(&os);
+        let hams = v.hamming_many(&os);
+        for (i, o) in os.iter().enumerate() {
+            prop_assert_eq!(dots[i], v.dot(o));
+            prop_assert_eq!(hams[i], v.hamming(o));
+        }
+    }
+
+    /// slice agrees with bit-by-bit extraction at every offset class
+    /// (word-aligned, unaligned, straddling the tail word).
+    #[test]
+    fn slice_matches_bitwise(
+        bits in bool_vec(150),
+        start in 0usize..150,
+        len in 0usize..100,
+    ) {
+        prop_assume!(start + len <= 150);
+        let v = BitVector::from_bools(&bits);
+        let s = v.slice(start, len);
+        prop_assert_eq!(s.len(), len);
+        for i in 0..len {
+            prop_assert_eq!(s.get(i), v.get(start + i), "bit {} (start {})", i, start);
         }
     }
 }

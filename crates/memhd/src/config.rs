@@ -256,10 +256,7 @@ mod tests {
         let c = MemhdConfig::new(64, 26, 26).unwrap();
         assert_eq!(c.initial_clusters_per_class(), 1);
         // R = 1.0, 128 cols, 26 classes -> floor(128/26) = 4
-        let c = MemhdConfig::new(512, 128, 26)
-            .unwrap()
-            .with_initial_cluster_ratio(1.0)
-            .unwrap();
+        let c = MemhdConfig::new(512, 128, 26).unwrap().with_initial_cluster_ratio(1.0).unwrap();
         assert_eq!(c.initial_clusters_per_class(), 4);
     }
 

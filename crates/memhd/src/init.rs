@@ -104,10 +104,7 @@ fn cluster_class(
 
 /// Builds a [`FloatAm`] from per-class centroid lists, L2-normalizing every
 /// centroid so learning influence is balanced across siblings (§III-C-4).
-fn build_am(
-    num_classes: usize,
-    per_class: &[Vec<Vec<f32>>],
-) -> Result<FloatAm> {
+fn build_am(num_classes: usize, per_class: &[Vec<Vec<f32>>]) -> Result<FloatAm> {
     let mut centroids = Vec::new();
     for (class, list) in per_class.iter().enumerate() {
         for v in list {
@@ -144,12 +141,7 @@ fn validate(
 /// their misprediction counts (largest-remainder method), respecting the
 /// per-class capacity `cap[c] - current[c]`. Falls back to even
 /// distribution when there are no misses.
-fn distribute(
-    batch: usize,
-    misses: &[u64],
-    current: &[usize],
-    cap: &[usize],
-) -> Vec<usize> {
+fn distribute(batch: usize, misses: &[u64], current: &[usize], cap: &[usize]) -> Vec<usize> {
     let k = misses.len();
     let headroom: Vec<usize> = (0..k).map(|c| cap[c].saturating_sub(current[c])).collect();
     let total_miss: u64 = misses.iter().sum();
@@ -234,8 +226,8 @@ pub fn clustering_init(
     let n = config.initial_clusters_per_class();
     let mut counts: Vec<usize> = cap.iter().map(|&c| n.min(c)).collect();
     let mut per_class: Vec<Vec<Vec<f32>>> = Vec::with_capacity(k);
-    for class in 0..k {
-        per_class.push(cluster_class(&samples.fp[class], counts[class], config, class, 0)?);
+    for (class, &count) in counts.iter().enumerate() {
+        per_class.push(cluster_class(&samples.fp[class], count, config, class, 0)?);
     }
 
     // Stage 2: allocate the remaining columns by misprediction mass.
@@ -339,9 +331,7 @@ pub fn random_sampling_init(
             let j = rng.gen_range(i..idx.len());
             idx.swap(i, j);
         }
-        per_class.push(
-            idx[..counts[c]].iter().map(|&i| encoded.fp.row(i).to_vec()).collect(),
-        );
+        per_class.push(idx[..counts[c]].iter().map(|&i| encoded.fp.row(i).to_vec()).collect());
     }
     build_am(k, &per_class)
 }
@@ -507,9 +497,6 @@ mod tests {
             clu += hdc::train::evaluate(&am_c, &encoded.bin, &labels).unwrap();
             ran += hdc::train::evaluate(&am_r, &encoded.bin, &labels).unwrap();
         }
-        assert!(
-            clu >= ran - 0.25,
-            "clustering {clu} vs random {ran} (5-seed sums)"
-        );
+        assert!(clu >= ran - 0.25, "clustering {clu} vs random {ran} (5-seed sums)");
     }
 }

@@ -175,13 +175,19 @@ impl MemhdModel {
         self.binary_am.classify(&hb).map_err(MemhdError::Hdc)
     }
 
-    /// Classifies every row of `features`.
+    /// Classifies every row of `features` — encodes into a packed
+    /// [`hd_linalg::QueryBatch`] and answers all queries with one batched
+    /// associative sweep. This is the preferred inference entry point.
     ///
     /// # Errors
     ///
     /// Same as [`MemhdModel::predict`].
     pub fn predict_batch(&self, features: &Matrix) -> Result<Vec<usize>> {
-        (0..features.rows()).map(|i| self.predict(features.row(i))).collect()
+        if features.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let batch = self.encoder.encode_binary_batch(features).map_err(MemhdError::Hdc)?;
+        self.binary_am.classify_batch(&batch).map_err(MemhdError::Hdc)
     }
 
     /// Accuracy on a labeled feature set.

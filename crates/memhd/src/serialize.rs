@@ -53,10 +53,7 @@ impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.data.len() {
             return Err(MemhdError::InvalidData {
-                reason: format!(
-                    "model file truncated: wanted {n} bytes at offset {}",
-                    self.pos
-                ),
+                reason: format!("model file truncated: wanted {n} bytes at offset {}", self.pos),
             });
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -136,9 +133,7 @@ pub fn from_bytes(data: &[u8]) -> Result<MemhdModel> {
     let mut r = Reader { data, pos: 0 };
     let magic = r.take(8)?;
     if magic != MAGIC {
-        return Err(MemhdError::InvalidData {
-            reason: format!("bad model magic {magic:02x?}"),
-        });
+        return Err(MemhdError::InvalidData { reason: format!("bad model magic {magic:02x?}") });
     }
     let dim = r.u32()? as usize;
     let columns = r.u32()? as usize;
@@ -180,11 +175,9 @@ pub fn from_bytes(data: &[u8]) -> Result<MemhdModel> {
         }
         let bits = BitVector::from_words(input_width, words)
             .map_err(|e| MemhdError::InvalidData { reason: e.to_string() })?;
-        proj.set_row(row, &bits)
-            .map_err(|e| MemhdError::InvalidData { reason: e.to_string() })?;
+        proj.set_row(row, &bits).map_err(|e| MemhdError::InvalidData { reason: e.to_string() })?;
     }
-    let encoder =
-        RandomProjectionEncoder::from_projection_t(proj).map_err(MemhdError::Hdc)?;
+    let encoder = RandomProjectionEncoder::from_projection_t(proj).map_err(MemhdError::Hdc)?;
 
     let centroids = r.u32()? as usize;
     if centroids != columns {
@@ -222,8 +215,7 @@ pub fn from_bytes(data: &[u8]) -> Result<MemhdModel> {
     }
     let binary_am =
         BinaryAm::from_centroids(num_classes, bin_centroids).map_err(MemhdError::Hdc)?;
-    let fp_am =
-        FloatAm::from_centroids(num_classes, fp_centroids).map_err(MemhdError::Hdc)?;
+    let fp_am = FloatAm::from_centroids(num_classes, fp_centroids).map_err(MemhdError::Hdc)?;
 
     Ok(MemhdModel::from_parts(config, encoder, fp_am, binary_am, TrainingHistory::default()))
 }
@@ -237,8 +229,7 @@ pub fn save(model: &MemhdModel, path: impl AsRef<Path>) -> Result<()> {
     let bytes = to_bytes(model);
     let mut file = std::fs::File::create(path)
         .map_err(|e| MemhdError::InvalidData { reason: format!("create: {e}") })?;
-    file.write_all(&bytes)
-        .map_err(|e| MemhdError::InvalidData { reason: format!("write: {e}") })
+    file.write_all(&bytes).map_err(|e| MemhdError::InvalidData { reason: format!("write: {e}") })
 }
 
 /// Reads a model from a file written by [`save`].
@@ -291,10 +282,7 @@ mod tests {
         let bytes = to_bytes(&model);
         let restored = from_bytes(&bytes).unwrap();
         assert_eq!(restored.config(), model.config());
-        assert_eq!(
-            restored.binary_am().as_bit_matrix(),
-            model.binary_am().as_bit_matrix()
-        );
+        assert_eq!(restored.binary_am().as_bit_matrix(), model.binary_am().as_bit_matrix());
         for i in 0..features.rows() {
             assert_eq!(
                 restored.predict(features.row(i)).unwrap(),

@@ -19,7 +19,7 @@
 
 use crate::error::Result;
 use hd_linalg::rng::{derive_seed, seeded};
-use hd_linalg::BitVector;
+use hd_linalg::{BitVector, QueryBatch};
 use hdc::{BinaryAm, EncodedDataset, FloatAm};
 use rand::Rng;
 
@@ -82,11 +82,7 @@ impl TrainingHistory {
     /// The first epoch whose training accuracy is within `tolerance` of
     /// the best observed — a convergence-speed proxy.
     pub fn convergence_epoch(&self, tolerance: f64) -> Option<usize> {
-        let best = self
-            .records
-            .iter()
-            .map(|r| r.train_accuracy)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = self.records.iter().map(|r| r.train_accuracy).fold(f64::NEG_INFINITY, f64::max);
         self.records.iter().find(|r| r.train_accuracy >= best - tolerance).map(|r| r.epoch)
     }
 }
@@ -100,8 +96,8 @@ pub struct TrainOptions<'a> {
     pub stop_on_zero_updates: bool,
 }
 
-fn measure(am: &BinaryAm, queries: &[BitVector], labels: &[usize]) -> Result<f64> {
-    Ok(hdc::train::evaluate(am, queries, labels).map_err(crate::MemhdError::Hdc)?)
+fn measure(am: &BinaryAm, batch: &QueryBatch, labels: &[usize]) -> Result<f64> {
+    hdc::train::evaluate_batch(am, batch, labels).map_err(crate::MemhdError::Hdc)
 }
 
 /// Runs quantization-aware iterative learning for up to `epochs` epochs.
@@ -148,16 +144,35 @@ pub fn quantization_aware_train(
         })
         .collect();
 
+    // Pack the training (and optional eval) queries once; every epoch's
+    // searches and accuracy measurements then run the batched kernel.
+    let train_batch = encoded.to_query_batch().map_err(crate::MemhdError::Hdc)?;
+    let eval_batch = match options.eval {
+        Some((q, l)) => {
+            if q.is_empty() || q.len() != l.len() {
+                return Err(crate::MemhdError::InvalidData {
+                    reason: format!("{} eval queries vs {} labels", q.len(), l.len()),
+                });
+            }
+            Some((
+                QueryBatch::from_vectors(q)
+                    .map_err(|e| crate::MemhdError::InvalidData { reason: e.to_string() })?,
+                l,
+            ))
+        }
+        None => None,
+    };
+
     let mut binary = fp_am.quantize();
     let mut history = TrainingHistory::default();
 
     // Epoch-0 snapshot: accuracy of the initialized AM.
-    let initial_accuracy = measure(&binary, &encoded.bin, labels)?;
+    let initial_accuracy = measure(&binary, &train_batch, labels)?;
     history.records.push(EpochRecord {
         epoch: 0,
         updates: 0,
         train_accuracy: initial_accuracy,
-        eval_accuracy: match options.eval {
+        eval_accuracy: match &eval_batch {
             Some((q, l)) => Some(measure(&binary, q, l)?),
             None => None,
         },
@@ -177,19 +192,19 @@ pub fn quantization_aware_train(
             order.swap(i, j);
         }
 
+        // The binary AM is constant across the epoch (updates land on the
+        // FP shadow AM; re-quantization happens at the epoch boundary), so
+        // every sample's associative search batches into one tiled sweep.
+        // Updates then replay in the shuffled order.
+        let results = binary.search_batch(&train_batch).map_err(crate::MemhdError::Hdc)?;
+
         let mut updates = 0usize;
         for &i in &order {
             let label = labels[i];
-            let hb = &encoded.bin[i];
-            let scores = binary.scores(hb).map_err(crate::MemhdError::Hdc)?;
+            let scores = results.scores(i);
 
             // Global argmax (Eq. 4): ties toward the lower row.
-            let mut pred_row = 0usize;
-            for (r, &s) in scores.iter().enumerate() {
-                if s > scores[pred_row] {
-                    pred_row = r;
-                }
-            }
+            let (pred_row, _) = hd_linalg::argmax_u32(scores);
             if binary.class_of(pred_row) == label {
                 continue;
             }
@@ -212,12 +227,12 @@ pub fn quantization_aware_train(
         fp_am.center_and_normalize();
         binary = fp_am.quantize();
 
-        let train_accuracy = measure(&binary, &encoded.bin, labels)?;
+        let train_accuracy = measure(&binary, &train_batch, labels)?;
         history.records.push(EpochRecord {
             epoch,
             updates,
             train_accuracy,
-            eval_accuracy: match options.eval {
+            eval_accuracy: match &eval_batch {
                 Some((q, l)) => Some(measure(&binary, q, l)?),
                 None => None,
             },
@@ -284,11 +299,8 @@ mod tests {
         )
         .unwrap();
         let initial = hist.initial_accuracy().unwrap();
-        let best = hist
-            .records()
-            .iter()
-            .map(|r| r.train_accuracy)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best =
+            hist.records().iter().map(|r| r.train_accuracy).fold(f64::NEG_INFINITY, f64::max);
         assert!(best >= initial, "best {best} < initial {initial}");
         assert!(best > 0.8, "best accuracy {best}");
     }
@@ -373,7 +385,7 @@ mod tests {
         let fp_q = vec![1.0f32, 1.0, 1.0, 0.0];
         let bin_q = BitVector::from_bools(&[true, true, true, false]);
         let encoded = EncodedDataset {
-            fp: Matrix::from_rows(&[fp_q.clone()]).unwrap(),
+            fp: Matrix::from_rows(std::slice::from_ref(&fp_q)).unwrap(),
             bin: vec![bin_q],
         };
         let (_bam, hist) = quantization_aware_train(
@@ -408,8 +420,8 @@ mod tests {
             centered_cos(fp.centroid(2), q) < centered_cos(before.row(2), q) - 1e-4,
             "mispredicted centroid did not move away from the query"
         );
-        let gained = (0..2)
-            .any(|r| centered_cos(fp.centroid(r), q) > centered_cos(before.row(r), q) + 1e-4);
+        let gained =
+            (0..2).any(|r| centered_cos(fp.centroid(r), q) > centered_cos(before.row(r), q) + 1e-4);
         assert!(gained, "no class-0 centroid moved toward the query");
     }
 

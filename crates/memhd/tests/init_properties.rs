@@ -19,9 +19,8 @@ fn random_problem(
 ) -> (EncodedDataset, Vec<usize>) {
     let mut rng = seeded(seed);
     let noise = Normal::new(0.0, 0.1);
-    let anchors: Vec<Vec<f32>> = (0..k)
-        .map(|_| (0..feature_dim).map(|_| rng.gen::<f32>()).collect())
-        .collect();
+    let anchors: Vec<Vec<f32>> =
+        (0..k).map(|_| (0..feature_dim).map(|_| rng.gen::<f32>()).collect()).collect();
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for (class, anchor) in anchors.iter().enumerate() {

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`) with a
+//! straightforward wall-clock measurement loop: warm up, auto-calibrate an
+//! iteration batch to ~[`SAMPLE_TARGET`], collect samples, report the
+//! median.
+//!
+//! Results print to stdout; when the `CRITERION_JSON` environment variable
+//! names a file, one JSON line per benchmark is appended to it
+//! (`{"id": ..., "ns_per_iter": ..., "samples": ...}`), which is how the
+//! committed `BENCH_*.json` perf-trajectory files are produced.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per collected sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Warm-up budget per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(120);
+
+/// Opaque value barrier — re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How much work one measured element represents (affects only reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim always runs
+/// one setup per measured invocation, so the variants are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (e.g. a cloned model).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in SAMPLE_TARGET?
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= SAMPLE_TARGET / 4 || batch >= 1 << 30 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 30);
+        }
+        // Warm-up.
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+        }
+        // Collect samples.
+        let mut samples: Vec<f64> = Vec::new();
+        let budget = Instant::now();
+        while samples.len() < 10 && budget.elapsed() < Duration::from_secs(3) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.samples = samples.len();
+    }
+
+    /// Measures `routine` with fresh per-call state from `setup` (setup
+    /// time excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut samples: Vec<f64> = Vec::new();
+        // Warm-up round.
+        black_box(routine(setup()));
+        let budget = Instant::now();
+        while samples.len() < 10 && budget.elapsed() < Duration::from_secs(3) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.samples = samples.len();
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn record(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<50} time: [{}]", human_time(b.ns_per_iter));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) => format!("{:.1} Melem/s", n as f64 / b.ns_per_iter * 1e3),
+            Throughput::Bytes(n) => format!("{:.1} MiB/s", n as f64 / b.ns_per_iter * 1e3 / 1.048),
+        };
+        line.push_str(&format!(" thrpt: [{per_sec}]"));
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(
+                f,
+                "{{\"id\": \"{id}\", \"ns_per_iter\": {:.1}, \"samples\": {}}}",
+                b.ns_per_iter, b.samples
+            );
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    filter: &'a Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API parity; the shim sizes samples by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { ns_per_iter: f64::NAN, samples: 0 };
+        f(&mut b);
+        record(&full, &b, self.throughput);
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run(id.to_string(), |b| f(b));
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (reporting happens per-benchmark; kept for parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI args: the first free argument is a substring filter,
+    /// matching cargo-bench conventions (`--bench`/`--test` flags and
+    /// flagged values are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut filter = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {
+                    // Skip the value of `--flag value` style options.
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                free => {
+                    filter = Some(free.to_string());
+                    break;
+                }
+            }
+        }
+        self.filter = filter;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, filter: &self.filter }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        let skip = self.filter.as_ref().is_some_and(|flt| !id.contains(flt.as_str()));
+        if !skip {
+            let mut b = Bencher { ns_per_iter: f64::NAN, samples: 0 };
+            f(&mut b);
+            record(&id, &b, None);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` invokes bench binaries with --test;
+            // there is nothing to verify beyond successful startup.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut b = Bencher { ns_per_iter: f64::NAN, samples: 0 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(black_box(1));
+            x
+        });
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter > 0.0);
+        assert!(b.samples > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fp", 128).to_string(), "fp/128");
+        assert_eq!(BenchmarkId::from_parameter("memhd").to_string(), "memhd");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<12} {:>10} {:>12}", "shape DxC", "memory KB", "accuracy %");
     let mut best: Option<(String, f64, f64)> = None;
     for (dim, cols) in [(64usize, 64usize), (128, 128), (256, 128), (256, 256)] {
-        let config = MemhdConfig::new(dim, cols, dataset.num_classes)?
-            .with_epochs(12)
-            .with_seed(3);
+        let config = MemhdConfig::new(dim, cols, dataset.num_classes)?.with_epochs(12).with_seed(3);
         let model = MemhdModel::fit(&config, &dataset.train_features, &dataset.train_labels)?;
         let acc = model.evaluate(&dataset.test_features, &dataset.test_labels)? * 100.0;
         let kb = model.memory_report().total_kb();
@@ -50,8 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nBasicHDC baseline (single class vector per class):");
     println!("{:<12} {:>10} {:>12}", "dimension", "memory KB", "accuracy %");
     for dim in [512usize, 1024] {
-        let model =
-            BasicHdc::fit(dim, &dataset.train_features, &dataset.train_labels, dataset.num_classes, 3)?;
+        let model = BasicHdc::fit(
+            dim,
+            &dataset.train_features,
+            &dataset.train_labels,
+            dataset.num_classes,
+            3,
+        )?;
         let bacc = model.evaluate(&dataset.test_features, &dataset.test_labels)? * 100.0;
         let bkb = model.memory_report().total_kb();
         println!("{:<12} {:>10.1} {:>12.2}", format!("{dim}D"), bkb, bacc);

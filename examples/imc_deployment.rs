@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A high-dimensional single-centroid model (the paper's baseline regime).
     let basic_dim = 2048;
-    let basic =
-        BasicHdc::fit(basic_dim, &dataset.train_features, &dataset.train_labels, 10, 1)?;
+    let basic = BasicHdc::fit(basic_dim, &dataset.train_features, &dataset.train_labels, 10, 1)?;
     let basic_acc = basic.evaluate(&dataset.test_features, &dataset.test_labels)? * 100.0;
 
     // MEMHD sized exactly to one array.
@@ -65,19 +64,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let memhd_map = AmMapping::new(memhd.binary_am(), spec, MappingStrategy::Basic)?;
     print_mapping("MEMHD 128x128 (one-shot)", &memhd_map, f);
 
-    // Verify bit-exactness of every mapping against software inference.
-    let mut checked = 0usize;
-    for i in 0..dataset.test_len().min(100) {
-        let features = dataset.test_features.row(i);
-        let q_basic = basic.encoder().encode_binary(features)?;
-        let sw = basic.binary_am().search(&q_basic)?.class;
-        assert_eq!(basic_map.search(&q_basic)?.predicted_class, sw);
+    // Verify bit-exactness of every mapping against software inference,
+    // with both sides running their batched search pipelines.
+    let checked = dataset.test_len().min(100);
+    let probe = dataset.test_features.take_rows(checked)?;
+    let basic_batch = basic.encoder().encode_binary_batch(&probe)?;
+    let sw = basic.binary_am().classify_batch(&basic_batch)?;
+    assert_eq!(basic_map.search_batch(&basic_batch)?.predicted_classes, sw);
 
-        let q_memhd = memhd.encoder().encode_binary(features)?;
-        let sw = memhd.binary_am().search(&q_memhd)?.class;
-        assert_eq!(memhd_map.search(&q_memhd)?.predicted_class, sw);
-        checked += 1;
-    }
+    let memhd_batch = memhd.encoder().encode_binary_batch(&probe)?;
+    let sw = memhd.binary_am().classify_batch(&memhd_batch)?;
+    assert_eq!(memhd_map.search_batch(&memhd_batch)?.predicted_classes, sw);
     println!("\nverified {checked} samples: mapped-array predictions == software predictions");
 
     Ok(())

@@ -30,9 +30,7 @@ impl Language {
         let mut rng = seeded(seed);
         // Each symbol prefers a small language-specific successor set —
         // this is what makes trigram statistics discriminative.
-        let transition = (0..27)
-            .map(|_| (0..4).map(|_| rng.gen_range(0..27)).collect())
-            .collect();
+        let transition = (0..27).map(|_| (0..4).map(|_| rng.gen_range(0..27)).collect()).collect();
         Language { name: name.to_string(), transition }
     }
 
@@ -53,9 +51,8 @@ impl Language {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let languages: Vec<Language> = (0..6)
-        .map(|i| Language::random(&format!("lang-{i}"), 100 + i as u64))
-        .collect();
+    let languages: Vec<Language> =
+        (0..6).map(|i| Language::random(&format!("lang-{i}"), 100 + i as u64)).collect();
     let k = languages.len();
     let noise = Normal::new(140.0, 30.0); // sentence-length variation
 
@@ -78,12 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!(
-        "{} languages, {} train / {} test sentences",
-        k,
-        train_texts.len(),
-        test_texts.len()
-    );
+    println!("{} languages, {} train / {} test sentences", k, train_texts.len(), test_texts.len());
 
     // Encode with trigrams into D = 512 (four 128-row arrays deep).
     let dim = 512;
@@ -93,9 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build the fully-utilized multi-centroid AM by hand with the
     // lower-level APIs (no feature-space projection involved).
-    let config = MemhdConfig::new(dim, 64, k)?
-        .with_epochs(12)
-        .with_seed(derive_seed(42, 1));
+    let config = MemhdConfig::new(dim, 64, k)?.with_epochs(12).with_seed(derive_seed(42, 1));
     let mut fp_am = init::clustering_init(&config, &train_set, &train_labels)?;
     let (binary_am, history) = train::quantization_aware_train(
         &mut fp_am,

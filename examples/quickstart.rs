@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Configure MEMHD for a 128x128 IMC array: D = 128 rows, C = 128
     //    columns. Defaults follow the paper: clustering-based init with
     //    R = 0.8, then quantization-aware iterative learning.
-    let config = MemhdConfig::new(128, 128, dataset.num_classes)?
-        .with_epochs(15)
-        .with_seed(7);
+    let config = MemhdConfig::new(128, 128, dataset.num_classes)?.with_epochs(15).with_seed(7);
 
     // 3. Train: projection encoding -> classwise k-means init ->
     //    confusion-driven cluster allocation -> 1-bit quantization ->
@@ -50,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Map the trained AM onto a 128x128 IMC array and check the
     //    paper's headline hardware numbers: one-shot associative search,
     //    100% column utilization.
-    let mapping =
-        AmMapping::new(model.binary_am(), ArraySpec::default(), MappingStrategy::Basic)?;
+    let mapping = AmMapping::new(model.binary_am(), ArraySpec::default(), MappingStrategy::Basic)?;
     let report = system_report(dataset.feature_dim(), &mapping);
     println!("imc mapping: {report}");
     let energy = EnergyModel::default();
@@ -76,6 +73,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sw_pred, hw.predicted_class, dataset.test_labels[0]
     );
     assert_eq!(sw_pred, hw.predicted_class);
+
+    // 8. Throughput path: answer the whole test set with one batched
+    //    sweep. `predict_batch` packs the encoded queries and runs the
+    //    tiled popcount kernel — the preferred entry point when serving
+    //    many queries (enable the `rayon` feature to spread large batches
+    //    across cores).
+    let preds = model.predict_batch(&dataset.test_features)?;
+    let correct = preds.iter().zip(&dataset.test_labels).filter(|(p, l)| p == l).count();
+    println!(
+        "batched inference: {} queries in one sweep, {:.2}% accuracy",
+        preds.len(),
+        correct as f64 / preds.len() as f64 * 100.0
+    );
 
     Ok(())
 }

@@ -32,18 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("column sweep at D = {dim} (watch for the peak, paper Fig. 4):");
     println!("{:<10} {:>14} {:>12}", "columns C", "centroids/cls", "accuracy %");
     for cols in [26usize, 52, 128, 256] {
-        let config = MemhdConfig::new(dim, cols, dataset.num_classes)?
-            .with_epochs(12)
-            .with_seed(5);
+        let config = MemhdConfig::new(dim, cols, dataset.num_classes)?.with_epochs(12).with_seed(5);
         let model =
             MemhdModel::fit_encoded(&config, encoder.clone(), &train, &dataset.train_labels)?;
         let acc = model.evaluate_encoded(&test.bin, &dataset.test_labels)? * 100.0;
-        println!(
-            "{:<10} {:>14.1} {:>12.2}",
-            cols,
-            cols as f64 / dataset.num_classes as f64,
-            acc
-        );
+        println!("{:<10} {:>14.1} {:>12.2}", cols, cols as f64 / dataset.num_classes as f64, acc);
     }
 
     // Clustering vs random-sampling initialization (paper Fig. 5).

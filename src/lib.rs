@@ -1,0 +1,18 @@
+//! Workspace facade for the MEMHD reproduction.
+//!
+//! Re-exports every crate of the stack under one roof so the root-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) can
+//! depend on a single package. Library consumers should depend on the
+//! individual crates directly; see the crate dependency graph in the root
+//! `README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use hd_baselines;
+pub use hd_clustering;
+pub use hd_datasets;
+pub use hd_linalg;
+pub use hdc;
+pub use imc_sim;
+pub use memhd;
+pub use memhd_bench;

@@ -64,14 +64,10 @@ fn partitioned_mapping_matches_for_trained_baseline() {
     let model =
         BasicHdc::fit(512, &ds.train_features, &ds.train_labels, ds.num_classes, 5).expect("fit");
     let spec = ArraySpec::default();
-    let basic =
-        AmMapping::new(model.binary_am(), spec, MappingStrategy::Basic).expect("basic map");
-    let part = AmMapping::new(
-        model.binary_am(),
-        spec,
-        MappingStrategy::Partitioned { partitions: 4 },
-    )
-    .expect("partitioned map");
+    let basic = AmMapping::new(model.binary_am(), spec, MappingStrategy::Basic).expect("basic map");
+    let part =
+        AmMapping::new(model.binary_am(), spec, MappingStrategy::Partitioned { partitions: 4 })
+            .expect("partitioned map");
 
     // Partitioning: fewer arrays, same cycles, higher utilization.
     assert!(part.stats().arrays < basic.stats().arrays);
@@ -84,10 +80,7 @@ fn partitioned_mapping_matches_for_trained_baseline() {
             use hdc::Encoder;
             model.encoder().encode_binary(ds.test_features.row(i)).expect("encode")
         };
-        assert_eq!(
-            basic.search(&q).expect("basic").scores,
-            part.search(&q).expect("part").scores
-        );
+        assert_eq!(basic.search(&q).expect("basic").scores, part.search(&q).expect("part").scores);
     }
 }
 
@@ -124,8 +117,7 @@ fn both_init_methods_complete_and_fill_columns() {
 #[test]
 fn memory_report_matches_table1_formulas() {
     let ds = small_dataset(6);
-    let cfg =
-        MemhdConfig::new(128, 96, ds.num_classes).expect("valid config").with_epochs(1);
+    let cfg = MemhdConfig::new(128, 96, ds.num_classes).expect("valid config").with_epochs(1);
     let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
     let r = model.memory_report();
     assert_eq!(r.em_bits, (ds.feature_dim() * 128) as u64); // f × D
@@ -160,10 +152,6 @@ fn training_history_shows_learning() {
     let model = MemhdModel::fit(&cfg, &ds.train_features, &ds.train_labels).expect("fit");
     let hist = model.history();
     let initial = hist.initial_accuracy().expect("has epoch 0");
-    let best = hist
-        .records()
-        .iter()
-        .map(|r| r.train_accuracy)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = hist.records().iter().map(|r| r.train_accuracy).fold(f64::NEG_INFINITY, f64::max);
     assert!(best >= initial, "training should not lose to the initialization");
 }

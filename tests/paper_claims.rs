@@ -3,7 +3,7 @@
 //! ratios) and their qualitative shape where they are statistical
 //! (multi-centroid vs single-centroid, clustering vs random init).
 
-use hd_baselines::{baseline_memory, BasicHdc, BaselineKind, HdcClassifier};
+use hd_baselines::{baseline_memory, BaselineKind, BasicHdc, HdcClassifier};
 use hd_datasets::synthetic::SyntheticSpec;
 use hd_linalg::rng::seeded;
 use hd_linalg::BitVector;
@@ -89,9 +89,7 @@ fn table2_isolet_improvements() {
 fn table2_utilization_ladder() {
     let spec = ArraySpec::default();
     let am = random_am(10, 10, 10240, 5);
-    let util = |strategy| {
-        AmMapping::new(&am, spec, strategy).unwrap().stats().utilization * 100.0
-    };
+    let util = |strategy| AmMapping::new(&am, spec, strategy).unwrap().stats().utilization * 100.0;
     assert!((util(MappingStrategy::Basic) - 7.8125).abs() < 1e-9);
     assert!((util(MappingStrategy::Partitioned { partitions: 5 }) - 39.0625).abs() < 1e-9);
     assert!((util(MappingStrategy::Partitioned { partitions: 10 }) - 78.125).abs() < 1e-9);
@@ -109,9 +107,7 @@ fn fig7_energy_ratios() {
     let spec = ArraySpec::default();
     let model = EnergyModel::default();
     let energy = |k: usize, v: usize, d: usize, strategy| {
-        AmMapping::new(&random_am(k, v, d, 9), spec, strategy)
-            .unwrap()
-            .inference_energy_pj(&model)
+        AmMapping::new(&random_am(k, v, d, 9), spec, strategy).unwrap().inference_energy_pj(&model)
     };
     let basic = energy(10, 10, 10240, MappingStrategy::Basic);
     let basic_p10 = energy(10, 10, 10240, MappingStrategy::Partitioned { partitions: 10 });
@@ -155,8 +151,7 @@ fn memhd_more_memory_efficient_than_basichdc() {
     // needs a much bigger D to catch up.
     let basic_same =
         BasicHdc::fit(128, &ds.train_features, &ds.train_labels, k, 1).expect("basic fit");
-    let basic_same_acc =
-        basic_same.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
+    let basic_same_acc = basic_same.evaluate(&ds.test_features, &ds.test_labels).expect("eval");
     assert!(
         memhd_acc > basic_same_acc + 0.05,
         "MEMHD {memhd_acc} should clearly beat BasicHDC {basic_same_acc} at matched D"
@@ -181,8 +176,8 @@ fn clustering_init_starts_ahead() {
     let mut gap = 0.0;
     for seed in 0..3u64 {
         let base = MemhdConfig::new(256, 52, k).unwrap().with_epochs(0).with_seed(seed);
-        let clustering = MemhdModel::fit(&base, &ds.train_features, &ds.train_labels)
-            .expect("clustering fit");
+        let clustering =
+            MemhdModel::fit(&base, &ds.train_features, &ds.train_labels).expect("clustering fit");
         let random = MemhdModel::fit(
             &base.clone().with_init_method(memhd::InitMethod::RandomSampling),
             &ds.train_features,

@@ -6,12 +6,16 @@ use hdc::BinaryAm;
 use imc_sim::{tile_grid, AmMapping, ArraySpec, MappingStrategy};
 use proptest::prelude::*;
 
+/// A sampled test case: class count, raw `(class, bits)` centroids, and a
+/// matching query.
+type AmQueryCase = (usize, Vec<(usize, Vec<bool>)>, Vec<bool>);
+
 /// Strategy: a random binary AM plus a matching random query.
 fn am_and_query(
     max_classes: usize,
     max_vectors: usize,
     dims: Vec<usize>,
-) -> impl Strategy<Value = (usize, Vec<(usize, Vec<bool>)>, Vec<bool>)> {
+) -> impl Strategy<Value = AmQueryCase> {
     (2..=max_classes, prop::sample::select(dims)).prop_flat_map(move |(k, dim)| {
         let vectors = prop::collection::vec(
             (0..k, prop::collection::vec(any::<bool>(), dim)),
@@ -40,7 +44,7 @@ proptest! {
     ) {
         let am = build_am(k, &raw);
         let dim = am.dim();
-        prop_assume!(dim % partitions == 0);
+        prop_assume!(dim.is_multiple_of(partitions));
         let strategy = if partitions == 1 {
             MappingStrategy::Basic
         } else {
@@ -62,7 +66,7 @@ proptest! {
         partitions in prop::sample::select(vec![1usize, 2, 4]),
     ) {
         let am = build_am(k, &raw);
-        prop_assume!(am.dim() % partitions == 0);
+        prop_assume!(am.dim().is_multiple_of(partitions));
         let strategy = if partitions == 1 {
             MappingStrategy::Basic
         } else {
