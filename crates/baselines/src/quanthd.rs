@@ -104,6 +104,8 @@ impl HdcClassifier for QuantHd {
         self.am.classify(&q)
     }
 
+    // Encodes into one packed batch, then classifies with the winners-only
+    // sweep of the pre-blocked AM (runtime-dispatched SIMD popcount kernel).
     fn predict_batch(&self, features: &Matrix) -> hdc::Result<Vec<usize>> {
         let batch = self.encoder.encode_binary_batch(features)?;
         self.am.classify_batch(&batch)

@@ -29,6 +29,9 @@ fn random_query(dim: usize, seed: u64) -> BitVector {
 }
 
 fn bench_search(c: &mut Criterion) {
+    // Provenance for the recorded numbers: which popcount backend the
+    // runtime dispatch selected (see BENCH_search.json `environment`).
+    eprintln!("hd_linalg kernel backend: {}", hd_linalg::kernel::active());
     let mut group = c.benchmark_group("associative_search");
     // (label, k, vectors, dim) — Table II structures.
     let shapes = [

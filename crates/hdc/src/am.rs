@@ -9,7 +9,7 @@
 //! special case of one centroid per class.
 
 use crate::error::{HdcError, Result};
-use hd_linalg::{BitMatrix, BitVector, Matrix, QueryBatch, ScoreMatrix};
+use hd_linalg::{BitMatrix, BitVector, Matrix, QueryBatch, ScoreMatrix, SearchMemory};
 
 /// Identifies one centroid: the class it belongs to plus a per-class
 /// sub-label (paper notation: class index `j`, sub-label `i` in Eq. 4).
@@ -206,7 +206,7 @@ impl FloatAm {
             .map(|r| BitVector::from_mean_threshold(self.vectors.row(r)))
             .collect();
         BinaryAm {
-            vectors: BitMatrix::from_rows(&rows).expect("FloatAm is never empty"),
+            vectors: SearchMemory::from_rows(&rows).expect("FloatAm is never empty"),
             classes: self.classes.clone(),
             num_classes: self.num_classes,
         }
@@ -218,7 +218,7 @@ impl FloatAm {
             .map(|r| BitVector::from_threshold(self.vectors.row(r), threshold))
             .collect();
         BinaryAm {
-            vectors: BitMatrix::from_rows(&rows).expect("FloatAm is never empty"),
+            vectors: SearchMemory::from_rows(&rows).expect("FloatAm is never empty"),
             classes: self.classes.clone(),
             num_classes: self.num_classes,
         }
@@ -338,7 +338,9 @@ impl SearchResults {
 /// an argmax across columns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinaryAm {
-    vectors: BitMatrix,
+    /// Centroid rows paired with their SIMD-blocked mirror: built once at
+    /// construction so every batched search skips per-call packing.
+    vectors: SearchMemory,
     classes: Vec<usize>,
     num_classes: usize,
 }
@@ -368,7 +370,7 @@ impl BinaryAm {
             classes.push(class);
             rows.push(v);
         }
-        Ok(BinaryAm { vectors: BitMatrix::from_rows(&rows)?, classes, num_classes })
+        Ok(BinaryAm { vectors: SearchMemory::from_rows(&rows)?, classes, num_classes })
     }
 
     /// Number of stored centroids (`C`).
@@ -452,6 +454,20 @@ impl BinaryAm {
         Ok(self.vectors.dot_batch(batch)?)
     }
 
+    /// Like [`BinaryAm::scores_batch`] but reusing `out` as scratch — the
+    /// zero-allocation path for loops that re-score the same batch every
+    /// epoch (quantization-aware training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `batch.dim() != dim()`.
+    pub fn scores_batch_into(&self, batch: &QueryBatch, out: &mut ScoreMatrix) -> Result<()> {
+        if batch.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), found: batch.dim() });
+        }
+        Ok(self.vectors.dot_batch_into(batch, out)?)
+    }
+
     /// Batched associative search — the preferred inference entry point.
     ///
     /// Equivalent to calling [`BinaryAm::search`] once per query (same
@@ -498,11 +514,17 @@ impl BinaryAm {
     ///
     /// Panics if `row >= num_centroids()`.
     pub fn centroid(&self, row: usize) -> BitVector {
-        self.vectors.row(row)
+        self.vectors.matrix().row(row)
     }
 
     /// Borrows the packed centroid matrix.
     pub fn as_bit_matrix(&self) -> &BitMatrix {
+        self.vectors.matrix()
+    }
+
+    /// Borrows the search-optimized memory (row-major matrix plus its
+    /// SIMD-blocked mirror when the active kernel backend uses one).
+    pub fn search_memory(&self) -> &SearchMemory {
         &self.vectors
     }
 
@@ -513,7 +535,7 @@ impl BinaryAm {
 
     /// Associative memory footprint in bits: `C × D` (Table I).
     pub fn memory_bits(&self) -> u64 {
-        self.vectors.payload_bits()
+        self.vectors.matrix().payload_bits()
     }
 }
 

@@ -143,21 +143,23 @@ pub fn quantization_aware(
     // The binary AM is constant within an epoch (it is re-quantized only
     // at the epoch boundary), so the whole epoch's associative searches
     // batch into one tiled sweep; updates then replay in sample order.
+    // The score matrix is allocated once and reused across epochs.
     let batch = encoded.to_query_batch()?;
     let mut binary = fp_am.quantize();
+    let mut scores = hd_linalg::ScoreMatrix::zeros(0, 0);
     let mut history = Vec::with_capacity(epochs);
     for epoch in 0..epochs {
-        let results = binary.search_batch(&batch)?;
+        binary.scores_batch_into(&batch, &mut scores)?;
         let mut updates = 0;
         let mut correct = 0usize;
         for (i, &label) in labels.iter().enumerate() {
-            let hit = results.hit(i);
-            if hit.class == label {
+            let (pred_row, _) = hd_linalg::argmax_u32(scores.scores(i));
+            if binary.class_of(pred_row) == label {
                 correct += 1;
             } else {
                 let h = encoded.fp.row(i);
                 fp_am.update(label, alpha, h)?;
-                fp_am.update(hit.row, -alpha, h)?;
+                fp_am.update(pred_row, -alpha, h)?;
                 updates += 1;
             }
         }

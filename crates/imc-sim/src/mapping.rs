@@ -10,7 +10,7 @@
 use crate::energy::EnergyModel;
 use crate::error::{ImcError, Result};
 use crate::spec::{tile_grid, ArraySpec};
-use hd_linalg::{BitMatrix, BitVector, QueryBatch, ScoreMatrix};
+use hd_linalg::{BitMatrix, BitVector, QueryBatch, ScoreMatrix, SearchMemory};
 use hdc::BinaryAm;
 
 /// How the AM is laid out across arrays.
@@ -131,12 +131,14 @@ pub struct AmMapping {
     classes: Vec<usize>,
     /// Segment length `D / P`.
     seg_len: usize,
-    /// Packed logical columns, one matrix per partition: row `v` of
+    /// Packed logical columns, one memory per partition: row `v` of
     /// `partitions[p]` holds segment `p` of class vector `v` (`seg_len`
     /// bits). Physically these are the bitline columns of the arrays; the
-    /// per-partition split lets batched searches run the shared tiled
-    /// kernel directly on each partition.
-    partitions: Vec<BitMatrix>,
+    /// per-partition split lets batched searches run the shared kernel
+    /// dispatch directly on each partition, and holding a
+    /// [`SearchMemory`] keeps each partition's SIMD-blocked mirror packed
+    /// once instead of per batch.
+    partitions: Vec<SearchMemory>,
 }
 
 impl AmMapping {
@@ -166,15 +168,16 @@ impl AmMapping {
         }
         let seg_len = dim / p;
 
-        let mut partitions = vec![BitMatrix::zeros(num_vectors, seg_len); p];
+        let mut matrices = vec![BitMatrix::zeros(num_vectors, seg_len); p];
         for v in 0..num_vectors {
             let row = am.centroid(v);
-            for (part, matrix) in partitions.iter_mut().enumerate() {
+            for (part, matrix) in matrices.iter_mut().enumerate() {
                 matrix
                     .set_row(v, &row.slice(part * seg_len, seg_len))
                     .expect("segment width matches partition matrix");
             }
         }
+        let partitions = matrices.into_iter().map(SearchMemory::new).collect();
 
         Ok(AmMapping {
             spec,
@@ -248,10 +251,10 @@ impl AmMapping {
             });
         }
         let mut scores = vec![0u32; self.num_vectors];
-        for (part, matrix) in self.partitions.iter().enumerate() {
+        for (part, memory) in self.partitions.iter().enumerate() {
             let seg = query.slice(part * self.seg_len, self.seg_len);
             for (v, slot) in scores.iter_mut().enumerate() {
-                *slot += matrix.row_dot(v, &seg);
+                *slot += memory.row_dot(v, &seg);
             }
         }
 
@@ -289,18 +292,18 @@ impl AmMapping {
                 .dot_batch_into(batch, &mut scores)
                 .expect("basic layout matches the full query width");
         } else {
-            // Partitioned layout: extract each query once, then slice a
-            // segment batch per partition and accumulate the partials.
-            let queries: Vec<BitVector> = (0..q).map(|i| batch.query(i)).collect();
+            // Partitioned layout: slice a segment batch per partition
+            // straight off the packed queries (zero-copy row views; the
+            // only allocation is the segment batch itself) and accumulate
+            // the partials.
             let mut scratch = ScoreMatrix::zeros(0, 0);
-            for (part, matrix) in self.partitions.iter().enumerate() {
-                let segments: Vec<BitVector> = queries
-                    .iter()
-                    .map(|query| query.slice(part * self.seg_len, self.seg_len))
+            for (part, memory) in self.partitions.iter().enumerate() {
+                let segments: Vec<BitVector> = (0..q)
+                    .map(|i| batch.query(i).slice(part * self.seg_len, self.seg_len))
                     .collect();
                 let seg_batch = QueryBatch::from_vectors(&segments)
                     .expect("segments are equal-length and non-empty");
-                matrix
+                memory
                     .dot_batch_into(&seg_batch, &mut scratch)
                     .expect("segment width matches partition matrix");
                 for i in 0..q {
@@ -356,10 +359,10 @@ impl AmMapping {
             });
         }
         let mut scores = vec![0u32; self.num_vectors];
-        for (part, matrix) in self.partitions.iter().enumerate() {
+        for (part, memory) in self.partitions.iter().enumerate() {
             let seg = query.slice(part * self.seg_len, self.seg_len);
             for (v, slot) in scores.iter_mut().enumerate() {
-                *slot += adc.quantize(matrix.row_dot(v, &seg));
+                *slot += adc.quantize(memory.row_dot(v, &seg));
             }
         }
         let (best, _) = hd_linalg::argmax_u32(&scores);
@@ -373,19 +376,26 @@ impl AmMapping {
 
     /// Visits every programmed cell, allowing the fault-injection layer to
     /// perturb it. Cells are visited in a fixed (column-major by logical
-    /// column, then bit) order so fault sampling is reproducible.
+    /// column, then bit) order so fault sampling is reproducible. Each
+    /// partition's SIMD-blocked mirror is rebuilt once after its sweep —
+    /// and only if the sweep actually flipped a bit.
     pub(crate) fn for_each_cell_mut<F: FnMut(&mut bool)>(&mut self, mut f: F) {
-        for matrix in &mut self.partitions {
-            for r in 0..matrix.rows() {
-                for c in 0..matrix.cols() {
-                    let mut bit = matrix.get(r, c);
-                    let before = bit;
-                    f(&mut bit);
-                    if bit != before {
-                        matrix.set(r, c, bit);
+        for memory in &mut self.partitions {
+            memory.modify_reporting(|matrix| {
+                let mut changed = false;
+                for r in 0..matrix.rows() {
+                    for c in 0..matrix.cols() {
+                        let mut bit = matrix.get(r, c);
+                        let before = bit;
+                        f(&mut bit);
+                        if bit != before {
+                            matrix.set(r, c, bit);
+                            changed = true;
+                        }
                     }
                 }
-            }
+                changed
+            });
         }
     }
 

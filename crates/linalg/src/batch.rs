@@ -24,8 +24,10 @@
 //! conventional opt-in so downstream crates forward it unchanged). Results
 //! are bit-identical with and without the feature.
 
-use crate::bits::{BitMatrix, BitVector};
+use crate::bits::{BitMatrix, BitVector, BitView};
+use crate::blocked::BlockedBitMatrix;
 use crate::error::{LinalgError, Result};
+use crate::kernel;
 
 /// Queries per register-blocked tile in the batched kernels.
 pub(crate) const QUERY_TILE: usize = 8;
@@ -35,19 +37,87 @@ pub(crate) const QUERY_TILE: usize = 8;
 #[cfg(feature = "rayon")]
 const PARALLEL_THRESHOLD: usize = 1 << 16;
 
-/// Popcount dot product of two equal-length word slices — the scalar
-/// kernel every similarity in the workspace reduces to.
+/// Minimum word-slice width before the runtime-dispatched SIMD kernels
+/// beat the inline scalar loop; below this the indirect call costs more
+/// than the vectorization saves (a MEMHD-sized 128-bit row is 2 words).
+const DISPATCH_MIN_WORDS: usize = 8;
+
+/// Minimum batch size before the SIMD entry points re-pack a row-major
+/// memory into the interleaved [`BlockedBitMatrix`] layout on the fly;
+/// below this the packing cost cannot amortize and the scalar tiled
+/// kernels win. Long-lived memories should hold a
+/// [`crate::SearchMemory`], which packs once at construction.
+const MIN_PACK_QUERIES: usize = 32;
+
+/// Popcount dot product of two equal-length word slices. Routes through
+/// the active [`crate::kernel`] backend for wide slices; short slices
+/// (every MEMHD-sized row) keep the inline scalar loop.
 #[inline]
 pub(crate) fn dot_words(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+    if a.len() < DISPATCH_MIN_WORDS {
+        kernel::scalar::dot_words(a, b)
+    } else {
+        // The SIMD kernels read both slices up to `a.len()`; enforce the
+        // equal-length contract here even in release builds (the check is
+        // noise next to a ≥ 8-word sweep, and a violation would otherwise
+        // be an out-of-bounds read rather than safe truncation).
+        assert_eq!(a.len(), b.len(), "dot_words: length mismatch");
+        (kernel::active_table().dot_words)(a, b)
+    }
 }
 
-/// Popcount XOR (Hamming distance) of two equal-length word slices.
+/// Popcount XOR (Hamming distance) of two equal-length word slices,
+/// dispatched like [`dot_words`].
 #[inline]
 pub(crate) fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    if a.len() < DISPATCH_MIN_WORDS {
+        kernel::scalar::hamming_words(a, b)
+    } else {
+        assert_eq!(a.len(), b.len(), "hamming_words: length mismatch");
+        (kernel::active_table().hamming_words)(a, b)
+    }
+}
+
+/// A borrowed associative memory in either storage layout — what the
+/// batched dispatchers sweep. Entry points choose the representation
+/// ([`BlockedBitMatrix`] when the active backend is SIMD and the batch is
+/// large enough to amortize packing) and the `rayon` query chunking
+/// composes identically on top of both.
+#[derive(Clone, Copy)]
+pub(crate) enum MemoryRef<'a> {
+    /// Row-major packed rows (the scalar tiled kernels).
+    Rows(&'a BitMatrix),
+    /// Interleaved row blocks (the SIMD blocked kernels).
+    Blocked(&'a BlockedBitMatrix),
+}
+
+impl MemoryRef<'_> {
+    #[inline]
+    #[cfg(feature = "rayon")]
+    fn rows(&self) -> usize {
+        match self {
+            MemoryRef::Rows(m) => m.rows(),
+            MemoryRef::Blocked(b) => b.rows(),
+        }
+    }
+
+    #[inline]
+    #[cfg(feature = "rayon")]
+    fn words_per_row(&self) -> usize {
+        match self {
+            MemoryRef::Rows(m) => m.words_per_row_pub(),
+            MemoryRef::Blocked(b) => b.words_per_row(),
+        }
+    }
+}
+
+/// Packs `m` for a SIMD sweep when the active backend and batch size
+/// justify it.
+fn pack_for_sweep(m: &BitMatrix, queries: usize) -> Option<BlockedBitMatrix> {
+    (kernel::active() != kernel::Backend::Scalar && queries >= MIN_PACK_QUERIES)
+        .then(|| BlockedBitMatrix::from_matrix(m))
 }
 
 /// A packed batch of equal-length binary queries.
@@ -104,13 +174,14 @@ impl QueryBatch {
         self.queries.cols()
     }
 
-    /// Copies query `q` back out as a [`BitVector`].
+    /// Borrows query `q` as a zero-copy [`BitView`] over the packed words
+    /// (use [`BitView::to_bit_vector`] when an owned copy is needed).
     ///
     /// # Panics
     ///
     /// Panics if `q >= len()`.
-    pub fn query(&self, q: usize) -> BitVector {
-        self.queries.row(q)
+    pub fn query(&self, q: usize) -> BitView<'_> {
+        self.queries.row_view(q)
     }
 
     /// The underlying packed matrix.
@@ -191,6 +262,13 @@ impl ScoreMatrix {
         self.rows = rows;
         self.data.clear();
         self.data.resize(queries * rows, 0);
+    }
+
+    /// The full row-major score buffer — kernel-facing access for the
+    /// blocked sweep implementations.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [u32] {
+        &mut self.data
     }
 }
 
@@ -442,14 +520,32 @@ fn kernel_tail(
     }
 }
 
+/// Routes one contiguous query range to the layout-appropriate kernel:
+/// the scalar tiled kernels for row-major memories, the active backend's
+/// blocked sweep for interleaved ones.
+fn dot_range(
+    mem: MemoryRef<'_>,
+    batch: &QueryBatch,
+    q_offset: usize,
+    q_count: usize,
+    out: &mut [u32],
+) {
+    match mem {
+        MemoryRef::Rows(m) => dot_batch_kernel(m, batch, q_offset, q_count, out),
+        MemoryRef::Blocked(b) => {
+            (kernel::active_table().blocked_dot_range)(b, batch, q_offset, q_count, out)
+        }
+    }
+}
+
 #[cfg(feature = "rayon")]
-fn dot_batch_dispatch(memory: &BitMatrix, batch: &QueryBatch, out: &mut ScoreMatrix) {
+pub(crate) fn dot_batch_dispatch(memory: MemoryRef<'_>, batch: &QueryBatch, out: &mut ScoreMatrix) {
     let q = batch.len();
     let rows = memory.rows();
-    let work = q * rows * memory.words_per_row_pub();
+    let work = q * rows * memory.words_per_row();
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     if threads < 2 || work < PARALLEL_THRESHOLD || q < 2 * QUERY_TILE {
-        dot_batch_kernel(memory, batch, 0, q, &mut out.data);
+        dot_range(memory, batch, 0, q, &mut out.data);
         return;
     }
     // Chunk queries across threads; each chunk owns a disjoint slice of
@@ -470,14 +566,14 @@ fn dot_batch_dispatch(memory: &BitMatrix, batch: &QueryBatch, out: &mut ScoreMat
     }
     std::thread::scope(|scope| {
         for (q_offset, q_count, chunk_out) in jobs {
-            scope.spawn(move || dot_batch_kernel(memory, batch, q_offset, q_count, chunk_out));
+            scope.spawn(move || dot_range(memory, batch, q_offset, q_count, chunk_out));
         }
     });
 }
 
 #[cfg(not(feature = "rayon"))]
-fn dot_batch_dispatch(memory: &BitMatrix, batch: &QueryBatch, out: &mut ScoreMatrix) {
-    dot_batch_kernel(memory, batch, 0, batch.len(), &mut out.data);
+pub(crate) fn dot_batch_dispatch(memory: MemoryRef<'_>, batch: &QueryBatch, out: &mut ScoreMatrix) {
+    dot_range(memory, batch, 0, batch.len(), &mut out.data);
 }
 
 impl BitMatrix {
@@ -512,7 +608,10 @@ impl BitMatrix {
             });
         }
         out.reset(batch.len(), self.rows());
-        dot_batch_dispatch(self, batch, out);
+        match pack_for_sweep(self, batch.len()) {
+            Some(blocked) => dot_batch_dispatch(MemoryRef::Blocked(&blocked), batch, out),
+            None => dot_batch_dispatch(MemoryRef::Rows(self), batch, out),
+        }
         Ok(())
     }
 
@@ -554,8 +653,26 @@ impl BitMatrix {
         }
         let q_total = batch.len();
         let mut winners = vec![(0usize, 0u32); q_total];
-        winners_dispatch(self, batch, &mut winners);
+        match pack_for_sweep(self, q_total) {
+            Some(blocked) => winners_dispatch(MemoryRef::Blocked(&blocked), batch, &mut winners),
+            None => winners_dispatch(MemoryRef::Rows(self), batch, &mut winners),
+        }
         Ok(winners)
+    }
+}
+
+/// Routes one contiguous winners range to the layout-appropriate kernel.
+pub(crate) fn winners_range(
+    mem: MemoryRef<'_>,
+    batch: &QueryBatch,
+    q_offset: usize,
+    out: &mut [(usize, u32)],
+) {
+    match mem {
+        MemoryRef::Rows(m) => winners_rows_range(m, batch, q_offset, out),
+        MemoryRef::Blocked(b) => {
+            (kernel::active_table().blocked_winners_range)(b, batch, q_offset, out)
+        }
     }
 }
 
@@ -564,7 +681,7 @@ impl BitMatrix {
 /// Fixed-width memories use a fused kernel that tracks each tile query's
 /// running winner in registers (no score matrix is ever written); wider
 /// memories fill a cache-resident scratch block and reduce it while hot.
-fn winners_range(
+fn winners_rows_range(
     memory: &BitMatrix,
     batch: &QueryBatch,
     q_offset: usize,
@@ -693,9 +810,13 @@ fn winners_blocked(
 }
 
 #[cfg(feature = "rayon")]
-fn winners_dispatch(memory: &BitMatrix, batch: &QueryBatch, winners: &mut [(usize, u32)]) {
+pub(crate) fn winners_dispatch(
+    memory: MemoryRef<'_>,
+    batch: &QueryBatch,
+    winners: &mut [(usize, u32)],
+) {
     let q = winners.len();
-    let work = q * memory.rows() * memory.words_per_row_pub();
+    let work = q * memory.rows() * memory.words_per_row();
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     if threads < 2 || work < PARALLEL_THRESHOLD || q < 2 * QUERY_TILE {
         winners_range(memory, batch, 0, winners);
@@ -721,7 +842,11 @@ fn winners_dispatch(memory: &BitMatrix, batch: &QueryBatch, winners: &mut [(usiz
 }
 
 #[cfg(not(feature = "rayon"))]
-fn winners_dispatch(memory: &BitMatrix, batch: &QueryBatch, winners: &mut [(usize, u32)]) {
+pub(crate) fn winners_dispatch(
+    memory: MemoryRef<'_>,
+    batch: &QueryBatch,
+    winners: &mut [(usize, u32)],
+) {
     winners_range(memory, batch, 0, winners);
 }
 

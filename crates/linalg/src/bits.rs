@@ -260,23 +260,13 @@ impl BitVector {
             "slice [{start}, {start}+{len}) out of bounds for length {}",
             self.len
         );
-        let mut out = BitVector::zeros(len);
-        if len == 0 {
-            return out;
-        }
-        let word_off = start / WORD_BITS;
-        let bit_off = start % WORD_BITS;
-        for i in 0..out.words.len() {
-            let lo = self.words.get(word_off + i).copied().unwrap_or(0) >> bit_off;
-            let hi = if bit_off == 0 {
-                0
-            } else {
-                self.words.get(word_off + i + 1).copied().unwrap_or(0) << (WORD_BITS - bit_off)
-            };
-            out.words[i] = lo | hi;
-        }
-        out.mask_tail();
-        out
+        slice_packed(&self.words, start, len)
+    }
+
+    /// Borrows this vector as a zero-copy [`BitView`].
+    #[inline]
+    pub fn as_view(&self) -> BitView<'_> {
+        BitView { len: self.len, words: &self.words }
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -295,6 +285,174 @@ impl BitVector {
     /// Raw packed words (little-endian bit order within each word).
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+}
+
+/// Word-shift extraction of a `len`-bit span starting at bit `start` of a
+/// packed word buffer (bits beyond the buffer read as zero).
+fn slice_packed(words: &[u64], start: usize, len: usize) -> BitVector {
+    let mut out = BitVector::zeros(len);
+    if len == 0 {
+        return out;
+    }
+    let word_off = start / WORD_BITS;
+    let bit_off = start % WORD_BITS;
+    for i in 0..out.words.len() {
+        let lo = words.get(word_off + i).copied().unwrap_or(0) >> bit_off;
+        let hi = if bit_off == 0 {
+            0
+        } else {
+            words.get(word_off + i + 1).copied().unwrap_or(0) << (WORD_BITS - bit_off)
+        };
+        out.words[i] = lo | hi;
+    }
+    out.mask_tail();
+    out
+}
+
+/// A borrowed, zero-copy view of one bit-packed row — what
+/// [`crate::QueryBatch::query`] and [`BitMatrix::row_view`] hand out
+/// instead of allocating a fresh [`BitVector`] per call.
+///
+/// The view supports the read-side operations of [`BitVector`] (dot,
+/// Hamming, segment extraction, bit access) directly on the borrowed
+/// words; [`BitView::to_bit_vector`] makes an owned copy when one is
+/// genuinely needed.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitVector, QueryBatch};
+///
+/// let queries = vec![BitVector::from_bools(&[true, false, true])];
+/// let batch = QueryBatch::from_vectors(&queries).unwrap();
+/// let view = batch.query(0); // no allocation
+/// assert_eq!(view, queries[0]);
+/// assert_eq!(view.dot(&queries[0]), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BitView<'a> {
+    len: usize,
+    words: &'a [u64],
+}
+
+impl<'a> BitView<'a> {
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds for length {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Dot similarity (`popcount(a AND b)`) against an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVector) -> u32 {
+        self.dot_view(other.as_view())
+    }
+
+    /// Dot similarity against another view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot_view(&self, other: BitView<'_>) -> u32 {
+        assert_eq!(self.len, other.len, "dot: length mismatch ({} vs {})", self.len, other.len);
+        crate::batch::dot_words(self.words, other.words)
+    }
+
+    /// Hamming distance (`popcount(a XOR b)`) against an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &BitVector) -> u32 {
+        self.hamming_view(other.as_view())
+    }
+
+    /// Hamming distance against another view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_view(&self, other: BitView<'_>) -> u32 {
+        assert_eq!(self.len, other.len, "hamming: length mismatch ({} vs {})", self.len, other.len);
+        crate::batch::hamming_words(self.words, other.words)
+    }
+
+    /// Copies out the `len`-bit sub-vector starting at `start` (the only
+    /// allocation a segment extraction needs — the source stays borrowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    pub fn slice(&self, start: usize, len: usize) -> BitVector {
+        assert!(
+            start + len <= self.len,
+            "slice [{start}, {start}+{len}) out of bounds for length {}",
+            self.len
+        );
+        slice_packed(self.words, start, len)
+    }
+
+    /// Makes an owned copy.
+    pub fn to_bit_vector(&self) -> BitVector {
+        BitVector { len: self.len, words: self.words.to_vec() }
+    }
+
+    /// The borrowed packed words.
+    #[inline]
+    pub fn as_words(&self) -> &'a [u64] {
+        self.words
+    }
+}
+
+impl PartialEq for BitView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for BitView<'_> {}
+
+impl PartialEq<BitVector> for BitView<'_> {
+    fn eq(&self, other: &BitVector) -> bool {
+        self.len == other.len && self.words == &other.words[..]
+    }
+}
+
+impl PartialEq<BitView<'_>> for BitVector {
+    fn eq(&self, other: &BitView<'_>) -> bool {
+        other == self
+    }
+}
+
+impl<'a> From<&'a BitVector> for BitView<'a> {
+    fn from(v: &'a BitVector) -> Self {
+        v.as_view()
     }
 }
 
@@ -465,6 +623,16 @@ impl BitMatrix {
     pub fn row(&self, r: usize) -> BitVector {
         assert!(r < self.rows, "row index {r} out of bounds");
         BitVector { len: self.cols, words: self.row_words(r).to_vec() }
+    }
+
+    /// Borrows row `r` as a zero-copy [`BitView`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_view(&self, r: usize) -> BitView<'_> {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        BitView { len: self.cols, words: self.row_words(r) }
     }
 
     /// Overwrites row `r` with `values`.

@@ -24,6 +24,17 @@
 //! allocation. The single-query operations are thin slices of the same
 //! kernels.
 //!
+//! **Kernels are runtime-dispatched.** The [`kernel`] module detects the
+//! host CPU once at startup and routes every popcount through the fastest
+//! available backend (AVX-512 `VPOPCNTDQ`, AVX2 nibble-LUT, NEON, or the
+//! portable scalar loops); set `HD_LINALG_BACKEND=scalar|avx2|avx512|neon`
+//! to force one. SIMD sweeps run on [`BlockedBitMatrix`], an interleaved
+//! associative-memory layout that packs register-width column panels of
+//! eight class rows; long-lived memories should hold a [`SearchMemory`],
+//! which pairs the row-major matrix with a pre-packed blocked mirror.
+//! Every backend is bit-identical to scalar (ties, tail words, and
+//! padding included).
+//!
 //! # Example
 //!
 //! ```
@@ -38,19 +49,27 @@
 //! assert_eq!(a.dot(&b), 2); // overlap at positions 0 and 3
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied everywhere except the explicitly-audited SIMD
+// kernels (`kernel`, `blocked`), whose intrinsics are published only
+// behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
 mod bits;
+#[allow(unsafe_code)]
+mod blocked;
 mod error;
+#[allow(unsafe_code)]
+pub mod kernel;
 mod matrix;
 pub mod rng;
 pub mod stats;
 mod vector;
 
 pub use batch::{argmax_scores as argmax_u32, QueryBatch, ScoreMatrix, SearchResults};
-pub use bits::{BitMatrix, BitVector};
+pub use bits::{BitMatrix, BitVector, BitView};
+pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use vector::{argmax, axpy, dot, l2_norm, mean, normalize_l2, scale_in_place, variance};

@@ -1,0 +1,184 @@
+//! SIMD ↔ scalar equivalence properties.
+//!
+//! Every kernel backend reachable on the host must be **bit-identical**
+//! to the portable scalar reference — dot products, Hamming distances,
+//! blocked batched sweeps, and winner selection including the low-row
+//! tie-break, across tail-word widths and padding configurations. These
+//! properties are the contract that lets the dispatch table swap backends
+//! freely at startup.
+
+use hd_linalg::kernel::{self, Backend};
+use hd_linalg::{BitMatrix, BitVector, BlockedBitMatrix, QueryBatch, SearchMemory};
+use proptest::prelude::*;
+
+fn bool_vec(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), len)
+}
+
+/// Dimensions covering sub-word, exact-word, and multi-word tails, plus
+/// widths that cross the flat kernels' 4- and 8-word vector strides.
+fn dims() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 7, 63, 64, 65, 127, 128, 129, 255, 256, 300, 520])
+}
+
+fn bits(len: usize) -> impl Strategy<Value = BitVector> {
+    bool_vec(len).prop_map(|b| BitVector::from_bools(&b))
+}
+
+fn bit_rows(rows: usize, len: usize) -> impl Strategy<Value = Vec<BitVector>> {
+    prop::collection::vec(bits(len), rows)
+}
+
+proptest! {
+    /// Flat dot/hamming kernels agree with scalar on every backend.
+    #[test]
+    fn flat_kernels_match_scalar(
+        (a, b) in dims().prop_flat_map(|d| (bits(d), bits(d)))
+    ) {
+        let expected_dot = kernel::dot_words_with(Backend::Scalar, a.as_words(), b.as_words());
+        let expected_ham =
+            kernel::hamming_words_with(Backend::Scalar, a.as_words(), b.as_words());
+        for backend in Backend::available() {
+            prop_assert_eq!(
+                kernel::dot_words_with(backend, a.as_words(), b.as_words()),
+                expected_dot,
+                "dot backend {}", backend
+            );
+            prop_assert_eq!(
+                kernel::hamming_words_with(backend, a.as_words(), b.as_words()),
+                expected_ham,
+                "hamming backend {}", backend
+            );
+        }
+    }
+
+    /// Blocked batched dot sweeps are bit-identical to the row-major
+    /// scalar reference on every backend, including partially padded
+    /// final row blocks.
+    #[test]
+    fn blocked_dot_matches_scalar(
+        (rows, queries) in (1usize..20, dims()).prop_flat_map(|(r, d)| {
+            (bit_rows(r, d), bit_rows(11, d))
+        })
+    ) {
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        for backend in Backend::available() {
+            let scores = blocked.dot_batch_with(&batch, backend).unwrap();
+            for (q, query) in queries.iter().enumerate() {
+                prop_assert_eq!(
+                    scores.scores(q),
+                    m.dot_all(query).as_slice(),
+                    "backend {} query {}", backend, q
+                );
+            }
+        }
+    }
+
+    /// Blocked winners agree with the scalar argmax — same winning row,
+    /// same score, same low-row tie-break — on every backend.
+    #[test]
+    fn blocked_winners_match_scalar(
+        (rows, queries) in (1usize..20, dims()).prop_flat_map(|(r, d)| {
+            (bit_rows(r, d), bit_rows(9, d))
+        })
+    ) {
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        for backend in Backend::available() {
+            let winners = blocked.winners_batch_with(&batch, backend).unwrap();
+            for (q, query) in queries.iter().enumerate() {
+                let expected = hd_linalg::argmax_u32(&m.dot_all(query));
+                prop_assert_eq!(
+                    winners[q], expected,
+                    "backend {} query {}", backend, q
+                );
+            }
+        }
+    }
+
+    /// Tie stress: memories built from a handful of duplicated row
+    /// patterns force frequent score ties; every backend must still pick
+    /// the lowest winning row.
+    #[test]
+    fn blocked_winners_tie_break(
+        (patterns, picks, queries) in (2usize..5, 64usize..130).prop_flat_map(|(p, d)| {
+            (
+                bit_rows(p, d),
+                prop::collection::vec(0usize..p, 4..35),
+                bit_rows(6, d),
+            )
+        })
+    ) {
+        // Rows repeat the few patterns (duplicates => exact ties).
+        let rows: Vec<BitVector> = picks.iter().map(|&i| patterns[i].clone()).collect();
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        for backend in Backend::available() {
+            let winners = blocked.winners_batch_with(&batch, backend).unwrap();
+            for (q, query) in queries.iter().enumerate() {
+                let scores = m.dot_all(query);
+                let (row, score) = winners[q];
+                prop_assert_eq!(score, scores[row], "backend {}", backend);
+                // No earlier row may reach the winning score.
+                for (r, &s) in scores.iter().enumerate().take(row) {
+                    prop_assert!(
+                        s < score,
+                        "backend {} query {}: row {} ties winner {}", backend, q, r, row
+                    );
+                }
+                prop_assert!(scores.iter().all(|&s| s <= score));
+            }
+        }
+    }
+
+    /// Pack → unpack is the identity for every shape.
+    #[test]
+    fn blocked_roundtrip(
+        rows in (1usize..26, dims()).prop_flat_map(|(r, d)| bit_rows(r, d))
+    ) {
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        prop_assert_eq!(blocked.to_matrix(), m.clone());
+        for (r, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&blocked.row(r), row);
+        }
+        // And the same round-trip through the row-slice constructor.
+        prop_assert_eq!(BlockedBitMatrix::from_rows(&rows).unwrap().to_matrix(), m);
+    }
+
+    /// The public entry points (active-backend dispatch, SearchMemory,
+    /// on-the-fly packing in BitMatrix::dot_batch / winners_batch) all
+    /// agree with each other — large batches so the packing path engages.
+    #[test]
+    fn entry_points_agree(
+        (rows, queries) in (1usize..17, prop::sample::select(vec![64usize, 128, 200]))
+            .prop_flat_map(|(r, d)| (bit_rows(r, d), bit_rows(40, d)))
+    ) {
+        let m = BitMatrix::from_rows(&rows).unwrap();
+        let mem = SearchMemory::new(m.clone());
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+
+        let reference = m.dot_batch(&batch).unwrap();
+        prop_assert_eq!(&mem.dot_batch(&batch).unwrap(), &reference);
+        prop_assert_eq!(&blocked.dot_batch(&batch).unwrap(), &reference);
+
+        let ref_winners = m.winners_batch(&batch).unwrap();
+        prop_assert_eq!(&mem.winners_batch(&batch).unwrap(), &ref_winners);
+        prop_assert_eq!(&blocked.winners_batch(&batch).unwrap(), &ref_winners);
+        for (q, &(row, score)) in ref_winners.iter().enumerate() {
+            prop_assert_eq!(reference.scores(q)[row], score);
+        }
+    }
+}
+
+#[test]
+fn active_backend_is_available() {
+    let active = kernel::active();
+    assert!(active.is_available());
+    assert!(Backend::available().contains(&active));
+}

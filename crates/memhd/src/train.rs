@@ -165,6 +165,8 @@ pub fn quantization_aware_train(
 
     let mut binary = fp_am.quantize();
     let mut history = TrainingHistory::default();
+    // Epoch-loop score scratch, allocated once and reused.
+    let mut scores = hd_linalg::ScoreMatrix::zeros(0, 0);
 
     // Epoch-0 snapshot: accuracy of the initialized AM.
     let initial_accuracy = measure(&binary, &train_batch, labels)?;
@@ -194,17 +196,18 @@ pub fn quantization_aware_train(
 
         // The binary AM is constant across the epoch (updates land on the
         // FP shadow AM; re-quantization happens at the epoch boundary), so
-        // every sample's associative search batches into one tiled sweep.
-        // Updates then replay in the shuffled order.
-        let results = binary.search_batch(&train_batch).map_err(crate::MemhdError::Hdc)?;
+        // every sample's associative search batches into one tiled sweep
+        // into the reused score scratch. Updates then replay in the
+        // shuffled order.
+        binary.scores_batch_into(&train_batch, &mut scores).map_err(crate::MemhdError::Hdc)?;
 
         let mut updates = 0usize;
         for &i in &order {
             let label = labels[i];
-            let scores = results.scores(i);
+            let sample_scores = scores.scores(i);
 
             // Global argmax (Eq. 4): ties toward the lower row.
-            let (pred_row, _) = hd_linalg::argmax_u32(scores);
+            let (pred_row, _) = hd_linalg::argmax_u32(sample_scores);
             if binary.class_of(pred_row) == label {
                 continue;
             }
@@ -213,7 +216,7 @@ pub fn quantization_aware_train(
             let true_rows = binary.rows_of_class(label);
             let true_row = *true_rows
                 .iter()
-                .max_by_key(|&&r| (scores[r], std::cmp::Reverse(r)))
+                .max_by_key(|&&r| (sample_scores[r], std::cmp::Reverse(r)))
                 .expect("every class has at least one centroid");
 
             let h = &centered[i];
