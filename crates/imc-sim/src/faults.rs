@@ -146,7 +146,34 @@ impl FaultyAmMapping {
         Ok(FaultyAmMapping { mapping, model, flipped_cells: flipped })
     }
 
-    /// The fault model this array was programmed under.
+    /// Injects *additional* faults into the already-perturbed cells —
+    /// modeling in-field degradation (retention loss, drift) on top of the
+    /// programming-time defects sampled by [`FaultyAmMapping::program`].
+    ///
+    /// Returns a new mapping; the original is untouched, so a serving
+    /// layer can keep answering queries from the old snapshot while the
+    /// degraded one is prepared and then republished atomically.
+    /// `flipped_cells` of the result counts perturbation events across
+    /// both rounds (a double-flipped cell counts twice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] for invalid fault rates.
+    pub fn inject(&self, model: FaultModel, seed: u64) -> Result<Self> {
+        let degraded = FaultyAmMapping::program(&self.mapping, model, seed)?;
+        Ok(FaultyAmMapping {
+            mapping: degraded.mapping,
+            model,
+            flipped_cells: self.flipped_cells + degraded.flipped_cells,
+        })
+    }
+
+    /// The fault model of the **most recent** programming or injection
+    /// round: [`FaultyAmMapping::program`]'s model for a fresh array,
+    /// the last [`FaultyAmMapping::inject`]'s model afterwards. Earlier
+    /// rounds' perturbations remain in the cells (see
+    /// [`FaultyAmMapping::flipped_cells`] for the cumulative count) but
+    /// are not described by this value.
     pub fn model(&self) -> FaultModel {
         self.model
     }
@@ -255,6 +282,26 @@ mod tests {
         let q = BitVector::from_bools(&bits);
         assert_eq!(a.search(&q).unwrap().scores, b.search(&q).unwrap().scores);
         assert_eq!(a.flipped_cells(), b.flipped_cells());
+    }
+
+    #[test]
+    fn inject_degrades_cumulatively() {
+        let ideal = mapping(256, 7);
+        let first = FaultyAmMapping::program(&ideal, FaultModel::bit_flip(0.05), 3).unwrap();
+        let degraded = first.inject(FaultModel::bit_flip(0.05), 4).unwrap();
+        assert!(degraded.flipped_cells() >= first.flipped_cells());
+        // The original snapshot is untouched (serve layers rely on this
+        // for hot republish).
+        let mut rng = seeded(8);
+        let bits: Vec<bool> = (0..256).map(|_| rng.gen()).collect();
+        let q = BitVector::from_bools(&bits);
+        let before = first.search(&q).unwrap().scores.clone();
+        let _ = degraded.search(&q).unwrap();
+        assert_eq!(first.search(&q).unwrap().scores, before);
+        // Zero-rate injection is an identity on the cells.
+        let same = first.inject(FaultModel::ideal(), 9).unwrap();
+        assert_eq!(same.search(&q).unwrap().scores, before);
+        assert_eq!(same.flipped_cells(), first.flipped_cells());
     }
 
     #[test]

@@ -205,6 +205,12 @@ impl AmMapping {
         self.dim
     }
 
+    /// Number of stored class vectors `V` (searchable centroids),
+    /// independent of the partition layout.
+    pub fn num_vectors(&self) -> usize {
+        self.num_vectors
+    }
+
     /// Logical AM shape as mapped: `(rows, cols) = (D/P, V·P)` — the
     /// "AM Structure" row of Table II.
     pub fn logical_shape(&self) -> (usize, usize) {

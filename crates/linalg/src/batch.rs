@@ -195,6 +195,109 @@ impl QueryBatch {
     }
 }
 
+/// Incrementally packs single queries into a [`QueryBatch`] without
+/// re-packing at build time — the accumulation buffer of a micro-batching
+/// service, where queries arrive one at a time but must leave as one
+/// packed batch.
+///
+/// Every [`QueryBatchBuilder::push`] appends the query's packed words to
+/// one contiguous row-major buffer (exactly the [`QueryBatch`] layout),
+/// so [`QueryBatchBuilder::take_batch`] is a move, not a copy.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitVector, QueryBatchBuilder};
+///
+/// let mut b = QueryBatchBuilder::new(3);
+/// b.push(BitVector::from_bools(&[true, false, true]).as_view()).unwrap();
+/// b.push(BitVector::from_bools(&[false, true, true]).as_view()).unwrap();
+/// let batch = b.take_batch().unwrap();
+/// assert_eq!((batch.len(), batch.dim()), (2, 3));
+/// assert!(b.is_empty()); // ready for the next fill cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBatchBuilder {
+    dim: usize,
+    words_per_row: usize,
+    len: usize,
+    data: Vec<u64>,
+}
+
+impl QueryBatchBuilder {
+    /// Creates an empty builder for queries of `dim` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "query dimensionality must be positive");
+        QueryBatchBuilder { dim, words_per_row: dim.div_ceil(64), len: 0, data: Vec::new() }
+    }
+
+    /// Like [`QueryBatchBuilder::new`] with room for `queries` queries.
+    pub fn with_capacity(dim: usize, queries: usize) -> Self {
+        let mut b = Self::new(dim);
+        b.data.reserve(queries * b.words_per_row);
+        b
+    }
+
+    /// Queries accumulated so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no queries are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Query dimensionality `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Appends one query (packed word copy, no bit manipulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `query.len() != dim()`.
+    pub fn push(&mut self, query: BitView<'_>) -> Result<()> {
+        if query.len() != self.dim {
+            return Err(LinalgError::ShapeMismatch {
+                op: "QueryBatchBuilder::push",
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        self.data.extend_from_slice(query.as_words());
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Moves the accumulated queries out as a packed [`QueryBatch`],
+    /// leaving the builder empty and ready for the next fill cycle (the
+    /// replacement buffer is pre-sized to the outgoing one's capacity, so
+    /// a steady-state fill/take loop never walks the reallocation
+    /// ladder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if no queries were pushed.
+    pub fn take_batch(&mut self) -> Result<QueryBatch> {
+        if self.len == 0 {
+            return Err(LinalgError::Empty { op: "QueryBatchBuilder::take_batch" });
+        }
+        let rows = std::mem::take(&mut self.len);
+        let capacity = self.data.capacity();
+        let data = std::mem::replace(&mut self.data, Vec::with_capacity(capacity));
+        Ok(QueryBatch { queries: BitMatrix::from_raw_words(rows, self.dim, data) })
+    }
+}
+
 /// A dense `Q × R` matrix of dot-similarity scores: row `q` holds query
 /// `q`'s score against every memory row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -964,6 +1067,28 @@ mod tests {
         let m = BitMatrix::zeros(2, 64);
         let bad = QueryBatch::from_vectors(&[BitVector::zeros(63)]).unwrap();
         assert!(m.winners_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn builder_matches_from_vectors() {
+        let mut rng = seeded(11);
+        let queries: Vec<BitVector> = (0..6).map(|_| random_bits(130, &mut rng)).collect();
+        let mut builder = QueryBatchBuilder::with_capacity(130, queries.len());
+        for q in &queries {
+            builder.push(q.as_view()).unwrap();
+        }
+        assert_eq!(builder.len(), 6);
+        let batch = builder.take_batch().unwrap();
+        assert_eq!(batch, QueryBatch::from_vectors(&queries).unwrap());
+        // Builder is reusable after take_batch.
+        assert!(builder.is_empty());
+        assert!(builder.take_batch().is_err());
+        builder.push(queries[0].as_view()).unwrap();
+        assert_eq!(builder.take_batch().unwrap().len(), 1);
+        // Dimension mismatches are rejected without corrupting state.
+        let mut b = QueryBatchBuilder::new(8);
+        assert!(b.push(BitVector::zeros(9).as_view()).is_err());
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -658,6 +658,42 @@ impl BitMatrix {
         Ok(())
     }
 
+    /// Wraps pre-packed row-major words (tails already clean) — the
+    /// zero-repack constructor behind [`crate::QueryBatchBuilder`].
+    #[inline]
+    pub(crate) fn from_raw_words(rows: usize, cols: usize, data: Vec<u64>) -> Self {
+        let words_per_row = words_for(cols);
+        debug_assert_eq!(data.len(), rows * words_per_row);
+        BitMatrix { rows, cols, words_per_row, data }
+    }
+
+    /// Copies rows `[start, start + count)` into a new matrix — the
+    /// row-major side of shard splitting (see
+    /// [`crate::SearchMemory::split_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `count == 0` and
+    /// [`LinalgError::IndexOutOfBounds`] when the range overruns `rows()`.
+    pub fn row_range(&self, start: usize, count: usize) -> Result<BitMatrix> {
+        if count == 0 {
+            return Err(LinalgError::Empty { op: "BitMatrix::row_range" });
+        }
+        let end = start.checked_add(count).filter(|&e| e <= self.rows).ok_or_else(|| {
+            LinalgError::IndexOutOfBounds {
+                index: start.saturating_add(count) - 1,
+                bound: self.rows,
+            }
+        })?;
+        let wpr = self.words_per_row;
+        Ok(BitMatrix {
+            rows: count,
+            cols: self.cols,
+            words_per_row: wpr,
+            data: self.data[start * wpr..end * wpr].to_vec(),
+        })
+    }
+
     /// Dot similarity of row `r` with a binary query.
     ///
     /// # Panics

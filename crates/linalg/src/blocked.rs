@@ -158,6 +158,66 @@ impl BlockedBitMatrix {
         m
     }
 
+    /// Copies rows `[start, start + count)` into a new blocked matrix
+    /// without round-tripping through the row-major layout.
+    ///
+    /// `start` must be block-aligned (`start % LANES == 0`): a block is
+    /// the smallest unit the interleaved storage can slice contiguously,
+    /// and shard planners align on it anyway. The copied region is one
+    /// contiguous `memcpy` of whole panels; a `count` that is not a
+    /// multiple of [`LANES`] simply leaves the final block partially
+    /// padded, exactly as construction would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `count == 0`,
+    /// [`LinalgError::IndexOutOfBounds`] when the range overruns `rows()`,
+    /// and [`LinalgError::ShapeMismatch`] when `start` is not
+    /// block-aligned.
+    pub fn row_range(&self, start: usize, count: usize) -> Result<Self> {
+        if count == 0 {
+            return Err(LinalgError::Empty { op: "BlockedBitMatrix::row_range" });
+        }
+        let end = start.checked_add(count).filter(|&e| e <= self.rows).ok_or_else(|| {
+            LinalgError::IndexOutOfBounds {
+                index: start.saturating_add(count) - 1,
+                bound: self.rows,
+            }
+        })?;
+        if !start.is_multiple_of(LANES) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "BlockedBitMatrix::row_range",
+                expected: LANES,
+                found: start % LANES,
+            });
+        }
+        let first_block = start / LANES;
+        let row_blocks = count.div_ceil(LANES);
+        let panel_words = self.words_per_row * LANES;
+        let mut data =
+            self.data[first_block * panel_words..end.div_ceil(LANES) * panel_words].to_vec();
+        // A shard boundary can cut through the source's final copied
+        // block; zero the lanes past `count` so padding rows stay all-zero
+        // (the invariant every sweep kernel relies on for tie-breaks).
+        if !count.is_multiple_of(LANES) {
+            let keep = count % LANES;
+            let last = row_blocks - 1;
+            for w in 0..self.words_per_row {
+                let base = (last * self.words_per_row + w) * LANES;
+                for lane in keep..LANES {
+                    data[base + lane] = 0;
+                }
+            }
+        }
+        Ok(BlockedBitMatrix {
+            rows: count,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            row_blocks,
+            data,
+        })
+    }
+
     fn check_dim(&self, batch: &QueryBatch, op: &'static str) -> Result<()> {
         if batch.dim() != self.cols {
             return Err(LinalgError::ShapeMismatch { op, expected: self.cols, found: batch.dim() });
@@ -358,6 +418,68 @@ impl SearchMemory {
             self.blocked = Some(BlockedBitMatrix::from_matrix(&self.matrix));
         }
         changed
+    }
+
+    /// Copies rows `[start, start + count)` into a standalone
+    /// [`SearchMemory`]. When a blocked mirror exists and `start` is
+    /// block-aligned, the mirror is sliced directly (contiguous panel
+    /// copy) instead of being re-packed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `count == 0` and
+    /// [`LinalgError::IndexOutOfBounds`] when the range overruns `rows()`.
+    pub fn row_range(&self, start: usize, count: usize) -> Result<SearchMemory> {
+        let matrix = self.matrix.row_range(start, count)?;
+        let blocked = match &self.blocked {
+            Some(b) if start.is_multiple_of(LANES) => {
+                Some(b.row_range(start, count).expect("range validated by row-major slice"))
+            }
+            Some(_) => Some(BlockedBitMatrix::from_matrix(&matrix)),
+            None => None,
+        };
+        Ok(SearchMemory { matrix, blocked })
+    }
+
+    /// Splits the memory into `shards` contiguous row ranges for
+    /// data-parallel serving: each returned `(row_offset, memory)` pair
+    /// owns its rows (and its own pre-packed blocked mirror), so the
+    /// shards are independently `Send` to per-shard worker threads.
+    ///
+    /// Boundaries are aligned to [`LANES`] so every shard except possibly
+    /// the last starts on a block boundary and the mirrors slice without
+    /// re-packing; a shard count above `rows().div_ceil(LANES)` is
+    /// clamped, so fewer (never empty) shards may be returned. Global row
+    /// indices are recovered as `row_offset + local_row`, and because
+    /// shards are ascending contiguous ranges, a merge that scans shards
+    /// in order with a strict `>` comparison preserves the workspace's
+    /// lowest-row tie-break.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for `shards == 0` or an empty
+    /// memory.
+    pub fn split_rows(&self, shards: usize) -> Result<Vec<(usize, SearchMemory)>> {
+        if shards == 0 || self.rows() == 0 {
+            return Err(LinalgError::Empty { op: "SearchMemory::split_rows" });
+        }
+        let blocks = self.rows().div_ceil(LANES);
+        let shards = shards.min(blocks);
+        // Distribute blocks as evenly as possible (the first `blocks %
+        // shards` shards take one extra), so exactly `min(shards,
+        // blocks)` non-empty shards come back — never fewer.
+        let base = blocks / shards;
+        let extra = blocks % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for i in 0..shards {
+            let shard_blocks = base + usize::from(i < extra);
+            let count = (shard_blocks * LANES).min(self.rows() - start);
+            out.push((start, self.row_range(start, count)?));
+            start += count;
+        }
+        debug_assert_eq!(start, self.rows());
+        Ok(out)
     }
 
     #[inline]
@@ -973,5 +1095,72 @@ mod tests {
         let batch = QueryBatch::from_vectors(&[BitVector::zeros(65)]).unwrap();
         assert!(blocked.dot_batch(&batch).is_err());
         assert!(blocked.winners_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn blocked_row_range_matches_row_major_slice() {
+        let m = sample_matrix(21, 130);
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        for (start, count) in [(0usize, 8usize), (8, 8), (8, 13), (16, 5), (0, 21)] {
+            let sub = blocked.row_range(start, count).unwrap();
+            assert_eq!(sub.to_matrix(), m.row_range(start, count).unwrap(), "{start}+{count}");
+            // Padding lanes of the final block stay zero even when the
+            // range cuts through a source block.
+            let last = sub.row_blocks() - 1;
+            for w in 0..sub.words_per_row() {
+                for (l, &lane) in sub.panel(last, w).iter().enumerate() {
+                    if last * LANES + l >= count {
+                        assert_eq!(lane, 0, "padding lane {l} of word {w} dirty");
+                    }
+                }
+            }
+        }
+        assert!(blocked.row_range(3, 4).is_err(), "unaligned start must be rejected");
+        assert!(blocked.row_range(8, 0).is_err());
+        assert!(blocked.row_range(16, 6).is_err());
+    }
+
+    #[test]
+    fn split_rows_covers_all_rows_and_preserves_winners() {
+        let m = sample_matrix(29, 96);
+        let mem = SearchMemory::new(m.clone());
+        let queries: Vec<BitVector> =
+            (0..7).map(|i| sample_matrix(1, 96).row(0).rotate_left(i)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let reference = mem.winners_batch(&batch).unwrap();
+        for shards in [1usize, 2, 3, 4, 100] {
+            let parts = mem.split_rows(shards).unwrap();
+            // Exactly min(shards, blocks) shards: 29 rows = 4 blocks, so
+            // e.g. 3 shards must yield 3 parts (2+1+1 blocks), not 2.
+            assert_eq!(parts.len(), shards.min(29usize.div_ceil(LANES)), "{shards} shards");
+            // Contiguous ascending cover of all rows.
+            let mut next = 0usize;
+            for (offset, part) in &parts {
+                assert_eq!(*offset, next);
+                for r in 0..part.rows() {
+                    assert_eq!(part.matrix().row(r), m.row(offset + r));
+                }
+                next += part.rows();
+            }
+            assert_eq!(next, m.rows(), "{shards} shards");
+            // Shard-order merge with strict > reproduces the global
+            // winners (including the low-row tie-break).
+            let merged: Vec<(usize, u32)> = (0..batch.len())
+                .map(|q| {
+                    let mut best = (0usize, 0u32);
+                    let mut first = true;
+                    for (offset, part) in &parts {
+                        let (row, score) = part.winners_batch(&batch).unwrap()[q];
+                        if first || score > best.1 {
+                            best = (offset + row, score);
+                            first = false;
+                        }
+                    }
+                    best
+                })
+                .collect();
+            assert_eq!(merged, reference, "{shards} shards");
+        }
+        assert!(mem.split_rows(0).is_err());
     }
 }

@@ -67,7 +67,9 @@ pub mod rng;
 pub mod stats;
 mod vector;
 
-pub use batch::{argmax_scores as argmax_u32, QueryBatch, ScoreMatrix, SearchResults};
+pub use batch::{
+    argmax_scores as argmax_u32, QueryBatch, QueryBatchBuilder, ScoreMatrix, SearchResults,
+};
 pub use bits::{BitMatrix, BitVector, BitView};
 pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
 pub use error::{LinalgError, Result};

@@ -1,0 +1,147 @@
+//! Edge-geometry coverage for the interleaved [`BlockedBitMatrix`]
+//! layout: dimensions that are not a multiple of the 64-bit panel word,
+//! row counts that are not a multiple of the 8-row block, degenerate 0/1
+//! row matrices, and all-tie score fields — asserting on **every backend
+//! reachable on this host** that the blocked sweep is bit-identical to
+//! the row-major reference (scores, winners, and the low-row tie-break).
+
+use hd_linalg::kernel::Backend;
+use hd_linalg::{BitMatrix, BlockedBitMatrix, QueryBatch, BLOCK_LANES};
+use proptest::prelude::*;
+
+fn deterministic_matrix(rows: usize, cols: usize, salt: u64) -> BitMatrix {
+    let mut m = BitMatrix::zeros(rows, cols);
+    let mut state = salt | 1;
+    for r in 0..rows {
+        for c in 0..cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state >> 63 == 1 {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+fn deterministic_batch(queries: usize, cols: usize, salt: u64) -> QueryBatch {
+    let m = deterministic_matrix(queries, cols, salt);
+    QueryBatch::from_matrix(m)
+}
+
+/// Blocked scores and winners must equal the row-major reference on
+/// every reachable backend, for the given geometry.
+fn assert_blocked_matches(m: &BitMatrix, batch: &QueryBatch, label: &str) {
+    let blocked = BlockedBitMatrix::from_matrix(m);
+    let ref_scores = m.dot_batch(batch).expect("reference dot_batch");
+    let ref_winners: Vec<(usize, u32)> =
+        (0..batch.len()).map(|q| hd_linalg::argmax_u32(ref_scores.scores(q))).collect();
+    for backend in Backend::available() {
+        let scores = blocked.dot_batch_with(batch, backend).expect("blocked dot");
+        assert_eq!(scores, ref_scores, "{label}: scores diverge on {backend}");
+        let winners = blocked.winners_batch_with(batch, backend).expect("blocked winners");
+        assert_eq!(winners, ref_winners, "{label}: winners diverge on {backend}");
+    }
+}
+
+/// Dimensions straddling panel-word boundaries and row counts straddling
+/// the 8-row block: every remainder class of both.
+#[test]
+fn word_and_block_remainder_geometries() {
+    for &cols in &[1usize, 63, 64, 65, 127, 128, 129, 191, 300] {
+        for &rows in &[1usize, 7, 8, 9, 15, 16, 17] {
+            let m = deterministic_matrix(rows, cols, (rows * 1000 + cols) as u64);
+            let batch = deterministic_batch(5, cols, 0xbeef + cols as u64);
+            assert_blocked_matches(&m, &batch, &format!("{rows}x{cols}"));
+        }
+    }
+}
+
+/// Class counts that are not a multiple of 8 leave padded lanes in the
+/// final block; those lanes must never win (they hold score 0 and rows
+/// >= rows()).
+#[test]
+fn padded_final_block_never_wins() {
+    // All-zero real rows: every score ties at 0 and the winner must be
+    // row 0, not a padding lane.
+    for rows in 1..=9usize {
+        let m = BitMatrix::zeros(rows, 70);
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        let batch = deterministic_batch(3, 70, 99);
+        for backend in Backend::available() {
+            for &(row, score) in &blocked.winners_batch_with(&batch, backend).unwrap() {
+                assert_eq!((row, score), (0, 0), "{rows} rows on {backend}");
+            }
+        }
+    }
+}
+
+/// All-ties field: identical rows everywhere — the winner must be row 0
+/// on every backend (the global low-row tie-break).
+#[test]
+fn all_tie_rows_resolve_to_row_zero() {
+    for &rows in &[3usize, 8, 11, 24] {
+        let proto = deterministic_matrix(1, 130, 7).row(0);
+        let m = BitMatrix::from_rows(&vec![proto; rows]).unwrap();
+        let batch = deterministic_batch(6, 130, 13);
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        for backend in Backend::available() {
+            for (q, &(row, score)) in
+                blocked.winners_batch_with(&batch, backend).unwrap().iter().enumerate()
+            {
+                assert_eq!(row, 0, "{rows} tied rows, query {q}, backend {backend}");
+                assert_eq!(score, m.row_dot(0, &batch.query(q).to_bit_vector()));
+            }
+        }
+    }
+}
+
+/// Single-row and single-query degenerate shapes.
+#[test]
+fn degenerate_single_row_and_query() {
+    let m = deterministic_matrix(1, 65, 21);
+    let batch = deterministic_batch(1, 65, 22);
+    assert_blocked_matches(&m, &batch, "1x65 single query");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary geometry: blocked == row-major on every reachable
+    /// backend, with rows/cols drawn to hit every remainder class of the
+    /// block height and panel word width.
+    #[test]
+    fn blocked_equals_rowmajor_arbitrary_geometry(
+        rows in 1usize..40,
+        cols in 1usize..200,
+        queries in 1usize..12,
+        salt in any::<u64>(),
+    ) {
+        let m = deterministic_matrix(rows, cols, salt);
+        let batch = deterministic_batch(queries, cols, salt ^ 0xa5a5_a5a5);
+        assert_blocked_matches(&m, &batch, &format!("prop {rows}x{cols}x{queries}"));
+    }
+
+    /// Row-range sub-views keep winners consistent with the parent: a
+    /// shard-aligned slice answers exactly like the same rows of the full
+    /// memory.
+    #[test]
+    fn row_range_winners_match_parent(
+        blocks in 2usize..5,
+        extra in 0usize..hd_linalg::BLOCK_LANES,
+        cols in 1usize..150,
+        salt in any::<u64>(),
+    ) {
+        let rows = (blocks - 1) * BLOCK_LANES + extra.max(1);
+        let m = deterministic_matrix(rows, cols, salt);
+        let blocked = BlockedBitMatrix::from_matrix(&m);
+        let batch = deterministic_batch(4, cols, salt ^ 0x5a5a);
+        let start = BLOCK_LANES;
+        let count = rows - start;
+        let sub = blocked.row_range(start, count).unwrap();
+        let full = blocked.dot_batch(&batch).unwrap();
+        let sliced = sub.dot_batch(&batch).unwrap();
+        for q in 0..batch.len() {
+            prop_assert_eq!(sliced.scores(q), &full.scores(q)[start..], "query {}", q);
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The micro-batching associative-search server.
+//!
+//! Independent single-query submissions are coalesced into SIMD-sized
+//! [`QueryBatch`]es under a latency budget and answered in one sweep —
+//! the amortization that makes the batched popcount kernels engage even
+//! when no caller owns a whole batch.
+//!
+//! # Flush discipline (flat combining)
+//!
+//! * **Full flush** — the submitter whose query fills the batch to
+//!   [`ServeConfig::max_batch`] takes the whole pending batch out of the
+//!   queue and executes it *inline* on its own thread. No hand-off, no
+//!   wake-up latency: on the hot path the batcher costs one short mutex
+//!   section per query plus the amortized sweep.
+//! * **Deadline flush** — a background flusher thread watches the oldest
+//!   pending query and flushes whatever has accumulated once it has
+//!   waited [`ServeConfig::max_delay`], bounding tail latency when
+//!   traffic is too thin to fill batches.
+//!
+//! Every flush answers its entire batch from **one** model snapshot
+//! ([`crate::ModelRegistry`]), so hot swaps never mix generations within
+//! a batch, and a submission is *never lost*: it is answered by a full
+//! flush, a deadline flush, or the drain that runs at shutdown (after
+//! which new submissions fail with [`ServeError::Shutdown`]).
+
+use crate::error::{Result, ServeError};
+use crate::registry::ModelRegistry;
+use crate::searchable::Searchable;
+use hd_linalg::{BitView, QueryBatch, QueryBatchBuilder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batcher tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush as soon as this many queries are pending. Batches of 32+
+    /// engage the on-the-fly SIMD packing threshold in `hd_linalg`;
+    /// pre-packed [`crate::ShardedSearcher`] memories amortize at any
+    /// size, with diminishing returns past a few hundred.
+    pub max_batch: usize,
+    /// Flush the pending batch once its oldest query has waited this
+    /// long — the per-query latency budget under thin traffic.
+    pub max_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 256, max_delay: Duration::from_micros(200) }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero `max_batch`.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig { reason: "max_batch must be positive".into() });
+        }
+        Ok(())
+    }
+}
+
+/// The answer to one served query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Winning row in the served memory.
+    pub row: usize,
+    /// Class owning the winning row.
+    pub class: usize,
+    /// Dot-similarity score of the winning row.
+    pub score: u32,
+    /// Model generation that answered the query (see
+    /// [`crate::ModelRegistry`]).
+    pub generation: u64,
+}
+
+/// Shared completion state of one batch cycle: every query queued into
+/// the same flush shares this single allocation (amortizing what a
+/// per-query oneshot would spend on malloc, mutex, and condvar), and the
+/// answered results are published once through an [`OnceLock`] so
+/// pipelined waiters read them lock-free.
+struct BatchState {
+    /// One entry per queued query, in submission order. Written exactly
+    /// once, by the flush that answers the batch.
+    results: std::sync::OnceLock<Vec<Result<Prediction>>>,
+    /// Whether any waiter parked on `cv` before the results landed.
+    parked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl BatchState {
+    fn new() -> Arc<Self> {
+        Arc::new(BatchState {
+            results: std::sync::OnceLock::new(),
+            parked: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Publishes the batch's results and wakes any parked waiters.
+    fn fill(&self, results: Vec<Result<Prediction>>) {
+        self.results.set(results).expect("each batch is flushed exactly once");
+        // Synchronize with parkers: a waiter either sees the results on
+        // its lock-free check, or sets `parked` under the lock and then
+        // re-checks — so taking the lock here guarantees the notify
+        // reaches anyone who parked before it.
+        let parked = *self.parked.lock().unwrap_or_else(PoisonError::into_inner);
+        if parked {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A submitted query's handle: redeem it with [`Pending::wait`].
+///
+/// Submitters that pipeline (submit a window of queries, then collect)
+/// usually find the result already published by the time they wait, so
+/// the handle costs no locking or parking at all on the hot path.
+#[must_use = "a Pending that is never waited on discards its prediction"]
+pub struct Pending {
+    batch: Arc<BatchState>,
+    index: usize,
+}
+
+impl Pending {
+    /// Whether the result is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.batch.results.get().is_some()
+    }
+
+    /// Blocks until the query is answered.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the flush produced: [`ServeError::Model`] for
+    /// model-side failures, [`ServeError::Shutdown`] if the server shut
+    /// down without answering.
+    pub fn wait(self) -> Result<Prediction> {
+        if let Some(results) = self.batch.results.get() {
+            return results[self.index].clone();
+        }
+        let mut parked = self.batch.parked.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            // Re-check under the lock: fill() takes it after publishing,
+            // so a result published before we parked is visible here.
+            if let Some(results) = self.batch.results.get() {
+                return results[self.index].clone();
+            }
+            *parked = true;
+            parked = self.batch.cv.wait(parked).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Point-in-time serving counters (see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Queries answered by flushes (accepted queries still pending in the
+    /// current batch cycle are not counted yet).
+    pub queries: u64,
+    /// Batches flushed (full + deadline + shutdown drain).
+    pub batches: u64,
+    /// Flushes triggered by a full batch.
+    pub full_flushes: u64,
+    /// Flushes triggered by the latency deadline (or shutdown drain).
+    pub deadline_flushes: u64,
+    /// Largest batch flushed so far.
+    pub largest_batch: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    full_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+struct Queue {
+    builder: QueryBatchBuilder,
+    /// Completion state shared by every query of the current cycle.
+    state: Arc<BatchState>,
+    /// When the oldest pending query arrived; `None` while empty.
+    opened_at: Option<Instant>,
+    shutdown: bool,
+}
+
+impl Queue {
+    /// Moves the pending batch out (caller flushes it outside the lock)
+    /// and opens a fresh cycle.
+    fn take_work(&mut self) -> (QueryBatch, Arc<BatchState>) {
+        let batch = self.builder.take_batch().expect("take_work on a non-empty queue");
+        self.opened_at = None;
+        (batch, std::mem::replace(&mut self.state, BatchState::new()))
+    }
+}
+
+enum FlushKind {
+    Full,
+    Deadline,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Wakes the deadline flusher when the queue goes non-empty or the
+    /// server shuts down.
+    deadline_cv: Condvar,
+    /// Whether the flusher is deep-parked (indefinite wait). Submitters
+    /// only pay the condvar notify when this is set; while traffic keeps
+    /// batches full the flusher *lingers* on timed waits instead, so the
+    /// hot path never wakes it. Written only under the queue lock.
+    flusher_parked: AtomicBool,
+    registry: ModelRegistry,
+    config: ServeConfig,
+    stats: StatCounters,
+}
+
+impl Shared {
+    fn flush(&self, batch: QueryBatch, state: Arc<BatchState>, kind: FlushKind) {
+        let snapshot = self.registry.snapshot();
+        let queries = batch.len();
+        self.stats.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.largest_batch.fetch_max(queries as u64, Ordering::Relaxed);
+        match kind {
+            FlushKind::Full => self.stats.full_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushKind::Deadline => self.stats.deadline_flushes.fetch_add(1, Ordering::Relaxed),
+        };
+        // A panicking model must not unwind past the batch state: the
+        // batch was already taken out of the queue, so an unfilled state
+        // would strand its waiters forever — and a panic on the flusher
+        // thread would additionally kill deadline flushing and the
+        // shutdown drain. Contain it and answer the batch with an error.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            snapshot.model().search_winners(Arc::new(batch))
+        }))
+        .unwrap_or_else(|payload| {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(ServeError::Model { reason: format!("model panicked during flush: {what}") })
+        });
+        let results: Vec<Result<Prediction>> = match result {
+            Ok(winners) if winners.len() == queries => winners
+                .into_iter()
+                .map(|w| {
+                    Ok(Prediction {
+                        row: w.row,
+                        class: w.class,
+                        score: w.score,
+                        generation: snapshot.id(),
+                    })
+                })
+                .collect(),
+            Ok(winners) => {
+                let err = ServeError::Model {
+                    reason: format!(
+                        "model returned {} winners for {queries} queries",
+                        winners.len()
+                    ),
+                };
+                vec![Err(err); queries]
+            }
+            Err(e) => vec![Err(e); queries],
+        };
+        state.fill(results);
+    }
+}
+
+/// The sharded micro-batching associative-search server.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::BitVector;
+/// use hd_serve::{ServeConfig, Server};
+/// use hdc::BinaryAm;
+/// use std::sync::Arc;
+///
+/// let am = BinaryAm::from_centroids(2, vec![
+///     (0, BitVector::from_bools(&[true, true, false, false])),
+///     (1, BitVector::from_bools(&[false, false, true, true])),
+/// ]).unwrap();
+/// let server = Server::start(Arc::new(am), ServeConfig {
+///     max_batch: 8,
+///     max_delay: std::time::Duration::from_micros(50),
+/// }).unwrap();
+/// let query = BitVector::from_bools(&[true, true, true, false]);
+/// let prediction = server.classify(query.as_view()).unwrap();
+/// assert_eq!(prediction.class, 0);
+/// assert_eq!(prediction.generation, 1);
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("dim", &self.dim())
+            .field("config", &self.shared.config)
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts a server over `model` (generation 1) and spawns the
+    /// deadline flusher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid `config` or
+    /// if the flusher thread cannot be spawned.
+    pub fn start(model: Arc<dyn Searchable>, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let dim = model.dim();
+        // Pre-size for the configured batch, but don't let a huge
+        // (deadline-only) max_batch pre-reserve unbounded memory.
+        let reserve = config.max_batch.min(4096);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                builder: QueryBatchBuilder::with_capacity(dim, reserve),
+                state: BatchState::new(),
+                opened_at: None,
+                shutdown: false,
+            }),
+            deadline_cv: Condvar::new(),
+            flusher_parked: AtomicBool::new(false),
+            registry: ModelRegistry::new(model),
+            config,
+            stats: StatCounters::default(),
+        });
+        let flusher_shared = Arc::clone(&shared);
+        let flusher = std::thread::Builder::new()
+            .name("hd-serve-flusher".into())
+            .spawn(move || run_flusher(&flusher_shared))
+            .map_err(|e| ServeError::InvalidConfig {
+                reason: format!("failed to spawn flusher: {e}"),
+            })?;
+        Ok(Server { shared, flusher: Mutex::new(Some(flusher)) })
+    }
+
+    /// Dimensionality queries must match.
+    pub fn dim(&self) -> usize {
+        self.shared.registry.dim()
+    }
+
+    /// The registry's current model generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.registry.generation()
+    }
+
+    /// The model registry (for snapshots and direct inspection).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Atomically swaps in a new model generation; in-flight batches
+    /// finish on their old snapshot. See [`ModelRegistry::publish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DimensionMismatch`] if the new model's
+    /// dimensionality differs.
+    pub fn publish(&self, model: Arc<dyn Searchable>) -> Result<u64> {
+        self.shared.registry.publish(model)
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            queries: s.queries.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            full_flushes: s.full_flushes.load(Ordering::Relaxed),
+            deadline_flushes: s.deadline_flushes.load(Ordering::Relaxed),
+            largest_batch: s.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits one query, returning a [`Pending`] handle. If this query
+    /// fills the batch, the submitting thread flushes it inline before
+    /// returning (flat combining); otherwise the deadline flusher will.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DimensionMismatch`] for a wrong-width query
+    /// and [`ServeError::Shutdown`] after shutdown.
+    pub fn submit(&self, query: BitView<'_>) -> Result<Pending> {
+        if query.len() != self.dim() {
+            return Err(ServeError::DimensionMismatch { expected: self.dim(), found: query.len() });
+        }
+        let (pending, work) = {
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if q.shutdown {
+                return Err(ServeError::Shutdown);
+            }
+            q.builder.push(query).expect("dimension checked above");
+            let index = q.builder.len() - 1;
+            if index == 0 {
+                q.opened_at = Some(Instant::now());
+                // Only a deep-parked flusher needs a wake-up; a lingering
+                // one will notice the queue on its next timed check.
+                if self.shared.flusher_parked.load(Ordering::Relaxed) {
+                    self.shared.deadline_cv.notify_one();
+                }
+            }
+            let pending = Pending { batch: Arc::clone(&q.state), index };
+            let work = (q.builder.len() >= self.shared.config.max_batch).then(|| q.take_work());
+            (pending, work)
+        };
+        if let Some((batch, state)) = work {
+            self.shared.flush(batch, state, FlushKind::Full);
+        }
+        Ok(pending)
+    }
+
+    /// Submit-and-wait convenience: the single-call blocking entry point.
+    /// Under thin traffic this waits up to [`ServeConfig::max_delay`] for
+    /// the deadline flush — that is the latency budget buying batch
+    /// amortization; latency-critical single callers should lower it (or
+    /// pipeline via [`Server::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit`] and [`Pending::wait`].
+    pub fn classify(&self, query: BitView<'_>) -> Result<Prediction> {
+        self.submit(query)?.wait()
+    }
+
+    /// Shuts the server down: pending queries are drained and answered,
+    /// subsequent submissions fail with [`ServeError::Shutdown`].
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if q.shutdown {
+                return;
+            }
+            q.shutdown = true;
+        }
+        self.shared.deadline_cv.notify_all();
+        let handle = self.flusher.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Empty timed checks the flusher makes before deep-parking. While full
+/// flushes keep traffic flowing, the queue looks empty at every check and
+/// the flusher stays in this cheap linger loop — submitters never pay a
+/// condvar notify.
+const LINGER_TICKS: u32 = 32;
+
+/// Deadline-flusher loop: tracks the oldest pending query and flushes
+/// once it has waited `max_delay`. While traffic flows it lingers on
+/// timed waits (see [`LINGER_TICKS`]); after enough consecutive empty
+/// checks it deep-parks until a submitter notifies it, so an idle server
+/// costs no wake-ups at all. A query that arrives during a linger sleep
+/// is flushed within `2 × max_delay` in the worst case. On shutdown the
+/// loop drains whatever is still queued (no query is lost) and exits.
+fn run_flusher(shared: &Shared) {
+    let max_delay = shared.config.max_delay;
+    let mut empty_checks = 0u32;
+    let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if q.shutdown {
+            if !q.builder.is_empty() {
+                let (batch, state) = q.take_work();
+                drop(q);
+                shared.flush(batch, state, FlushKind::Deadline);
+            }
+            return;
+        }
+        match q.opened_at {
+            None if empty_checks >= LINGER_TICKS => {
+                // Written under the queue lock; a submitter that misses
+                // the flag (checks before we set it) has not pushed yet
+                // and its push happens after we release the lock in
+                // wait(), so no wake-up is ever lost.
+                shared.flusher_parked.store(true, Ordering::Relaxed);
+                q = shared.deadline_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                shared.flusher_parked.store(false, Ordering::Relaxed);
+                empty_checks = 0;
+            }
+            None => {
+                empty_checks += 1;
+                q = shared
+                    .deadline_cv
+                    .wait_timeout(q, max_delay)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            Some(opened) => {
+                empty_checks = 0;
+                let elapsed = opened.elapsed();
+                if elapsed >= max_delay {
+                    let (batch, state) = q.take_work();
+                    drop(q);
+                    shared.flush(batch, state, FlushKind::Deadline);
+                    q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                } else {
+                    q = shared
+                        .deadline_cv
+                        .wait_timeout(q, max_delay - elapsed)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_linalg::rng::seeded;
+    use hd_linalg::{BitVector, SearchMemory};
+    use rand::Rng;
+
+    fn random_am(vectors: usize, dim: usize, seed: u64) -> Arc<hdc::BinaryAm> {
+        let mut rng = seeded(seed);
+        let centroids: Vec<(usize, BitVector)> = (0..vectors)
+            .map(|v| {
+                let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                (v % 5, BitVector::from_bools(&bits))
+            })
+            .collect();
+        Arc::new(hdc::BinaryAm::from_centroids(5, centroids).unwrap())
+    }
+
+    fn random_queries(n: usize, dim: usize, seed: u64) -> Vec<BitVector> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn served_predictions_match_direct_search() {
+        let am = random_am(40, 128, 1);
+        let server = Server::start(
+            Arc::clone(&am) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 16, max_delay: Duration::from_micros(100) },
+        )
+        .unwrap();
+        let queries = random_queries(50, 128, 2);
+        let pendings: Vec<Pending> =
+            queries.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+        for (q, p) in queries.iter().zip(pendings) {
+            let got = p.wait().unwrap();
+            let want = am.search(q).unwrap();
+            assert_eq!((got.row, got.class, got.score), (want.row, want.class, want.score));
+            assert_eq!(got.generation, 1);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 50);
+        // 50 queries at max_batch 16: up to three full flushes plus a
+        // deadline flush for the remainder. Exact counts depend on
+        // scheduling (a preempted submitter lets the deadline flusher
+        // steal a partial batch), so assert bounds, not equality.
+        assert!(stats.full_flushes <= 3, "{stats:?}");
+        assert!(stats.deadline_flushes >= 1, "{stats:?}");
+        assert!(stats.largest_batch <= 16, "{stats:?}");
+        assert!(stats.batches >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn deadline_flush_answers_partial_batches() {
+        let am = random_am(16, 64, 3);
+        let server = Server::start(
+            Arc::clone(&am) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 1024, max_delay: Duration::from_millis(1) },
+        )
+        .unwrap();
+        let q = random_queries(1, 64, 4).remove(0);
+        // A single query can never fill the batch; only the deadline can
+        // answer it.
+        let got = server.classify(q.as_view()).unwrap();
+        assert_eq!(got.class, am.classify(&q).unwrap());
+        assert_eq!(server.stats().deadline_flushes, 1);
+        assert_eq!(server.stats().full_flushes, 0);
+    }
+
+    #[test]
+    fn publish_swaps_generation_for_later_flushes() {
+        let dim = 64;
+        let am_a = random_am(24, dim, 5);
+        let am_b = random_am(24, dim, 6);
+        let server = Server::start(
+            Arc::clone(&am_a) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 4, max_delay: Duration::from_millis(5) },
+        )
+        .unwrap();
+        let q = random_queries(1, dim, 7).remove(0);
+        let before = server.classify(q.as_view()).unwrap();
+        assert_eq!(before.generation, 1);
+        assert_eq!(server.publish(Arc::clone(&am_b) as Arc<dyn Searchable>).unwrap(), 2);
+        let after = server.classify(q.as_view()).unwrap();
+        assert_eq!(after.generation, 2);
+        let want = am_b.search(&q).unwrap();
+        assert_eq!((after.row, after.score), (want.row, want.score));
+    }
+
+    #[test]
+    fn rejects_bad_dimensions_and_post_shutdown_submissions() {
+        let am = random_am(8, 64, 8);
+        let server =
+            Server::start(Arc::clone(&am) as Arc<dyn Searchable>, ServeConfig::default()).unwrap();
+        assert!(matches!(
+            server.submit(BitVector::zeros(65).as_view()),
+            Err(ServeError::DimensionMismatch { expected: 64, found: 65 })
+        ));
+        server.shutdown();
+        assert!(matches!(server.submit(BitVector::zeros(64).as_view()), Err(ServeError::Shutdown)));
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let am = random_am(8, 64, 9);
+        let server = Server::start(
+            Arc::clone(&am) as Arc<dyn Searchable>,
+            // Deadline far away: only the shutdown drain can answer.
+            ServeConfig { max_batch: 1024, max_delay: Duration::from_secs(600) },
+        )
+        .unwrap();
+        let queries = random_queries(5, 64, 10);
+        let pendings: Vec<Pending> =
+            queries.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+        server.shutdown();
+        for (q, p) in queries.iter().zip(pendings) {
+            assert_eq!(p.wait().unwrap().class, am.classify(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn panicking_model_answers_with_error_and_keeps_flusher_alive() {
+        struct PanickyModel;
+        impl crate::Searchable for PanickyModel {
+            fn dim(&self) -> usize {
+                64
+            }
+            fn rows(&self) -> usize {
+                1
+            }
+            fn search_winners(
+                &self,
+                _batch: Arc<hd_linalg::QueryBatch>,
+            ) -> Result<Vec<crate::Winner>> {
+                panic!("synthetic model failure");
+            }
+        }
+        let server = Server::start(
+            Arc::new(PanickyModel),
+            // Large max_batch: both flushes go through the deadline
+            // flusher, so a contained panic is also proven not to kill
+            // that thread.
+            ServeConfig { max_batch: 1024, max_delay: Duration::from_micros(200) },
+        )
+        .unwrap();
+        let q = random_queries(1, 64, 20).remove(0);
+        match server.classify(q.as_view()) {
+            Err(ServeError::Model { reason }) => {
+                assert!(reason.contains("panicked"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected a Model error, got {other:?}"),
+        }
+        // The flusher survived: after swapping in a healthy model, the
+        // deadline path answers normally.
+        let am = random_am(8, 64, 21);
+        server.publish(Arc::clone(&am) as Arc<dyn Searchable>).unwrap();
+        assert_eq!(server.classify(q.as_view()).unwrap().class, am.classify(&q).unwrap());
+    }
+
+    #[test]
+    fn zero_max_batch_rejected() {
+        let am = random_am(8, 64, 11);
+        assert!(Server::start(
+            am as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 0, max_delay: Duration::from_micros(1) }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serves_raw_search_memory_with_row_as_class() {
+        let memory = SearchMemory::from_rows(&random_queries(12, 64, 12)).unwrap();
+        let server = Server::start(
+            Arc::new(memory.clone()) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 4, max_delay: Duration::from_micros(50) },
+        )
+        .unwrap();
+        let q = random_queries(1, 64, 13).remove(0);
+        let got = server.classify(q.as_view()).unwrap();
+        assert_eq!(got.row, got.class);
+        let direct = memory
+            .winners_batch(&QueryBatch::from_vectors(std::slice::from_ref(&q)).unwrap())
+            .unwrap()[0];
+        assert_eq!((got.row, got.score), direct);
+    }
+}

@@ -1,0 +1,323 @@
+//! Row-sharded associative search across pinned worker threads.
+//!
+//! A [`ShardedSearcher`] splits a [`SearchMemory`]'s class-row space into
+//! `N` contiguous, [`hd_linalg::BLOCK_LANES`]-aligned row ranges (via
+//! [`SearchMemory::split_rows`]); each shard owns its rows **and its own
+//! pre-packed blocked mirror**, and — when more than one shard exists —
+//! is pinned to a dedicated worker thread that lives for the searcher's
+//! lifetime. A flush sends the shared `Arc<QueryBatch>` to every worker,
+//! collects per-shard winners, and merges them in ascending-shard order
+//! with a strict `>` comparison, which reproduces the global
+//! highest-score / lowest-row tie-break exactly (the property the SIMD
+//! equivalence suite pins for the underlying kernels).
+
+use crate::error::{Result, ServeError};
+use crate::searchable::{Searchable, Winner};
+use hd_linalg::{QueryBatch, SearchMemory};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What a worker posts back per job: its shard index plus the shard-local
+/// winners (or the kernel-level failure).
+type ShardReply = (usize, hd_linalg::Result<Vec<(usize, u32)>>);
+
+/// One dispatched unit of shard work: the shared batch plus the reply
+/// channel the worker posts a [`ShardReply`] to.
+struct Job {
+    batch: Arc<QueryBatch>,
+    reply: SyncSender<ShardReply>,
+}
+
+struct Shard {
+    /// Global row index of this shard's first row.
+    offset: usize,
+    memory: Arc<SearchMemory>,
+    /// Job channel of the pinned worker; `None` when the searcher runs
+    /// shards inline (single shard, or worker spawn disabled).
+    jobs: Option<Mutex<Sender<Job>>>,
+}
+
+/// A sharded, worker-backed [`Searchable`] over a row-partitioned
+/// associative memory.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitMatrix, BitVector, QueryBatch, SearchMemory};
+/// use hd_serve::{Searchable, ShardedSearcher};
+/// use std::sync::Arc;
+///
+/// let rows: Vec<BitVector> =
+///     (0..32).map(|r| BitVector::from_bools(&[r % 3 == 0, true, r % 2 == 0])).collect();
+/// let memory = SearchMemory::from_rows(&rows).unwrap();
+/// let classes = (0..32).map(|r| r % 4).collect();
+/// let sharded = ShardedSearcher::new(memory.clone(), classes, 2).unwrap();
+/// let batch = Arc::new(QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 3])]).unwrap());
+/// let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+/// assert_eq!(winners[0].row, memory.winners_batch(&batch).unwrap()[0].0);
+/// ```
+pub struct ShardedSearcher {
+    dim: usize,
+    rows: usize,
+    /// Global row → class label.
+    classes: Arc<Vec<usize>>,
+    shards: Vec<Shard>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardedSearcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSearcher")
+            .field("dim", &self.dim)
+            .field("rows", &self.rows)
+            .field("shards", &self.shards.len())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ShardedSearcher {
+    /// Splits `memory` into (at most) `num_shards` row shards, spawning
+    /// one pinned worker thread per shard when more than one results.
+    /// `num_shards == 0` selects [`std::thread::available_parallelism`].
+    ///
+    /// `classes[r]` is the class label of global row `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `classes` disagrees with
+    /// the memory's row count or the memory is empty.
+    pub fn new(memory: SearchMemory, classes: Vec<usize>, num_shards: usize) -> Result<Self> {
+        if classes.len() != memory.rows() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("{} class labels for {} rows", classes.len(), memory.rows()),
+            });
+        }
+        let num_shards = if num_shards == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            num_shards
+        };
+        let dim = memory.cols();
+        let rows = memory.rows();
+        let parts = memory
+            .split_rows(num_shards)
+            .map_err(|e| ServeError::InvalidConfig { reason: e.to_string() })?;
+        let spawn_workers = parts.len() > 1;
+        let mut shards = Vec::with_capacity(parts.len());
+        let mut workers = Vec::new();
+        for (idx, (offset, part)) in parts.into_iter().enumerate() {
+            let memory = Arc::new(part);
+            let jobs = if spawn_workers {
+                let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
+                let worker_memory = Arc::clone(&memory);
+                let handle = std::thread::Builder::new()
+                    .name(format!("hd-serve-shard-{idx}"))
+                    .spawn(move || {
+                        // The worker owns its shard for its whole life:
+                        // the blocked mirror stays hot and no re-packing
+                        // ever happens on the search path.
+                        while let Ok(job) = rx.recv() {
+                            let winners = worker_memory.winners_batch(&job.batch);
+                            // A dropped reply receiver means the dispatch
+                            // errored out early; keep serving later jobs.
+                            let _ = job.reply.send((idx, winners));
+                        }
+                    })
+                    .map_err(|e| ServeError::InvalidConfig {
+                        reason: format!("failed to spawn shard worker: {e}"),
+                    })?;
+                workers.push(handle);
+                Some(Mutex::new(tx))
+            } else {
+                None
+            };
+            shards.push(Shard { offset, memory, jobs });
+        }
+        Ok(ShardedSearcher { dim, rows, classes: Arc::new(classes), shards, workers })
+    }
+
+    /// Builds a sharded searcher over a [`hdc::BinaryAm`]'s centroid rows
+    /// and class labels.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSearcher::new`].
+    pub fn from_am(am: &hdc::BinaryAm, num_shards: usize) -> Result<Self> {
+        ShardedSearcher::new(am.search_memory().clone(), am.class_labels().to_vec(), num_shards)
+    }
+
+    /// Number of row shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether shards execute on pinned worker threads (vs. inline).
+    pub fn has_workers(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
+    /// Merges per-shard winners (ordered by ascending shard) into global
+    /// winners. Strict `>` keeps the earliest (lowest-offset) shard on
+    /// ties, and each shard's local winner already carries its own
+    /// lowest-row tie-break, so the merged winner is exactly the
+    /// unsharded one.
+    fn merge(&self, per_shard: Vec<Vec<(usize, u32)>>, queries: usize) -> Vec<Winner> {
+        (0..queries)
+            .map(|q| {
+                let mut best = (0usize, 0u32);
+                let mut first = true;
+                for (shard, winners) in self.shards.iter().zip(&per_shard) {
+                    let (local_row, score) = winners[q];
+                    if first || score > best.1 {
+                        best = (shard.offset + local_row, score);
+                        first = false;
+                    }
+                }
+                Winner { row: best.0, class: self.classes[best.0], score: best.1 }
+            })
+            .collect()
+    }
+}
+
+impl Searchable for ShardedSearcher {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>> {
+        if batch.dim() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, found: batch.dim() });
+        }
+        let queries = batch.len();
+        let mut per_shard: Vec<Option<Vec<(usize, u32)>>> = vec![None; self.shards.len()];
+        if self.workers.is_empty() {
+            for (slot, shard) in per_shard.iter_mut().zip(&self.shards) {
+                *slot = Some(
+                    shard
+                        .memory
+                        .winners_batch(&batch)
+                        .map_err(|e| ServeError::Model { reason: e.to_string() })?,
+                );
+            }
+        } else {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(self.shards.len());
+            for shard in &self.shards {
+                let job = Job { batch: Arc::clone(&batch), reply: reply_tx.clone() };
+                shard
+                    .jobs
+                    .as_ref()
+                    .expect("worker-backed searcher has a job channel per shard")
+                    .lock()
+                    .expect("shard sender lock poisoned")
+                    .send(job)
+                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
+            }
+            drop(reply_tx);
+            for _ in 0..self.shards.len() {
+                let (idx, winners) = reply_rx
+                    .recv()
+                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
+                per_shard[idx] =
+                    Some(winners.map_err(|e| ServeError::Model { reason: e.to_string() })?);
+            }
+        }
+        let per_shard: Vec<Vec<(usize, u32)>> =
+            per_shard.into_iter().map(|w| w.expect("every shard replied")).collect();
+        Ok(self.merge(per_shard, queries))
+    }
+}
+
+impl Drop for ShardedSearcher {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops.
+        for shard in &mut self.shards {
+            shard.jobs = None;
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_linalg::rng::seeded;
+    use hd_linalg::BitVector;
+    use rand::Rng;
+
+    fn random_memory(rows: usize, dim: usize, seed: u64) -> (SearchMemory, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let vectors: Vec<BitVector> = (0..rows)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let classes = (0..rows).map(|r| r % 7).collect();
+        (SearchMemory::from_rows(&vectors).unwrap(), classes)
+    }
+
+    fn random_batch(n: usize, dim: usize, seed: u64) -> Arc<QueryBatch> {
+        let mut rng = seeded(seed);
+        let queries: Vec<BitVector> = (0..n)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        Arc::new(QueryBatch::from_vectors(&queries).unwrap())
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_for_every_shard_count() {
+        let (memory, classes) = random_memory(53, 96, 1);
+        let batch = random_batch(17, 96, 2);
+        let reference = memory.winners_batch(&batch).unwrap();
+        for shards in [1usize, 2, 3, 4, 9] {
+            let sharded = ShardedSearcher::new(memory.clone(), classes.clone(), shards).unwrap();
+            assert_eq!(sharded.has_workers(), sharded.num_shards() > 1, "{shards}");
+            let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+            for (q, w) in winners.iter().enumerate() {
+                assert_eq!((w.row, w.score), reference[q], "shards {shards}, query {q}");
+                assert_eq!(w.class, classes[w.row]);
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_row_across_shard_boundary() {
+        // Rows 0 and 16 are identical; they land in different shards and
+        // tie on every query — the merged winner must be row 0.
+        let mut rows: Vec<BitVector> =
+            (0..24).map(|_| BitVector::from_bools(&[false; 64])).collect();
+        let hot = BitVector::from_bools(&[true; 64]);
+        rows[0] = hot.clone();
+        rows[16] = hot.clone();
+        let memory = SearchMemory::from_rows(&rows).unwrap();
+        let sharded = ShardedSearcher::new(memory, (0..24).collect(), 3).unwrap();
+        assert!(sharded.num_shards() >= 2);
+        let batch = Arc::new(QueryBatch::from_vectors(&[hot]).unwrap());
+        let w = sharded.search_winners(batch).unwrap();
+        assert_eq!((w[0].row, w[0].score), (0, 64));
+    }
+
+    #[test]
+    fn shard_count_clamped_and_validated() {
+        let (memory, classes) = random_memory(10, 64, 3);
+        let sharded = ShardedSearcher::new(memory.clone(), classes.clone(), 100).unwrap();
+        assert!(sharded.num_shards() <= 2, "10 rows = 2 lane blocks at most");
+        assert!(ShardedSearcher::new(memory, classes[..5].to_vec(), 2).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (memory, classes) = random_memory(16, 64, 4);
+        let sharded = ShardedSearcher::new(memory, classes, 2).unwrap();
+        let batch = random_batch(3, 65, 5);
+        assert!(matches!(
+            sharded.search_winners(batch),
+            Err(ServeError::DimensionMismatch { expected: 64, found: 65 })
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! Concurrency stress suite for the micro-batcher (the loom-style
+//! guarantees, exercised with real threads):
+//!
+//! 1. concurrent submitters never lose a query — every submission is
+//!    answered, exactly once, with the same winner the unserved model
+//!    produces;
+//! 2. the deadline flush always fires — partial batches that can never
+//!    fill are still answered, round after round;
+//! 3. a snapshot swap during flushes never mixes model generations — a
+//!    response's `(generation, class)` pair is always consistent with one
+//!    published model.
+
+use hd_linalg::rng::seeded;
+use hd_linalg::BitVector;
+use hd_serve::{Pending, Searchable, ServeConfig, Server, ShardedSearcher};
+use hdc::BinaryAm;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn random_queries(n: usize, dim: usize, seed: u64) -> Vec<BitVector> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+        .collect()
+}
+
+fn random_am(vectors: usize, dim: usize, seed: u64) -> BinaryAm {
+    let centroids =
+        random_queries(vectors, dim, seed).into_iter().enumerate().map(|(v, b)| (v % 7, b));
+    BinaryAm::from_centroids(7, centroids.collect()).unwrap()
+}
+
+/// Submitters on many threads, pipelining windows of single-query
+/// submissions: every query is answered and matches the direct search.
+#[test]
+fn concurrent_submitters_never_lose_queries() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 400;
+    const WINDOW: usize = 50;
+    let dim = 128;
+    let am = Arc::new(random_am(64, dim, 1));
+    let sharded = ShardedSearcher::from_am(&am, 2).unwrap();
+    let server = Arc::new(
+        Server::start(
+            Arc::new(sharded) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+        )
+        .unwrap(),
+    );
+    let answered: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let am = Arc::clone(&am);
+                scope.spawn(move || {
+                    let queries = random_queries(PER_THREAD, dim, 100 + t as u64);
+                    let mut answered = 0usize;
+                    for window in queries.chunks(WINDOW) {
+                        let pendings: Vec<Pending> =
+                            window.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+                        for (q, p) in window.iter().zip(pendings) {
+                            let got = p.wait().unwrap();
+                            let want = am.search(q).unwrap();
+                            assert_eq!(
+                                (got.row, got.class, got.score),
+                                (want.row, want.class, want.score),
+                                "thread {t} got a wrong answer"
+                            );
+                            answered += 1;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(answered.iter().sum::<usize>(), THREADS * PER_THREAD);
+    let stats = server.stats();
+    assert_eq!(stats.queries, (THREADS * PER_THREAD) as u64, "every submission was accepted");
+    assert!(stats.batches > 0);
+    assert!(
+        stats.largest_batch > 1,
+        "concurrent submissions should coalesce (largest batch {})",
+        stats.largest_batch
+    );
+}
+
+/// With a batch size nothing ever fills, only the deadline flusher can
+/// answer — it must fire every round, including immediately after a
+/// previous flush.
+#[test]
+fn deadline_flush_always_fires() {
+    let dim = 64;
+    let am = Arc::new(random_am(16, dim, 2));
+    let server = Server::start(
+        Arc::clone(&am) as Arc<dyn Searchable>,
+        ServeConfig { max_batch: usize::MAX, max_delay: Duration::from_micros(300) },
+    )
+    .unwrap();
+    let queries = random_queries(60, dim, 3);
+    for (round, window) in queries.chunks(3).enumerate() {
+        let pendings: Vec<Pending> =
+            window.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+        for (q, p) in window.iter().zip(pendings) {
+            // wait() returning at all IS the property: nothing but the
+            // deadline can flush these.
+            assert_eq!(p.wait().unwrap().class, am.classify(q).unwrap(), "round {round}");
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.full_flushes, 0);
+    assert!(stats.deadline_flushes >= 20, "expected one flush per round, saw {stats:?}");
+    assert_eq!(stats.queries, 60);
+}
+
+/// Hot snapshot swaps under sustained load: every response's
+/// `(generation, class)` pair must match a published model — a batch that
+/// mixed generations would hand some query a class from the wrong model.
+/// Model generations are distinguishable by construction: generation `g`
+/// labels every centroid with class `g % CLASS_MODELS`.
+#[test]
+fn snapshot_swap_never_mixes_generations() {
+    const CLASS_MODELS: usize = 3;
+    const SUBMITTERS: usize = 4;
+    const PER_THREAD: usize = 600;
+    const WINDOW: usize = 40;
+    let dim = 64;
+    // All models share the same rows, so scores/rows are
+    // generation-independent; only the class labels identify the model.
+    let rows = random_queries(32, dim, 4);
+    let model_for = |class: usize| -> Arc<dyn Searchable> {
+        Arc::new(
+            BinaryAm::from_centroids(
+                CLASS_MODELS,
+                rows.iter().map(|r| (class, r.clone())).collect(),
+            )
+            .unwrap(),
+        )
+    };
+
+    let server = Arc::new(
+        Server::start(
+            model_for(1 % CLASS_MODELS),
+            ServeConfig { max_batch: 32, max_delay: Duration::from_micros(150) },
+        )
+        .unwrap(),
+    );
+    // generation id -> class every centroid of that generation carries.
+    let published: Arc<Mutex<HashMap<u64, usize>>> =
+        Arc::new(Mutex::new(HashMap::from([(1, 1 % CLASS_MODELS)])));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Publisher: swap models as fast as the lock allows.
+        let publisher = {
+            let server = Arc::clone(&server);
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut swaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let class = (swaps as usize + 2) % CLASS_MODELS;
+                    // Record the mapping BEFORE publishing so no response
+                    // can observe an unknown generation.
+                    let expected_id = {
+                        let mut map = published.lock().unwrap();
+                        let id = map.keys().max().unwrap() + 1;
+                        map.insert(id, class);
+                        id
+                    };
+                    let id = server.publish(model_for(class)).unwrap();
+                    assert_eq!(id, expected_id, "publishes are serialized by this one thread");
+                    swaps += 1;
+                    std::thread::yield_now();
+                }
+                swaps
+            })
+        };
+
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let published = Arc::clone(&published);
+                scope.spawn(move || {
+                    let queries = random_queries(PER_THREAD, dim, 200 + t as u64);
+                    for window in queries.chunks(WINDOW) {
+                        let pendings: Vec<Pending> =
+                            window.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+                        for p in pendings {
+                            let got = p.wait().unwrap();
+                            let expected_class =
+                                *published.lock().unwrap().get(&got.generation).unwrap_or_else(
+                                    || panic!("unknown generation {}", got.generation),
+                                );
+                            assert_eq!(
+                                got.class, expected_class,
+                                "generation {} answered with another generation's class",
+                                got.generation
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let swaps = publisher.join().unwrap();
+        assert!(swaps > 0, "publisher never got a swap in");
+    });
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.queries,
+        (SUBMITTERS * PER_THREAD) as u64,
+        "zero failed or lost queries under swap load"
+    );
+}

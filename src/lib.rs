@@ -12,6 +12,7 @@ pub use hd_baselines;
 pub use hd_clustering;
 pub use hd_datasets;
 pub use hd_linalg;
+pub use hd_serve;
 pub use hdc;
 pub use imc_sim;
 pub use memhd;

@@ -84,6 +84,69 @@ fn table2_isolet_improvements() {
     assert!((part4.total_arrays() as f64 / memhd.total_arrays() as f64 - 17.5).abs() < 1e-9);
 }
 
+/// Table II(b), ISOLET column in full: the complete cycle/array counts
+/// behind the 20× headline — Basic 480/480, P=2 480/440, P=4 480/420,
+/// MEMHD 512×128 24/24.
+#[test]
+fn table2_isolet_full_counts() {
+    let spec = ArraySpec::default();
+    let am = random_am(26, 26, 10240, 7);
+    let report = |strategy| system_report(617, &AmMapping::new(&am, spec, strategy).unwrap());
+
+    let basic = report(MappingStrategy::Basic);
+    assert_eq!((basic.em_cycles, basic.am_cycles), (400, 80)); // 5×80 EM tiles + 80 AM tiles
+    assert_eq!((basic.total_cycles(), basic.total_arrays()), (480, 480));
+
+    let p2 = report(MappingStrategy::Partitioned { partitions: 2 });
+    assert_eq!((p2.total_cycles(), p2.total_arrays()), (480, 440)); // 400 EM + 40 AM arrays
+
+    let p4 = report(MappingStrategy::Partitioned { partitions: 4 });
+    assert_eq!((p4.total_cycles(), p4.total_arrays()), (480, 420)); // 400 EM + 20 AM arrays
+
+    let memhd = system_report(
+        617,
+        &AmMapping::new(&random_am(26, 128, 512, 8), spec, MappingStrategy::Basic).unwrap(),
+    );
+    assert_eq!((memhd.em_cycles, memhd.am_cycles), (20, 4)); // 5×4 EM tiles + 4 AM tiles
+    assert_eq!((memhd.total_cycles(), memhd.total_arrays()), (24, 24));
+    assert!((memhd.am_utilization - 1.0).abs() < 1e-12);
+}
+
+/// Table II(b), UCIHAR-shaped column (561 features, 6 classes): Basic
+/// 10240D costs 480 cycles / 480 arrays; MEMHD 256×128 costs 12/12 — a
+/// 40× improvement on both axes, with partitioning again saving arrays
+/// but no cycles.
+#[test]
+fn table2_ucihar_improvements() {
+    let spec = ArraySpec::default();
+    let basic = system_report(
+        561,
+        &AmMapping::new(&random_am(6, 6, 10240, 9), spec, MappingStrategy::Basic).unwrap(),
+    );
+    let part5 = system_report(
+        561,
+        &AmMapping::new(
+            &random_am(6, 6, 10240, 9),
+            spec,
+            MappingStrategy::Partitioned { partitions: 5 },
+        )
+        .unwrap(),
+    );
+    let memhd = system_report(
+        561,
+        &AmMapping::new(&random_am(6, 128, 256, 10), spec, MappingStrategy::Basic).unwrap(),
+    );
+
+    assert_eq!((basic.total_cycles(), basic.total_arrays()), (480, 480)); // 400 EM + 80 AM
+    assert_eq!(part5.total_cycles(), 480); // partitioning saves no cycles
+    assert_eq!(part5.total_arrays(), 416); // 400 EM + 16 AM arrays
+    assert_eq!((memhd.em_cycles, memhd.am_cycles), (10, 2)); // 5×2 EM tiles + 2 AM tiles
+    assert_eq!((memhd.total_cycles(), memhd.total_arrays()), (12, 12));
+    assert_eq!(basic.total_cycles() / memhd.total_cycles(), 40); // 40×
+    assert_eq!(basic.total_arrays() / memhd.total_arrays(), 40); // 40×
+    assert!((memhd.am_utilization - 1.0).abs() < 1e-12);
+}
+
 /// Table II utilization column: 7.81% → 39.06% → 78.13% → 100% (MNIST).
 #[test]
 fn table2_utilization_ladder() {
@@ -116,6 +179,48 @@ fn fig7_energy_ratios() {
     assert!((basic / memhd - 80.0).abs() < 1e-9);
     assert!((lehdc / memhd - 4.0).abs() < 1e-9);
     assert!((basic_p10 - basic).abs() < 1e-9, "partitioning must not change energy");
+}
+
+/// Fig. 7's full comparison ladder at matched-accuracy AM sizes, driven
+/// straight through [`EnergyModel`] arithmetic: per-inference AM energy
+/// and latency are both proportional to tile activations, so BasicHDC
+/// 10240D : SearcHD 8000D : QuantHD 1600D : LeHDC 400D : MEMHD 128D
+/// land at 80 : 63 : 13 : 4 : 1 (ceil-of-row-tiles), and programming
+/// energy scales with mapped cells independently of the ladder.
+#[test]
+fn fig7_energy_ladder_full() {
+    let spec = ArraySpec::default();
+    let model = EnergyModel::default();
+    let am_energy = |k: usize, v: usize, d: usize| {
+        let mapping =
+            AmMapping::new(&random_am(k, v, d, 11), spec, MappingStrategy::Basic).unwrap();
+        (mapping.inference_energy_pj(&model), mapping.stats().cycles)
+    };
+    let (basic, basic_cycles) = am_energy(10, 10, 10240);
+    let (searchd, searchd_cycles) = am_energy(10, 10, 8000);
+    let (quanthd, _) = am_energy(10, 10, 1600);
+    let (lehdc, _) = am_energy(10, 10, 400);
+    let (memhd, memhd_cycles) = am_energy(10, 128, 128);
+
+    assert_eq!((basic_cycles, searchd_cycles, memhd_cycles), (80, 63, 1));
+    for (label, energy, ratio) in [
+        ("basic", basic, 80.0),
+        ("searchd", searchd, 63.0),
+        ("quanthd", quanthd, 13.0),
+        ("lehdc", lehdc, 4.0),
+    ] {
+        assert!((energy / memhd - ratio).abs() < 1e-9, "{label}: {energy} / {memhd}");
+    }
+    // Energy and latency ladders are the same arithmetic: both are
+    // linear in tile activations.
+    assert!((model.latency_ns(basic_cycles) / model.latency_ns(memhd_cycles) - 80.0).abs() < 1e-9);
+    // Programming energy is a one-time cost in mapped cells, not cycles:
+    // MEMHD's 128×128 fully-utilized AM programs exactly one array.
+    let memhd_mapping =
+        AmMapping::new(&random_am(10, 128, 128, 11), spec, MappingStrategy::Basic).unwrap();
+    assert!(
+        (memhd_mapping.program_energy_pj(&model) - model.program_energy_pj(128 * 128)).abs() < 1e-9
+    );
 }
 
 /// Table I: the memory model orders models as the paper does, and MEMHD's
