@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hd_linalg::rng::seeded;
-use hd_linalg::{BitVector, QueryBatch};
+use hd_linalg::{BitVector, BoundCascade, CascadePlan, QueryBatch};
 use hdc::BinaryAm;
 use rand::Rng;
 
@@ -87,5 +87,87 @@ fn bench_search_batched(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_search_batched);
+/// Progressive-precision cascade vs the exact winners sweep on a
+/// class-imbalanced AM at the BasicHDC 10240×10 shape.
+///
+/// The workload models imbalanced traffic over an AM whose centroid
+/// popcounts are imbalanced (the global-threshold quantization pathology
+/// §III-B warns about): one dense majority-class centroid, nine sparse
+/// minority ones, and 99% of the 10k queries near the majority centroid.
+/// The cascade scores a D/16 prefix, prunes the sparse centroids via the
+/// Hamming bound, and finishes only the survivors — same predictions as
+/// `classify_batch`, bit for bit (asserted before timing).
+fn bench_cascade_search(c: &mut Criterion) {
+    let dim = 10240usize;
+    let vectors = 10usize;
+    let n_queries = 10_000usize;
+    let mut rng = seeded(17);
+    let mut density_bits = |density: f32| -> BitVector {
+        BitVector::from_bools(&(0..dim).map(|_| rng.gen::<f32>() < density).collect::<Vec<_>>())
+    };
+    // Centroid 0: dense majority class. Centroids 1..10: sparse.
+    let mut centroids = vec![(0usize, density_bits(0.5))];
+    for v in 1..vectors {
+        centroids.push((v, density_bits(0.02)));
+    }
+    let rows: Vec<BitVector> = centroids.iter().map(|(_, b)| b.clone()).collect();
+    let am = BinaryAm::from_centroids(vectors, centroids).expect("valid AM");
+    // Queries: 5%-perturbed copies of a stored centroid, 99% of them
+    // from the majority class.
+    let queries: Vec<BitVector> = (0..n_queries)
+        .map(|i| {
+            let base = if i % 100 != 0 { 0 } else { 1 + (i / 100) % (vectors - 1) };
+            let mut q = rows[base].clone();
+            for _ in 0..dim / 20 {
+                let bit = rng.gen_range(0..dim);
+                q.set(bit, !q.get(bit));
+            }
+            q
+        })
+        .collect();
+    let batch = QueryBatch::from_vectors(&queries).expect("batch");
+    let plan = CascadePlan::prefix(dim, dim / 16).expect("plan");
+    // Pre-derive the plan's artifacts once, mirroring how `classify_batch`
+    // reuses the AM's pre-packed memory: the serving path (hd_serve's
+    // cascade adapters) holds exactly this bound form.
+    let bound = BoundCascade::new(std::sync::Arc::new(am.search_memory().clone()), plan.clone())
+        .expect("bound cascade");
+
+    // The cascade is an execution strategy, not an approximation: pin
+    // prediction equality (and report the pruning rate) before timing.
+    let exact = am.classify_batch(&batch).expect("exact");
+    assert_eq!(exact, am.classify_batch_cascade(&batch, &plan).expect("cascade"));
+    let stats = am.search_cascade(&batch, &plan).expect("cascade");
+    eprintln!(
+        "cascade_search: activation fraction {:.3} (stage shortlists {:?})",
+        stats.stats().activation_fraction(),
+        stats.stats().stage_rows(),
+    );
+
+    let mut group = c.benchmark_group("cascade_search");
+    group.throughput(Throughput::Elements(n_queries as u64));
+    group.bench_with_input(
+        BenchmarkId::new("batched_classify_10240x10", n_queries),
+        &batch,
+        |b, batch| b.iter(|| am.classify_batch(batch).expect("search").iter().sum::<usize>()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("cascade_classify_10240x10", n_queries),
+        &batch,
+        |b, batch| {
+            b.iter(|| {
+                bound
+                    .search(batch)
+                    .expect("search")
+                    .winners()
+                    .iter()
+                    .map(|&(row, _)| am.class_of(row))
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_search_batched, bench_cascade_search);
 criterion_main!(benches);

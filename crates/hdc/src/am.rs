@@ -9,7 +9,9 @@
 //! special case of one centroid per class.
 
 use crate::error::{HdcError, Result};
-use hd_linalg::{BitMatrix, BitVector, Matrix, QueryBatch, ScoreMatrix, SearchMemory};
+use hd_linalg::{
+    BitMatrix, BitVector, CascadePlan, CascadeStats, Matrix, QueryBatch, ScoreMatrix, SearchMemory,
+};
 
 /// Identifies one centroid: the class it belongs to plus a per-class
 /// sub-label (paper notation: class index `j`, sub-label `i` in Eq. 4).
@@ -330,6 +332,67 @@ impl SearchResults {
     }
 }
 
+/// Results of a cascade associative search against a [`BinaryAm`]: the
+/// same winners [`BinaryAm::search_batch`] would produce (bit-identical
+/// rows, classes, scores, and tie-breaks) plus the activation telemetry
+/// of the prefix-pruned sweep. No score matrix exists — pruned rows were
+/// never fully scored; that is the point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeSearchResults {
+    hits: Vec<SearchHit>,
+    stats: CascadeStats,
+}
+
+impl CascadeSearchResults {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// The winning hit of query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn hit(&self, q: usize) -> &SearchHit {
+        &self.hits[q]
+    }
+
+    /// All hits, parallel to the batch's queries.
+    pub fn hits(&self) -> &[SearchHit] {
+        &self.hits
+    }
+
+    /// Predicted classes, one per query.
+    pub fn classes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.hits.iter().map(|h| h.class)
+    }
+
+    /// Activation telemetry of the cascade (see
+    /// [`hd_linalg::CascadeStats`]).
+    pub fn stats(&self) -> &CascadeStats {
+        &self.stats
+    }
+}
+
+/// Maps a cascade-search substrate error: shape disagreements (batch or
+/// plan vs the AM's dimensionality) become [`HdcError::DimensionMismatch`]
+/// with the actual offending widths; anything else passes through as
+/// [`HdcError::Linalg`].
+fn cascade_error(e: hd_linalg::LinalgError) -> HdcError {
+    match e {
+        hd_linalg::LinalgError::ShapeMismatch { expected, found, .. } => {
+            HdcError::DimensionMismatch { expected, found }
+        }
+        other => HdcError::Linalg(other),
+    }
+}
+
 /// 1-bit quantized associative memory — what actually maps onto the IMC
 /// array (§III-D).
 ///
@@ -508,6 +571,49 @@ impl BinaryAm {
         Ok(winners.into_iter().map(|(row, _)| self.classes[row]).collect())
     }
 
+    /// Progressive-precision associative search: scores a dimension
+    /// prefix per centroid, prunes centroids that provably cannot win
+    /// (Hamming bound), and finishes only the survivors. Winners are
+    /// bit-identical to [`BinaryAm::search_batch`]; the returned
+    /// telemetry reports how many centroid-dimensions were activated —
+    /// the paper's Fig. 7 energy proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the batch or plan
+    /// dimensionality differs from `dim()`.
+    pub fn search_cascade(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+    ) -> Result<CascadeSearchResults> {
+        let raw = self.vectors.search_cascade(batch, plan).map_err(cascade_error)?;
+        let hits = raw
+            .winners()
+            .iter()
+            .map(|&(row, score)| SearchHit { row, class: self.classes[row], score })
+            .collect();
+        let stats = raw.stats().clone();
+        Ok(CascadeSearchResults { hits, stats })
+    }
+
+    /// Predicted class per query via the cascade — the classification
+    /// fast path for plans whose early stages separate winners (same
+    /// predictions as [`BinaryAm::classify_batch`], bit for bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the batch or plan
+    /// dimensionality differs from `dim()`.
+    pub fn classify_batch_cascade(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+    ) -> Result<Vec<usize>> {
+        let raw = self.vectors.search_cascade(batch, plan).map_err(cascade_error)?;
+        Ok(raw.winners().iter().map(|&(row, _)| self.classes[row]).collect())
+    }
+
     /// Borrows centroid row `row`.
     ///
     /// # Panics
@@ -649,6 +755,56 @@ mod tests {
         let q = BitVector::from_bools(&[true, true]);
         assert_eq!(am.search(&q).unwrap().row, 0);
         assert_eq!(am.classify(&q).unwrap(), 1);
+    }
+
+    #[test]
+    fn cascade_matches_batched_search() {
+        use hd_linalg::rng::seeded;
+        use rand::Rng;
+        let mut rng = seeded(31);
+        let dim = 192;
+        let centroids: Vec<(usize, BitVector)> = (0..11)
+            .map(|v| {
+                let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                (v % 4, BitVector::from_bools(&bits))
+            })
+            .collect();
+        let am = BinaryAm::from_centroids(4, centroids).unwrap();
+        let queries: Vec<BitVector> = (0..23)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let exact = am.search_batch(&batch).unwrap();
+        for plan in [
+            CascadePlan::exact(dim),
+            CascadePlan::prefix(dim, 64).unwrap(),
+            CascadePlan::uniform(dim, 5).unwrap(),
+        ] {
+            let cascade = am.search_cascade(&batch, &plan).unwrap();
+            assert_eq!(cascade.hits(), exact.hits(), "{plan:?}");
+            assert_eq!(
+                am.classify_batch_cascade(&batch, &plan).unwrap(),
+                am.classify_batch(&batch).unwrap(),
+                "{plan:?}"
+            );
+            assert!(cascade.stats().activated_dims() <= cascade.stats().exact_dims());
+        }
+    }
+
+    #[test]
+    fn cascade_dimension_checked() {
+        let am = BinaryAm::from_centroids(1, vec![(0, BitVector::zeros(64))]).unwrap();
+        let batch = QueryBatch::from_vectors(&[BitVector::zeros(64)]).unwrap();
+        let bad_batch = QueryBatch::from_vectors(&[BitVector::zeros(65)]).unwrap();
+        let plan = CascadePlan::exact(64);
+        assert!(matches!(
+            am.search_cascade(&bad_batch, &plan),
+            Err(HdcError::DimensionMismatch { expected: 64, found: 65 })
+        ));
+        assert!(matches!(
+            am.classify_batch_cascade(&batch, &CascadePlan::exact(63)),
+            Err(HdcError::DimensionMismatch { expected: 64, found: 63 })
+        ));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod similarity;
 mod text;
 pub mod train;
 
-pub use am::{BinaryAm, CentroidId, FloatAm, SearchHit, SearchResults};
+pub use am::{BinaryAm, CascadeSearchResults, CentroidId, FloatAm, SearchHit, SearchResults};
 pub use encoder::{
     encode_dataset, EncodedDataset, Encoder, IdLevelEncoder, RandomProjectionEncoder,
 };

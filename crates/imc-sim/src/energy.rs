@@ -36,6 +36,18 @@ impl EnergyModel {
         self.cell_write_energy_pj * cells as f64
     }
 
+    /// Energy of an inference whose activations were partially gated:
+    /// `cycles` full tile activations scaled by the fraction of
+    /// `(column, wordline)` products actually driven — the
+    /// activation-proportional model behind Fig. 7, extended to the
+    /// cascade's pruned sweeps. `fraction == 1.0` recovers
+    /// [`EnergyModel::inference_energy_pj`] exactly, which is what lets
+    /// the Fig. 7 ladder be re-derived from cascade telemetry.
+    pub fn scaled_inference_energy_pj(&self, cycles: usize, fraction: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&fraction), "activation fraction {fraction}");
+        self.inference_energy_pj(cycles) * fraction
+    }
+
     /// Latency of an inference that takes `cycles` tile activations on a
     /// single physical array.
     pub fn latency_ns(&self, cycles: usize) -> f64 {
@@ -69,6 +81,26 @@ mod tests {
         assert!((basic / memhd - 80.0).abs() < 1e-9);
         // LeHDC 400D needs 4 cycles -> 4x.
         assert!((m.inference_energy_pj(4) / memhd - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig7_ladder_rederives_from_unpruned_cascade_telemetry() {
+        // With pruning disabled (activation fraction exactly 1.0), the
+        // scaled energy equals the exact energy, so the Fig. 7 ladder
+        // 80 : 63 : 13 : 4 : 1 falls straight out of cascade telemetry.
+        let m = EnergyModel::default();
+        let memhd = m.scaled_inference_energy_pj(1, 1.0);
+        for cycles in [80usize, 63, 13, 4, 1] {
+            assert!(
+                (m.scaled_inference_energy_pj(cycles, 1.0) / memhd - cycles as f64).abs() < 1e-9
+            );
+            assert!(
+                (m.scaled_inference_energy_pj(cycles, 1.0) - m.inference_energy_pj(cycles)).abs()
+                    < 1e-9
+            );
+        }
+        // A pruned cascade scales the same ladder down linearly.
+        assert!((m.scaled_inference_energy_pj(80, 0.25) - m.inference_energy_pj(20)).abs() < 1e-9);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub use adc::AdcModel;
 pub use energy::EnergyModel;
 pub use error::{ImcError, Result};
 pub use faults::{FaultModel, FaultyAmMapping};
-pub use mapping::{AmMapping, BatchInferenceStats, InferenceStats, MappingStats, MappingStrategy};
+pub use mapping::{
+    AmMapping, BatchInferenceStats, CascadeBatchStats, InferenceStats, MappingStats,
+    MappingStrategy,
+};
 pub use spec::{tile_grid, ArraySpec, TileGrid};
 pub use system::{batch_system_report, system_report, BatchSystemReport, SystemReport};

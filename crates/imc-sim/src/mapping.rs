@@ -10,7 +10,9 @@
 use crate::energy::EnergyModel;
 use crate::error::{ImcError, Result};
 use crate::spec::{tile_grid, ArraySpec};
-use hd_linalg::{BitMatrix, BitVector, QueryBatch, ScoreMatrix, SearchMemory};
+use hd_linalg::{
+    BitMatrix, BitVector, CascadePlan, CascadeStats, QueryBatch, ScoreMatrix, SearchMemory,
+};
 use hdc::BinaryAm;
 
 /// How the AM is laid out across arrays.
@@ -96,6 +98,79 @@ impl BatchInferenceStats {
     /// Total tile activations for the whole batch.
     pub fn total_cycles(&self) -> usize {
         self.cycles_per_query * self.len()
+    }
+}
+
+/// Result of a batched **cascade** search on the mapped arrays
+/// ([`AmMapping::search_batch_cascade`]): the same predictions the exact
+/// mapped search produces, plus the activated-dimension telemetry the
+/// paper's Fig. 7 energy ladder is proportional to.
+///
+/// The array evaluates an associative search column group by column
+/// group; a cascade gates the bitlines of centroids that provably cannot
+/// win, so the energy of the batch scales with `activated_dims` instead
+/// of `queries × centroids × D`. With a one-stage plan no pruning can
+/// fire and [`CascadeBatchStats::activation_fraction`] is exactly 1 — the
+/// exact search's energy is recovered, which is how the Fig. 7 ladder
+/// re-derives from this telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeBatchStats {
+    /// Winning centroid row per query — bit-exact against
+    /// [`AmMapping::search_batch`].
+    pub predicted_rows: Vec<usize>,
+    /// Class owning the winning centroid, per query.
+    pub predicted_classes: Vec<usize>,
+    /// Activation telemetry of the prefix-pruned sweep.
+    pub cascade: CascadeStats,
+    /// Tile activations an **exact** search costs per query (the Fig. 7
+    /// denominator this mapping contributes).
+    pub exact_cycles_per_query: usize,
+}
+
+impl CascadeBatchStats {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.predicted_rows.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.predicted_rows.is_empty()
+    }
+
+    /// Total `(centroid, dimension)` products activated across the
+    /// batch.
+    pub fn activated_dims(&self) -> u64 {
+        self.cascade.activated_dims()
+    }
+
+    /// `(centroid, dimension)` products an exact search would activate:
+    /// `queries × centroids × D`.
+    pub fn exact_dims(&self) -> u64 {
+        self.cascade.exact_dims()
+    }
+
+    /// Activated fraction in `(0, 1]` — the batch's relative energy
+    /// under the activation-proportional model (1.0 when no pruning
+    /// fired).
+    pub fn activation_fraction(&self) -> f64 {
+        self.cascade.activation_fraction()
+    }
+
+    /// Equivalent whole-batch tile activations: the exact batch cost
+    /// scaled by the activated fraction. Fractional because a partially
+    /// gated activation costs a fraction of a full one.
+    pub fn equivalent_cycles(&self) -> f64 {
+        (self.exact_cycles_per_query * self.len()) as f64 * self.activation_fraction()
+    }
+
+    /// Whole-batch inference energy under `model`: the exact batch
+    /// energy scaled by the activated fraction.
+    pub fn inference_energy_pj(&self, model: &EnergyModel) -> f64 {
+        model.scaled_inference_energy_pj(
+            self.exact_cycles_per_query * self.len(),
+            self.activation_fraction(),
+        )
     }
 }
 
@@ -333,6 +408,58 @@ impl AmMapping {
             predicted_rows,
             predicted_classes,
             cycles_per_query: self.stats().cycles,
+        })
+    }
+
+    /// Executes a batched **cascade** search on the mapped arrays:
+    /// dimension prefixes are driven first, centroid columns that
+    /// provably cannot win are gated off (Hamming bound), and only the
+    /// survivors see the remaining wordlines. Predictions are bit-exact
+    /// against [`AmMapping::search_batch`]; the returned telemetry
+    /// reports the activated-dimension count the paper's Fig. 7 energy
+    /// ladder is proportional to.
+    ///
+    /// Only the basic (MEMHD fully-utilized) layout supports the
+    /// cascade: a partitioned mapping interleaves dimension segments
+    /// across activations, so a prefix of logical dimensions is not a
+    /// prefix of its activation schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] if the batch or plan
+    /// width is not `D`, and [`ImcError::InvalidPartitioning`] for a
+    /// partitioned layout.
+    pub fn search_batch_cascade(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+    ) -> Result<CascadeBatchStats> {
+        if batch.dim() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: batch.dim(),
+            });
+        }
+        if plan.dim() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch { expected: self.dim, found: plan.dim() });
+        }
+        if self.partitions.len() != 1 {
+            return Err(ImcError::InvalidPartitioning {
+                dim: self.dim,
+                partitions: self.partitions.len(),
+                reason: "cascade search requires the basic (fully-utilized) layout".into(),
+            });
+        }
+        let results =
+            self.partitions[0].search_cascade(batch, plan).expect("dimensions validated above");
+        let predicted_rows: Vec<usize> = results.winners().iter().map(|&(row, _)| row).collect();
+        let predicted_classes = predicted_rows.iter().map(|&r| self.classes[r]).collect();
+        let cascade = results.stats().clone();
+        Ok(CascadeBatchStats {
+            predicted_rows,
+            predicted_classes,
+            cascade,
+            exact_cycles_per_query: self.stats().cycles,
         })
     }
 
@@ -622,6 +749,104 @@ mod tests {
         let adc_part = crate::AdcModel::new(3, 64).unwrap(); // per-segment scale
         assert_eq!(basic.search_with_adc(&q, &adc).unwrap().scores.len(), 4);
         assert_eq!(part.search_with_adc(&q, &adc_part).unwrap().scores.len(), 4);
+    }
+
+    fn random_batch(n: usize, dim: usize, seed: u64) -> QueryBatch {
+        let queries: Vec<BitVector> = (0..n).map(|i| random_query(dim, seed + i as u64)).collect();
+        QueryBatch::from_vectors(&queries).unwrap()
+    }
+
+    #[test]
+    fn cascade_predictions_bit_exact_and_full_activation_without_pruning() {
+        let am = random_am(4, 3, 256, 31);
+        let m = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let batch = random_batch(9, 256, 400);
+        let exact = m.search_batch(&batch).unwrap();
+        // One-stage plan: pruning cannot fire, so the activated-dimension
+        // telemetry must sum to exactly the exact search's dimension
+        // count — queries × centroids × D.
+        let stats = m.search_batch_cascade(&batch, &CascadePlan::exact(256)).unwrap();
+        assert_eq!(stats.predicted_rows, exact.predicted_rows);
+        assert_eq!(stats.predicted_classes, exact.predicted_classes);
+        assert_eq!(stats.activated_dims(), stats.exact_dims());
+        assert_eq!(stats.exact_dims(), 9 * 12 * 256);
+        assert!((stats.activation_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.exact_cycles_per_query, m.stats().cycles);
+        assert!(
+            (stats.equivalent_cycles() - exact.total_cycles() as f64).abs() < 1e-9,
+            "exact-plan cascade must recover the exact cycle count"
+        );
+        // Multi-stage plans stay bit-exact regardless of whether pruning
+        // fires.
+        for plan in [CascadePlan::prefix(256, 64).unwrap(), CascadePlan::uniform(256, 4).unwrap()] {
+            let s = m.search_batch_cascade(&batch, &plan).unwrap();
+            assert_eq!(s.predicted_rows, exact.predicted_rows, "{plan:?}");
+            assert!(s.activated_dims() <= s.exact_dims(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn cascade_telemetry_strictly_decreases_when_pruning_fires() {
+        // Separable memory: each query is a stored centroid, the other
+        // centroids are sparse — the Hamming bound prunes them after the
+        // first stage, so activation must drop strictly below exact.
+        let dim = 512;
+        let mut rng = seeded(32);
+        let hot: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+        let mut centroids = vec![(0usize, BitVector::from_bools(&hot))];
+        for c in 1..8 {
+            let sparse: Vec<bool> = (0..dim).map(|_| rng.gen::<f32>() < 0.05).collect();
+            centroids.push((c % 3, BitVector::from_bools(&sparse)));
+        }
+        let am = BinaryAm::from_centroids(3, centroids).unwrap();
+        let m = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let batch = QueryBatch::from_vectors(&[BitVector::from_bools(&hot)]).unwrap();
+        let plan = CascadePlan::prefix(dim, 128).unwrap();
+        let stats = m.search_batch_cascade(&batch, &plan).unwrap();
+        assert_eq!(stats.predicted_rows, vec![0]);
+        assert!(
+            stats.activated_dims() < stats.exact_dims(),
+            "pruning must strictly reduce activation: {} vs {}",
+            stats.activated_dims(),
+            stats.exact_dims()
+        );
+        assert!(stats.activation_fraction() < 1.0);
+        assert!(stats.equivalent_cycles() < (stats.exact_cycles_per_query * stats.len()) as f64);
+        // Energy scales with the activated fraction.
+        let model = EnergyModel::default();
+        let exact_energy = model.inference_energy_pj(stats.exact_cycles_per_query * stats.len());
+        let cascade_energy = stats.inference_energy_pj(&model);
+        assert!(cascade_energy < exact_energy);
+        assert!(
+            (cascade_energy / exact_energy - stats.activation_fraction()).abs() < 1e-12,
+            "energy ratio must equal the activation fraction"
+        );
+    }
+
+    #[test]
+    fn cascade_rejects_partitioned_layouts_and_bad_dims() {
+        let am = random_am(2, 2, 256, 33);
+        let part = AmMapping::new(
+            &am,
+            ArraySpec::default(),
+            MappingStrategy::Partitioned { partitions: 2 },
+        )
+        .unwrap();
+        let batch = random_batch(2, 256, 500);
+        assert!(matches!(
+            part.search_batch_cascade(&batch, &CascadePlan::exact(256)),
+            Err(ImcError::InvalidPartitioning { .. })
+        ));
+        let basic = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        assert!(matches!(
+            basic.search_batch_cascade(&batch, &CascadePlan::exact(128)),
+            Err(ImcError::QueryDimensionMismatch { expected: 256, found: 128 })
+        ));
+        let bad_batch = random_batch(2, 128, 501);
+        assert!(matches!(
+            basic.search_batch_cascade(&bad_batch, &CascadePlan::exact(256)),
+            Err(ImcError::QueryDimensionMismatch { expected: 256, found: 128 })
+        ));
     }
 
     #[test]

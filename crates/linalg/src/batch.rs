@@ -35,7 +35,7 @@ pub(crate) const QUERY_TILE: usize = 8;
 /// Minimum `Q × R` word-products before the `rayon` feature spreads a
 /// batch across threads; below this the spawn cost dominates.
 #[cfg(feature = "rayon")]
-const PARALLEL_THRESHOLD: usize = 1 << 16;
+pub(crate) const PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// Minimum word-slice width before the runtime-dispatched SIMD kernels
 /// beat the inline scalar loop; below this the indirect call costs more
@@ -551,7 +551,10 @@ fn kernel_fixed<const W: usize>(
     while q + QUERY_TILE <= q_count {
         let mut qw = [[0u64; W]; QUERY_TILE];
         for (j, qj) in qw.iter_mut().enumerate() {
-            qj.copy_from_slice(batch.query_words(q_offset + q + j));
+            // Queries may be wider than the memory (a cascade stage-0
+            // sweep drives a prefix sub-memory with full-width queries);
+            // only the memory's words participate.
+            qj.copy_from_slice(&batch.query_words(q_offset + q + j)[..W]);
         }
         let mut outs = tile_outputs(out, q, rows);
         for (r, rw) in words.chunks_exact(W).enumerate() {
@@ -613,8 +616,9 @@ fn kernel_tail(
     out: &mut [u32],
 ) {
     let rows = memory.rows();
+    let wpr = memory.words_per_row_pub();
     while q < q_count {
-        let qw = batch.query_words(q_offset + q);
+        let qw = &batch.query_words(q_offset + q)[..wpr];
         let row_out = &mut out[q * rows..(q + 1) * rows];
         for (r, slot) in row_out.iter_mut().enumerate() {
             *slot = dot_words(memory.row_words_pub(r), qw);
@@ -829,7 +833,7 @@ fn winners_kernel_fixed<const W: usize>(
     while q + WINNER_QT <= q_count {
         let mut qw = [[0u64; W]; WINNER_QT];
         for (j, qj) in qw.iter_mut().enumerate() {
-            qj.copy_from_slice(batch.query_words(q_offset + q + j));
+            qj.copy_from_slice(&batch.query_words(q_offset + q + j)[..W]);
         }
         let mut best_score = [0u32; WINNER_QT];
         let mut best_row = [0u32; WINNER_QT];
@@ -874,7 +878,7 @@ fn winners_kernel_fixed<const W: usize>(
     }
     // Tail queries: same strict-> winner scan, one query at a time.
     while q < q_count {
-        let qw = batch.query_words(q_offset + q);
+        let qw = &batch.query_words(q_offset + q)[..W];
         let mut best = (0usize, 0u32);
         for (r, rw) in words.chunks_exact(W).enumerate() {
             let s = dot_words(rw, qw);

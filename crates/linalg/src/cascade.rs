@@ -1,0 +1,1048 @@
+//! Progressive-precision cascade search: prefix-pruned associative
+//! lookup that is bit-identical to the exact sweep.
+//!
+//! The IMC array the paper models evaluates an associative search
+//! dimension group by dimension group, and its energy ladder (Fig. 7) is
+//! proportional to how many dimensions are activated. The software
+//! analogue: score a *prefix* of the dimensions for every row, prune the
+//! rows that provably cannot win, and spend the remaining dimensions only
+//! on the survivors.
+//!
+//! Exactness is by construction, not by approximation. The dot
+//! similarity a row can still collect from the unscored suffix is bounded
+//! by the **Hamming bound**: from `dot = (ones(q) + ones(r) − ham(q,
+//! r)) / 2` and `ham ≥ |ones(q) − ones(r)|` over any dimension range,
+//!
+//! ```text
+//! dot_suffix(q, r) ≤ min(ones(q_suffix), ones(r_suffix))
+//! ```
+//!
+//! so after any stage a row `r` may be discarded exactly when
+//!
+//! ```text
+//! partial[r] + min(ones(q_suffix), ones(r_suffix)) < best_partial_so_far
+//! ```
+//!
+//! because its final score is then *strictly* below another row's final
+//! score: it can neither win nor tie, so the winner **and** the
+//! workspace's low-row tie-break are unchanged. Row suffix popcounts are
+//! a property of the stored memory (in the paper's hardware they are
+//! known when the array is programmed) and are computed once per search,
+//! amortized over the whole batch; query suffix popcounts cost one pass
+//! over each query's words. A one-stage [`CascadePlan`] degenerates to
+//! the exact search; a plan of `D` one-dimension stages is the paper's
+//! column-by-column evaluation. The `cascade_equivalence` proptest suite
+//! pins winner/score/tie-break identity against
+//! [`crate::SearchMemory::search_batch`] for arbitrary plans on every
+//! reachable kernel backend.
+//!
+//! Every search also returns [`CascadeStats`] — per-stage shortlist
+//! sizes and the total number of activated row-dimensions — which is the
+//! telemetry `imc_sim` converts back into the paper's energy ladder.
+
+use crate::batch::{self, dot_words};
+use crate::bits::BitMatrix;
+use crate::blocked::SearchMemory;
+use crate::error::{LinalgError, Result};
+use crate::kernel::{self, Backend};
+use crate::{QueryBatch, ScoreMatrix};
+
+/// Stage layout of a cascade search: strictly increasing dimension
+/// prefixes ending at the full dimensionality.
+///
+/// Stage `k` scores dimensions `[ends[k-1], ends[k])` (stage 0 starts at
+/// 0). Any positive widths are legal; stage boundaries that are multiples
+/// of 64 are fastest because they avoid masked boundary words, and a
+/// first stage near `D / 8 .. D / 4` is a good default for workloads
+/// whose winners separate early (see the README's plan-picking guidance).
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::CascadePlan;
+///
+/// let plan = CascadePlan::from_widths(512, &[64, 192, 256]).unwrap();
+/// assert_eq!(plan.stages(), 3);
+/// assert_eq!(plan.ends(), &[64, 256, 512]);
+/// assert_eq!(CascadePlan::exact(512).stages(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadePlan {
+    dim: usize,
+    /// Cumulative stage boundaries; strictly increasing, last == `dim`.
+    ends: Vec<usize>,
+}
+
+impl CascadePlan {
+    /// Builds a plan from per-stage widths, which must be positive and
+    /// sum to `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `widths` is empty or contains
+    /// a zero width, and [`LinalgError::ShapeMismatch`] when the widths
+    /// do not sum to `dim`.
+    pub fn from_widths(dim: usize, widths: &[usize]) -> Result<Self> {
+        if widths.is_empty() {
+            return Err(LinalgError::Empty { op: "CascadePlan::from_widths" });
+        }
+        let mut ends = Vec::with_capacity(widths.len());
+        let mut total = 0usize;
+        for &w in widths {
+            if w == 0 {
+                return Err(LinalgError::Empty { op: "CascadePlan stage width" });
+            }
+            total += w;
+            ends.push(total);
+        }
+        if total != dim {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CascadePlan::from_widths",
+                expected: dim,
+                found: total,
+            });
+        }
+        Ok(CascadePlan { dim, ends })
+    }
+
+    /// An even split into `stages` stages (the first `dim % stages`
+    /// stages take one extra dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for zero stages or zero `dim`, and
+    /// [`LinalgError::ShapeMismatch`] when `stages > dim` (a stage would
+    /// be empty).
+    pub fn uniform(dim: usize, stages: usize) -> Result<Self> {
+        if stages == 0 || dim == 0 {
+            return Err(LinalgError::Empty { op: "CascadePlan::uniform" });
+        }
+        if stages > dim {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CascadePlan::uniform",
+                expected: dim,
+                found: stages,
+            });
+        }
+        let base = dim / stages;
+        let extra = dim % stages;
+        let widths: Vec<usize> = (0..stages).map(|s| base + usize::from(s < extra)).collect();
+        Self::from_widths(dim, &widths)
+    }
+
+    /// The two-stage plan `[first, dim - first]` — score a prefix, then
+    /// finish the survivors. The most common shape in practice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when either stage would be empty
+    /// (`first == 0` or `first >= dim`).
+    pub fn prefix(dim: usize, first: usize) -> Result<Self> {
+        if first == 0 || first >= dim {
+            return Err(LinalgError::Empty { op: "CascadePlan::prefix" });
+        }
+        Self::from_widths(dim, &[first, dim - first])
+    }
+
+    /// The degenerate one-stage plan: the cascade IS the exact search
+    /// (no pruning can fire; telemetry reports full activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn exact(dim: usize) -> Self {
+        assert!(dim > 0, "cascade plan needs a positive dimensionality");
+        CascadePlan { dim, ends: vec![dim] }
+    }
+
+    /// Dimensionality the plan covers.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stages.
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Cumulative stage boundaries (strictly increasing; last == `dim`).
+    #[inline]
+    pub fn ends(&self) -> &[usize] {
+        &self.ends
+    }
+
+    /// Per-stage widths in dimensions.
+    pub fn widths(&self) -> Vec<usize> {
+        let mut prev = 0usize;
+        self.ends
+            .iter()
+            .map(|&e| {
+                let w = e - prev;
+                prev = e;
+                w
+            })
+            .collect()
+    }
+}
+
+/// Activation telemetry of one cascade search — the quantity the paper's
+/// Fig. 7 energy ladder is proportional to.
+///
+/// `activated_dims` counts `(row, dimension)` products actually scored:
+/// an exact search activates `queries × rows × dim` of them, and every
+/// pruned row saves its remaining dimensions. [`CascadeStats::merge`]
+/// makes the counters additive across query chunks **of the same
+/// memory** (merging stats from memories with different row counts would
+/// corrupt [`CascadeStats::exact_dims`], so shapes are asserted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeStats {
+    queries: usize,
+    rows: usize,
+    dim: usize,
+    stage_rows: Vec<u64>,
+    activated_dims: u64,
+}
+
+impl CascadeStats {
+    pub(crate) fn zeroed(rows: usize, dim: usize, stages: usize) -> Self {
+        CascadeStats { queries: 0, rows, dim, stage_rows: vec![0; stages], activated_dims: 0 }
+    }
+
+    /// Queries answered.
+    #[inline]
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Memory rows searched per query.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dimensionality of the searched memory.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Rows entering each stage, summed over queries (stage 0 always
+    /// admits every row).
+    #[inline]
+    pub fn stage_rows(&self) -> &[u64] {
+        &self.stage_rows
+    }
+
+    /// Total `(row, dimension)` products scored across all queries.
+    #[inline]
+    pub fn activated_dims(&self) -> u64 {
+        self.activated_dims
+    }
+
+    /// What an exact search would activate: `queries × rows × dim`.
+    #[inline]
+    pub fn exact_dims(&self) -> u64 {
+        self.queries as u64 * self.rows as u64 * self.dim as u64
+    }
+
+    /// `activated_dims / exact_dims` in `(0, 1]` — the relative energy of
+    /// the cascade under the paper's activation-proportional model (1.0
+    /// when no pruning fired).
+    pub fn activation_fraction(&self) -> f64 {
+        let exact = self.exact_dims();
+        if exact == 0 {
+            return 1.0;
+        }
+        self.activated_dims as f64 / exact as f64
+    }
+
+    /// Folds another search's counters into this one (used by the
+    /// thread-chunked dispatch; callers may also merge successive
+    /// batches against the same memory). Shapes must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was produced under a different plan shape
+    /// (stage count) or a memory of different dimensionality or row
+    /// count.
+    pub fn merge(&mut self, other: &CascadeStats) {
+        assert_eq!(self.stage_rows.len(), other.stage_rows.len(), "merging unrelated plans");
+        assert_eq!(self.dim, other.dim, "merging unrelated memories");
+        assert_eq!(self.rows, other.rows, "merging unrelated memories");
+        self.queries += other.queries;
+        self.activated_dims += other.activated_dims;
+        for (a, b) in self.stage_rows.iter_mut().zip(&other.stage_rows) {
+            *a += b;
+        }
+    }
+}
+
+/// Winners plus activation telemetry of one cascade search. Winners are
+/// bit-identical to [`crate::BitMatrix::winners_batch`] — same rows,
+/// same scores, same low-row tie-break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeResults {
+    winners: Vec<(usize, u32)>,
+    stats: CascadeStats,
+}
+
+impl CascadeResults {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.winners.len()
+    }
+
+    /// Whether there are no results.
+    pub fn is_empty(&self) -> bool {
+        self.winners.is_empty()
+    }
+
+    /// Winning `(row, score)` of query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn winner(&self, q: usize) -> (usize, u32) {
+        self.winners[q]
+    }
+
+    /// All winners, parallel to the batch's queries.
+    pub fn winners(&self) -> &[(usize, u32)] {
+        &self.winners
+    }
+
+    /// Consumes the results, yielding the winners without a copy.
+    pub fn into_winners(self) -> Vec<(usize, u32)> {
+        self.winners
+    }
+
+    /// Activation telemetry of the search.
+    pub fn stats(&self) -> &CascadeStats {
+        &self.stats
+    }
+}
+
+/// Exclusive end of the packed-word range covering bits `[.., hi)`.
+#[inline]
+fn word_end(hi: usize) -> usize {
+    (hi - 1) / 64 + 1
+}
+
+/// The query words covering bits `[lo, hi)`, ready for a word-slice dot
+/// over `[lo/64, word_end(hi))`: borrowed directly when the stage is
+/// word-aligned (a final stage ending at `dim` counts — both operands
+/// keep clean tails), otherwise boundary-masked into `scratch`.
+fn stage_query<'a>(
+    qw: &'a [u64],
+    lo: usize,
+    hi: usize,
+    dim: usize,
+    scratch: &'a mut Vec<u64>,
+) -> &'a [u64] {
+    let wlo = lo / 64;
+    let whi = word_end(hi);
+    if lo.is_multiple_of(64) && (hi.is_multiple_of(64) || hi == dim) {
+        &qw[wlo..whi]
+    } else {
+        mask_stage(qw, lo, hi, scratch);
+        scratch
+    }
+}
+
+/// Copies the query words covering bits `[lo, hi)` into `out`, masking
+/// the boundary words so only that dimension range contributes. The
+/// masked copy is built once per (query, stage); per-row scoring then
+/// reduces to a plain word-slice dot over `[lo/64, word_end(hi))`.
+fn mask_stage(qw: &[u64], lo: usize, hi: usize, out: &mut Vec<u64>) {
+    debug_assert!(lo < hi);
+    let wlo = lo / 64;
+    let whi = word_end(hi);
+    out.clear();
+    out.extend_from_slice(&qw[wlo..whi]);
+    let lo_rem = lo % 64;
+    if lo_rem != 0 {
+        out[0] &= u64::MAX << lo_rem;
+    }
+    let hi_rem = hi % 64;
+    if hi_rem != 0 {
+        let last = out.len() - 1;
+        out[last] &= (1u64 << hi_rem) - 1;
+    }
+}
+
+/// Ones of `words`' bits in `[lo, hi)` without copying. Boundary words
+/// are handled outside the interior loop so the hot path is a plain
+/// branch-free popcount sweep.
+fn ones_in_range(words: &[u64], lo: usize, hi: usize) -> u32 {
+    debug_assert!(lo < hi);
+    let wlo = lo / 64;
+    let whi = word_end(hi);
+    let lo_mask = u64::MAX << (lo % 64);
+    let hi_mask = if hi.is_multiple_of(64) { u64::MAX } else { (1u64 << (hi % 64)) - 1 };
+    if whi - wlo == 1 {
+        return (words[wlo] & lo_mask & hi_mask).count_ones();
+    }
+    let mut total = (words[wlo] & lo_mask).count_ones() + (words[whi - 1] & hi_mask).count_ones();
+    total += words[wlo + 1..whi - 1].iter().map(|w| w.count_ones()).sum::<u32>();
+    total
+}
+
+/// Fills `suffix` (one slot per stage) with the popcount of `words` in
+/// the dimensions **after** each stage boundary: `suffix[k] =
+/// ones(words[ends[k]..dim))` (0 for the final stage). One pass over the
+/// suffix words (stage 0's own bits are never needed): per-stage counts,
+/// then a reverse cumulative sum.
+fn suffix_ones(words: &[u64], ends: &[usize], suffix: &mut [u32]) {
+    debug_assert_eq!(suffix.len(), ends.len());
+    let stages = ends.len();
+    suffix[0] = 0;
+    for k in 1..stages {
+        suffix[k] = ones_in_range(words, ends[k - 1], ends[k]);
+    }
+    // suffix[k] currently holds stage k's own ones; shift into "ones
+    // after stage k" by accumulating from the back.
+    let mut acc = 0u32;
+    for s in suffix.iter_mut().rev() {
+        let stage = *s;
+        *s = acc;
+        acc += stage;
+    }
+}
+
+/// Row-major copy of each row's leading `e0` bits (boundary word
+/// masked) — the stage-0 sub-memory the tiled batched kernels sweep.
+fn prefix_matrix(m: &BitMatrix, e0: usize) -> BitMatrix {
+    let w0 = word_end(e0);
+    let mask = if e0.is_multiple_of(64) { u64::MAX } else { (1u64 << (e0 % 64)) - 1 };
+    let mut data = Vec::with_capacity(m.rows() * w0);
+    for r in 0..m.rows() {
+        data.extend_from_slice(&m.row_words_pub(r)[..w0]);
+        let last = data.len() - 1;
+        data[last] &= mask;
+    }
+    BitMatrix::from_raw_words(m.rows(), e0, data)
+}
+
+/// Stage-0 partial scores on the active backend: the full batched tiled
+/// sweep (SIMD blocked layout, `rayon` chunking) over the prefix
+/// sub-memory, driven by the **full-width** queries — the kernels read
+/// only the memory's word width per row, and the prefix memory's masked
+/// boundary word keeps out-of-stage query bits from contributing. The
+/// all-rows stage therefore runs at exactly the exact search's
+/// per-dimension cost, with no query re-packing.
+fn stage0_scores(m: &BitMatrix, batch: &QueryBatch, e0: usize) -> ScoreMatrix {
+    if e0 == m.cols() {
+        return m.dot_batch(batch).expect("dimensions validated by caller");
+    }
+    let prefix = SearchMemory::new(prefix_matrix(m, e0));
+    let mut out = ScoreMatrix::zeros(batch.len(), m.rows());
+    batch::dot_batch_dispatch(prefix.memory_ref(), batch, &mut out);
+    out
+}
+
+/// Pruning continuation over queries `[q_offset, q_offset + out.len())`:
+/// takes each query's stage-0 partial scores (in `scores`, one
+/// `rows`-wide slice per query, updated in place), prunes with the
+/// Hamming bound, finishes the survivors stage by stage, and writes the
+/// winners. `dot` is the word-slice popcount kernel (the active-backend
+/// dispatcher in production; an explicit backend's table entry under
+/// test). Stage-0 telemetry is accounted by the caller; this function
+/// accumulates stages `1..`.
+#[allow(clippy::too_many_arguments)]
+fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    row_suffix: &[u32],
+    q_offset: usize,
+    scores: &mut [u32],
+    out: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+    dot: F,
+) {
+    let rows = m.rows();
+    let ends = plan.ends();
+    let stages = ends.len();
+    debug_assert_eq!(scores.len(), out.len() * rows);
+    let mut q_suffix = vec![0u32; stages];
+    let mut cands: Vec<u32> = Vec::with_capacity(rows);
+    let mut qmasked: Vec<u64> = Vec::new();
+    stats.queries += out.len();
+    for (q, slot) in out.iter_mut().enumerate() {
+        let partials = &mut scores[q * rows..(q + 1) * rows];
+        if stages == 1 {
+            // Degenerate plan: stage 0 was the exact search.
+            *slot = batch::argmax_scores(partials);
+            continue;
+        }
+        let mut best = partials.iter().copied().max().expect("non-empty memory");
+        let qw = batch.query_words(q_offset + q);
+        // The query-side suffix popcounts cost a pass over the query's
+        // words; computed lazily — only for queries whose shortlist the
+        // (free) row-side bound alone fails to collapse. Both bounds are
+        // exact, so pruning with the weaker one first never changes
+        // winners, only how much work survives.
+        let mut q_suffix_ready = false;
+        // Prune after stage `k`: row-side Hamming bound first, then the
+        // full min(q, r) bound when more than one candidate remains.
+        let mut prune =
+            |cands: &mut Vec<u32>, partials: &[u32], k: usize, best: u32, from_all_rows: bool| {
+                let row_suf = &row_suffix[k * rows..(k + 1) * rows];
+                let keep_r = |r: usize| partials[r] as u64 + row_suf[r] as u64 >= best as u64;
+                if from_all_rows {
+                    cands.clear();
+                    cands.extend((0..rows).filter(|&r| keep_r(r)).map(|r| r as u32));
+                } else {
+                    cands.retain(|&r| keep_r(r as usize));
+                }
+                if cands.len() > 1 {
+                    if !q_suffix_ready {
+                        suffix_ones(qw, ends, &mut q_suffix);
+                        q_suffix_ready = true;
+                    }
+                    let qs = q_suffix[k];
+                    cands.retain(|&r| {
+                        let r = r as usize;
+                        partials[r] as u64 + qs.min(row_suf[r]) as u64 >= best as u64
+                    });
+                }
+            };
+        prune(&mut cands, partials, 0, best, true);
+        // Later stages: finish only the shortlist, re-pruning after each.
+        for k in 1..stages {
+            let (lo, hi) = (ends[k - 1], ends[k]);
+            let qs = stage_query(qw, lo, hi, m.cols(), &mut qmasked);
+            let (wlo, whi) = (lo / 64, word_end(hi));
+            best = 0;
+            for &r in &cands {
+                let r = r as usize;
+                let s = partials[r] + dot(&m.row_words_pub(r)[wlo..whi], qs);
+                partials[r] = s;
+                if s > best {
+                    best = s;
+                }
+            }
+            stats.stage_rows[k] += cands.len() as u64;
+            stats.activated_dims += (cands.len() * (hi - lo)) as u64;
+            if k + 1 == stages {
+                cands.retain(|&r| partials[r as usize] == best);
+            } else {
+                prune(&mut cands, partials, k, best, false);
+            }
+        }
+        // After the final stage the suffix is empty, so every survivor
+        // holds the exact maximum score; `cands` stays in ascending row
+        // order, so its first entry is the workspace's low-row tie-break
+        // winner.
+        *slot = (cands[0] as usize, best);
+    }
+}
+
+/// Row suffix popcounts at every stage boundary (`row_suffix[k * rows +
+/// r]` = ones of row `r` after stage `k`): a property of the stored
+/// memory (known when a hardware array is programmed), computed once per
+/// search and amortized over the whole batch.
+fn row_suffix_table(m: &BitMatrix, ends: &[usize]) -> Vec<u32> {
+    let rows = m.rows();
+    let stages = ends.len();
+    let mut table = vec![0u32; stages * rows];
+    if stages > 1 {
+        let mut scratch = vec![0u32; stages];
+        for r in 0..rows {
+            suffix_ones(m.row_words_pub(r), ends, &mut scratch);
+            for (k, &s) in scratch.iter().enumerate() {
+                table[k * rows + r] = s;
+            }
+        }
+    }
+    table
+}
+
+/// Pruning continuation + telemetry over precomputed stage-0 scores —
+/// the shared tail of every active-backend entry point.
+fn cascade_run(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    mut scores: ScoreMatrix,
+    row_suffix: &[u32],
+) -> CascadeResults {
+    let rows = m.rows();
+    let q_total = batch.len();
+    let mut winners = vec![(0usize, 0u32); q_total];
+    let mut stats = CascadeStats::zeroed(rows, m.cols(), plan.stages());
+    stats.stage_rows[0] = (q_total * rows) as u64;
+    stats.activated_dims = (q_total * rows * plan.ends()[0]) as u64;
+    continuation_dispatch(m, batch, plan, row_suffix, scores.data_mut(), &mut winners, &mut stats);
+    CascadeResults { winners, stats }
+}
+
+/// Full cascade on the active backend: tiled stage-0 sweep, then the
+/// pruning continuation (thread-chunked under the `rayon` feature). The
+/// prefix sub-memory and row-suffix table are rebuilt per call; batch
+/// after batch against one memory should go through [`BoundCascade`],
+/// which derives them once.
+fn cascade_active(m: &BitMatrix, batch: &QueryBatch, plan: &CascadePlan) -> CascadeResults {
+    let scores = stage0_scores(m, batch, plan.ends()[0]);
+    let row_suffix = row_suffix_table(m, plan.ends());
+    cascade_run(m, batch, plan, scores, &row_suffix)
+}
+
+/// A cascade plan bound to one memory: the stage-0 prefix sub-memory
+/// (pre-packed for the active SIMD backend) and the row-suffix table are
+/// derived **once** at construction and reused for every batch. This is
+/// the serving-path form of [`SearchMemory::search_cascade`], which
+/// rebuilds both per call — fine for one-shot sweeps, wasteful when a
+/// micro-batcher flushes the same memory thousands of times per second.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitVector, BoundCascade, CascadePlan, QueryBatch, SearchMemory};
+/// use std::sync::Arc;
+///
+/// let rows: Vec<BitVector> =
+///     (0..8).map(|r| BitVector::from_bools(&[r % 2 == 0, true, false, r % 3 == 0])).collect();
+/// let memory = Arc::new(SearchMemory::from_rows(&rows).unwrap());
+/// let bound = BoundCascade::new(Arc::clone(&memory), CascadePlan::prefix(4, 2).unwrap()).unwrap();
+/// let batch = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 4])]).unwrap();
+/// assert_eq!(bound.search(&batch).unwrap().winners(), memory.winners_batch(&batch).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundCascade {
+    memory: std::sync::Arc<SearchMemory>,
+    plan: CascadePlan,
+    /// Boundary-masked stage-0 sub-memory; `None` when stage 0 covers the
+    /// full width (the bound memory's own packed form serves directly).
+    prefix: Option<SearchMemory>,
+    row_suffix: Vec<u32>,
+}
+
+impl BoundCascade {
+    /// Binds `plan` to `memory`, deriving the stage-0 prefix sub-memory
+    /// and the row-suffix table once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for a memory with no rows and
+    /// [`LinalgError::ShapeMismatch`] when the plan's dimensionality
+    /// differs from the memory's.
+    pub fn new(memory: std::sync::Arc<SearchMemory>, plan: CascadePlan) -> Result<Self> {
+        let m = memory.matrix();
+        if m.rows() == 0 {
+            return Err(LinalgError::Empty { op: "BoundCascade::new" });
+        }
+        if plan.dim() != m.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "BoundCascade::new",
+                expected: m.cols(),
+                found: plan.dim(),
+            });
+        }
+        let e0 = plan.ends()[0];
+        let prefix = (e0 != m.cols()).then(|| SearchMemory::new(prefix_matrix(m, e0)));
+        let row_suffix = row_suffix_table(m, plan.ends());
+        Ok(BoundCascade { memory, plan, prefix, row_suffix })
+    }
+
+    /// The bound stage plan.
+    pub fn plan(&self) -> &CascadePlan {
+        &self.plan
+    }
+
+    /// The bound memory.
+    pub fn memory(&self) -> &SearchMemory {
+        &self.memory
+    }
+
+    /// Cascade search over the bound memory — bit-identical winners to
+    /// [`SearchMemory::winners_batch`], with no per-call re-derivation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the batch
+    /// dimensionality differs from the memory's.
+    pub fn search(&self, batch: &QueryBatch) -> Result<CascadeResults> {
+        let m = self.memory.matrix();
+        if batch.dim() != m.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "BoundCascade::search",
+                expected: m.cols(),
+                found: batch.dim(),
+            });
+        }
+        let scores = match &self.prefix {
+            Some(prefix) => {
+                let mut out = ScoreMatrix::zeros(batch.len(), m.rows());
+                batch::dot_batch_dispatch(prefix.memory_ref(), batch, &mut out);
+                out
+            }
+            None => self.memory.dot_batch(batch).expect("dimension checked above"),
+        };
+        Ok(cascade_run(m, batch, &self.plan, scores, &self.row_suffix))
+    }
+}
+
+#[cfg(feature = "rayon")]
+fn continuation_dispatch(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    row_suffix: &[u32],
+    scores: &mut [u32],
+    winners: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+) {
+    let q = winners.len();
+    let rows = m.rows();
+    let work = q * rows * m.words_per_row_pub();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if threads < 2 || work < batch::PARALLEL_THRESHOLD || q < 2 * batch::QUERY_TILE {
+        continuation_range(m, batch, plan, row_suffix, 0, scores, winners, stats, dot_words);
+        return;
+    }
+    // Chunk queries across threads; each chunk owns disjoint score and
+    // winner slices plus its own telemetry, merged after the join —
+    // bit-identical to the serial order because queries are independent.
+    let chunks = threads.min(q.div_ceil(batch::QUERY_TILE));
+    let per_chunk = q.div_ceil(chunks).next_multiple_of(batch::QUERY_TILE);
+    type Job<'a> = (usize, &'a mut [u32], &'a mut [(usize, u32)]);
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(chunks);
+    let mut score_rest = scores;
+    let mut winner_rest = winners;
+    let mut offset = 0usize;
+    while !winner_rest.is_empty() {
+        let take = per_chunk.min(winner_rest.len());
+        let (w_head, w_tail) = winner_rest.split_at_mut(take);
+        let (s_head, s_tail) = score_rest.split_at_mut(take * rows);
+        jobs.push((offset, s_head, w_head));
+        winner_rest = w_tail;
+        score_rest = s_tail;
+        offset += take;
+    }
+    let locals: Vec<CascadeStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(q_offset, score_chunk, winner_chunk)| {
+                scope.spawn(move || {
+                    let mut local = CascadeStats::zeroed(rows, m.cols(), plan.stages());
+                    continuation_range(
+                        m,
+                        batch,
+                        plan,
+                        row_suffix,
+                        q_offset,
+                        score_chunk,
+                        winner_chunk,
+                        &mut local,
+                        dot_words,
+                    );
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cascade chunk worker panicked")).collect()
+    });
+    for local in &locals {
+        // Stage-0 counters were set wholesale by the caller and stay 0 in
+        // every chunk-local (continuation_range never writes stage 0), so
+        // the general merge adds exactly the later stages.
+        stats.merge(local);
+    }
+}
+
+#[cfg(not(feature = "rayon"))]
+#[allow(clippy::too_many_arguments)]
+fn continuation_dispatch(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    row_suffix: &[u32],
+    scores: &mut [u32],
+    winners: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+) {
+    continuation_range(m, batch, plan, row_suffix, 0, scores, winners, stats, dot_words);
+}
+
+fn check_cascade(m: &BitMatrix, batch: &QueryBatch, plan: &CascadePlan) -> Result<()> {
+    if m.rows() == 0 {
+        return Err(LinalgError::Empty { op: "search_cascade" });
+    }
+    if batch.dim() != m.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "search_cascade",
+            expected: m.cols(),
+            found: batch.dim(),
+        });
+    }
+    if plan.dim() != m.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "search_cascade(plan)",
+            expected: m.cols(),
+            found: plan.dim(),
+        });
+    }
+    Ok(())
+}
+
+impl BitMatrix {
+    /// Progressive-precision batched search: prefix-scores every row
+    /// with the tiled batched kernels, prunes rows that provably cannot
+    /// win (Hamming bound), and finishes only the survivors. Winners
+    /// (rows, scores, and the low-row tie-break) are bit-identical to
+    /// [`BitMatrix::winners_batch`]; the returned [`CascadeStats`]
+    /// reports how many row-dimensions were activated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the batch or plan
+    /// dimensionality differs from `cols`, and [`LinalgError::Empty`]
+    /// for a memory with no rows.
+    pub fn search_cascade(&self, batch: &QueryBatch, plan: &CascadePlan) -> Result<CascadeResults> {
+        check_cascade(self, batch, plan)?;
+        Ok(cascade_active(self, batch, plan))
+    }
+}
+
+impl SearchMemory {
+    /// [`BitMatrix::search_cascade`] over this memory's rows. Stage 0
+    /// runs the tiled batched sweep over the (boundary-masked) dimension
+    /// prefix of every row; the shortlist stages use row-major candidate
+    /// access, so wide rows still ride the active SIMD backend through
+    /// the flat word kernels.
+    ///
+    /// # Errors
+    ///
+    /// As [`BitMatrix::search_cascade`].
+    pub fn search_cascade(&self, batch: &QueryBatch, plan: &CascadePlan) -> Result<CascadeResults> {
+        let m = self.matrix();
+        check_cascade(m, batch, plan)?;
+        if plan.stages() == 1 {
+            // Degenerate plan on a pre-packed memory: reuse the blocked
+            // mirror directly instead of re-packing a full-width prefix.
+            let scores = self.dot_batch(batch)?;
+            return Ok(cascade_run(m, batch, plan, scores, &[]));
+        }
+        Ok(cascade_active(m, batch, plan))
+    }
+
+    /// [`SearchMemory::search_cascade`] on an explicit backend — the
+    /// equivalence-testing hook (serial; no thread chunking; stage 0
+    /// runs per-row through the backend's flat word kernel instead of
+    /// its tiled sweep, which is bit-identical by the kernel contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`BitMatrix::search_cascade`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is unavailable on this host.
+    pub fn search_cascade_with(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+        backend: Backend,
+    ) -> Result<CascadeResults> {
+        assert!(backend.is_available(), "backend {backend} not available on this host");
+        let m = self.matrix();
+        check_cascade(m, batch, plan)?;
+        let table = kernel::table_for(backend);
+        let dot = |a: &[u64], b: &[u64]| (table.dot_words)(a, b);
+        let rows = m.rows();
+        let q_total = batch.len();
+        let ends = plan.ends();
+        let e0 = ends[0];
+        let w0 = word_end(e0);
+        // Serial stage 0 through the explicit backend's flat kernel.
+        let mut scores = vec![0u32; q_total * rows];
+        let mut qmasked = Vec::new();
+        for q in 0..q_total {
+            mask_stage(batch.query_words(q), 0, e0, &mut qmasked);
+            let out_row = &mut scores[q * rows..(q + 1) * rows];
+            for (r, slot) in out_row.iter_mut().enumerate() {
+                *slot = dot(&m.row_words_pub(r)[..w0], &qmasked);
+            }
+        }
+        let row_suffix = row_suffix_table(m, ends);
+        let mut winners = vec![(0usize, 0u32); q_total];
+        let mut stats = CascadeStats::zeroed(rows, m.cols(), plan.stages());
+        stats.stage_rows[0] = (q_total * rows) as u64;
+        stats.activated_dims = (q_total * rows * e0) as u64;
+        continuation_range(
+            m,
+            batch,
+            plan,
+            &row_suffix,
+            0,
+            &mut scores,
+            &mut winners,
+            &mut stats,
+            dot,
+        );
+        Ok(CascadeResults { winners, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::BitVector;
+    use rand::Rng;
+
+    fn random_bits(len: usize, rng: &mut rand::rngs::StdRng) -> BitVector {
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+        BitVector::from_bools(&bits)
+    }
+
+    #[test]
+    fn plan_construction_and_validation() {
+        let p = CascadePlan::from_widths(300, &[100, 100, 100]).unwrap();
+        assert_eq!((p.dim(), p.stages()), (300, 3));
+        assert_eq!(p.widths(), vec![100, 100, 100]);
+        assert_eq!(CascadePlan::uniform(10, 3).unwrap().widths(), vec![4, 3, 3]);
+        assert_eq!(CascadePlan::prefix(128, 32).unwrap().ends(), &[32, 128]);
+        assert_eq!(CascadePlan::exact(64).ends(), &[64]);
+        assert!(CascadePlan::from_widths(10, &[]).is_err());
+        assert!(CascadePlan::from_widths(10, &[5, 0, 5]).is_err());
+        assert!(CascadePlan::from_widths(10, &[5, 6]).is_err());
+        assert!(CascadePlan::uniform(4, 5).is_err());
+        assert!(CascadePlan::uniform(0, 1).is_err());
+        assert!(CascadePlan::prefix(64, 0).is_err());
+        assert!(CascadePlan::prefix(64, 64).is_err());
+    }
+
+    #[test]
+    fn cascade_matches_exact_search() {
+        let mut rng = seeded(21);
+        for dim in [1usize, 63, 64, 65, 130, 300] {
+            let rows: Vec<BitVector> = (0..13).map(|_| random_bits(dim, &mut rng)).collect();
+            let mem = SearchMemory::from_rows(&rows).unwrap();
+            let queries: Vec<BitVector> = (0..17).map(|_| random_bits(dim, &mut rng)).collect();
+            let batch = QueryBatch::from_vectors(&queries).unwrap();
+            let reference = mem.winners_batch(&batch).unwrap();
+            for plan in [
+                CascadePlan::exact(dim),
+                CascadePlan::uniform(dim, dim.min(4)).unwrap(),
+                CascadePlan::uniform(dim, dim).unwrap(), // one dim per stage
+            ] {
+                let out = mem.search_cascade(&batch, &plan).unwrap();
+                assert_eq!(out.winners(), reference.as_slice(), "dim {dim} plan {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_plan_telemetry_is_full_activation() {
+        let mut rng = seeded(22);
+        let rows: Vec<BitVector> = (0..9).map(|_| random_bits(130, &mut rng)).collect();
+        let mem = SearchMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BitVector> = (0..5).map(|_| random_bits(130, &mut rng)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let out = mem.search_cascade(&batch, &CascadePlan::exact(130)).unwrap();
+        let stats = out.stats();
+        assert_eq!(stats.queries(), 5);
+        assert_eq!(stats.activated_dims(), stats.exact_dims());
+        assert_eq!(stats.exact_dims(), 5 * 9 * 130);
+        assert!((stats.activation_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.stage_rows(), &[5 * 9]);
+    }
+
+    #[test]
+    fn pruning_fires_on_separable_rows() {
+        // One hot row matches the query everywhere; the others are its
+        // complement — after a one-word prefix, all cold rows are pruned.
+        let dim = 256;
+        let hot = BitVector::ones(dim);
+        let cold = BitVector::zeros(dim);
+        let rows = vec![cold.clone(), hot.clone(), cold.clone(), cold];
+        let mem = SearchMemory::from_rows(&rows).unwrap();
+        let batch = QueryBatch::from_vectors(&[hot]).unwrap();
+        let plan = CascadePlan::prefix(dim, 64).unwrap();
+        let out = mem.search_cascade(&batch, &plan).unwrap();
+        assert_eq!(out.winner(0), (1, 256));
+        let stats = out.stats();
+        assert!(stats.activated_dims() < stats.exact_dims());
+        // Stage 0 admits all 4 rows; only the hot row survives to stage 1.
+        assert_eq!(stats.stage_rows(), &[4, 1]);
+        assert_eq!(stats.activated_dims(), 4 * 64 + 192);
+    }
+
+    #[test]
+    fn tie_break_survives_pruning() {
+        // Rows 1 and 3 are identical and tie; pruning must not discard
+        // the lower-index tying row.
+        let mut rng = seeded(23);
+        let pattern = random_bits(100, &mut rng);
+        let rows =
+            vec![BitVector::zeros(100), pattern.clone(), BitVector::zeros(100), pattern.clone()];
+        let mem = SearchMemory::from_rows(&rows).unwrap();
+        let batch = QueryBatch::from_vectors(std::slice::from_ref(&pattern)).unwrap();
+        for plan in [
+            CascadePlan::exact(100),
+            CascadePlan::prefix(100, 30).unwrap(),
+            CascadePlan::uniform(100, 100).unwrap(),
+        ] {
+            let out = mem.search_cascade(&batch, &plan).unwrap();
+            assert_eq!(out.winner(0), (1, pattern.count_ones()), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn stats_merge_is_additive() {
+        let mut a = CascadeStats::zeroed(4, 128, 2);
+        a.queries = 3;
+        a.activated_dims = 100;
+        a.stage_rows = vec![12, 4];
+        let mut b = CascadeStats::zeroed(4, 128, 2);
+        b.queries = 2;
+        b.activated_dims = 50;
+        b.stage_rows = vec![8, 2];
+        a.merge(&b);
+        assert_eq!(a.queries(), 5);
+        assert_eq!(a.activated_dims(), 150);
+        assert_eq!(a.stage_rows(), &[20, 6]);
+    }
+
+    #[test]
+    fn dimension_and_plan_mismatches_rejected() {
+        let mem = SearchMemory::new(BitMatrix::zeros(2, 64));
+        let batch = QueryBatch::from_vectors(&[BitVector::zeros(64)]).unwrap();
+        let wrong_batch = QueryBatch::from_vectors(&[BitVector::zeros(65)]).unwrap();
+        assert!(matches!(
+            mem.search_cascade(&wrong_batch, &CascadePlan::exact(64)),
+            Err(LinalgError::ShapeMismatch { op: "search_cascade", .. })
+        ));
+        assert!(matches!(
+            mem.search_cascade(&batch, &CascadePlan::exact(65)),
+            Err(LinalgError::ShapeMismatch { op: "search_cascade(plan)", .. })
+        ));
+    }
+
+    #[test]
+    fn mask_stage_partitions_bits_exactly() {
+        let mut rng = seeded(24);
+        let q = random_bits(200, &mut rng);
+        let row = random_bits(200, &mut rng);
+        // Any split into stages must reproduce the full dot exactly.
+        for plan in [
+            CascadePlan::uniform(200, 7).unwrap(),
+            CascadePlan::from_widths(200, &[1, 63, 64, 65, 7]).unwrap(),
+        ] {
+            let mut total = 0u32;
+            let mut masked = Vec::new();
+            let mut lo = 0usize;
+            for &hi in plan.ends() {
+                mask_stage(q.as_words(), lo, hi, &mut masked);
+                let (wlo, whi) = (lo / 64, word_end(hi));
+                total += dot_words(&row.as_words()[wlo..whi], &masked);
+                lo = hi;
+            }
+            assert_eq!(total, q.dot(&row), "{plan:?}");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! (Hamming) — plus the blocked sweeps over a [`BlockedBitMatrix`]. This
 //! module selects, **once per process**, the fastest implementation the
 //! host CPU offers and publishes it as a dispatch table
-//! ([`KernelTable`]) that the batched entry points
+//! (`KernelTable`) that the batched entry points
 //! ([`crate::BitMatrix::dot_batch`], [`crate::BitMatrix::winners_batch`],
 //! [`crate::BitVector::dot_many`], …) route through:
 //!

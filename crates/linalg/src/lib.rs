@@ -35,6 +35,14 @@
 //! Every backend is bit-identical to scalar (ties, tail words, and
 //! padding included).
 //!
+//! **Cascade search prunes provably-losing rows.** [`CascadePlan`] splits
+//! the dimensions into stages; [`SearchMemory::search_cascade`] scores a
+//! prefix for every row, discards rows whose best possible completion
+//! cannot reach the current leader, and finishes only the survivors —
+//! winners, scores, and tie-breaks stay bit-identical to the exact sweep,
+//! and the returned [`CascadeStats`] reports how many row-dimensions were
+//! actually activated (the paper's Fig. 7 energy proxy).
+//!
 //! # Example
 //!
 //! ```
@@ -59,6 +67,7 @@ mod batch;
 mod bits;
 #[allow(unsafe_code)]
 mod blocked;
+mod cascade;
 mod error;
 #[allow(unsafe_code)]
 pub mod kernel;
@@ -72,6 +81,7 @@ pub use batch::{
 };
 pub use bits::{BitMatrix, BitVector, BitView};
 pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
+pub use cascade::{BoundCascade, CascadePlan, CascadeResults, CascadeStats};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use vector::{argmax, axpy, dot, l2_norm, mean, normalize_l2, scale_in_place, variance};

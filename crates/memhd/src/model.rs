@@ -6,7 +6,7 @@ use crate::init;
 use crate::memory::MemoryReport;
 use crate::train::{quantization_aware_train, TrainOptions, TrainingHistory};
 use hd_linalg::rng::derive_seed;
-use hd_linalg::{BitVector, Matrix};
+use hd_linalg::{BitVector, CascadePlan, Matrix};
 use hdc::{encode_dataset, BinaryAm, EncodedDataset, Encoder, FloatAm, RandomProjectionEncoder};
 
 /// A trained MEMHD classifier: binary projection encoder plus fully-utilized
@@ -190,6 +190,39 @@ impl MemhdModel {
         self.binary_am.classify_batch(&batch).map_err(MemhdError::Hdc)
     }
 
+    /// Like [`MemhdModel::predict_batch`] but answers the associative
+    /// searches through the progressive-precision cascade: a dimension
+    /// prefix is scored for every centroid and provably-losing centroids
+    /// are pruned before the remaining dimensions are spent. Predictions
+    /// are bit-identical to [`MemhdModel::predict_batch`]; only the
+    /// activation cost differs (see [`hd_linalg::CascadeStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MemhdModel::predict_batch`], plus
+    /// [`MemhdError::Hdc`] when the plan dimensionality differs from the
+    /// model's.
+    pub fn predict_batch_cascade(
+        &self,
+        features: &Matrix,
+        plan: &CascadePlan,
+    ) -> Result<Vec<usize>> {
+        // Validate the plan before the empty-batch shortcut: a
+        // misconfigured plan must surface even when the first batch
+        // happens to be empty.
+        if plan.dim() != self.binary_am.dim() {
+            return Err(MemhdError::Hdc(hdc::HdcError::DimensionMismatch {
+                expected: self.binary_am.dim(),
+                found: plan.dim(),
+            }));
+        }
+        if features.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let batch = self.encoder.encode_binary_batch(features).map_err(MemhdError::Hdc)?;
+        self.binary_am.classify_batch_cascade(&batch, plan).map_err(MemhdError::Hdc)
+    }
+
     /// Accuracy on a labeled feature set.
     ///
     /// # Errors
@@ -292,6 +325,29 @@ mod tests {
         let b = MemhdModel::fit(&cfg, &x, &y).unwrap();
         assert_eq!(a.binary_am().as_bit_matrix(), b.binary_am().as_bit_matrix());
         assert_eq!(a.history(), b.history());
+    }
+
+    #[test]
+    fn cascade_predictions_match_exact() {
+        let (x, y) = toy_features(15, 11);
+        let cfg = MemhdConfig::new(256, 9, 3).unwrap().with_epochs(5).with_seed(6);
+        let model = MemhdModel::fit(&cfg, &x, &y).unwrap();
+        let exact = model.predict_batch(&x).unwrap();
+        for plan in [
+            CascadePlan::exact(256),
+            CascadePlan::prefix(256, 64).unwrap(),
+            CascadePlan::uniform(256, 4).unwrap(),
+        ] {
+            assert_eq!(model.predict_batch_cascade(&x, &plan).unwrap(), exact, "{plan:?}");
+        }
+        // A plan of the wrong dimensionality is rejected — even when
+        // the feature batch is empty.
+        assert!(model.predict_batch_cascade(&x, &CascadePlan::exact(128)).is_err());
+        let empty_bad = Matrix::zeros(0, x.cols());
+        assert!(model.predict_batch_cascade(&empty_bad, &CascadePlan::exact(128)).is_err());
+        // An empty feature set short-circuits like predict_batch.
+        let empty = Matrix::zeros(0, x.cols());
+        assert!(model.predict_batch_cascade(&empty, &CascadePlan::exact(256)).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Serving adapter for the progressive-precision cascade search.
+//!
+//! A [`CascadeSearcher`] wraps a [`SearchMemory`] (plus per-row class
+//! labels) and answers every served batch through
+//! [`SearchMemory::search_cascade`]: dimension prefixes are scored
+//! first and centroids that provably cannot win are pruned before the
+//! remaining dimensions are spent. Winners are bit-identical to the
+//! exact adapters — the cascade is an execution strategy, not an
+//! approximation — so it can be hot-swapped behind a
+//! [`crate::ModelRegistry`] without any observable behavior change
+//! beyond latency.
+//!
+//! For sharded serving, [`crate::ShardedSearcher::with_cascade`] runs
+//! the same plan inside every shard worker: shards prune independently
+//! (each against its own rows), and the strict ascending-shard merge is
+//! untouched — per-shard cascade winners equal per-shard exact winners,
+//! so the merged result equals the unsharded one.
+
+use crate::error::{Result, ServeError};
+use crate::searchable::{Searchable, Winner};
+use hd_linalg::{BoundCascade, CascadePlan, QueryBatch, SearchMemory};
+use std::sync::Arc;
+
+/// An unsharded [`Searchable`] that answers batches with the cascade.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitVector, CascadePlan, QueryBatch, SearchMemory};
+/// use hd_serve::{CascadeSearcher, Searchable};
+/// use std::sync::Arc;
+///
+/// let rows: Vec<BitVector> =
+///     (0..16).map(|r| BitVector::from_bools(&[r % 2 == 0, true, r % 3 == 0, false])).collect();
+/// let memory = SearchMemory::from_rows(&rows).unwrap();
+/// let plan = CascadePlan::prefix(4, 2).unwrap();
+/// let searcher = CascadeSearcher::new(memory.clone(), (0..16).collect(), plan).unwrap();
+/// let batch = Arc::new(QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 4])]).unwrap());
+/// let winners = searcher.search_winners(Arc::clone(&batch)).unwrap();
+/// assert_eq!(winners[0].row, memory.winners_batch(&batch).unwrap()[0].0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CascadeSearcher {
+    /// The plan bound to the memory: stage-0 prefix sub-memory and
+    /// row-suffix table derived once at construction, reused every
+    /// flush — nothing is re-packed on the search path.
+    bound: BoundCascade,
+    classes: Vec<usize>,
+}
+
+impl CascadeSearcher {
+    /// Wraps a memory, its per-row class labels, and the stage plan
+    /// every served batch will run. The plan's derived artifacts
+    /// (prefix sub-memory, row-suffix table) are built here, once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `classes` disagrees
+    /// with the memory's row count, the memory is empty, or the plan's
+    /// dimensionality differs from the memory's.
+    pub fn new(memory: SearchMemory, classes: Vec<usize>, plan: CascadePlan) -> Result<Self> {
+        if classes.len() != memory.rows() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("{} class labels for {} rows", classes.len(), memory.rows()),
+            });
+        }
+        let bound = BoundCascade::new(Arc::new(memory), plan)
+            .map_err(|e| ServeError::InvalidConfig { reason: e.to_string() })?;
+        Ok(CascadeSearcher { bound, classes })
+    }
+
+    /// Builds a cascade searcher over a [`hdc::BinaryAm`]'s centroid
+    /// rows and class labels.
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadeSearcher::new`].
+    pub fn from_am(am: &hdc::BinaryAm, plan: CascadePlan) -> Result<Self> {
+        CascadeSearcher::new(am.search_memory().clone(), am.class_labels().to_vec(), plan)
+    }
+
+    /// The stage plan every served batch runs.
+    pub fn plan(&self) -> &CascadePlan {
+        self.bound.plan()
+    }
+}
+
+impl Searchable for CascadeSearcher {
+    fn dim(&self) -> usize {
+        self.bound.memory().cols()
+    }
+
+    fn rows(&self) -> usize {
+        self.bound.memory().rows()
+    }
+
+    fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>> {
+        if batch.dim() != self.bound.memory().cols() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.bound.memory().cols(),
+                found: batch.dim(),
+            });
+        }
+        let results =
+            self.bound.search(&batch).map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok(results
+            .winners()
+            .iter()
+            .map(|&(row, score)| Winner { row, class: self.classes[row], score })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_linalg::rng::seeded;
+    use hd_linalg::BitVector;
+    use rand::Rng;
+
+    fn random_memory(rows: usize, dim: usize, seed: u64) -> (SearchMemory, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let vectors: Vec<BitVector> = (0..rows)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let classes = (0..rows).map(|r| r % 5).collect();
+        (SearchMemory::from_rows(&vectors).unwrap(), classes)
+    }
+
+    #[test]
+    fn cascade_adapter_matches_exact_adapter() {
+        let (memory, classes) = random_memory(24, 128, 51);
+        let mut rng = seeded(52);
+        let queries: Vec<BitVector> = (0..13)
+            .map(|_| BitVector::from_bools(&(0..128).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = Arc::new(QueryBatch::from_vectors(&queries).unwrap());
+        let reference = memory.winners_batch(&batch).unwrap();
+        for plan in [
+            CascadePlan::exact(128),
+            CascadePlan::prefix(128, 32).unwrap(),
+            CascadePlan::uniform(128, 4).unwrap(),
+        ] {
+            let searcher = CascadeSearcher::new(memory.clone(), classes.clone(), plan).unwrap();
+            let winners = searcher.search_winners(Arc::clone(&batch)).unwrap();
+            for (q, w) in winners.iter().enumerate() {
+                assert_eq!((w.row, w.score), reference[q]);
+                assert_eq!(w.class, classes[w.row]);
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let (memory, classes) = random_memory(8, 64, 53);
+        assert!(CascadeSearcher::new(
+            memory.clone(),
+            classes[..4].to_vec(),
+            CascadePlan::exact(64)
+        )
+        .is_err());
+        assert!(
+            CascadeSearcher::new(memory.clone(), classes.clone(), CascadePlan::exact(65)).is_err()
+        );
+        let ok =
+            CascadeSearcher::new(memory, classes, CascadePlan::prefix(64, 16).unwrap()).unwrap();
+        assert_eq!(ok.plan().stages(), 2);
+        assert_eq!((Searchable::dim(&ok), Searchable::rows(&ok)), (64, 8));
+        let bad = Arc::new(QueryBatch::from_vectors(&[BitVector::zeros(63)]).unwrap());
+        assert!(matches!(
+            ok.search_winners(bad),
+            Err(ServeError::DimensionMismatch { expected: 64, found: 63 })
+        ));
+    }
+}

@@ -10,10 +10,16 @@
 //! with a strict `>` comparison, which reproduces the global
 //! highest-score / lowest-row tie-break exactly (the property the SIMD
 //! equivalence suite pins for the underlying kernels).
+//!
+//! [`ShardedSearcher::with_cascade`] runs a [`CascadePlan`] inside every
+//! shard instead of the exact sweep: shards prune independently against
+//! their own rows, and because each shard's cascade winners are
+//! bit-identical to its exact winners, the strict merge is untouched and
+//! the sharded cascade equals the unsharded search exactly.
 
 use crate::error::{Result, ServeError};
 use crate::searchable::{Searchable, Winner};
-use hd_linalg::{QueryBatch, SearchMemory};
+use hd_linalg::{BoundCascade, CascadePlan, QueryBatch, SearchMemory};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -33,9 +39,27 @@ struct Shard {
     /// Global row index of this shard's first row.
     offset: usize,
     memory: Arc<SearchMemory>,
+    /// The cascade plan bound to this shard's rows (prefix sub-memory
+    /// and row-suffix table derived once at construction); `None` runs
+    /// the exact winners sweep.
+    cascade: Option<Arc<BoundCascade>>,
     /// Job channel of the pinned worker; `None` when the searcher runs
     /// shards inline (single shard, or worker spawn disabled).
     jobs: Option<Mutex<Sender<Job>>>,
+}
+
+/// Shard-local winners: the exact winners sweep, or the bound cascade
+/// when a plan is installed. Both produce bit-identical winners; only
+/// the activation cost differs, and neither path re-packs anything.
+fn shard_winners(
+    memory: &SearchMemory,
+    batch: &QueryBatch,
+    cascade: Option<&BoundCascade>,
+) -> hd_linalg::Result<Vec<(usize, u32)>> {
+    match cascade {
+        Some(bound) => bound.search(batch).map(|r| r.into_winners()),
+        None => memory.winners_batch(batch),
+    }
 }
 
 /// A sharded, worker-backed [`Searchable`] over a row-partitioned
@@ -62,6 +86,8 @@ pub struct ShardedSearcher {
     rows: usize,
     /// Global row → class label.
     classes: Arc<Vec<usize>>,
+    /// Stage plan each shard runs (`None` = exact winners sweep).
+    plan: Option<Arc<CascadePlan>>,
     shards: Vec<Shard>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -89,6 +115,42 @@ impl ShardedSearcher {
     /// Returns [`ServeError::InvalidConfig`] when `classes` disagrees with
     /// the memory's row count or the memory is empty.
     pub fn new(memory: SearchMemory, classes: Vec<usize>, num_shards: usize) -> Result<Self> {
+        Self::build(memory, classes, num_shards, None)
+    }
+
+    /// Like [`ShardedSearcher::new`] but every shard answers its rows
+    /// through the progressive-precision cascade under `plan`. Shards
+    /// prune independently; merged winners are bit-identical to the
+    /// exact sharded (and unsharded) search.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSearcher::new`], plus [`ServeError::InvalidConfig`]
+    /// when the plan's dimensionality differs from the memory's.
+    pub fn with_cascade(
+        memory: SearchMemory,
+        classes: Vec<usize>,
+        num_shards: usize,
+        plan: CascadePlan,
+    ) -> Result<Self> {
+        if plan.dim() != memory.cols() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "cascade plan covers {} dimensions but the memory has {}",
+                    plan.dim(),
+                    memory.cols()
+                ),
+            });
+        }
+        Self::build(memory, classes, num_shards, Some(Arc::new(plan)))
+    }
+
+    fn build(
+        memory: SearchMemory,
+        classes: Vec<usize>,
+        num_shards: usize,
+        plan: Option<Arc<CascadePlan>>,
+    ) -> Result<Self> {
         if classes.len() != memory.rows() {
             return Err(ServeError::InvalidConfig {
                 reason: format!("{} class labels for {} rows", classes.len(), memory.rows()),
@@ -109,9 +171,20 @@ impl ShardedSearcher {
         let mut workers = Vec::new();
         for (idx, (offset, part)) in parts.into_iter().enumerate() {
             let memory = Arc::new(part);
+            // Bind the plan to this shard's rows once; workers and the
+            // inline path reuse the derived prefix/suffix artifacts for
+            // every flush.
+            let cascade = match &plan {
+                Some(plan) => Some(Arc::new(
+                    BoundCascade::new(Arc::clone(&memory), plan.as_ref().clone())
+                        .map_err(|e| ServeError::InvalidConfig { reason: e.to_string() })?,
+                )),
+                None => None,
+            };
             let jobs = if spawn_workers {
                 let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
                 let worker_memory = Arc::clone(&memory);
+                let worker_cascade = cascade.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("hd-serve-shard-{idx}"))
                     .spawn(move || {
@@ -119,7 +192,11 @@ impl ShardedSearcher {
                         // the blocked mirror stays hot and no re-packing
                         // ever happens on the search path.
                         while let Ok(job) = rx.recv() {
-                            let winners = worker_memory.winners_batch(&job.batch);
+                            let winners = shard_winners(
+                                &worker_memory,
+                                &job.batch,
+                                worker_cascade.as_deref(),
+                            );
                             // A dropped reply receiver means the dispatch
                             // errored out early; keep serving later jobs.
                             let _ = job.reply.send((idx, winners));
@@ -133,9 +210,9 @@ impl ShardedSearcher {
             } else {
                 None
             };
-            shards.push(Shard { offset, memory, jobs });
+            shards.push(Shard { offset, memory, cascade, jobs });
         }
-        Ok(ShardedSearcher { dim, rows, classes: Arc::new(classes), shards, workers })
+        Ok(ShardedSearcher { dim, rows, classes: Arc::new(classes), plan, shards, workers })
     }
 
     /// Builds a sharded searcher over a [`hdc::BinaryAm`]'s centroid rows
@@ -146,6 +223,29 @@ impl ShardedSearcher {
     /// As [`ShardedSearcher::new`].
     pub fn from_am(am: &hdc::BinaryAm, num_shards: usize) -> Result<Self> {
         ShardedSearcher::new(am.search_memory().clone(), am.class_labels().to_vec(), num_shards)
+    }
+
+    /// Builds a cascade-mode sharded searcher over a [`hdc::BinaryAm`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSearcher::with_cascade`].
+    pub fn from_am_cascade(
+        am: &hdc::BinaryAm,
+        num_shards: usize,
+        plan: CascadePlan,
+    ) -> Result<Self> {
+        ShardedSearcher::with_cascade(
+            am.search_memory().clone(),
+            am.class_labels().to_vec(),
+            num_shards,
+            plan,
+        )
+    }
+
+    /// The cascade plan shards run, when one is installed.
+    pub fn cascade_plan(&self) -> Option<&CascadePlan> {
+        self.plan.as_deref()
     }
 
     /// Number of row shards.
@@ -199,9 +299,7 @@ impl Searchable for ShardedSearcher {
         if self.workers.is_empty() {
             for (slot, shard) in per_shard.iter_mut().zip(&self.shards) {
                 *slot = Some(
-                    shard
-                        .memory
-                        .winners_batch(&batch)
+                    shard_winners(&shard.memory, &batch, shard.cascade.as_deref())
                         .map_err(|e| ServeError::Model { reason: e.to_string() })?,
                 );
             }
@@ -300,6 +398,53 @@ mod tests {
         let batch = Arc::new(QueryBatch::from_vectors(&[hot]).unwrap());
         let w = sharded.search_winners(batch).unwrap();
         assert_eq!((w[0].row, w[0].score), (0, 64));
+    }
+
+    #[test]
+    fn cascade_shards_match_exact_for_every_shard_count() {
+        let (memory, classes) = random_memory(53, 192, 11);
+        let batch = random_batch(17, 192, 12);
+        let reference = memory.winners_batch(&batch).unwrap();
+        for shards in [1usize, 2, 3, 7] {
+            for plan in [
+                CascadePlan::exact(192),
+                CascadePlan::prefix(192, 64).unwrap(),
+                CascadePlan::uniform(192, 5).unwrap(),
+            ] {
+                let sharded = ShardedSearcher::with_cascade(
+                    memory.clone(),
+                    classes.clone(),
+                    shards,
+                    plan.clone(),
+                )
+                .unwrap();
+                assert_eq!(sharded.cascade_plan(), Some(&plan));
+                let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+                for (q, w) in winners.iter().enumerate() {
+                    assert_eq!(
+                        (w.row, w.score),
+                        reference[q],
+                        "shards {shards}, plan {plan:?}, query {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_plan_dimension_validated() {
+        let (memory, classes) = random_memory(16, 64, 13);
+        assert!(ShardedSearcher::with_cascade(
+            memory.clone(),
+            classes.clone(),
+            2,
+            CascadePlan::exact(65)
+        )
+        .is_err());
+        let ok =
+            ShardedSearcher::with_cascade(memory, classes, 2, CascadePlan::prefix(64, 16).unwrap())
+                .unwrap();
+        assert!(ok.cascade_plan().is_some());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!    published model.
 
 use hd_linalg::rng::seeded;
-use hd_linalg::BitVector;
-use hd_serve::{Pending, Searchable, ServeConfig, Server, ShardedSearcher};
+use hd_linalg::{BitVector, CascadePlan};
+use hd_serve::{CascadeSearcher, Pending, Searchable, ServeConfig, Server, ShardedSearcher};
 use hdc::BinaryAm;
 use rand::Rng;
 use std::collections::HashMap;
@@ -87,6 +87,59 @@ fn concurrent_submitters_never_lose_queries() {
         "concurrent submissions should coalesce (largest batch {})",
         stats.largest_batch
     );
+}
+
+/// The cascade adapter under concurrent submitters: every query is
+/// answered exactly once and matches the direct exact search bit for bit
+/// — the cascade prunes work, never answers.
+#[test]
+fn cascade_served_submitters_never_lose_queries() {
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 300;
+    const WINDOW: usize = 50;
+    let dim = 256;
+    let am = Arc::new(random_am(64, dim, 7));
+    let plan = CascadePlan::prefix(dim, 64).unwrap();
+    let sharded = ShardedSearcher::from_am_cascade(&am, 2, plan).unwrap();
+    assert!(sharded.cascade_plan().is_some());
+    let server = Arc::new(
+        Server::start(
+            Arc::new(sharded) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+        )
+        .unwrap(),
+    );
+    let answered: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let am = Arc::clone(&am);
+                scope.spawn(move || {
+                    let queries = random_queries(PER_THREAD, dim, 700 + t as u64);
+                    let mut answered = 0usize;
+                    for window in queries.chunks(WINDOW) {
+                        let pendings: Vec<Pending> =
+                            window.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+                        for (q, p) in window.iter().zip(pendings) {
+                            let got = p.wait().unwrap();
+                            let want = am.search(q).unwrap();
+                            assert_eq!(
+                                (got.row, got.class, got.score),
+                                (want.row, want.class, want.score),
+                                "thread {t}: cascade-served answer diverged from exact"
+                            );
+                            answered += 1;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(answered.iter().sum::<usize>(), THREADS * PER_THREAD);
+    let stats = server.stats();
+    assert_eq!(stats.queries, (THREADS * PER_THREAD) as u64, "no lost queries");
 }
 
 /// With a batch size nothing ever fills, only the deadline flusher can
@@ -220,4 +273,112 @@ fn snapshot_swap_never_mixes_generations() {
         (SUBMITTERS * PER_THREAD) as u64,
         "zero failed or lost queries under swap load"
     );
+}
+
+/// Shard-vs-unsharded cascade agreement under concurrent republish: the
+/// publisher alternates between a sharded cascade, an unsharded cascade,
+/// and the plain exact model — all over the same rows, distinguishable
+/// only by class labels. Every response must (a) carry a `(generation,
+/// class)` pair consistent with one published model and (b) report the
+/// same winning row and score as the direct exact search, so sharded and
+/// unsharded cascades demonstrably agree while generations churn.
+#[test]
+fn cascade_swap_agrees_with_unsharded_and_never_mixes_generations() {
+    const CLASS_MODELS: usize = 3;
+    const SUBMITTERS: usize = 4;
+    const PER_THREAD: usize = 400;
+    const WINDOW: usize = 40;
+    let dim = 128;
+    let rows = random_queries(48, dim, 8);
+    let plan = CascadePlan::prefix(dim, 32).unwrap();
+    let reference = random_am(48, dim, 8); // same seed => same rows
+    let model_for = |class: usize, variant: usize| -> Arc<dyn Searchable> {
+        let am = hdc::BinaryAm::from_centroids(
+            CLASS_MODELS,
+            rows.iter().map(|r| (class, r.clone())).collect(),
+        )
+        .unwrap();
+        match variant % 3 {
+            0 => Arc::new(ShardedSearcher::from_am_cascade(&am, 3, plan.clone()).unwrap()),
+            1 => Arc::new(CascadeSearcher::from_am(&am, plan.clone()).unwrap()),
+            _ => Arc::new(am),
+        }
+    };
+
+    let server = Arc::new(
+        Server::start(
+            model_for(1 % CLASS_MODELS, 0),
+            ServeConfig { max_batch: 32, max_delay: Duration::from_micros(150) },
+        )
+        .unwrap(),
+    );
+    let published: Arc<Mutex<HashMap<u64, usize>>> =
+        Arc::new(Mutex::new(HashMap::from([(1, 1 % CLASS_MODELS)])));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let publisher = {
+            let server = Arc::clone(&server);
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut swaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let class = (swaps as usize + 2) % CLASS_MODELS;
+                    {
+                        let mut map = published.lock().unwrap();
+                        let id = map.keys().max().unwrap() + 1;
+                        map.insert(id, class);
+                    }
+                    server.publish(model_for(class, swaps as usize)).unwrap();
+                    swaps += 1;
+                    std::thread::yield_now();
+                }
+                swaps
+            })
+        };
+
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let published = Arc::clone(&published);
+                let reference = &reference;
+                scope.spawn(move || {
+                    let queries = random_queries(PER_THREAD, dim, 800 + t as u64);
+                    for window in queries.chunks(WINDOW) {
+                        let pendings: Vec<Pending> =
+                            window.iter().map(|q| server.submit(q.as_view()).unwrap()).collect();
+                        for (q, p) in window.iter().zip(pendings) {
+                            let got = p.wait().unwrap();
+                            // (a) generation consistency.
+                            let expected_class =
+                                *published.lock().unwrap().get(&got.generation).unwrap_or_else(
+                                    || panic!("unknown generation {}", got.generation),
+                                );
+                            assert_eq!(got.class, expected_class, "mixed generations");
+                            // (b) winner agreement: rows are shared by
+                            // every published variant, so the winning
+                            // row/score must equal the exact search no
+                            // matter which cascade variant answered.
+                            let want = reference.search(q).unwrap();
+                            assert_eq!(
+                                (got.row, got.score),
+                                (want.row, want.score),
+                                "cascade variant diverged from the exact winner"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let swaps = publisher.join().unwrap();
+        assert!(swaps > 0, "publisher never got a swap in");
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.queries, (SUBMITTERS * PER_THREAD) as u64, "no lost queries under swap load");
 }

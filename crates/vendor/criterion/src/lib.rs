@@ -4,7 +4,7 @@
 //! (`criterion_group!` / `criterion_main!`, benchmark groups,
 //! `bench_function` / `bench_with_input`, `iter` / `iter_batched`) with a
 //! straightforward wall-clock measurement loop: warm up, auto-calibrate an
-//! iteration batch to ~[`SAMPLE_TARGET`], collect samples, report the
+//! iteration batch to ~`SAMPLE_TARGET`, collect samples, report the
 //! median.
 //!
 //! Results print to stdout; when the `CRITERION_JSON` environment variable
