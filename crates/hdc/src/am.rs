@@ -601,6 +601,11 @@ impl BinaryAm {
     /// fast path for plans whose early stages separate winners (same
     /// predictions as [`BinaryAm::classify_batch`], bit for bit).
     ///
+    /// The plan's derived artifacts are cached on the AM's
+    /// [`SearchMemory`], so repeated-batch loops (QAT epochs, eval
+    /// sweeps) derive the stage-0 prefix sub-memory and row-suffix table
+    /// once per plan, not once per call.
+    ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the batch or plan
@@ -612,6 +617,43 @@ impl BinaryAm {
     ) -> Result<Vec<usize>> {
         let raw = self.vectors.search_cascade(batch, plan).map_err(cascade_error)?;
         Ok(raw.winners().iter().map(|&(row, _)| self.classes[row]).collect())
+    }
+
+    /// Auto-tunes a cascade stage plan for this AM from a sample of real
+    /// queries (see [`hd_linalg::CascadePlan::tuned`]): the centroid
+    /// popcount profile plus the sample's measured pruning pick the
+    /// stage widths, replacing hand-picked prefixes. Workloads the
+    /// Hamming bound cannot separate early get the exact one-stage plan
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the sample's
+    /// dimensionality differs from `dim()` and [`HdcError::Linalg`] for
+    /// an empty sample.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::{BitVector, QueryBatch};
+    /// use hdc::BinaryAm;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let am = BinaryAm::from_centroids(2, vec![
+    ///     (0, BitVector::from_bools(&[true; 256])),
+    ///     (1, BitVector::from_bools(&[false; 256])),
+    /// ])?;
+    /// let sample = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 256])])?;
+    /// let plan = am.tuned_cascade_plan(&sample)?;
+    /// assert_eq!(
+    ///     am.classify_batch_cascade(&sample, &plan)?,
+    ///     am.classify_batch(&sample)?,
+    /// );
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn tuned_cascade_plan(&self, sample: &QueryBatch) -> Result<CascadePlan> {
+        CascadePlan::tuned(&self.vectors, sample).map_err(cascade_error)
     }
 
     /// Borrows centroid row `row`.

@@ -30,6 +30,20 @@ pub enum ImcError {
         /// Dimensionality of the query.
         found: usize,
     },
+    /// A cascade plan's stage boundary did not land on a partitioned
+    /// mapping's segment boundary. A partitioned layout interleaves
+    /// dimension segments across activations, so a stage can only end
+    /// where a segment does — snap the plan with
+    /// [`hd_linalg::CascadePlan::snapped`] using the mapping's segment
+    /// length.
+    CascadeStageMisaligned {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Logical dimension the stage ends at.
+        end: usize,
+        /// Segment length (`D / P`) boundaries must be a multiple of.
+        seg_len: usize,
+    },
 }
 
 impl fmt::Display for ImcError {
@@ -41,6 +55,14 @@ impl fmt::Display for ImcError {
             }
             ImcError::QueryDimensionMismatch { expected, found } => {
                 write!(f, "query dimension mismatch: mapped D={expected}, query D={found}")
+            }
+            ImcError::CascadeStageMisaligned { stage, end, seg_len } => {
+                write!(
+                    f,
+                    "cascade stage {stage} ends at dimension {end}, which is not a multiple of \
+                     the partitioned segment length {seg_len}; snap the plan to segment \
+                     boundaries with CascadePlan::snapped({seg_len})"
+                )
             }
         }
     }
@@ -63,6 +85,8 @@ mod tests {
         assert!(ImcError::QueryDimensionMismatch { expected: 4, found: 5 }
             .to_string()
             .contains("D=4"));
+        let msg = ImcError::CascadeStageMisaligned { stage: 1, end: 100, seg_len: 64 }.to_string();
+        assert!(msg.contains("stage 1") && msg.contains("100") && msg.contains("snapped(64)"));
     }
 
     #[test]

@@ -206,6 +206,23 @@ impl FaultyAmMapping {
         self.mapping.search_batch(batch)
     }
 
+    /// Batched cascade search on the faulty arrays: predictions are
+    /// bit-exact against [`FaultyAmMapping::search_batch`] on the same
+    /// perturbed cells (fault injection invalidates any cascade bound
+    /// artifacts cached before the flips, so the pruning bound always
+    /// describes the bits actually programmed).
+    ///
+    /// # Errors
+    ///
+    /// As [`AmMapping::search_batch_cascade`].
+    pub fn search_batch_cascade(
+        &self,
+        batch: &hd_linalg::QueryBatch,
+        plan: &hd_linalg::CascadePlan,
+    ) -> Result<crate::mapping::CascadeBatchStats> {
+        self.mapping.search_batch_cascade(batch, plan)
+    }
+
     /// The underlying (perturbed) mapping.
     pub fn as_mapping(&self) -> &AmMapping {
         &self.mapping
@@ -318,5 +335,38 @@ mod tests {
     #[should_panic(expected = "bit error rate")]
     fn bit_flip_constructor_panics_out_of_range() {
         FaultModel::bit_flip(2.0);
+    }
+
+    #[test]
+    fn fault_injection_invalidates_cascade_bounds_and_stays_exact() {
+        use hd_linalg::{CascadePlan, QueryBatch};
+        let mut rng = seeded(21);
+        let queries: Vec<BitVector> = (0..9)
+            .map(|_| BitVector::from_bools(&(0..512).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let am = small_am(512, 20);
+        for strategy in [MappingStrategy::Basic, MappingStrategy::Partitioned { partitions: 4 }] {
+            let ideal = AmMapping::new(&am, ArraySpec::default(), strategy).unwrap();
+            let plan = CascadePlan::prefix(512, 128).unwrap();
+            // Warm the ideal mapping's cascade bound caches, then degrade
+            // through two injection rounds: the cached prefix sub-memory
+            // and row-suffix tables describe the pre-fault bits and MUST
+            // be re-derived, or the pruning bound would silently lie.
+            let warm = ideal.search_batch_cascade(&batch, &plan).unwrap();
+            assert_eq!(warm.predicted_rows, ideal.search_batch(&batch).unwrap().predicted_rows);
+            let mut faulty =
+                FaultyAmMapping::program(&ideal, FaultModel::bit_flip(0.2), 13).unwrap();
+            for round in 0..2 {
+                let exact = faulty.search_batch(&batch).unwrap();
+                let cascade = faulty.search_batch_cascade(&batch, &plan).unwrap();
+                assert_eq!(
+                    cascade.predicted_rows, exact.predicted_rows,
+                    "{strategy:?} round {round}: cascade must track the faulty bits"
+                );
+                assert_eq!(cascade.predicted_classes, exact.predicted_classes);
+                faulty = faulty.inject(FaultModel::bit_flip(0.2), 14 + round).unwrap();
+            }
+        }
     }
 }

@@ -12,8 +12,10 @@ use crate::error::{ImcError, Result};
 use crate::spec::{tile_grid, ArraySpec};
 use hd_linalg::{
     BitMatrix, BitVector, CascadePlan, CascadeStats, QueryBatch, ScoreMatrix, SearchMemory,
+    SegmentedCascade,
 };
 use hdc::BinaryAm;
+use std::sync::{Arc, Mutex};
 
 /// How the AM is laid out across arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -195,7 +197,7 @@ impl CascadeBatchStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AmMapping {
     spec: ArraySpec,
     strategy: MappingStrategy,
@@ -214,6 +216,32 @@ pub struct AmMapping {
     /// [`SearchMemory`] keeps each partition's SIMD-blocked mirror packed
     /// once instead of per batch.
     partitions: Vec<SearchMemory>,
+    /// Most-recent partitioned cascade handle (the logical row-suffix
+    /// table), keyed by its plan. Rebuilt when a different plan arrives
+    /// and dropped whenever fault injection flips a programmed cell —
+    /// basic layouts instead ride the [`SearchMemory`]-internal bound
+    /// cache of their single partition.
+    segmented_bound: Mutex<Option<Arc<SegmentedCascade>>>,
+}
+
+impl Clone for AmMapping {
+    fn clone(&self) -> Self {
+        AmMapping {
+            spec: self.spec,
+            strategy: self.strategy,
+            dim: self.dim,
+            num_vectors: self.num_vectors,
+            classes: self.classes.clone(),
+            seg_len: self.seg_len,
+            partitions: self.partitions.clone(),
+            // The handle describes the (identical) cloned bits; sharing
+            // the Arc is safe because invalidation replaces, never
+            // mutates, the pointee.
+            segmented_bound: Mutex::new(
+                self.segmented_bound.lock().map(|g| g.clone()).unwrap_or(None),
+            ),
+        }
+    }
 }
 
 impl AmMapping {
@@ -262,6 +290,7 @@ impl AmMapping {
             classes: am.class_labels().to_vec(),
             seg_len,
             partitions,
+            segmented_bound: Mutex::new(None),
         })
     }
 
@@ -419,16 +448,25 @@ impl AmMapping {
     /// reports the activated-dimension count the paper's Fig. 7 energy
     /// ladder is proportional to.
     ///
-    /// Only the basic (MEMHD fully-utilized) layout supports the
-    /// cascade: a partitioned mapping interleaves dimension segments
-    /// across activations, so a prefix of logical dimensions is not a
-    /// prefix of its activation schedule.
+    /// Both layouts cascade. The basic (MEMHD fully-utilized) layout
+    /// prunes at arbitrary stage boundaries; a partitioned layout drives
+    /// each array once per segment, so stages can only end where
+    /// segments do — every interior stage boundary must be a multiple of
+    /// the segment length `D / P` (snap a tuned plan with
+    /// [`CascadePlan::snapped`]). Pruned centroids carry their shortlist
+    /// across partitions: a column gated off after one segment's
+    /// activation stays off for every later segment.
+    ///
+    /// The plan's derived artifacts (prefix sub-memory or logical
+    /// row-suffix table) are cached on the mapping and reused across
+    /// batches; fault injection invalidates them.
     ///
     /// # Errors
     ///
     /// Returns [`ImcError::QueryDimensionMismatch`] if the batch or plan
-    /// width is not `D`, and [`ImcError::InvalidPartitioning`] for a
-    /// partitioned layout.
+    /// width is not `D`, and [`ImcError::CascadeStageMisaligned`] when a
+    /// partitioned layout gets a plan whose stage boundary misses every
+    /// segment boundary.
     pub fn search_batch_cascade(
         &self,
         batch: &QueryBatch,
@@ -443,15 +481,21 @@ impl AmMapping {
         if plan.dim() != self.dim {
             return Err(ImcError::QueryDimensionMismatch { expected: self.dim, found: plan.dim() });
         }
-        if self.partitions.len() != 1 {
-            return Err(ImcError::InvalidPartitioning {
-                dim: self.dim,
-                partitions: self.partitions.len(),
-                reason: "cascade search requires the basic (fully-utilized) layout".into(),
-            });
-        }
-        let results =
-            self.partitions[0].search_cascade(batch, plan).expect("dimensions validated above");
+        let results = if self.partitions.len() == 1 {
+            self.partitions[0].search_cascade(batch, plan).expect("dimensions validated above")
+        } else {
+            for (stage, &end) in plan.ends()[..plan.stages() - 1].iter().enumerate() {
+                if !end.is_multiple_of(self.seg_len) {
+                    return Err(ImcError::CascadeStageMisaligned {
+                        stage,
+                        end,
+                        seg_len: self.seg_len,
+                    });
+                }
+            }
+            let bound = self.segmented_bound(plan);
+            bound.search(&self.partitions, batch).expect("layout and plan validated above")
+        };
         let predicted_rows: Vec<usize> = results.winners().iter().map(|&(row, _)| row).collect();
         let predicted_classes = predicted_rows.iter().map(|&r| self.classes[r]).collect();
         let cascade = results.stats().clone();
@@ -461,6 +505,110 @@ impl AmMapping {
             cascade,
             exact_cycles_per_query: self.stats().cycles,
         })
+    }
+
+    /// The cached partitioned cascade handle for `plan`, re-derived when
+    /// the plan differs from the cached one. Callers must have validated
+    /// the plan's dimensionality and stage alignment.
+    fn segmented_bound(&self, plan: &CascadePlan) -> Arc<SegmentedCascade> {
+        let mut guard =
+            self.segmented_bound.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(bound) = guard.as_ref() {
+            if bound.plan() == plan {
+                return Arc::clone(bound);
+            }
+        }
+        let bound = Arc::new(
+            SegmentedCascade::new(&self.partitions, plan).expect("caller validated the plan"),
+        );
+        *guard = Some(Arc::clone(&bound));
+        bound
+    }
+
+    /// Auto-tunes a cascade stage plan for this mapping from a sample of
+    /// real queries (see [`CascadePlan::tuned`]). For a partitioned
+    /// layout the logical memory is reassembled once and tuning runs
+    /// directly on the segment-aligned candidate grid
+    /// ([`CascadePlan::tuned_aligned`] with `unit = D / P`), so the
+    /// returned plan is always valid for
+    /// [`AmMapping::search_batch_cascade`] on this mapping **and** the
+    /// tuner's exact-fallback guarantee holds: a layout too coarse to
+    /// cascade profitably gets the exact one-stage plan back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::QueryDimensionMismatch`] when the sample
+    /// width is not `D` and [`ImcError::InvalidSpec`] for an empty
+    /// sample.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::{BitVector, QueryBatch};
+    /// use hdc::BinaryAm;
+    /// use imc_sim::{AmMapping, ArraySpec, MappingStrategy};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let am = BinaryAm::from_centroids(2, vec![
+    ///     (0, BitVector::from_bools(&[true; 256])),
+    ///     (1, BitVector::from_bools(&[false; 256])),
+    /// ])?;
+    /// let mapping = AmMapping::new(
+    ///     &am,
+    ///     ArraySpec::default(),
+    ///     MappingStrategy::Partitioned { partitions: 2 },
+    /// )?;
+    /// let sample = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 256])])?;
+    /// let plan = mapping.tuned_cascade_plan(&sample)?;
+    /// let out = mapping.search_batch_cascade(&sample, &plan)?; // always aligned
+    /// assert_eq!(out.predicted_rows, vec![0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn tuned_cascade_plan(&self, sample: &QueryBatch) -> Result<CascadePlan> {
+        if sample.dim() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: sample.dim(),
+            });
+        }
+        let tune_on = |memory: &SearchMemory, unit: usize| {
+            CascadePlan::tuned_aligned(memory, sample, unit).map_err(|e| ImcError::InvalidSpec {
+                reason: format!("cascade plan tuning failed: {e}"),
+            })
+        };
+        if self.partitions.len() == 1 {
+            // Basic layout: any word-aligned boundary is legal.
+            return tune_on(&self.partitions[0], 64);
+        }
+        // Reassemble the logical D-bit rows once: tuning is a
+        // per-deployment derivation, and replaying candidate plans wants
+        // the contiguous layout the tuner's cost model describes.
+        // Word-aligned segments (every power-of-two partitioning)
+        // concatenate as whole packed words; only unaligned segment
+        // lengths fall back to per-bit assembly.
+        let rows: Vec<BitVector> = (0..self.num_vectors)
+            .map(|v| {
+                if self.seg_len.is_multiple_of(64) {
+                    let mut words = Vec::with_capacity(self.dim / 64);
+                    for memory in &self.partitions {
+                        words.extend_from_slice(memory.matrix().row(v).as_words());
+                    }
+                    BitVector::from_words(self.dim, words).expect("aligned segments concatenate")
+                } else {
+                    let mut bools = vec![false; self.dim];
+                    for (part, memory) in self.partitions.iter().enumerate() {
+                        let m = memory.matrix();
+                        for c in 0..self.seg_len {
+                            bools[part * self.seg_len + c] = m.get(v, c);
+                        }
+                    }
+                    BitVector::from_bools(&bools)
+                }
+            })
+            .collect();
+        let logical = BitMatrix::from_rows(&rows).expect("mappings store at least one vector");
+        tune_on(&SearchMemory::new(logical), self.seg_len)
     }
 
     /// Executes one associative search with per-cycle ADC readout.
@@ -511,10 +659,15 @@ impl AmMapping {
     /// perturb it. Cells are visited in a fixed (column-major by logical
     /// column, then bit) order so fault sampling is reproducible. Each
     /// partition's SIMD-blocked mirror is rebuilt once after its sweep —
-    /// and only if the sweep actually flipped a bit.
+    /// and only if the sweep actually flipped a bit. Any flip also drops
+    /// the cached cascade bound artifacts (the per-partition
+    /// [`SearchMemory`] caches invalidate themselves; the partitioned
+    /// handle is dropped here), so the next cascade re-derives against
+    /// the faulty bits and stays bit-exact vs. the faulty exact search.
     pub(crate) fn for_each_cell_mut<F: FnMut(&mut bool)>(&mut self, mut f: F) {
+        let mut any_changed = false;
         for memory in &mut self.partitions {
-            memory.modify_reporting(|matrix| {
+            any_changed |= memory.modify_reporting(|matrix| {
                 let mut changed = false;
                 for r in 0..matrix.rows() {
                     for c in 0..matrix.cols() {
@@ -529,6 +682,9 @@ impl AmMapping {
                 }
                 changed
             });
+        }
+        if any_changed {
+            *self.segmented_bound.get_mut().unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
         }
     }
 
@@ -824,19 +980,9 @@ mod tests {
     }
 
     #[test]
-    fn cascade_rejects_partitioned_layouts_and_bad_dims() {
+    fn cascade_rejects_bad_dims() {
         let am = random_am(2, 2, 256, 33);
-        let part = AmMapping::new(
-            &am,
-            ArraySpec::default(),
-            MappingStrategy::Partitioned { partitions: 2 },
-        )
-        .unwrap();
         let batch = random_batch(2, 256, 500);
-        assert!(matches!(
-            part.search_batch_cascade(&batch, &CascadePlan::exact(256)),
-            Err(ImcError::InvalidPartitioning { .. })
-        ));
         let basic = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
         assert!(matches!(
             basic.search_batch_cascade(&batch, &CascadePlan::exact(128)),
@@ -846,6 +992,155 @@ mod tests {
         assert!(matches!(
             basic.search_batch_cascade(&bad_batch, &CascadePlan::exact(256)),
             Err(ImcError::QueryDimensionMismatch { expected: 256, found: 128 })
+        ));
+    }
+
+    #[test]
+    fn partitioned_cascade_matches_exact_batched_search() {
+        let am = random_am(3, 4, 320, 34);
+        let batch = random_batch(11, 320, 600);
+        for p in [2usize, 4, 5] {
+            let mapping = AmMapping::new(
+                &am,
+                ArraySpec::default(),
+                MappingStrategy::Partitioned { partitions: p },
+            )
+            .unwrap();
+            let exact = mapping.search_batch(&batch).unwrap();
+            let seg = 320 / p;
+            let mut plans = vec![CascadePlan::exact(320), CascadePlan::prefix(320, seg).unwrap()];
+            if p > 2 {
+                plans.push(CascadePlan::from_widths(320, &[seg, seg, 320 - 2 * seg]).unwrap());
+            }
+            for plan in plans {
+                let out = mapping.search_batch_cascade(&batch, &plan).unwrap();
+                assert_eq!(out.predicted_rows, exact.predicted_rows, "P={p} {plan:?}");
+                assert_eq!(out.predicted_classes, exact.predicted_classes, "P={p} {plan:?}");
+                assert!(out.activated_dims() <= out.exact_dims(), "P={p} {plan:?}");
+                assert_eq!(out.exact_cycles_per_query, mapping.stats().cycles);
+                if plan.stages() == 1 {
+                    assert!((out.activation_fraction() - 1.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_cascade_misaligned_plan_is_a_precise_error() {
+        let am = random_am(2, 2, 256, 35);
+        let mapping = AmMapping::new(
+            &am,
+            ArraySpec::default(),
+            MappingStrategy::Partitioned { partitions: 4 },
+        )
+        .unwrap();
+        let batch = random_batch(2, 256, 700);
+        // Stage 0 ends at 100, between the segment boundaries 64 and 128.
+        let misaligned = CascadePlan::prefix(256, 100).unwrap();
+        let err = mapping.search_batch_cascade(&batch, &misaligned).unwrap_err();
+        assert_eq!(
+            err,
+            ImcError::CascadeStageMisaligned { stage: 0, end: 100, seg_len: 64 },
+            "misalignment must name the offending stage"
+        );
+        assert!(err.to_string().contains("snapped(64)"));
+        // A later misaligned stage is reported at its own index.
+        let late = CascadePlan::from_widths(256, &[64, 70, 122]).unwrap();
+        assert!(matches!(
+            mapping.search_batch_cascade(&batch, &late),
+            Err(ImcError::CascadeStageMisaligned { stage: 1, end: 134, seg_len: 64 })
+        ));
+        // Snapping repairs the plan.
+        let snapped = misaligned.snapped(64).unwrap();
+        let out = mapping.search_batch_cascade(&batch, &snapped).unwrap();
+        assert_eq!(out.predicted_rows, mapping.search_batch(&batch).unwrap().predicted_rows);
+    }
+
+    #[test]
+    fn partitioned_cascade_pruning_reduces_activation_and_energy() {
+        // The separable workload of the basic-layout telemetry test, on
+        // a partitioned mapping: per-partition shortlist carry-over must
+        // still cut activation strictly below exact.
+        let dim = 512;
+        let mut rng = seeded(36);
+        let hot: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+        let mut centroids = vec![(0usize, BitVector::from_bools(&hot))];
+        for c in 1..8 {
+            let sparse: Vec<bool> = (0..dim).map(|_| rng.gen::<f32>() < 0.05).collect();
+            centroids.push((c % 3, BitVector::from_bools(&sparse)));
+        }
+        let am = BinaryAm::from_centroids(3, centroids).unwrap();
+        let mapping = AmMapping::new(
+            &am,
+            ArraySpec::default(),
+            MappingStrategy::Partitioned { partitions: 4 },
+        )
+        .unwrap();
+        let batch = QueryBatch::from_vectors(&[BitVector::from_bools(&hot)]).unwrap();
+        let plan = CascadePlan::prefix(dim, 128).unwrap(); // one segment
+        let stats = mapping.search_batch_cascade(&batch, &plan).unwrap();
+        assert_eq!(stats.predicted_rows, vec![0]);
+        assert!(stats.activated_dims() < stats.exact_dims());
+        assert!(stats.activation_fraction() < 1.0);
+        let model = EnergyModel::default();
+        let exact_energy = model.inference_energy_pj(stats.exact_cycles_per_query * stats.len());
+        assert!(stats.inference_energy_pj(&model) < exact_energy);
+    }
+
+    #[test]
+    fn tuned_plan_is_always_segment_aligned() {
+        let mut rng = seeded(37);
+        let dim = 2048;
+        // Imbalanced AM so the tuner actually cascades.
+        let mut centroids =
+            vec![(0usize, BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))];
+        for c in 1..10 {
+            centroids.push((
+                c,
+                BitVector::from_bools(
+                    &(0..dim).map(|_| rng.gen::<f32>() < 0.02).collect::<Vec<_>>(),
+                ),
+            ));
+        }
+        let rows: Vec<BitVector> = centroids.iter().map(|(_, b)| b.clone()).collect();
+        let am = BinaryAm::from_centroids(10, centroids).unwrap();
+        let queries: Vec<BitVector> = (0..64)
+            .map(|i| {
+                let mut q = rows[if i % 32 == 0 { 1 + i % 9 } else { 0 }].clone();
+                for _ in 0..dim / 20 {
+                    let bit = rng.gen_range(0..dim);
+                    q.set(bit, !q.get(bit));
+                }
+                q
+            })
+            .collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        for p in [1usize, 4, 8] {
+            let strategy = if p == 1 {
+                MappingStrategy::Basic
+            } else {
+                MappingStrategy::Partitioned { partitions: p }
+            };
+            let mapping = AmMapping::new(&am, ArraySpec::default(), strategy).unwrap();
+            let plan = mapping.tuned_cascade_plan(&batch).unwrap();
+            assert_eq!(plan.dim(), dim);
+            if p > 1 {
+                let seg = dim / p;
+                for &e in &plan.ends()[..plan.stages() - 1] {
+                    assert!(e.is_multiple_of(seg), "P={p}: boundary {e} off segment grid");
+                }
+            } else {
+                assert!(plan.stages() > 1, "basic tuned plan should cascade here: {plan:?}");
+            }
+            // And the tuned plan runs, bit-exactly.
+            let out = mapping.search_batch_cascade(&batch, &plan).unwrap();
+            assert_eq!(out.predicted_rows, mapping.search_batch(&batch).unwrap().predicted_rows);
+        }
+        let wrong = random_batch(2, 128, 900);
+        let basic = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        assert!(matches!(
+            basic.tuned_cascade_plan(&wrong),
+            Err(ImcError::QueryDimensionMismatch { .. })
         ));
     }
 

@@ -325,12 +325,29 @@ impl BlockedBitMatrix {
 /// This is the type long-lived memories (class AMs, per-partition IMC
 /// matrices) should hold: batched searches skip the per-call packing that
 /// [`BitMatrix::dot_batch`] would otherwise perform, and on the scalar
-/// backend it stays a plain [`BitMatrix`] with zero overhead. Equality
-/// compares the logical matrix only.
-#[derive(Debug, Clone)]
+/// backend it stays a plain [`BitMatrix`] with zero overhead. Cascade
+/// searches additionally cache their derived bound forms (prefix
+/// sub-memory, row-suffix table) here, keyed by plan — see
+/// [`SearchMemory::search_cascade`]. Equality compares the logical
+/// matrix only, and a clone starts with an empty cascade cache (forms
+/// re-derive lazily).
+#[derive(Debug)]
 pub struct SearchMemory {
     matrix: BitMatrix,
     blocked: Option<BlockedBitMatrix>,
+    /// Derived cascade bound forms, keyed by plan; invalidated on any
+    /// mutation of `matrix`.
+    cascade_cache: crate::cascade::CascadeCache,
+}
+
+impl Clone for SearchMemory {
+    fn clone(&self) -> Self {
+        SearchMemory {
+            matrix: self.matrix.clone(),
+            blocked: self.blocked.clone(),
+            cascade_cache: crate::cascade::CascadeCache::new(),
+        }
+    }
 }
 
 impl PartialEq for SearchMemory {
@@ -353,7 +370,13 @@ impl SearchMemory {
     pub fn new(matrix: BitMatrix) -> Self {
         let blocked = (kernel::active() != Backend::Scalar && matrix.rows() > 0)
             .then(|| BlockedBitMatrix::from_matrix(&matrix));
-        SearchMemory { matrix, blocked }
+        SearchMemory { matrix, blocked, cascade_cache: crate::cascade::CascadeCache::new() }
+    }
+
+    /// The memory's cascade bound-form cache.
+    #[inline]
+    pub(crate) fn cascade_cache(&self) -> &crate::cascade::CascadeCache {
+        &self.cascade_cache
     }
 
     /// Builds from equal-length rows.
@@ -410,12 +433,18 @@ impl SearchMemory {
     /// Like [`SearchMemory::modify`], but the closure reports whether it
     /// actually mutated the matrix and the blocked mirror is rebuilt only
     /// then — so sweeps that touch every cell but flip none (e.g. a
-    /// zero-probability fault pass) stay free. Returns the closure's
-    /// report.
+    /// zero-probability fault pass) stay free. A reported mutation also
+    /// drops every cached cascade bound form: the prefix sub-memory and
+    /// row-suffix tables describe the old bits, and the next
+    /// [`SearchMemory::search_cascade`] re-derives them. Returns the
+    /// closure's report.
     pub fn modify_reporting(&mut self, f: impl FnOnce(&mut BitMatrix) -> bool) -> bool {
         let changed = f(&mut self.matrix);
-        if changed && self.blocked.is_some() {
-            self.blocked = Some(BlockedBitMatrix::from_matrix(&self.matrix));
+        if changed {
+            if self.blocked.is_some() {
+                self.blocked = Some(BlockedBitMatrix::from_matrix(&self.matrix));
+            }
+            self.cascade_cache.invalidate();
         }
         changed
     }
@@ -438,7 +467,7 @@ impl SearchMemory {
             Some(_) => Some(BlockedBitMatrix::from_matrix(&matrix)),
             None => None,
         };
-        Ok(SearchMemory { matrix, blocked })
+        Ok(SearchMemory { matrix, blocked, cascade_cache: crate::cascade::CascadeCache::new() })
     }
 
     /// Splits the memory into `shards` contiguous row ranges for

@@ -41,11 +41,12 @@
 //! telemetry `imc_sim` converts back into the paper's energy ladder.
 
 use crate::batch::{self, dot_words};
-use crate::bits::BitMatrix;
+use crate::bits::{BitMatrix, BitVector};
 use crate::blocked::SearchMemory;
 use crate::error::{LinalgError, Result};
 use crate::kernel::{self, Backend};
-use crate::{QueryBatch, ScoreMatrix};
+use crate::{QueryBatch, QueryBatchBuilder, ScoreMatrix};
+use std::sync::{Arc, Mutex};
 
 /// Stage layout of a cascade search: strictly increasing dimension
 /// prefixes ending at the full dimensionality.
@@ -185,6 +186,254 @@ impl CascadePlan {
             })
             .collect()
     }
+
+    /// Rounds every interior stage boundary to the nearest positive
+    /// multiple of `unit`, merging stages that collapse onto the same
+    /// boundary (the final boundary stays at `dim`). This adapts an
+    /// existing plan to a layout with coarser alignment requirements —
+    /// `imc_sim`'s partitioned mappings need stage boundaries on segment
+    /// boundaries, and word-aligned (64) boundaries avoid masked
+    /// boundary words on any layout. Snapping moves boundaries **without
+    /// re-validating the tuner's cost model** (answers are unaffected —
+    /// plans change cost, never results); when the alignment constraint
+    /// is known before tuning, prefer [`CascadePlan::tuned_aligned`],
+    /// which scores candidates on the constrained grid and keeps the
+    /// exact-plan fallback guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `unit == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::CascadePlan;
+    ///
+    /// let plan = CascadePlan::from_widths(10_240, &[600, 1_000, 8_640]).unwrap();
+    /// let snapped = plan.snapped(2_048).unwrap();
+    /// assert_eq!(snapped.ends(), &[2_048, 10_240]); // 600→2048, 1600→2048 (merged)
+    /// assert_eq!(plan.snapped(20_000).unwrap().stages(), 1); // unit ≥ dim: exact plan
+    /// ```
+    pub fn snapped(&self, unit: usize) -> Result<Self> {
+        if unit == 0 {
+            return Err(LinalgError::Empty { op: "CascadePlan::snapped" });
+        }
+        if unit >= self.dim {
+            return Ok(CascadePlan::exact(self.dim));
+        }
+        let mut ends = Vec::with_capacity(self.ends.len());
+        for &e in &self.ends[..self.ends.len() - 1] {
+            let r = ((e + unit / 2) / unit * unit).max(unit);
+            if r >= self.dim || ends.last().is_some_and(|&prev| r <= prev) {
+                continue;
+            }
+            ends.push(r);
+        }
+        ends.push(self.dim);
+        Ok(CascadePlan { dim: self.dim, ends })
+    }
+
+    /// Auto-tunes a stage plan for `memory` from a sample of real
+    /// queries, replacing hand-picked prefixes.
+    ///
+    /// Candidate word-aligned prefix widths are scored by running the
+    /// exact Hamming-bound pruning on (a strided subsample of) the query
+    /// sample — the expected pruning threshold is a function of the
+    /// memory's row-popcount profile and the sample's query popcounts,
+    /// and replaying the bound on the sample measures it directly. Each
+    /// candidate's measured per-stage shortlist sizes feed a deterministic
+    /// cost model (tiled SIMD prefix sweep vs. the pricier per-row
+    /// continuation), a three-stage refinement of the best prefix is
+    /// tried, and the winner is kept only if it beats the exact sweep's
+    /// modeled cost — workloads whose rows never separate early get
+    /// [`CascadePlan::exact`] back, which *is* the right plan for them.
+    ///
+    /// The tuned plan is workload advice, not a correctness knob: every
+    /// plan yields bit-identical winners; tuning only moves where the
+    /// activation (and wall-clock) lands. Tuning runs the candidate
+    /// cascades over at most 64 sampled queries, so it costs a few
+    /// sample-sized batch searches — amortize it like any other
+    /// per-deployment derivation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty memory or query
+    /// sample and [`LinalgError::ShapeMismatch`] when the sample's
+    /// dimensionality differs from the memory's.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::{BitVector, CascadePlan, QueryBatch, SearchMemory};
+    ///
+    /// let rows: Vec<BitVector> =
+    ///     (0..8).map(|r| BitVector::from_bools(&vec![r % 2 == 0; 256])).collect();
+    /// let memory = SearchMemory::from_rows(&rows).unwrap();
+    /// let sample = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 256])]).unwrap();
+    /// let plan = CascadePlan::tuned(&memory, &sample).unwrap();
+    /// assert_eq!(plan.dim(), 256);
+    /// assert_eq!(
+    ///     memory.search_cascade(&sample, &plan).unwrap().winners(),
+    ///     memory.winners_batch(&sample).unwrap()
+    /// );
+    /// ```
+    pub fn tuned(memory: &SearchMemory, sample: &QueryBatch) -> Result<Self> {
+        Self::tuned_aligned(memory, sample, 64)
+    }
+
+    /// [`CascadePlan::tuned`] with every stage boundary constrained to a
+    /// multiple of `unit` — the tuner for layouts with coarser alignment
+    /// requirements than the word grid, primarily `imc_sim`'s
+    /// partitioned mappings (`unit = D / P`, the segment length).
+    /// Candidates are generated **on** the constrained grid and scored
+    /// there, so the exact-plan fallback guarantee survives the
+    /// constraint: a coarse grid whose cheapest aligned cascade still
+    /// loses to the exact sweep gets [`CascadePlan::exact`] back.
+    /// (Snapping an unconstrained tuned plan after the fact with
+    /// [`CascadePlan::snapped`] does *not* re-validate cost — prefer
+    /// this entry point when the constraint is known up front.)
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadePlan::tuned`], plus [`LinalgError::Empty`] when
+    /// `unit == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::{BitVector, CascadePlan, QueryBatch, SearchMemory};
+    ///
+    /// let rows: Vec<BitVector> =
+    ///     (0..8).map(|r| BitVector::from_bools(&vec![r % 2 == 0; 512])).collect();
+    /// let memory = SearchMemory::from_rows(&rows).unwrap();
+    /// let sample = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 512])]).unwrap();
+    /// let plan = CascadePlan::tuned_aligned(&memory, &sample, 128).unwrap();
+    /// for &end in &plan.ends()[..plan.stages() - 1] {
+    ///     assert_eq!(end % 128, 0); // every interior boundary on the segment grid
+    /// }
+    /// ```
+    pub fn tuned_aligned(memory: &SearchMemory, sample: &QueryBatch, unit: usize) -> Result<Self> {
+        let m = memory.matrix();
+        if unit == 0 {
+            return Err(LinalgError::Empty { op: "CascadePlan::tuned_aligned" });
+        }
+        if m.rows() == 0 || m.cols() == 0 {
+            return Err(LinalgError::Empty { op: "CascadePlan::tuned" });
+        }
+        if sample.is_empty() {
+            return Err(LinalgError::Empty { op: "CascadePlan::tuned(sample)" });
+        }
+        if sample.dim() != m.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CascadePlan::tuned",
+                expected: m.cols(),
+                found: sample.dim(),
+            });
+        }
+        let dim = m.cols();
+
+        // Strided subsample: candidate evaluation replays the pruning on
+        // every kept query, so cap the work while staying representative
+        // of the sample's traffic mix.
+        let take = sample.len().min(TUNE_SAMPLE_CAP);
+        let sub_owned: QueryBatch;
+        let sub = if take == sample.len() {
+            sample
+        } else {
+            let mut builder = QueryBatchBuilder::with_capacity(dim, take);
+            for i in 0..take {
+                let pick = i * sample.len() / take;
+                builder.push(sample.query(pick)).expect("subsample keeps the dimensionality");
+            }
+            sub_owned = builder.take_batch().expect("take >= 1 query");
+            &sub_owned
+        };
+
+        // Two-stage candidates on the constrained grid: power-of-two
+        // fractions of the dimensionality rounded up to the word grid
+        // when the unit allows it, otherwise power-of-two multiples of
+        // the unit itself.
+        let mut widths: Vec<usize> = Vec::new();
+        if unit <= 64 && 64usize.is_multiple_of(unit) {
+            for frac in [64usize, 32, 16, 8, 4, 2] {
+                let w = (dim / frac).max(1).next_multiple_of(64);
+                if w < dim && !widths.contains(&w) {
+                    widths.push(w);
+                }
+            }
+        } else {
+            let mut w = unit;
+            while w < dim {
+                widths.push(w);
+                w *= 2;
+            }
+        }
+        let exact_cost = modeled_exact_cost(m.rows(), dim, sub.len());
+        let mut best: Option<(CascadePlan, f64)> = None;
+        for &w in &widths {
+            let plan = CascadePlan::prefix(dim, w).expect("0 < w < dim");
+            let cost = modeled_cost(&plan, cascade_active(m, sub, &plan).stats());
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((plan, cost));
+            }
+        }
+        // Three-stage refinement: give the best prefix a mid checkpoint
+        // (on the same grid) so late-separating rows are cut before the
+        // full suffix.
+        if let Some((two, _)) = &best {
+            let e0 = two.ends()[0];
+            let grid = if unit <= 64 && 64usize.is_multiple_of(unit) { 64 } else { unit };
+            let mid = (4 * e0).next_multiple_of(grid);
+            if mid > e0 && mid < dim {
+                let plan = CascadePlan::from_widths(dim, &[e0, mid - e0, dim - mid])
+                    .expect("strictly increasing boundaries");
+                let cost = modeled_cost(&plan, cascade_active(m, sub, &plan).stats());
+                if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    best = Some((plan, cost));
+                }
+            }
+        }
+        match best {
+            Some((plan, cost)) if cost < exact_cost => Ok(plan),
+            _ => Ok(CascadePlan::exact(dim)),
+        }
+    }
+}
+
+/// Queries the tuner replays candidate plans over, at most.
+const TUNE_SAMPLE_CAP: usize = 64;
+/// Relative per-word cost of the per-row pruning continuation vs. the
+/// tiled stage-0 SIMD sweep (shortlist indirection, no register tiling).
+const TUNE_CONT_WEIGHT: f64 = 4.0;
+/// Fixed per-row continuation overhead (candidate bookkeeping), in
+/// stage-0 word units.
+const TUNE_ROW_OVERHEAD_WORDS: f64 = 2.0;
+/// Fixed per-query, per-stage overhead (pruning pass, lazy suffix
+/// popcounts), in stage-0 word units.
+const TUNE_STAGE_OVERHEAD_WORDS: f64 = 8.0;
+
+/// Deterministic cost of one measured cascade, in stage-0 word units.
+fn modeled_cost(plan: &CascadePlan, stats: &CascadeStats) -> f64 {
+    let queries = stats.queries() as f64;
+    let mut prev = 0usize;
+    let mut cost = 0.0;
+    for (k, &e) in plan.ends().iter().enumerate() {
+        let stage_words = (word_end(e) - prev / 64) as f64;
+        let rows_in = stats.stage_rows()[k] as f64;
+        cost += if k == 0 {
+            rows_in * stage_words
+        } else {
+            TUNE_CONT_WEIGHT * rows_in * stage_words + TUNE_ROW_OVERHEAD_WORDS * rows_in
+        };
+        cost += queries * TUNE_STAGE_OVERHEAD_WORDS;
+        prev = e;
+    }
+    cost
+}
+
+/// What the exact one-stage sweep models to, in the same units.
+fn modeled_exact_cost(rows: usize, dim: usize, queries: usize) -> f64 {
+    (queries * rows * word_end(dim)) as f64 + queries as f64 * TUNE_STAGE_OVERHEAD_WORDS
 }
 
 /// Activation telemetry of one cascade search — the quantity the paper's
@@ -442,33 +691,36 @@ fn stage0_scores(m: &BitMatrix, batch: &QueryBatch, e0: usize) -> ScoreMatrix {
     out
 }
 
-/// Pruning continuation over queries `[q_offset, q_offset + out.len())`:
-/// takes each query's stage-0 partial scores (in `scores`, one
-/// `rows`-wide slice per query, updated in place), prunes with the
-/// Hamming bound, finishes the survivors stage by stage, and writes the
-/// winners. `dot` is the word-slice popcount kernel (the active-backend
-/// dispatcher in production; an explicit backend's table entry under
-/// test). Stage-0 telemetry is accounted by the caller; this function
-/// accumulates stages `1..`.
+/// The shared pruning skeleton of every cascade continuation, over
+/// queries `[q_offset, q_offset + out.len())`: takes each query's
+/// stage-0 partial scores (in `scores`, one `rows`-wide slice per query,
+/// updated in place), prunes with the Hamming bound, finishes the
+/// survivors stage by stage through `score_stage`, and writes the
+/// winners. This skeleton is the exactness-critical core — the
+/// contiguous and segmented continuations differ **only** in how a
+/// shortlist row collects one stage's dot contribution, which is what
+/// `score_stage(k, global_query, cands, partials)` supplies: it must add
+/// stage `k`'s dot to `partials[r]` for every `r` in `cands` and return
+/// the shortlist's new running maximum. Stage-0 telemetry is accounted
+/// by the caller; this function accumulates stages `1..`.
 #[allow(clippy::too_many_arguments)]
-fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
-    m: &BitMatrix,
-    batch: &QueryBatch,
-    plan: &CascadePlan,
+fn prune_continuation_range<S>(
+    rows: usize,
+    ends: &[usize],
     row_suffix: &[u32],
+    batch: &QueryBatch,
     q_offset: usize,
     scores: &mut [u32],
     out: &mut [(usize, u32)],
     stats: &mut CascadeStats,
-    dot: F,
-) {
-    let rows = m.rows();
-    let ends = plan.ends();
+    mut score_stage: S,
+) where
+    S: FnMut(usize, usize, &[u32], &mut [u32]) -> u32,
+{
     let stages = ends.len();
     debug_assert_eq!(scores.len(), out.len() * rows);
     let mut q_suffix = vec![0u32; stages];
     let mut cands: Vec<u32> = Vec::with_capacity(rows);
-    let mut qmasked: Vec<u64> = Vec::new();
     stats.queries += out.len();
     for (q, slot) in out.iter_mut().enumerate() {
         let partials = &mut scores[q * rows..(q + 1) * rows];
@@ -478,7 +730,8 @@ fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
             continue;
         }
         let mut best = partials.iter().copied().max().expect("non-empty memory");
-        let qw = batch.query_words(q_offset + q);
+        let gq = q_offset + q;
+        let qw = batch.query_words(gq);
         // The query-side suffix popcounts cost a pass over the query's
         // words; computed lazily — only for queries whose shortlist the
         // (free) row-side bound alone fails to collapse. Both bounds are
@@ -512,20 +765,9 @@ fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
         prune(&mut cands, partials, 0, best, true);
         // Later stages: finish only the shortlist, re-pruning after each.
         for k in 1..stages {
-            let (lo, hi) = (ends[k - 1], ends[k]);
-            let qs = stage_query(qw, lo, hi, m.cols(), &mut qmasked);
-            let (wlo, whi) = (lo / 64, word_end(hi));
-            best = 0;
-            for &r in &cands {
-                let r = r as usize;
-                let s = partials[r] + dot(&m.row_words_pub(r)[wlo..whi], qs);
-                partials[r] = s;
-                if s > best {
-                    best = s;
-                }
-            }
+            best = score_stage(k, gq, &cands, partials);
             stats.stage_rows[k] += cands.len() as u64;
-            stats.activated_dims += (cands.len() * (hi - lo)) as u64;
+            stats.activated_dims += (cands.len() * (ends[k] - ends[k - 1])) as u64;
             if k + 1 == stages {
                 cands.retain(|&r| partials[r as usize] == best);
             } else {
@@ -538,6 +780,51 @@ fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
         // winner.
         *slot = (cands[0] as usize, best);
     }
+}
+
+/// Contiguous-memory continuation: the shared pruning skeleton with a
+/// row-major stage scorer. `dot` is the word-slice popcount kernel (the
+/// active-backend dispatcher in production; an explicit backend's table
+/// entry under test).
+#[allow(clippy::too_many_arguments)]
+fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    row_suffix: &[u32],
+    q_offset: usize,
+    scores: &mut [u32],
+    out: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+    dot: F,
+) {
+    let ends = plan.ends();
+    let mut qmasked: Vec<u64> = Vec::new();
+    prune_continuation_range(
+        m.rows(),
+        ends,
+        row_suffix,
+        batch,
+        q_offset,
+        scores,
+        out,
+        stats,
+        |k, gq, cands, partials| {
+            let (lo, hi) = (ends[k - 1], ends[k]);
+            let qs = stage_query(batch.query_words(gq), lo, hi, m.cols(), &mut qmasked);
+            let (wlo, whi) = (lo / 64, word_end(hi));
+            let mut best = 0;
+            for &r in cands {
+                let r = r as usize;
+                let s = partials[r] + dot(&m.row_words_pub(r)[wlo..whi], qs);
+                partials[r] = s;
+                if s > best {
+                    best = s;
+                }
+            }
+            best
+        },
+    );
 }
 
 /// Row suffix popcounts at every stage boundary (`row_suffix[k * rows +
@@ -575,27 +862,172 @@ fn cascade_run(
     let mut stats = CascadeStats::zeroed(rows, m.cols(), plan.stages());
     stats.stage_rows[0] = (q_total * rows) as u64;
     stats.activated_dims = (q_total * rows * plan.ends()[0]) as u64;
-    continuation_dispatch(m, batch, plan, row_suffix, scores.data_mut(), &mut winners, &mut stats);
+    chunked_continuation(
+        rows,
+        m.cols(),
+        m.words_per_row_pub(),
+        plan.stages(),
+        scores.data_mut(),
+        &mut winners,
+        &mut stats,
+        |q_offset, score_chunk, winner_chunk, local| {
+            continuation_range(
+                m,
+                batch,
+                plan,
+                row_suffix,
+                q_offset,
+                score_chunk,
+                winner_chunk,
+                local,
+                dot_words,
+            )
+        },
+    );
     CascadeResults { winners, stats }
 }
 
 /// Full cascade on the active backend: tiled stage-0 sweep, then the
 /// pruning continuation (thread-chunked under the `rayon` feature). The
 /// prefix sub-memory and row-suffix table are rebuilt per call; batch
-/// after batch against one memory should go through [`BoundCascade`],
-/// which derives them once.
+/// after batch against one memory should go through
+/// [`SearchMemory::search_cascade`] (which caches the derived bound form
+/// per plan) or an explicit [`BoundCascade`] handle.
 fn cascade_active(m: &BitMatrix, batch: &QueryBatch, plan: &CascadePlan) -> CascadeResults {
     let scores = stage0_scores(m, batch, plan.ends()[0]);
     let row_suffix = row_suffix_table(m, plan.ends());
     cascade_run(m, batch, plan, scores, &row_suffix)
 }
 
-/// A cascade plan bound to one memory: the stage-0 prefix sub-memory
-/// (pre-packed for the active SIMD backend) and the row-suffix table are
-/// derived **once** at construction and reused for every batch. This is
-/// the serving-path form of [`SearchMemory::search_cascade`], which
-/// rebuilds both per call — fine for one-shot sweeps, wasteful when a
-/// micro-batcher flushes the same memory thousands of times per second.
+/// The per-(plan, memory) derived artifacts of a cascade: the stage-0
+/// prefix sub-memory (pre-packed for the active SIMD backend) and the
+/// row-suffix table. Deriving one costs a pass over the memory; every
+/// cached search reuses it for free.
+#[derive(Debug)]
+pub(crate) struct BoundForm {
+    /// Stage boundaries this form was derived for (the cache key).
+    ends: Vec<usize>,
+    /// Boundary-masked stage-0 sub-memory; `None` when stage 0 covers the
+    /// full width (the bound memory's own packed form serves directly).
+    prefix: Option<SearchMemory>,
+    row_suffix: Vec<u32>,
+}
+
+impl BoundForm {
+    fn derive(m: &BitMatrix, plan: &CascadePlan) -> Self {
+        let e0 = plan.ends()[0];
+        let prefix = (e0 != m.cols()).then(|| SearchMemory::new(prefix_matrix(m, e0)));
+        BoundForm {
+            ends: plan.ends().to_vec(),
+            prefix,
+            row_suffix: row_suffix_table(m, plan.ends()),
+        }
+    }
+
+    /// Stage-0 partial scores through the pre-derived prefix sub-memory
+    /// (or the memory's own packed form for a full-width stage 0).
+    fn stage0_scores(&self, memory: &SearchMemory, batch: &QueryBatch) -> ScoreMatrix {
+        match &self.prefix {
+            Some(prefix) => {
+                let mut out = ScoreMatrix::zeros(batch.len(), memory.rows());
+                batch::dot_batch_dispatch(prefix.memory_ref(), batch, &mut out);
+                out
+            }
+            None => memory.dot_batch(batch).expect("dimensions validated by caller"),
+        }
+    }
+}
+
+/// How many distinct plans a memory caches bound forms for. Repeated-batch
+/// loops use one plan (sometimes one tuned + one hand-picked); anything
+/// past a handful is churn, and each form costs a prefix copy of the
+/// memory.
+const BOUND_CACHE_CAP: usize = 4;
+
+/// Per-memory cache of [`BoundForm`]s, keyed by plan stage boundaries and
+/// kept in most-recently-used order. Attached to every [`SearchMemory`];
+/// invalidated whenever the memory mutates (see
+/// [`SearchMemory::modify_reporting`]). Interior mutability keeps
+/// [`SearchMemory::search_cascade`] a `&self` call.
+pub(crate) struct CascadeCache {
+    entries: Mutex<Vec<Arc<BoundForm>>>,
+}
+
+impl CascadeCache {
+    pub(crate) fn new() -> Self {
+        CascadeCache { entries: Mutex::new(Vec::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Arc<BoundForm>>> {
+        // A panic while holding the lock leaves at worst a stale LRU
+        // order or a missing entry — both benign — so recover instead of
+        // propagating the poison.
+        self.entries.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Drops every derived form (the memory's bits changed).
+    pub(crate) fn invalidate(&self) {
+        self.lock().clear();
+    }
+
+    /// Cached forms currently held (test introspection).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Returns the cached form for `plan`, deriving and inserting it on a
+    /// miss (evicting the least-recently-used entry at capacity).
+    /// Derivation runs **outside** the lock — an O(rows × dim) pass must
+    /// not serialize concurrent searchers' cache hits — so two threads
+    /// missing the same plan may both derive; the loser adopts the
+    /// winner's already-inserted form.
+    pub(crate) fn get_or_derive(&self, m: &BitMatrix, plan: &CascadePlan) -> Arc<BoundForm> {
+        if let Some(form) = self.touch(plan) {
+            return form;
+        }
+        let form = Arc::new(BoundForm::derive(m, plan));
+        let mut entries = self.lock();
+        if let Some(pos) = entries.iter().position(|f| f.ends == plan.ends) {
+            // Lost the derivation race: keep the inserted form (callers
+            // holding it stay coherent with the cache) and drop ours.
+            let existing = entries.remove(pos);
+            entries.push(Arc::clone(&existing));
+            return existing;
+        }
+        if entries.len() == BOUND_CACHE_CAP {
+            entries.remove(0);
+        }
+        entries.push(Arc::clone(&form));
+        form
+    }
+
+    /// Looks up `plan`'s form, refreshing its LRU position on a hit.
+    fn touch(&self, plan: &CascadePlan) -> Option<Arc<BoundForm>> {
+        let mut entries = self.lock();
+        let pos = entries.iter().position(|f| f.ends == plan.ends)?;
+        let form = entries.remove(pos);
+        entries.push(Arc::clone(&form));
+        Some(form)
+    }
+}
+
+impl std::fmt::Debug for CascadeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CascadeCache").field("entries", &self.lock().len()).finish()
+    }
+}
+
+/// A cascade plan explicitly bound to one shared memory: a cheap handle
+/// over the same per-(plan, memory) bound form that
+/// [`SearchMemory::search_cascade`] caches internally. Constructing one
+/// warms the memory's cache, pins the derived artifacts for the handle's
+/// lifetime (immune to cache eviction), and carries the `Arc` a serving
+/// thread needs — this is what `hd_serve`'s cascade adapters hold.
+///
+/// One-shot callers can simply call [`SearchMemory::search_cascade`]:
+/// since the cache landed there, repeated batches against the same
+/// memory and plan reuse the derived form either way.
 ///
 /// # Example
 ///
@@ -612,24 +1044,21 @@ fn cascade_active(m: &BitMatrix, batch: &QueryBatch, plan: &CascadePlan) -> Casc
 /// ```
 #[derive(Debug, Clone)]
 pub struct BoundCascade {
-    memory: std::sync::Arc<SearchMemory>,
+    memory: Arc<SearchMemory>,
     plan: CascadePlan,
-    /// Boundary-masked stage-0 sub-memory; `None` when stage 0 covers the
-    /// full width (the bound memory's own packed form serves directly).
-    prefix: Option<SearchMemory>,
-    row_suffix: Vec<u32>,
+    form: Arc<BoundForm>,
 }
 
 impl BoundCascade {
-    /// Binds `plan` to `memory`, deriving the stage-0 prefix sub-memory
-    /// and the row-suffix table once.
+    /// Binds `plan` to `memory`, deriving (or reusing from the memory's
+    /// cache) the stage-0 prefix sub-memory and the row-suffix table.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::Empty`] for a memory with no rows and
     /// [`LinalgError::ShapeMismatch`] when the plan's dimensionality
     /// differs from the memory's.
-    pub fn new(memory: std::sync::Arc<SearchMemory>, plan: CascadePlan) -> Result<Self> {
+    pub fn new(memory: Arc<SearchMemory>, plan: CascadePlan) -> Result<Self> {
         let m = memory.matrix();
         if m.rows() == 0 {
             return Err(LinalgError::Empty { op: "BoundCascade::new" });
@@ -641,10 +1070,15 @@ impl BoundCascade {
                 found: plan.dim(),
             });
         }
-        let e0 = plan.ends()[0];
-        let prefix = (e0 != m.cols()).then(|| SearchMemory::new(prefix_matrix(m, e0)));
-        let row_suffix = row_suffix_table(m, plan.ends());
-        Ok(BoundCascade { memory, plan, prefix, row_suffix })
+        // One-stage plans derive nothing worth caching (no prefix
+        // sub-memory, an all-zero suffix table); keep them out of the
+        // memory's LRU slots, mirroring `SearchMemory::search_cascade`.
+        let form = if plan.stages() == 1 {
+            Arc::new(BoundForm::derive(m, &plan))
+        } else {
+            memory.cascade_cache().get_or_derive(m, &plan)
+        };
+        Ok(BoundCascade { memory, plan, form })
     }
 
     /// The bound stage plan.
@@ -673,39 +1107,41 @@ impl BoundCascade {
                 found: batch.dim(),
             });
         }
-        let scores = match &self.prefix {
-            Some(prefix) => {
-                let mut out = ScoreMatrix::zeros(batch.len(), m.rows());
-                batch::dot_batch_dispatch(prefix.memory_ref(), batch, &mut out);
-                out
-            }
-            None => self.memory.dot_batch(batch).expect("dimension checked above"),
-        };
-        Ok(cascade_run(m, batch, &self.plan, scores, &self.row_suffix))
+        let scores = self.form.stage0_scores(&self.memory, batch);
+        Ok(cascade_run(m, batch, &self.plan, scores, &self.form.row_suffix))
     }
 }
 
+/// Runs a cascade continuation over all queries, chunked across scoped
+/// threads under the `rayon` feature: each chunk owns disjoint score and
+/// winner slices plus its own telemetry, merged after the join —
+/// bit-identical to the serial order because queries are independent.
+/// `run(q_offset, scores, winners, stats)` must process the chunk's
+/// queries exactly as the serial call would. Stage-0 counters are set
+/// wholesale by the caller and stay 0 in every chunk-local (continuations
+/// never write stage 0), so the general merge adds exactly the later
+/// stages.
 #[cfg(feature = "rayon")]
-fn continuation_dispatch(
-    m: &BitMatrix,
-    batch: &QueryBatch,
-    plan: &CascadePlan,
-    row_suffix: &[u32],
+#[allow(clippy::too_many_arguments)]
+fn chunked_continuation<F>(
+    rows: usize,
+    dim: usize,
+    words_per_row: usize,
+    stages: usize,
     scores: &mut [u32],
     winners: &mut [(usize, u32)],
     stats: &mut CascadeStats,
-) {
+    run: F,
+) where
+    F: Fn(usize, &mut [u32], &mut [(usize, u32)], &mut CascadeStats) + Sync,
+{
     let q = winners.len();
-    let rows = m.rows();
-    let work = q * rows * m.words_per_row_pub();
+    let work = q * rows * words_per_row;
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     if threads < 2 || work < batch::PARALLEL_THRESHOLD || q < 2 * batch::QUERY_TILE {
-        continuation_range(m, batch, plan, row_suffix, 0, scores, winners, stats, dot_words);
+        run(0, scores, winners, stats);
         return;
     }
-    // Chunk queries across threads; each chunk owns disjoint score and
-    // winner slices plus its own telemetry, merged after the join —
-    // bit-identical to the serial order because queries are independent.
     let chunks = threads.min(q.div_ceil(batch::QUERY_TILE));
     let per_chunk = q.div_ceil(chunks).next_multiple_of(batch::QUERY_TILE);
     type Job<'a> = (usize, &'a mut [u32], &'a mut [(usize, u32)]);
@@ -722,23 +1158,14 @@ fn continuation_dispatch(
         score_rest = s_tail;
         offset += take;
     }
+    let run = &run;
     let locals: Vec<CascadeStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|(q_offset, score_chunk, winner_chunk)| {
                 scope.spawn(move || {
-                    let mut local = CascadeStats::zeroed(rows, m.cols(), plan.stages());
-                    continuation_range(
-                        m,
-                        batch,
-                        plan,
-                        row_suffix,
-                        q_offset,
-                        score_chunk,
-                        winner_chunk,
-                        &mut local,
-                        dot_words,
-                    );
+                    let mut local = CascadeStats::zeroed(rows, dim, stages);
+                    run(q_offset, score_chunk, winner_chunk, &mut local);
                     local
                 })
             })
@@ -746,25 +1173,367 @@ fn continuation_dispatch(
         handles.into_iter().map(|h| h.join().expect("cascade chunk worker panicked")).collect()
     });
     for local in &locals {
-        // Stage-0 counters were set wholesale by the caller and stay 0 in
-        // every chunk-local (continuation_range never writes stage 0), so
-        // the general merge adds exactly the later stages.
         stats.merge(local);
     }
 }
 
+/// Serial fallback of the chunked continuation (no `rayon` feature).
 #[cfg(not(feature = "rayon"))]
 #[allow(clippy::too_many_arguments)]
-fn continuation_dispatch(
-    m: &BitMatrix,
-    batch: &QueryBatch,
-    plan: &CascadePlan,
-    row_suffix: &[u32],
+fn chunked_continuation<F>(
+    _rows: usize,
+    _dim: usize,
+    _words_per_row: usize,
+    _stages: usize,
     scores: &mut [u32],
     winners: &mut [(usize, u32)],
     stats: &mut CascadeStats,
+    run: F,
+) where
+    F: Fn(usize, &mut [u32], &mut [(usize, u32)], &mut CascadeStats),
+{
+    run(0, scores, winners, stats);
+}
+
+/// A cascade plan bound to a **column-segmented** memory: `P` equal-width
+/// segment memories where segment `p` of logical row `r` holds dimensions
+/// `[p·seg_len, (p+1)·seg_len)` — the layout `imc_sim`'s partitioned
+/// mappings store (one [`SearchMemory`] per partition). Stage boundaries
+/// must land on segment boundaries (snap a tuned plan with
+/// [`CascadePlan::snapped`]): a prefix of logical dimensions is then a
+/// prefix of whole segments, so stage 0 runs each covered partition's
+/// tiled SIMD sweep and the pruning continuation finishes survivors
+/// segment by segment. Winners (scores and the low-row tie-break
+/// included) are bit-identical to accumulating every partition's exact
+/// scores.
+///
+/// The handle owns the per-(plan, layout) derived artifact — the logical
+/// row-suffix table assembled from per-partition row popcounts — so
+/// repeated batches skip the derivation. The segment memories themselves
+/// stay with the caller (who owns and may mutate them): pass the **same**
+/// partitions to every [`SegmentedCascade::search`] call, and re-derive
+/// the handle when their bits change. `imc_sim::AmMapping` wraps exactly
+/// that contract, invalidating its cached handle on fault injection.
+///
+/// # Example
+///
+/// ```
+/// use hd_linalg::{BitVector, CascadePlan, QueryBatch, SearchMemory, SegmentedCascade};
+///
+/// // Two 4-bit segments of three 8-bit logical rows.
+/// let rows: Vec<BitVector> =
+///     (0..3).map(|r| BitVector::from_bools(&vec![r != 1; 8])).collect();
+/// let parts: Vec<SearchMemory> = (0..2)
+///     .map(|p| {
+///         let segs: Vec<BitVector> = rows.iter().map(|row| row.slice(p * 4, 4)).collect();
+///         SearchMemory::from_rows(&segs).unwrap()
+///     })
+///     .collect();
+/// let plan = CascadePlan::prefix(8, 4).unwrap(); // boundary on the segment seam
+/// let cascade = SegmentedCascade::new(&parts, &plan).unwrap();
+/// let batch = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 8])]).unwrap();
+/// let results = cascade.search(&parts, &batch).unwrap();
+/// assert_eq!(results.winner(0), (0, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentedCascade {
+    plan: CascadePlan,
+    rows: usize,
+    seg_len: usize,
+    /// Logical row-suffix popcounts at every stage boundary, assembled
+    /// from per-partition row popcounts (layout: `stages × rows`, like
+    /// the contiguous table).
+    row_suffix: Vec<u32>,
+    /// Total popcount of every partition at derivation time — a cheap
+    /// staleness fingerprint: debug builds assert it against the
+    /// partitions passed to [`SegmentedCascade::search`], catching
+    /// callers that mutated a segment (or swapped in a different
+    /// same-shape layout) without re-deriving the handle.
+    ones_fingerprint: u64,
+}
+
+impl SegmentedCascade {
+    /// Derives the handle for `plan` over the segment memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for no partitions / empty
+    /// partitions and [`LinalgError::ShapeMismatch`] when partitions
+    /// disagree on shape, the plan's dimensionality is not
+    /// `partitions × seg_len`, or an interior stage boundary is not a
+    /// multiple of the segment length (`op:
+    /// "SegmentedCascade stage boundary"`, with the offending boundary
+    /// as `found`).
+    pub fn new(parts: &[SearchMemory], plan: &CascadePlan) -> Result<Self> {
+        let (rows, seg_len) = check_segments(parts, plan)?;
+        let stages = plan.stages();
+        let ends = plan.ends();
+        let mut row_suffix = vec![0u32; stages * rows];
+        if stages > 1 {
+            // Suffix-accumulate whole partitions from the back: segment
+            // popcounts are a property of the programmed layout, computed
+            // once here and reused by every search.
+            let mut acc = vec![0u32; rows];
+            let mut next_part = parts.len();
+            for k in (0..stages).rev() {
+                let boundary_seg = ends[k] / seg_len;
+                while next_part > boundary_seg {
+                    next_part -= 1;
+                    let m = parts[next_part].matrix();
+                    for (r, slot) in acc.iter_mut().enumerate() {
+                        *slot += m.row_words_pub(r).iter().map(|w| w.count_ones()).sum::<u32>();
+                    }
+                }
+                row_suffix[k * rows..(k + 1) * rows].copy_from_slice(&acc);
+            }
+        }
+        Ok(SegmentedCascade {
+            plan: plan.clone(),
+            rows,
+            seg_len,
+            row_suffix,
+            ones_fingerprint: segments_fingerprint(parts),
+        })
+    }
+
+    /// The bound stage plan.
+    pub fn plan(&self) -> &CascadePlan {
+        &self.plan
+    }
+
+    /// Cascade search over the segment memories the handle was derived
+    /// from. Winners are bit-identical to summing every partition's
+    /// exact scores and taking the low-row argmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `parts` disagrees
+    /// with the bound layout or the batch dimensionality differs from
+    /// the plan's, and [`LinalgError::Empty`] for empty partitions.
+    pub fn search(&self, parts: &[SearchMemory], batch: &QueryBatch) -> Result<CascadeResults> {
+        let (rows, seg_len) = check_segments(parts, &self.plan)?;
+        if rows != self.rows || seg_len != self.seg_len {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SegmentedCascade::search",
+                expected: self.rows,
+                found: rows,
+            });
+        }
+        if batch.dim() != self.plan.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SegmentedCascade::search",
+                expected: self.plan.dim(),
+                found: batch.dim(),
+            });
+        }
+        // The row-suffix table describes the bits the handle was derived
+        // from; a mutated or swapped segment set would make the pruning
+        // bound lie. Cheap popcount fingerprint, debug builds only.
+        debug_assert_eq!(
+            segments_fingerprint(parts),
+            self.ones_fingerprint,
+            "SegmentedCascade::search called with partitions whose bits changed since \
+             SegmentedCascade::new — re-derive the handle"
+        );
+        let q = batch.len();
+        let ends = self.plan.ends();
+        let stages = ends.len();
+        let aligned = seg_len.is_multiple_of(64);
+        let seg0_count = ends[0] / seg_len;
+
+        // Per-partition query segment batches. Word-aligned segments
+        // slice the packed queries directly during the continuation, so
+        // only stage-0 partitions need a re-packed batch (their tiled
+        // sweeps want a QueryBatch); unaligned segments pre-pack every
+        // partition a later stage will touch.
+        let build_seg_batch = |p: usize| -> QueryBatch {
+            if aligned {
+                let w = seg_len / 64;
+                let mut data = Vec::with_capacity(q * w);
+                for i in 0..q {
+                    data.extend_from_slice(&batch.query_words(i)[p * w..(p + 1) * w]);
+                }
+                QueryBatch::from_matrix(BitMatrix::from_raw_words(q, seg_len, data))
+            } else {
+                let segs: Vec<BitVector> =
+                    (0..q).map(|i| batch.query(i).slice(p * seg_len, seg_len)).collect();
+                QueryBatch::from_vectors(&segs).expect("equal-width non-empty segments")
+            }
+        };
+
+        // Stage 0: every covered partition's full tiled sweep,
+        // accumulated digitally — identical structure to the exact
+        // partitioned batch search.
+        let mut scores = ScoreMatrix::zeros(q, rows);
+        let mut scratch = ScoreMatrix::zeros(0, 0);
+        for (p, part) in parts.iter().enumerate().take(seg0_count) {
+            let seg_batch = build_seg_batch(p);
+            if p == 0 {
+                part.dot_batch_into(&seg_batch, &mut scores)
+                    .expect("segment width matches partition matrix");
+            } else {
+                part.dot_batch_into(&seg_batch, &mut scratch)
+                    .expect("segment width matches partition matrix");
+                for i in 0..q {
+                    let partials = scratch.scores(i);
+                    for (dst, &s) in scores.scores_mut(i).iter_mut().zip(partials) {
+                        *dst += s;
+                    }
+                }
+            }
+        }
+        let seg_batches: Vec<Option<QueryBatch>> = (0..parts.len())
+            .map(|p| (!aligned && p >= seg0_count).then(|| build_seg_batch(p)))
+            .collect();
+
+        let mut winners = vec![(0usize, 0u32); q];
+        let mut stats = CascadeStats::zeroed(rows, self.plan.dim(), stages);
+        stats.stage_rows[0] = (q * rows) as u64;
+        stats.activated_dims = (q * rows * ends[0]) as u64;
+        chunked_continuation(
+            rows,
+            self.plan.dim(),
+            self.plan.dim().div_ceil(64),
+            stages,
+            scores.data_mut(),
+            &mut winners,
+            &mut stats,
+            |q_offset, score_chunk, winner_chunk, local| {
+                segmented_continuation_range(
+                    parts,
+                    &seg_batches,
+                    batch,
+                    seg_len,
+                    ends,
+                    &self.row_suffix,
+                    q_offset,
+                    score_chunk,
+                    winner_chunk,
+                    local,
+                )
+            },
+        );
+        Ok(CascadeResults { winners, stats })
+    }
+}
+
+/// Total popcount across every partition's rows — the staleness
+/// fingerprint [`SegmentedCascade`] pins its derived tables to.
+fn segments_fingerprint(parts: &[SearchMemory]) -> u64 {
+    parts
+        .iter()
+        .map(|part| {
+            let m = part.matrix();
+            (0..m.rows())
+                .map(|r| m.row_words_pub(r).iter().map(|w| w.count_ones() as u64).sum::<u64>())
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Validates a segment set against a plan; returns `(rows, seg_len)`.
+fn check_segments(parts: &[SearchMemory], plan: &CascadePlan) -> Result<(usize, usize)> {
+    if parts.is_empty() {
+        return Err(LinalgError::Empty { op: "SegmentedCascade partitions" });
+    }
+    let rows = parts[0].rows();
+    let seg_len = parts[0].cols();
+    if rows == 0 || seg_len == 0 {
+        return Err(LinalgError::Empty { op: "SegmentedCascade partitions" });
+    }
+    for part in parts {
+        if part.rows() != rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SegmentedCascade segment rows",
+                expected: rows,
+                found: part.rows(),
+            });
+        }
+        if part.cols() != seg_len {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SegmentedCascade segment width",
+                expected: seg_len,
+                found: part.cols(),
+            });
+        }
+    }
+    let dim = seg_len * parts.len();
+    if plan.dim() != dim {
+        return Err(LinalgError::ShapeMismatch {
+            op: "SegmentedCascade plan",
+            expected: dim,
+            found: plan.dim(),
+        });
+    }
+    for &e in &plan.ends()[..plan.stages() - 1] {
+        if !e.is_multiple_of(seg_len) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SegmentedCascade stage boundary",
+                expected: seg_len,
+                found: e,
+            });
+        }
+    }
+    Ok((rows, seg_len))
+}
+
+/// The segmented analogue of [`continuation_range`]: the same shared
+/// pruning skeleton ([`prune_continuation_range`] — row suffixes from
+/// the pre-derived table, query suffixes lazily from the full-width
+/// query words, which stage boundaries slice contiguously), with a stage
+/// scorer that collects each shortlist row's contribution partition by
+/// partition.
+#[allow(clippy::too_many_arguments)]
+fn segmented_continuation_range(
+    parts: &[SearchMemory],
+    seg_batches: &[Option<QueryBatch>],
+    batch: &QueryBatch,
+    seg_len: usize,
+    ends: &[usize],
+    row_suffix: &[u32],
+    q_offset: usize,
+    scores: &mut [u32],
+    out: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
 ) {
-    continuation_range(m, batch, plan, row_suffix, 0, scores, winners, stats, dot_words);
+    let aligned = seg_len.is_multiple_of(64);
+    let wseg = seg_len / 64;
+    prune_continuation_range(
+        parts[0].rows(),
+        ends,
+        row_suffix,
+        batch,
+        q_offset,
+        scores,
+        out,
+        stats,
+        |k, gq, cands, partials| {
+            let (lo, hi) = (ends[k - 1], ends[k]);
+            let (p_lo, p_hi) = (lo / seg_len, hi / seg_len);
+            let qw = batch.query_words(gq);
+            let mut best = 0;
+            for &r in cands {
+                let r = r as usize;
+                let mut s = partials[r];
+                for (p, part) in parts.iter().enumerate().take(p_hi).skip(p_lo) {
+                    let qs: &[u64] = if aligned {
+                        &qw[p * wseg..(p + 1) * wseg]
+                    } else {
+                        seg_batches[p]
+                            .as_ref()
+                            .expect("unaligned continuation partitions are pre-packed")
+                            .query_words(gq)
+                    };
+                    s += dot_words(part.matrix().row_words_pub(r), qs);
+                }
+                partials[r] = s;
+                if s > best {
+                    best = s;
+                }
+            }
+            best
+        },
+    );
 }
 
 fn check_cascade(m: &BitMatrix, batch: &QueryBatch, plan: &CascadePlan) -> Result<()> {
@@ -814,6 +1583,14 @@ impl SearchMemory {
     /// access, so wide rows still ride the active SIMD backend through
     /// the flat word kernels.
     ///
+    /// The plan's derived artifacts (prefix sub-memory, row-suffix
+    /// table) are cached on this memory keyed by the plan's stage
+    /// boundaries, so repeated-batch loops — QAT epochs, eval sweeps,
+    /// serving flushes — derive them once per (plan, memory) instead of
+    /// once per call. Any mutation through [`SearchMemory::modify`] /
+    /// [`SearchMemory::modify_reporting`] invalidates the cache, and the
+    /// next search re-derives against the new bits.
+    ///
     /// # Errors
     ///
     /// As [`BitMatrix::search_cascade`].
@@ -822,11 +1599,14 @@ impl SearchMemory {
         check_cascade(m, batch, plan)?;
         if plan.stages() == 1 {
             // Degenerate plan on a pre-packed memory: reuse the blocked
-            // mirror directly instead of re-packing a full-width prefix.
+            // mirror directly instead of re-packing a full-width prefix
+            // (nothing worth caching is derived).
             let scores = self.dot_batch(batch)?;
             return Ok(cascade_run(m, batch, plan, scores, &[]));
         }
-        Ok(cascade_active(m, batch, plan))
+        let form = self.cascade_cache().get_or_derive(m, plan);
+        let scores = form.stage0_scores(self, batch);
+        Ok(cascade_run(m, batch, plan, scores, &form.row_suffix))
     }
 
     /// [`SearchMemory::search_cascade`] on an explicit backend — the
@@ -1021,6 +1801,258 @@ mod tests {
             mem.search_cascade(&batch, &CascadePlan::exact(65)),
             Err(LinalgError::ShapeMismatch { op: "search_cascade(plan)", .. })
         ));
+    }
+
+    #[test]
+    fn snapped_rounds_and_merges_boundaries() {
+        let plan = CascadePlan::from_widths(10_240, &[600, 1_000, 8_640]).unwrap();
+        assert_eq!(plan.snapped(2_048).unwrap().ends(), &[2_048, 10_240]);
+        assert_eq!(plan.snapped(64).unwrap().ends(), &[576, 1_600, 10_240]);
+        // Unit at or past the dimensionality collapses to the exact plan.
+        assert_eq!(plan.snapped(10_240).unwrap().stages(), 1);
+        assert_eq!(plan.snapped(99_999).unwrap().stages(), 1);
+        // Tiny interior boundaries clamp up to one unit instead of
+        // vanishing.
+        let small = CascadePlan::from_widths(1_024, &[8, 1_016]).unwrap();
+        assert_eq!(small.snapped(256).unwrap().ends(), &[256, 1_024]);
+        // Boundaries that round past the end merge into the final stage.
+        let late = CascadePlan::from_widths(1_024, &[1_000, 24]).unwrap();
+        assert_eq!(late.snapped(256).unwrap().ends(), &[1_024]);
+        assert!(plan.snapped(0).is_err());
+    }
+
+    /// A class-imbalanced memory (one dense row, sparse rest) plus
+    /// traffic near the dense row — the workload whose rows separate
+    /// after a short prefix.
+    fn imbalanced_setup(
+        rows: usize,
+        dim: usize,
+        queries: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> (SearchMemory, QueryBatch) {
+        let mut density = |d: f32| -> BitVector {
+            BitVector::from_bools(&(0..dim).map(|_| rng.gen::<f32>() < d).collect::<Vec<_>>())
+        };
+        let mut stored: Vec<BitVector> = vec![density(0.5)];
+        for _ in 1..rows {
+            stored.push(density(0.02));
+        }
+        let qs: Vec<BitVector> = (0..queries)
+            .map(|i| {
+                // Mostly-majority traffic (the bench's mix): minority
+                // queries keep every sparse row alive, so their share
+                // controls how aggressive a prefix pays off.
+                let mut q = stored[if i % 50 == 0 { 1 + i % (rows - 1) } else { 0 }].clone();
+                for _ in 0..dim / 20 {
+                    let bit = rng.gen_range(0..dim);
+                    q.set(bit, !q.get(bit));
+                }
+                q
+            })
+            .collect();
+        (SearchMemory::from_rows(&stored).unwrap(), QueryBatch::from_vectors(&qs).unwrap())
+    }
+
+    #[test]
+    fn tuned_picks_multi_stage_on_separable_workloads() {
+        let mut rng = seeded(41);
+        let (mem, batch) = imbalanced_setup(12, 2048, 100, &mut rng);
+        let plan = CascadePlan::tuned(&mem, &batch).unwrap();
+        assert!(plan.stages() > 1, "separable workload must cascade: {plan:?}");
+        assert!(plan.ends()[0] <= 2048 / 4, "prefix should be short: {plan:?}");
+        assert!(plan.ends()[0].is_multiple_of(64), "tuned boundaries are word-aligned");
+        // Tuning is deterministic and exact.
+        assert_eq!(plan, CascadePlan::tuned(&mem, &batch).unwrap());
+        let cascade = mem.search_cascade(&batch, &plan).unwrap();
+        assert_eq!(cascade.winners(), mem.winners_batch(&batch).unwrap().as_slice());
+        assert!(cascade.stats().activation_fraction() < 0.5, "pruning must fire");
+    }
+
+    #[test]
+    fn tuned_falls_back_to_exact_on_unprunable_workloads() {
+        // Dense random rows and random queries: the Hamming bound cannot
+        // separate anything early, so the exact sweep is the right plan.
+        let mut rng = seeded(42);
+        let stored: Vec<BitVector> = (0..16).map(|_| random_bits(1024, &mut rng)).collect();
+        let mem = SearchMemory::from_rows(&stored).unwrap();
+        let qs: Vec<BitVector> = (0..40).map(|_| random_bits(1024, &mut rng)).collect();
+        let batch = QueryBatch::from_vectors(&qs).unwrap();
+        let plan = CascadePlan::tuned(&mem, &batch).unwrap();
+        assert_eq!(plan, CascadePlan::exact(1024), "{plan:?}");
+    }
+
+    #[test]
+    fn tuned_validates_inputs() {
+        let mem = SearchMemory::new(BitMatrix::zeros(4, 128));
+        let batch = QueryBatch::from_vectors(&[BitVector::zeros(128)]).unwrap();
+        let wrong = QueryBatch::from_vectors(&[BitVector::zeros(130)]).unwrap();
+        assert!(matches!(
+            CascadePlan::tuned(&mem, &wrong),
+            Err(LinalgError::ShapeMismatch { op: "CascadePlan::tuned", .. })
+        ));
+        let empty_mem = SearchMemory::new(BitMatrix::zeros(0, 128));
+        assert!(CascadePlan::tuned(&empty_mem, &batch).is_err());
+        let empty_batch = QueryBatch::from_matrix(BitMatrix::zeros(0, 128));
+        assert!(CascadePlan::tuned(&mem, &empty_batch).is_err());
+        // Tiny dimensionalities have no candidate prefixes: exact plan.
+        let narrow = SearchMemory::new(BitMatrix::zeros(4, 64));
+        let nb = QueryBatch::from_vectors(&[BitVector::zeros(64)]).unwrap();
+        assert_eq!(CascadePlan::tuned(&narrow, &nb).unwrap(), CascadePlan::exact(64));
+    }
+
+    #[test]
+    fn bound_cache_hits_and_evicts() {
+        let mut rng = seeded(43);
+        let stored: Vec<BitVector> = (0..9).map(|_| random_bits(256, &mut rng)).collect();
+        let mem = SearchMemory::from_rows(&stored).unwrap();
+        let batch =
+            QueryBatch::from_vectors(&[random_bits(256, &mut rng), random_bits(256, &mut rng)])
+                .unwrap();
+        assert_eq!(mem.cascade_cache().len(), 0);
+        let plan = CascadePlan::prefix(256, 64).unwrap();
+        let a = mem.search_cascade(&batch, &plan).unwrap();
+        assert_eq!(mem.cascade_cache().len(), 1);
+        // A second search with an equal plan reuses the cached form.
+        let b = mem.search_cascade(&batch, &plan.clone()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(mem.cascade_cache().len(), 1);
+        // One-stage plans derive nothing.
+        mem.search_cascade(&batch, &CascadePlan::exact(256)).unwrap();
+        assert_eq!(mem.cascade_cache().len(), 1);
+        // Distinct multi-stage plans each get an entry, LRU-capped.
+        for stages in 2..=6 {
+            mem.search_cascade(&batch, &CascadePlan::uniform(256, stages).unwrap()).unwrap();
+        }
+        assert_eq!(mem.cascade_cache().len(), BOUND_CACHE_CAP);
+        // An explicit handle shares the memory's cached form.
+        let shared = Arc::new(mem.clone());
+        let bound = BoundCascade::new(Arc::clone(&shared), plan.clone()).unwrap();
+        assert_eq!(shared.cascade_cache().len(), 1);
+        assert_eq!(bound.search(&batch).unwrap(), a);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_forms_and_stays_exact() {
+        let mut rng = seeded(44);
+        let stored: Vec<BitVector> = (0..7).map(|_| random_bits(200, &mut rng)).collect();
+        let mut mem = SearchMemory::from_rows(&stored).unwrap();
+        let batch: QueryBatch = QueryBatch::from_vectors(
+            &(0..5).map(|_| random_bits(200, &mut rng)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let plan = CascadePlan::from_widths(200, &[64, 70, 66]).unwrap();
+        mem.search_cascade(&batch, &plan).unwrap();
+        assert_eq!(mem.cascade_cache().len(), 1);
+        // Flip a suffix bit of the winning region: the cached row-suffix
+        // table is now stale and MUST be dropped.
+        mem.modify(|m| {
+            let flipped = !m.get(3, 190);
+            m.set(3, 190, flipped)
+        });
+        assert_eq!(mem.cascade_cache().len(), 0, "mutation must invalidate the cache");
+        let after = mem.search_cascade(&batch, &plan).unwrap();
+        assert_eq!(after.winners(), mem.winners_batch(&batch).unwrap().as_slice());
+        assert_eq!(mem.cascade_cache().len(), 1, "next search re-derives");
+        // A reported no-op keeps the cache warm.
+        mem.modify_reporting(|_| false);
+        assert_eq!(mem.cascade_cache().len(), 1);
+        // Clones start cold but stay exact.
+        let cloned = mem.clone();
+        assert_eq!(cloned.cascade_cache().len(), 0);
+        assert_eq!(cloned.search_cascade(&batch, &plan).unwrap(), after);
+    }
+
+    /// Splits `rows` into `p` equal-width segment memories.
+    fn segment_rows(rows: &[BitVector], p: usize) -> Vec<SearchMemory> {
+        let dim = rows[0].len();
+        let seg = dim / p;
+        (0..p)
+            .map(|i| {
+                let segs: Vec<BitVector> = rows.iter().map(|r| r.slice(i * seg, seg)).collect();
+                SearchMemory::from_rows(&segs).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segmented_cascade_matches_exact_search() {
+        let mut rng = seeded(45);
+        // seg_len 64 (word-aligned) and 50 (masked) geometries.
+        for (dim, p) in [(256usize, 4usize), (200, 4), (300, 3), (512, 2)] {
+            let stored: Vec<BitVector> = (0..13).map(|_| random_bits(dim, &mut rng)).collect();
+            let parts = segment_rows(&stored, p);
+            let mem = SearchMemory::from_rows(&stored).unwrap();
+            let qs: Vec<BitVector> = (0..17).map(|_| random_bits(dim, &mut rng)).collect();
+            let batch = QueryBatch::from_vectors(&qs).unwrap();
+            let reference = mem.winners_batch(&batch).unwrap();
+            let seg = dim / p;
+            let mut plans = vec![CascadePlan::exact(dim)];
+            if p > 1 {
+                plans.push(CascadePlan::prefix(dim, seg).unwrap());
+                plans.push(CascadePlan::uniform(dim, p).unwrap());
+            }
+            for plan in plans {
+                let cascade = SegmentedCascade::new(&parts, &plan).unwrap();
+                let out = cascade.search(&parts, &batch).unwrap();
+                assert_eq!(out.winners(), reference.as_slice(), "dim {dim} P{p} {plan:?}");
+                assert!(out.stats().activated_dims() <= out.stats().exact_dims());
+                assert_eq!(out.stats().queries(), 17);
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_cascade_prunes_and_ties_like_contiguous() {
+        // Dense winner + sparse rows, duplicated winner for the
+        // tie-break: pruning fires and the low-row tie survives.
+        let dim = 512;
+        let mut rng = seeded(46);
+        let hot = random_bits(dim, &mut rng);
+        let sparse: Vec<BitVector> = (0..5)
+            .map(|_| {
+                BitVector::from_bools(
+                    &(0..dim).map(|_| rng.gen::<f32>() < 0.03).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let mut stored = vec![sparse[0].clone(), hot.clone(), sparse[1].clone(), hot.clone()];
+        stored.extend_from_slice(&sparse[2..]);
+        let parts = segment_rows(&stored, 4);
+        let plan = CascadePlan::prefix(dim, 128).unwrap();
+        let cascade = SegmentedCascade::new(&parts, &plan).unwrap();
+        let batch = QueryBatch::from_vectors(std::slice::from_ref(&hot)).unwrap();
+        let out = cascade.search(&parts, &batch).unwrap();
+        assert_eq!(out.winner(0), (1, hot.count_ones()), "low-row tie-break");
+        assert!(out.stats().activated_dims() < out.stats().exact_dims(), "pruning fires");
+    }
+
+    #[test]
+    fn segmented_cascade_validates_layout() {
+        let mut rng = seeded(47);
+        let stored: Vec<BitVector> = (0..6).map(|_| random_bits(256, &mut rng)).collect();
+        let parts = segment_rows(&stored, 4);
+        // Misaligned interior boundary: precise op string.
+        let misaligned = CascadePlan::prefix(256, 100).unwrap();
+        assert!(matches!(
+            SegmentedCascade::new(&parts, &misaligned),
+            Err(LinalgError::ShapeMismatch {
+                op: "SegmentedCascade stage boundary",
+                found: 100,
+                ..
+            })
+        ));
+        // Plan dimensionality must equal P × seg_len.
+        assert!(SegmentedCascade::new(&parts, &CascadePlan::exact(128)).is_err());
+        assert!(SegmentedCascade::new(&[], &CascadePlan::exact(256)).is_err());
+        // Search-side shape checks.
+        let plan = CascadePlan::prefix(256, 64).unwrap();
+        let cascade = SegmentedCascade::new(&parts, &plan).unwrap();
+        let bad_batch = QueryBatch::from_vectors(&[BitVector::zeros(255)]).unwrap();
+        assert!(cascade.search(&parts, &bad_batch).is_err());
+        let fewer = &parts[..3];
+        assert!(cascade
+            .search(fewer, &QueryBatch::from_vectors(&[BitVector::zeros(256)]).unwrap())
+            .is_err());
     }
 
     #[test]

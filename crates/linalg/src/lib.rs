@@ -81,7 +81,7 @@ pub use batch::{
 };
 pub use bits::{BitMatrix, BitVector, BitView};
 pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
-pub use cascade::{BoundCascade, CascadePlan, CascadeResults, CascadeStats};
+pub use cascade::{BoundCascade, CascadePlan, CascadeResults, CascadeStats, SegmentedCascade};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use vector::{argmax, axpy, dot, l2_norm, mean, normalize_l2, scale_in_place, variance};

@@ -6,7 +6,7 @@ use crate::init;
 use crate::memory::MemoryReport;
 use crate::train::{quantization_aware_train, TrainOptions, TrainingHistory};
 use hd_linalg::rng::derive_seed;
-use hd_linalg::{BitVector, CascadePlan, Matrix};
+use hd_linalg::{BitVector, CascadePlan, Matrix, QueryBatch};
 use hdc::{encode_dataset, BinaryAm, EncodedDataset, Encoder, FloatAm, RandomProjectionEncoder};
 
 /// A trained MEMHD classifier: binary projection encoder plus fully-utilized
@@ -128,6 +128,58 @@ impl MemhdModel {
         Ok(MemhdModel { config: config.clone(), encoder, fp_am, binary_am, history })
     }
 
+    /// Assembles a model from independently produced parts — an encoder,
+    /// a floating-point shadow AM, and its quantized binary AM — without
+    /// running the training pipeline. This is the import path for
+    /// externally trained or hand-constructed memories (the bench
+    /// harness uses it to wrap synthetic AMs); the assembled model
+    /// behaves exactly like a fitted one, with an empty training
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::InvalidConfig`] when the parts disagree
+    /// with the config or each other: encoder/AM dimensionality vs.
+    /// `config.dim()`, centroid count vs. `config.columns()`, class
+    /// count vs. `config.num_classes()`, or FP/binary class labels that
+    /// differ.
+    pub fn assemble(
+        config: MemhdConfig,
+        encoder: RandomProjectionEncoder,
+        fp_am: FloatAm,
+        binary_am: BinaryAm,
+    ) -> Result<Self> {
+        let check = |parameter: &'static str, expected: usize, found: usize| {
+            if expected != found {
+                return Err(MemhdError::InvalidConfig {
+                    parameter,
+                    reason: format!("configured {expected}, supplied {found}"),
+                });
+            }
+            Ok(())
+        };
+        check("dim", config.dim(), encoder.dim())?;
+        check("dim", config.dim(), fp_am.dim())?;
+        check("dim", config.dim(), binary_am.dim())?;
+        check("columns", config.columns(), fp_am.num_centroids())?;
+        check("columns", config.columns(), binary_am.num_centroids())?;
+        check("num_classes", config.num_classes(), fp_am.num_classes())?;
+        check("num_classes", config.num_classes(), binary_am.num_classes())?;
+        if fp_am.class_labels() != binary_am.class_labels() {
+            return Err(MemhdError::InvalidConfig {
+                parameter: "columns",
+                reason: "FP and binary AM class labels disagree".into(),
+            });
+        }
+        Ok(MemhdModel::from_parts(
+            config,
+            encoder,
+            fp_am,
+            binary_am,
+            crate::train::TrainingHistory::default(),
+        ))
+    }
+
     /// Continues quantization-aware training on additional labeled data —
     /// the "few-shot" adaptation path: refine an already-deployed model
     /// with new samples without re-running initialization.
@@ -220,7 +272,49 @@ impl MemhdModel {
             return Ok(Vec::new());
         }
         let batch = self.encoder.encode_binary_batch(features).map_err(MemhdError::Hdc)?;
-        self.binary_am.classify_batch_cascade(&batch, plan).map_err(MemhdError::Hdc)
+        self.predict_encoded_batch_cascade(&batch, plan)
+    }
+
+    /// The encoded-query slice of [`MemhdModel::predict_batch_cascade`]:
+    /// classifies pre-binarized hypervectors through the cascade,
+    /// skipping re-encoding — the fast path for sweeps and repeated-batch
+    /// loops over one encoding (the [`MemhdModel::evaluate_encoded`]
+    /// convention). The plan's derived artifacts are cached on the binary
+    /// AM, so a loop of batches pays the bound derivation once, not per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::Hdc`] if the batch or plan dimensionality
+    /// differs from the model's.
+    pub fn predict_encoded_batch_cascade(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+    ) -> Result<Vec<usize>> {
+        self.binary_am.classify_batch_cascade(batch, plan).map_err(MemhdError::Hdc)
+    }
+
+    /// Auto-tunes a cascade stage plan for this model from a sample of
+    /// real feature vectors: the sample is encoded with the model's
+    /// encoder and handed to [`hdc::BinaryAm::tuned_cascade_plan`], so
+    /// the returned plan reflects both the trained AM's popcount profile
+    /// and the traffic the deployment will actually see. Use the result
+    /// with [`MemhdModel::predict_batch_cascade`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemhdError::InvalidData`] for an empty sample and
+    /// [`MemhdError::Hdc`] if the feature width differs from the
+    /// encoder's.
+    pub fn tuned_cascade_plan(&self, features: &Matrix) -> Result<CascadePlan> {
+        if features.rows() == 0 {
+            return Err(MemhdError::InvalidData {
+                reason: "cascade plan tuning needs a non-empty feature sample".into(),
+            });
+        }
+        let batch = self.encoder.encode_binary_batch(features).map_err(MemhdError::Hdc)?;
+        self.binary_am.tuned_cascade_plan(&batch).map_err(MemhdError::Hdc)
     }
 
     /// Accuracy on a labeled feature set.
@@ -414,6 +508,60 @@ mod tests {
         // Refinement never breaks the model (best-snapshot semantics).
         let after_acc = model.evaluate(&x, &y).unwrap();
         assert!(after_acc >= before_acc - 0.2, "before {before_acc} after {after_acc}");
+    }
+
+    #[test]
+    fn tuned_plan_and_encoded_cascade_match_exact() {
+        let (x, y) = toy_features(15, 12);
+        let cfg = MemhdConfig::new(256, 9, 3).unwrap().with_epochs(5).with_seed(8);
+        let model = MemhdModel::fit(&cfg, &x, &y).unwrap();
+        let plan = model.tuned_cascade_plan(&x).unwrap();
+        assert_eq!(plan.dim(), 256);
+        let exact = model.predict_batch(&x).unwrap();
+        assert_eq!(model.predict_batch_cascade(&x, &plan).unwrap(), exact);
+        // The encoded-query slice agrees with the feature-level path.
+        let encoded = model.encoder().encode_binary_batch(&x).unwrap();
+        assert_eq!(model.predict_encoded_batch_cascade(&encoded, &plan).unwrap(), exact);
+        // An empty tuning sample is rejected.
+        let empty = Matrix::zeros(0, x.cols());
+        assert!(matches!(model.tuned_cascade_plan(&empty), Err(MemhdError::InvalidData { .. })));
+    }
+
+    #[test]
+    fn assemble_wraps_pretrained_parts() {
+        let (x, y) = toy_features(10, 13);
+        let cfg = MemhdConfig::new(128, 6, 3).unwrap().with_epochs(1).with_seed(9);
+        let trained = MemhdModel::fit(&cfg, &x, &y).unwrap();
+        let rebuilt = MemhdModel::assemble(
+            trained.config().clone(),
+            trained.encoder().clone(),
+            trained.float_am().clone(),
+            trained.binary_am().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.predict_batch(&x).unwrap(), trained.predict_batch(&x).unwrap());
+        assert!(rebuilt.history().records().is_empty(), "assembled history starts empty");
+        // Mismatched parts are rejected with the offending parameter.
+        let narrow_cfg = MemhdConfig::new(64, 6, 3).unwrap();
+        assert!(matches!(
+            MemhdModel::assemble(
+                narrow_cfg,
+                trained.encoder().clone(),
+                trained.float_am().clone(),
+                trained.binary_am().clone(),
+            ),
+            Err(MemhdError::InvalidConfig { parameter: "dim", .. })
+        ));
+        let fat_cfg = MemhdConfig::new(128, 9, 3).unwrap();
+        assert!(matches!(
+            MemhdModel::assemble(
+                fat_cfg,
+                trained.encoder().clone(),
+                trained.float_am().clone(),
+                trained.binary_am().clone(),
+            ),
+            Err(MemhdError::InvalidConfig { parameter: "columns", .. })
+        ));
     }
 
     #[test]

@@ -79,6 +79,33 @@ impl CascadeSearcher {
         CascadeSearcher::new(am.search_memory().clone(), am.class_labels().to_vec(), plan)
     }
 
+    /// Like [`CascadeSearcher::new`] but the stage plan is auto-tuned
+    /// from a sample of real queries ([`CascadePlan::tuned`]) instead of
+    /// hand-picked — point `sample` at representative traffic and the
+    /// adapter serves whatever plan the memory's popcount profile
+    /// supports (possibly the exact one-stage plan, which is correct for
+    /// workloads the Hamming bound cannot prune).
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadeSearcher::new`], plus [`ServeError::InvalidConfig`]
+    /// when tuning rejects the sample (empty, or off-dimension).
+    pub fn tuned(memory: SearchMemory, classes: Vec<usize>, sample: &QueryBatch) -> Result<Self> {
+        let plan = CascadePlan::tuned(&memory, sample)
+            .map_err(|e| ServeError::InvalidConfig { reason: e.to_string() })?;
+        CascadeSearcher::new(memory, classes, plan)
+    }
+
+    /// [`CascadeSearcher::tuned`] over a [`hdc::BinaryAm`]'s centroid
+    /// rows and class labels.
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadeSearcher::tuned`].
+    pub fn from_am_tuned(am: &hdc::BinaryAm, sample: &QueryBatch) -> Result<Self> {
+        CascadeSearcher::tuned(am.search_memory().clone(), am.class_labels().to_vec(), sample)
+    }
+
     /// The stage plan every served batch runs.
     pub fn plan(&self) -> &CascadePlan {
         self.bound.plan()
@@ -148,6 +175,28 @@ mod tests {
                 assert_eq!(w.class, classes[w.row]);
             }
         }
+    }
+
+    #[test]
+    fn tuned_adapter_matches_exact_adapter() {
+        let (memory, classes) = random_memory(24, 512, 54);
+        let mut rng = seeded(55);
+        let queries: Vec<BitVector> = (0..20)
+            .map(|_| BitVector::from_bools(&(0..512).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = Arc::new(QueryBatch::from_vectors(&queries).unwrap());
+        let searcher = CascadeSearcher::tuned(memory.clone(), classes, &batch).unwrap();
+        let reference = memory.winners_batch(&batch).unwrap();
+        let winners = searcher.search_winners(Arc::clone(&batch)).unwrap();
+        for (q, w) in winners.iter().enumerate() {
+            assert_eq!((w.row, w.score), reference[q]);
+        }
+        // Empty / off-dimension samples are configuration errors.
+        let empty = QueryBatch::from_matrix(hd_linalg::BitMatrix::zeros(0, 512));
+        assert!(CascadeSearcher::tuned(memory.clone(), (0..24).map(|r| r % 5).collect(), &empty)
+            .is_err());
+        let wrong = QueryBatch::from_vectors(&[BitVector::zeros(64)]).unwrap();
+        assert!(CascadeSearcher::tuned(memory, (0..24).map(|r| r % 5).collect(), &wrong).is_err());
     }
 
     #[test]

@@ -225,6 +225,29 @@ impl ShardedSearcher {
         ShardedSearcher::new(am.search_memory().clone(), am.class_labels().to_vec(), num_shards)
     }
 
+    /// Like [`ShardedSearcher::with_cascade`] but the stage plan is
+    /// auto-tuned from a sample of real queries before sharding
+    /// ([`CascadePlan::tuned`] on the whole memory): every shard then
+    /// runs the same tuned plan against its own rows, so the merged
+    /// winners stay bit-identical to the unsharded search under any plan
+    /// the tuner picks.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSearcher::with_cascade`], plus
+    /// [`ServeError::InvalidConfig`] when tuning rejects the sample
+    /// (empty, or off-dimension).
+    pub fn with_cascade_tuned(
+        memory: SearchMemory,
+        classes: Vec<usize>,
+        num_shards: usize,
+        sample: &QueryBatch,
+    ) -> Result<Self> {
+        let plan = CascadePlan::tuned(&memory, sample)
+            .map_err(|e| ServeError::InvalidConfig { reason: e.to_string() })?;
+        Self::with_cascade(memory, classes, num_shards, plan)
+    }
+
     /// Builds a cascade-mode sharded searcher over a [`hdc::BinaryAm`].
     ///
     /// # Errors
@@ -240,6 +263,24 @@ impl ShardedSearcher {
             am.class_labels().to_vec(),
             num_shards,
             plan,
+        )
+    }
+
+    /// [`ShardedSearcher::with_cascade_tuned`] over a [`hdc::BinaryAm`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSearcher::with_cascade_tuned`].
+    pub fn from_am_cascade_tuned(
+        am: &hdc::BinaryAm,
+        num_shards: usize,
+        sample: &QueryBatch,
+    ) -> Result<Self> {
+        ShardedSearcher::with_cascade_tuned(
+            am.search_memory().clone(),
+            am.class_labels().to_vec(),
+            num_shards,
+            sample,
         )
     }
 
@@ -429,6 +470,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tuned_cascade_shards_match_exact() {
+        let (memory, classes) = random_memory(53, 256, 14);
+        let batch = random_batch(24, 256, 15);
+        let reference = memory.winners_batch(&batch).unwrap();
+        for shards in [1usize, 3] {
+            let sharded = ShardedSearcher::with_cascade_tuned(
+                memory.clone(),
+                classes.clone(),
+                shards,
+                &batch,
+            )
+            .unwrap();
+            assert!(sharded.cascade_plan().is_some(), "tuned plan is installed");
+            let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+            for (q, w) in winners.iter().enumerate() {
+                assert_eq!((w.row, w.score), reference[q], "shards {shards}, query {q}");
+            }
+        }
+        let wrong = random_batch(2, 64, 16);
+        assert!(ShardedSearcher::with_cascade_tuned(memory, classes, 2, &wrong).is_err());
     }
 
     #[test]
