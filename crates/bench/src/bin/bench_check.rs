@@ -23,7 +23,8 @@
 //! Flags: `--baseline <path>` (default `BENCH_search.json`),
 //! `--current <path>` (a `CRITERION_JSON` lines file), `--run` (invoke
 //! `cargo bench` itself; repeat `--bench <name>` to override which
-//! benches, default `associative_search` + `serve_throughput`),
+//! benches, default `associative_search` + `serve_throughput` +
+//! `topk_search`),
 //! `--smoke` (CI mode: like `--run` but only id presence is checked),
 //! `--threshold <pct>` (default 10). Numbers are only comparable
 //! like-for-like: same machine class and same kernel backend
@@ -167,7 +168,11 @@ fn main() -> ExitCode {
 
     let benches_explicit = !benches.is_empty();
     if benches.is_empty() {
-        benches = vec!["associative_search".to_string(), "serve_throughput".to_string()];
+        benches = vec![
+            "associative_search".to_string(),
+            "serve_throughput".to_string(),
+            "topk_search".to_string(),
+        ];
     }
 
     let mut baseline = match read_results(&baseline_path) {

@@ -571,6 +571,41 @@ impl BinaryAm {
         Ok(winners.into_iter().map(|(row, _)| self.classes[row]).collect())
     }
 
+    /// Top-k associative search: the k best `(row, class, score)` hits
+    /// per query, ordered score-descending with the workspace's low-row
+    /// tie-break. `k` is clamped to the centroid count. Runs the fused
+    /// k-best blocked sweep — scores are never materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `batch.dim() != dim()`
+    /// and [`HdcError::Linalg`] for `k == 0`.
+    pub fn search_topk(&self, batch: &QueryBatch, k: usize) -> Result<Vec<Vec<SearchHit>>> {
+        let raw = self.vectors.topk_batch(batch, k).map_err(cascade_error)?;
+        Ok((0..raw.len())
+            .map(|q| {
+                raw.hits(q)
+                    .iter()
+                    .map(|&(row, score)| SearchHit { row, class: self.classes[row], score })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// The k best classes per query, in hit order (a class appears once
+    /// per winning centroid, so multi-centroid layouts may repeat one —
+    /// rankers that want distinct labels should dedup downstream).
+    ///
+    /// # Errors
+    ///
+    /// As [`BinaryAm::search_topk`].
+    pub fn classify_batch_topk(&self, batch: &QueryBatch, k: usize) -> Result<Vec<Vec<usize>>> {
+        let raw = self.vectors.topk_batch(batch, k).map_err(cascade_error)?;
+        Ok((0..raw.len())
+            .map(|q| raw.hits(q).iter().map(|&(row, _)| self.classes[row]).collect())
+            .collect())
+    }
+
     /// Progressive-precision associative search: scores a dimension
     /// prefix per centroid, prunes centroids that provably cannot win
     /// (Hamming bound), and finishes only the survivors. Winners are
@@ -831,6 +866,53 @@ mod tests {
             );
             assert!(cascade.stats().activated_dims() <= cascade.stats().exact_dims());
         }
+    }
+
+    #[test]
+    fn topk_matches_sorted_scores() {
+        use hd_linalg::rng::seeded;
+        use rand::Rng;
+        let mut rng = seeded(47);
+        let dim = 160;
+        let centroids: Vec<(usize, BitVector)> = (0..9)
+            .map(|v| {
+                let bits: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+                (v % 3, BitVector::from_bools(&bits))
+            })
+            .collect();
+        let am = BinaryAm::from_centroids(3, centroids).unwrap();
+        let queries: Vec<BitVector> = (0..17)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let exact = am.search_batch(&batch).unwrap();
+        for k in [1usize, 3, 9, 12] {
+            let topk = am.search_topk(&batch, k).unwrap();
+            let classes = am.classify_batch_topk(&batch, k).unwrap();
+            for (q, query) in queries.iter().enumerate() {
+                // Oracle: stable sort of the full score vector by
+                // (score desc, row asc), truncated to k.
+                let mut rows: Vec<(usize, u32)> =
+                    am.scores(query).unwrap().into_iter().enumerate().collect();
+                rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                rows.truncate(k.min(am.num_centroids()));
+                let got: Vec<(usize, u32)> = topk[q].iter().map(|h| (h.row, h.score)).collect();
+                assert_eq!(got, rows, "query {q} k {k}");
+                // Hits carry each row's owning class, in hit order.
+                for hit in &topk[q] {
+                    assert_eq!(hit.class, am.class_of(hit.row));
+                }
+                let want_classes: Vec<usize> = topk[q].iter().map(|h| h.class).collect();
+                assert_eq!(classes[q], want_classes, "query {q} k {k}");
+                // The top-1 entry is exactly the argmax search winner.
+                assert_eq!(
+                    (topk[q][0].row, topk[q][0].class, topk[q][0].score),
+                    (exact.hits()[q].row, exact.hits()[q].class, exact.hits()[q].score),
+                    "query {q} k {k}"
+                );
+            }
+        }
+        assert!(am.search_topk(&batch, 0).is_err());
     }
 
     #[test]

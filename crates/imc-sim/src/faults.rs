@@ -206,6 +206,19 @@ impl FaultyAmMapping {
         self.mapping.search_batch(batch)
     }
 
+    /// Batched top-k associative search on the faulty arrays.
+    ///
+    /// # Errors
+    ///
+    /// As [`AmMapping::search_batch_topk`].
+    pub fn search_batch_topk(
+        &self,
+        batch: &hd_linalg::QueryBatch,
+        k: usize,
+    ) -> Result<crate::mapping::TopKBatchStats> {
+        self.mapping.search_batch_topk(batch, k)
+    }
+
     /// Batched cascade search on the faulty arrays: predictions are
     /// bit-exact against [`FaultyAmMapping::search_batch`] on the same
     /// perturbed cells (fault injection invalidates any cascade bound

@@ -47,7 +47,7 @@ pub use error::{ImcError, Result};
 pub use faults::{FaultModel, FaultyAmMapping};
 pub use mapping::{
     AmMapping, BatchInferenceStats, CascadeBatchStats, InferenceStats, MappingStats,
-    MappingStrategy,
+    MappingStrategy, TopKBatchStats,
 };
 pub use spec::{tile_grid, ArraySpec, TileGrid};
 pub use system::{batch_system_report, system_report, BatchSystemReport, SystemReport};

@@ -14,7 +14,7 @@ use hd_linalg::{
     BitMatrix, BitVector, CascadePlan, CascadeStats, QueryBatch, ScoreMatrix, SearchMemory,
     SegmentedCascade,
 };
-use hdc::BinaryAm;
+use hdc::{BinaryAm, SearchHit};
 use std::sync::{Arc, Mutex};
 
 /// How the AM is laid out across arrays.
@@ -95,6 +95,37 @@ impl BatchInferenceStats {
     /// Whether the batch was empty.
     pub fn is_empty(&self) -> bool {
         self.predicted_rows.is_empty()
+    }
+
+    /// Total tile activations for the whole batch.
+    pub fn total_cycles(&self) -> usize {
+        self.cycles_per_query * self.len()
+    }
+}
+
+/// Result of a batched top-k mapped associative search
+/// ([`AmMapping::search_batch_topk`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKBatchStats {
+    /// Per-query k-best centroids, sorted by score descending then row
+    /// ascending — bit-exact against sorting the full
+    /// [`AmMapping::search_batch`] score row. Each inner list holds
+    /// `min(k, V)` hits.
+    pub hits: Vec<Vec<SearchHit>>,
+    /// Tile activations consumed per query (top-k reads the same tiles
+    /// an argmax search does).
+    pub cycles_per_query: usize,
+}
+
+impl TopKBatchStats {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
     }
 
     /// Total tile activations for the whole batch.
@@ -402,17 +433,12 @@ impl AmMapping {
                 .dot_batch_into(batch, &mut scores)
                 .expect("basic layout matches the full query width");
         } else {
-            // Partitioned layout: slice a segment batch per partition
-            // straight off the packed queries (zero-copy row views; the
-            // only allocation is the segment batch itself) and accumulate
+            // Partitioned layout: view (word-aligned segments) or pack
+            // (unaligned) a segment batch per partition and accumulate
             // the partials.
             let mut scratch = ScoreMatrix::zeros(0, 0);
             for (part, memory) in self.partitions.iter().enumerate() {
-                let segments: Vec<BitVector> = (0..q)
-                    .map(|i| batch.query(i).slice(part * self.seg_len, self.seg_len))
-                    .collect();
-                let seg_batch = QueryBatch::from_vectors(&segments)
-                    .expect("segments are equal-length and non-empty");
+                let seg_batch = self.segment_batch(batch, part);
                 memory
                     .dot_batch_into(&seg_batch, &mut scratch)
                     .expect("segment width matches partition matrix");
@@ -438,6 +464,87 @@ impl AmMapping {
             predicted_classes,
             cycles_per_query: self.stats().cycles,
         })
+    }
+
+    /// The queries restricted to partition `part`'s dimension segment.
+    /// Word-aligned segment lengths (every power-of-two partitioning of a
+    /// word-aligned `D`) are zero-copy window views onto the packed batch;
+    /// only unaligned segment lengths re-pack per-bit.
+    fn segment_batch(&self, batch: &QueryBatch, part: usize) -> QueryBatch {
+        if self.seg_len.is_multiple_of(64) {
+            batch
+                .word_segment(part * self.seg_len, self.seg_len)
+                .expect("segment boundaries are word-aligned")
+        } else {
+            let segments: Vec<BitVector> = (0..batch.len())
+                .map(|i| batch.query(i).slice(part * self.seg_len, self.seg_len))
+                .collect();
+            QueryBatch::from_vectors(&segments).expect("segments are equal-length and non-empty")
+        }
+    }
+
+    /// Executes a batched **top-k** associative search on the mapped
+    /// arrays: per query, the `min(k, V)` best centroids sorted by score
+    /// descending then row ascending — bit-exact against stably sorting
+    /// the full [`AmMapping::search_batch`] score row. The basic layout
+    /// runs the fused bounded k-best sweep directly on its one partition;
+    /// a partitioned layout accumulates per-segment partials and selects
+    /// at the end (every column must be driven through every partition
+    /// regardless, so there is nothing for a threshold to skip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] when `k == 0` and
+    /// [`ImcError::QueryDimensionMismatch`] if the batch width is not
+    /// `D`.
+    pub fn search_batch_topk(&self, batch: &QueryBatch, k: usize) -> Result<TopKBatchStats> {
+        if k == 0 {
+            return Err(ImcError::InvalidSpec { reason: "top-k search requires k >= 1".into() });
+        }
+        if batch.dim() != self.dim {
+            return Err(ImcError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: batch.dim(),
+            });
+        }
+        let q = batch.len();
+        let hits = if self.partitions.len() == 1 {
+            let raw = self.partitions[0]
+                .topk_batch(batch, k)
+                .expect("dimensions validated above and mappings store at least one vector");
+            (0..raw.len())
+                .map(|i| {
+                    raw.hits(i)
+                        .iter()
+                        .map(|&(row, score)| SearchHit { row, class: self.classes[row], score })
+                        .collect()
+                })
+                .collect()
+        } else {
+            let mut scores = ScoreMatrix::zeros(q, self.num_vectors);
+            let mut scratch = ScoreMatrix::zeros(0, 0);
+            for (part, memory) in self.partitions.iter().enumerate() {
+                let seg_batch = self.segment_batch(batch, part);
+                memory
+                    .dot_batch_into(&seg_batch, &mut scratch)
+                    .expect("segment width matches partition matrix");
+                for i in 0..q {
+                    let partials = scratch.scores(i);
+                    for (dst, &s) in scores.scores_mut(i).iter_mut().zip(partials) {
+                        *dst += s;
+                    }
+                }
+            }
+            (0..q)
+                .map(|i| {
+                    select_topk(scores.scores(i), k)
+                        .into_iter()
+                        .map(|(row, score)| SearchHit { row, class: self.classes[row], score })
+                        .collect()
+                })
+                .collect()
+        };
+        Ok(TopKBatchStats { hits, cycles_per_query: self.stats().cycles })
     }
 
     /// Executes a batched **cascade** search on the mapped arrays:
@@ -701,6 +808,26 @@ impl AmMapping {
     }
 }
 
+/// Bounded k-best selection over one query's score row: scan rows
+/// ascending, keep a sorted slate of the `min(k, rows)` best. Equal
+/// scores insert after their peers, so the ascending scan yields the
+/// workspace tie-break (score descending, then row ascending) exactly.
+fn select_topk(scores: &[u32], k: usize) -> Vec<(usize, u32)> {
+    let k = k.min(scores.len());
+    let mut slots: Vec<(usize, u32)> = Vec::with_capacity(k);
+    for (row, &score) in scores.iter().enumerate() {
+        if slots.len() == k {
+            if score <= slots[k - 1].1 {
+                continue;
+            }
+            slots.pop();
+        }
+        let pos = slots.partition_point(|&(_, s)| s >= score);
+        slots.insert(pos, (row, score));
+    }
+    slots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +881,43 @@ mod tests {
             let q = random_query(320, 50 + p as u64);
             let hw = mapping.search(&q).unwrap();
             assert_eq!(hw.scores, am.scores(&q).unwrap(), "P={p}");
+        }
+    }
+
+    #[test]
+    fn topk_matches_sorted_scores_across_layouts() {
+        let am = random_am(3, 2, 320, 9);
+        let queries: Vec<BitVector> = (0..7).map(|s| random_query(320, 900 + s)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        let strategies = [
+            MappingStrategy::Basic,
+            MappingStrategy::Partitioned { partitions: 2 },
+            MappingStrategy::Partitioned { partitions: 5 },
+        ];
+        for strategy in strategies {
+            let mapping = AmMapping::new(&am, ArraySpec::default(), strategy).unwrap();
+            for k in [1usize, 3, 6, 9] {
+                let topk = mapping.search_batch_topk(&batch, k).unwrap();
+                assert_eq!(topk.len(), queries.len(), "{strategy:?} k {k}");
+                // Top-k reads the same tiles an argmax sweep does.
+                assert_eq!(topk.cycles_per_query, mapping.stats().cycles);
+                assert_eq!(topk.total_cycles(), mapping.stats().cycles * queries.len());
+                for (q, query) in queries.iter().enumerate() {
+                    let mut rows: Vec<(usize, u32)> =
+                        am.scores(query).unwrap().into_iter().enumerate().collect();
+                    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    rows.truncate(k.min(am.num_centroids()));
+                    let got: Vec<(usize, u32)> =
+                        topk.hits[q].iter().map(|h| (h.row, h.score)).collect();
+                    assert_eq!(got, rows, "{strategy:?} query {q} k {k}");
+                    for hit in &topk.hits[q] {
+                        assert_eq!(hit.class, am.class_of(hit.row), "{strategy:?}");
+                    }
+                }
+            }
+            assert!(mapping.search_batch_topk(&batch, 0).is_err());
+            let skinny = QueryBatch::from_vectors(&[random_query(64, 77)]).unwrap();
+            assert!(mapping.search_batch_topk(&skinny, 2).is_err());
         }
     }
 

@@ -28,6 +28,7 @@ use crate::bits::{BitMatrix, BitVector, BitView};
 use crate::blocked::BlockedBitMatrix;
 use crate::error::{LinalgError, Result};
 use crate::kernel;
+use std::sync::Arc;
 
 /// Queries per register-blocked tile in the batched kernels.
 pub(crate) const QUERY_TILE: usize = 8;
@@ -64,6 +65,24 @@ pub(crate) fn dot_words(a: &[u64], b: &[u64]) -> u32 {
         // be an out-of-bounds read rather than safe truncation).
         assert_eq!(a.len(), b.len(), "dot_words: length mismatch");
         (kernel::active_table().dot_words)(a, b)
+    }
+}
+
+/// Multi-row popcount dot: adds each row's `popcount(row & qs)` into the
+/// matching `out` slot, dispatched like [`dot_words`]. One call scores a
+/// whole cascade shortlist against one staged query segment, letting the
+/// AVX-512 path share each 512-bit query load across four rows.
+#[inline]
+pub(crate) fn multi_dot_words(qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+    debug_assert_eq!(rows.len(), out.len());
+    if qs.len() < DISPATCH_MIN_WORDS {
+        kernel::scalar::multi_dot_words(qs, rows, out);
+    } else {
+        assert_eq!(rows.len(), out.len(), "multi_dot_words: rows/out length mismatch");
+        for r in rows {
+            assert_eq!(r.len(), qs.len(), "multi_dot_words: length mismatch");
+        }
+        (kernel::active_table().multi_dot_words)(qs, rows, out)
     }
 }
 
@@ -123,7 +142,10 @@ fn pack_for_sweep(m: &BitMatrix, queries: usize) -> Option<BlockedBitMatrix> {
 /// A packed batch of equal-length binary queries.
 ///
 /// Construction packs the queries once; every subsequent batched search
-/// reuses the packed words without touching the originals.
+/// reuses the packed words without touching the originals. The packed
+/// storage is shared (`Arc`), so clones — and the word-aligned
+/// column-segment views [`QueryBatch::word_segment`] hands out — are
+/// zero-copy.
 ///
 /// # Example
 ///
@@ -140,7 +162,12 @@ fn pack_for_sweep(m: &BitMatrix, queries: usize) -> Option<BlockedBitMatrix> {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryBatch {
-    queries: BitMatrix,
+    queries: Arc<BitMatrix>,
+    /// First visible packed word of every row — non-zero only for
+    /// column-segment views.
+    word_lo: usize,
+    /// Visible bits per query (the full width for non-segment batches).
+    dim: usize,
 }
 
 impl QueryBatch {
@@ -151,12 +178,13 @@ impl QueryBatch {
     /// Returns [`LinalgError::Empty`] for an empty slice and
     /// [`LinalgError::RaggedRows`] on length disagreement.
     pub fn from_vectors(queries: &[BitVector]) -> Result<Self> {
-        Ok(QueryBatch { queries: BitMatrix::from_rows(queries)? })
+        Ok(Self::from_matrix(BitMatrix::from_rows(queries)?))
     }
 
     /// Wraps an existing packed matrix (rows = queries).
     pub fn from_matrix(queries: BitMatrix) -> Self {
-        QueryBatch { queries }
+        let dim = queries.cols();
+        QueryBatch { queries: Arc::new(queries), word_lo: 0, dim }
     }
 
     /// Number of queries `Q`.
@@ -169,9 +197,10 @@ impl QueryBatch {
         self.queries.rows() == 0
     }
 
-    /// Query dimensionality `D`.
+    /// Query dimensionality `D` (the visible segment width for views from
+    /// [`QueryBatch::word_segment`]).
     pub fn dim(&self) -> usize {
-        self.queries.cols()
+        self.dim
     }
 
     /// Borrows query `q` as a zero-copy [`BitView`] over the packed words
@@ -181,17 +210,78 @@ impl QueryBatch {
     ///
     /// Panics if `q >= len()`.
     pub fn query(&self, q: usize) -> BitView<'_> {
-        self.queries.row_view(q)
+        BitView::from_clean_words(self.query_words(q), self.dim)
     }
 
     /// The underlying packed matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-segment view (from
+    /// [`QueryBatch::word_segment`]): a segment has no standalone packed
+    /// matrix — that is the copy the view exists to avoid.
     pub fn as_bit_matrix(&self) -> &BitMatrix {
+        assert!(
+            self.word_lo == 0 && self.dim == self.queries.cols(),
+            "as_bit_matrix on a column-segment view"
+        );
         &self.queries
+    }
+
+    /// A zero-copy view of bit columns `[start, start + len)` of every
+    /// query — what column-partitioned layouts (`SegmentedCascade`,
+    /// `imc_sim`'s partitioned mappings) feed their per-partition sweeps
+    /// instead of re-packing each query's segment. The view shares the
+    /// batch's packed storage and behaves as a `len`-bit [`QueryBatch`]
+    /// everywhere (searches, further word-aligned sub-segmenting).
+    ///
+    /// `start` must be word-aligned (`start % 64 == 0`), and the segment
+    /// must either end word-aligned or run to the batch's full width —
+    /// the two shapes whose packed words are a clean sub-slice of each
+    /// row. Unaligned segments need [`BitView::slice`] re-packing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for a zero-width segment,
+    /// [`LinalgError::IndexOutOfBounds`] when the segment overruns the
+    /// batch width, and [`LinalgError::ShapeMismatch`] for boundaries off
+    /// the word grid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::{BitVector, QueryBatch};
+    ///
+    /// let batch = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 130])]).unwrap();
+    /// let seg = batch.word_segment(64, 64).unwrap(); // no copy
+    /// assert_eq!((seg.len(), seg.dim()), (1, 64));
+    /// assert_eq!(seg.query(0), batch.query(0).slice(64, 64));
+    /// ```
+    pub fn word_segment(&self, start: usize, len: usize) -> Result<QueryBatch> {
+        if len == 0 {
+            return Err(LinalgError::Empty { op: "QueryBatch::word_segment" });
+        }
+        let end = start.checked_add(len).filter(|&e| e <= self.dim).ok_or(
+            LinalgError::IndexOutOfBounds { index: start.saturating_add(len), bound: self.dim },
+        )?;
+        if !start.is_multiple_of(64) || !(end.is_multiple_of(64) || end == self.dim) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "QueryBatch::word_segment",
+                expected: 64,
+                found: if start.is_multiple_of(64) { end % 64 } else { start % 64 },
+            });
+        }
+        Ok(QueryBatch {
+            queries: Arc::clone(&self.queries),
+            word_lo: self.word_lo + start / 64,
+            dim: len,
+        })
     }
 
     #[inline]
     pub(crate) fn query_words(&self, q: usize) -> &[u64] {
-        self.queries.row_words_pub(q)
+        let row = self.queries.row_words_pub(q);
+        &row[self.word_lo..self.word_lo + self.dim.div_ceil(64)]
     }
 }
 
@@ -294,7 +384,7 @@ impl QueryBatchBuilder {
         let rows = std::mem::take(&mut self.len);
         let capacity = self.data.capacity();
         let data = std::mem::replace(&mut self.data, Vec::with_capacity(capacity));
-        Ok(QueryBatch { queries: BitMatrix::from_raw_words(rows, self.dim, data) })
+        Ok(QueryBatch::from_matrix(BitMatrix::from_raw_words(rows, self.dim, data)))
     }
 }
 
@@ -447,6 +537,101 @@ impl SearchResults {
     /// Scores of query `q` against every memory row.
     pub fn scores(&self, q: usize) -> &[u32] {
         self.scores.scores(q)
+    }
+}
+
+/// Per-query k-best results of a batched top-k associative search: for
+/// every query, the `min(k, rows)` best `(row, score)` pairs sorted by
+/// score descending, ties toward the lower row — the same order a stable
+/// sort of the full score row by `(score desc, row asc)` produces, so the
+/// list's first entry IS the [`BitMatrix::winners_batch`] winner.
+///
+/// Storage is one flat buffer with [`TopK::hits_per_query`] slots per
+/// query; [`TopK::hits`] slices it per query without copying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopK {
+    queries: usize,
+    k: usize,
+    per_query: usize,
+    entries: Vec<(usize, u32)>,
+}
+
+impl TopK {
+    pub(crate) fn from_flat(
+        queries: usize,
+        k: usize,
+        per_query: usize,
+        entries: Vec<(usize, u32)>,
+    ) -> Self {
+        debug_assert_eq!(entries.len(), queries * per_query);
+        TopK { queries, k, per_query, entries }
+    }
+
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.queries
+    }
+
+    /// Whether no queries were answered.
+    pub fn is_empty(&self) -> bool {
+        self.queries == 0
+    }
+
+    /// The `k` that was requested.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Entries actually held per query: `min(k, rows)` (a memory with
+    /// fewer rows than `k` yields every row).
+    #[inline]
+    pub fn hits_per_query(&self) -> usize {
+        self.per_query
+    }
+
+    /// Query `q`'s k-best `(row, score)` list, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= len()`.
+    pub fn hits(&self, q: usize) -> &[(usize, u32)] {
+        &self.entries[q * self.per_query..(q + 1) * self.per_query]
+    }
+
+    /// Consumes the results into one owned list per query.
+    pub fn into_vecs(self) -> Vec<Vec<(usize, u32)>> {
+        self.entries.chunks(self.per_query.max(1)).map(|c| c.to_vec()).collect()
+    }
+}
+
+/// Bounded k-best insertion for an **ascending-row** scan: `list[..
+/// *filled]` stays sorted by `(score desc, row asc)`. Rows arrive in
+/// ascending order, so a strict `>` threshold against the current k-th
+/// score is exact — a later row tying the k-th score loses the row-asc
+/// tie-break and can never displace it — and the common case is a single
+/// compare (branch only on beat).
+#[inline]
+pub(crate) fn topk_insert(list: &mut [(usize, u32)], filled: &mut usize, row: usize, score: u32) {
+    let n = *filled;
+    if n == list.len() {
+        if score <= list[n - 1].1 {
+            return;
+        }
+        let mut i = n - 1;
+        while i > 0 && list[i - 1].1 < score {
+            list[i] = list[i - 1];
+            i -= 1;
+        }
+        list[i] = (row, score);
+    } else {
+        let mut i = n;
+        while i > 0 && list[i - 1].1 < score {
+            list[i] = list[i - 1];
+            i -= 1;
+        }
+        list[i] = (row, score);
+        *filled = n + 1;
     }
 }
 
@@ -766,6 +951,42 @@ impl BitMatrix {
         }
         Ok(winners)
     }
+
+    /// Batched top-k associative search: per query, the `min(k, rows)`
+    /// best `(row, score)` pairs under dot similarity, sorted by score
+    /// descending with ties toward the lower row — fused into the sweep
+    /// (a bounded k-best list per query, threshold = the running k-th
+    /// score), never materializing the `Q × R` score matrix.
+    ///
+    /// `k == 1` is exactly [`BitMatrix::winners_batch`]; `k >= rows`
+    /// returns every row in sorted order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `k == 0` or the memory has no
+    /// rows, and [`LinalgError::ShapeMismatch`] if the batch
+    /// dimensionality differs from `cols`.
+    pub fn topk_batch(&self, batch: &QueryBatch, k: usize) -> Result<TopK> {
+        if k == 0 || self.rows() == 0 {
+            return Err(LinalgError::Empty { op: "topk_batch" });
+        }
+        if batch.dim() != self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "topk_batch",
+                expected: self.cols(),
+                found: batch.dim(),
+            });
+        }
+        let per_query = k.min(self.rows());
+        let mut entries = vec![(0usize, 0u32); batch.len() * per_query];
+        match pack_for_sweep(self, batch.len()) {
+            Some(blocked) => {
+                topk_dispatch(MemoryRef::Blocked(&blocked), batch, per_query, &mut entries)
+            }
+            None => topk_dispatch(MemoryRef::Rows(self), batch, per_query, &mut entries),
+        }
+        Ok(TopK::from_flat(batch.len(), k, per_query, entries))
+    }
 }
 
 /// Routes one contiguous winners range to the layout-appropriate kernel.
@@ -955,6 +1176,90 @@ pub(crate) fn winners_dispatch(
     winners: &mut [(usize, u32)],
 ) {
     winners_range(memory, batch, 0, winners);
+}
+
+/// Routes one contiguous top-k range (`out.len() / k` queries, `k` slots
+/// each) to the layout-appropriate kernel.
+pub(crate) fn topk_range(
+    mem: MemoryRef<'_>,
+    batch: &QueryBatch,
+    q_offset: usize,
+    k: usize,
+    out: &mut [(usize, u32)],
+) {
+    match mem {
+        MemoryRef::Rows(m) => topk_rows_range(m, batch, q_offset, k, out),
+        MemoryRef::Blocked(b) => {
+            (kernel::active_table().blocked_topk_range)(b, batch, q_offset, k, out)
+        }
+    }
+}
+
+/// Row-major fused top-k sweep: per query, one bounded k-best list
+/// updated row by row through [`topk_insert`] — the `>` threshold against
+/// the running k-th score keeps the common case to a single compare, and
+/// no score row is ever materialized. `k` here is already clamped to the
+/// row count by the entry points.
+fn topk_rows_range(
+    memory: &BitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    k: usize,
+    out: &mut [(usize, u32)],
+) {
+    let wpr = memory.words_per_row_pub();
+    for (q, slots) in out.chunks_exact_mut(k).enumerate() {
+        let qw = &batch.query_words(q_offset + q)[..wpr];
+        let mut filled = 0usize;
+        for (r, rw) in memory.data_words_pub().chunks_exact(wpr.max(1)).enumerate() {
+            let s = dot_words(rw, qw);
+            topk_insert(slots, &mut filled, r, s);
+        }
+        debug_assert_eq!(filled, k);
+    }
+}
+
+#[cfg(feature = "rayon")]
+pub(crate) fn topk_dispatch(
+    memory: MemoryRef<'_>,
+    batch: &QueryBatch,
+    k: usize,
+    out: &mut [(usize, u32)],
+) {
+    let q = out.len() / k;
+    let work = q * memory.rows() * memory.words_per_row();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if threads < 2 || work < PARALLEL_THRESHOLD || q < 2 * QUERY_TILE {
+        topk_range(memory, batch, 0, k, out);
+        return;
+    }
+    let chunks = threads.min(q.div_ceil(QUERY_TILE));
+    let per_chunk = q.div_ceil(chunks).next_multiple_of(QUERY_TILE);
+    let mut jobs: Vec<(usize, &mut [(usize, u32)])> = Vec::with_capacity(chunks);
+    let mut rest = out;
+    let mut offset = 0usize;
+    while !rest.is_empty() {
+        let take = per_chunk.min(rest.len() / k);
+        let (head, tail) = rest.split_at_mut(take * k);
+        jobs.push((offset, head));
+        rest = tail;
+        offset += take;
+    }
+    std::thread::scope(|scope| {
+        for (q_offset, chunk) in jobs {
+            scope.spawn(move || topk_range(memory, batch, q_offset, k, chunk));
+        }
+    });
+}
+
+#[cfg(not(feature = "rayon"))]
+pub(crate) fn topk_dispatch(
+    memory: MemoryRef<'_>,
+    batch: &QueryBatch,
+    k: usize,
+    out: &mut [(usize, u32)],
+) {
+    topk_range(memory, batch, 0, k, out);
 }
 
 #[cfg(test)]

@@ -337,6 +337,19 @@ pub struct BitView<'a> {
 }
 
 impl<'a> BitView<'a> {
+    /// Wraps already-packed words whose tail past `len` bits is known
+    /// clean (the invariant every packed row in the crate maintains).
+    #[inline]
+    pub(crate) fn from_clean_words(words: &'a [u64], len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(WORD_BITS));
+        debug_assert!(
+            len.is_multiple_of(WORD_BITS)
+                || words.last().is_none_or(|&w| w >> (len % WORD_BITS) == 0),
+            "tail bits past the view length must be zero"
+        );
+        BitView { len, words }
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {

@@ -20,7 +20,7 @@
 //! of them are bit-identical to the scalar row-major path (the
 //! `simd_equivalence` suite pins this for every reachable backend).
 
-use crate::batch::{MemoryRef, ScoreMatrix, SearchResults};
+use crate::batch::{topk_insert, MemoryRef, ScoreMatrix, SearchResults, TopK};
 use crate::bits::{BitMatrix, BitVector};
 use crate::error::{LinalgError, Result};
 use crate::kernel::{self, Backend};
@@ -316,6 +316,48 @@ impl BlockedBitMatrix {
         (kernel::table_for(backend).blocked_winners_range)(self, batch, 0, &mut winners);
         Ok(winners)
     }
+
+    /// Fused top-k batched search on the active backend (the blocked
+    /// analogue of [`BitMatrix::topk_batch`]): per-query bounded k-best
+    /// lists carried through the 8-row panel sweep, never materializing
+    /// scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for `k == 0` and
+    /// [`LinalgError::ShapeMismatch`] on a dimensionality mismatch.
+    pub fn topk_batch(&self, batch: &QueryBatch, k: usize) -> Result<TopK> {
+        if k == 0 || self.rows == 0 {
+            return Err(LinalgError::Empty { op: "topk_batch" });
+        }
+        self.check_dim(batch, "topk_batch")?;
+        let per_query = k.min(self.rows);
+        let mut entries = vec![(0usize, 0u32); batch.len() * per_query];
+        crate::batch::topk_dispatch(MemoryRef::Blocked(self), batch, per_query, &mut entries);
+        Ok(TopK::from_flat(batch.len(), k, per_query, entries))
+    }
+
+    /// [`BlockedBitMatrix::topk_batch`] on an explicit backend — the
+    /// equivalence-testing hook (serial; no thread chunking).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockedBitMatrix::topk_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is unavailable on this host.
+    pub fn topk_batch_with(&self, batch: &QueryBatch, k: usize, backend: Backend) -> Result<TopK> {
+        assert!(backend.is_available(), "backend {backend} not available on this host");
+        if k == 0 || self.rows == 0 {
+            return Err(LinalgError::Empty { op: "topk_batch" });
+        }
+        self.check_dim(batch, "topk_batch")?;
+        let per_query = k.min(self.rows);
+        let mut entries = vec![(0usize, 0u32); batch.len() * per_query];
+        (kernel::table_for(backend).blocked_topk_range)(self, batch, 0, per_query, &mut entries);
+        Ok(TopK::from_flat(batch.len(), k, per_query, entries))
+    }
 }
 
 /// A search-optimized associative memory: the row-major matrix plus, when
@@ -598,6 +640,33 @@ impl SearchMemory {
         crate::batch::winners_dispatch(self.memory_ref(), batch, &mut winners);
         Ok(winners)
     }
+
+    /// Fused batched top-k search (pre-packed; see
+    /// [`BitMatrix::topk_batch`] for the result contract): each query's
+    /// `min(k, rows)` best rows by `(score desc, row asc)`, selected
+    /// inside the sweep with no score matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `k == 0` or the memory has no
+    /// rows, and [`LinalgError::ShapeMismatch`] on a dimensionality
+    /// mismatch.
+    pub fn topk_batch(&self, batch: &QueryBatch, k: usize) -> Result<TopK> {
+        if k == 0 || self.rows() == 0 {
+            return Err(LinalgError::Empty { op: "topk_batch" });
+        }
+        if batch.dim() != self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "topk_batch",
+                expected: self.cols(),
+                found: batch.dim(),
+            });
+        }
+        let per_query = k.min(self.rows());
+        let mut entries = vec![(0usize, 0u32); batch.len() * per_query];
+        crate::batch::topk_dispatch(self.memory_ref(), batch, per_query, &mut entries);
+        Ok(TopK::from_flat(batch.len(), k, per_query, entries))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -692,16 +761,44 @@ pub(crate) fn scalar_winners_range(
     }
 }
 
+/// Portable blocked top-k sweep: the panel accumulation of
+/// [`scalar_block_acc`] feeding one bounded k-best list per query (`k`
+/// pre-clamped to the row count; padding lanes are excluded by the
+/// `take` bound, so an all-zero padding row can never enter the list).
+pub(crate) fn scalar_topk_range(
+    m: &BlockedBitMatrix,
+    batch: &QueryBatch,
+    q_offset: usize,
+    k: usize,
+    out: &mut [(usize, u32)],
+) {
+    let rows = m.rows();
+    for (q, slots) in out.chunks_exact_mut(k).enumerate() {
+        let qw = batch.query_words(q_offset + q);
+        let mut filled = 0usize;
+        for b in 0..m.row_blocks() {
+            let acc = scalar_block_acc(m, b, qw);
+            let base = b * LANES;
+            let take = LANES.min(rows - base);
+            for (l, &s) in acc.iter().enumerate().take(take) {
+                topk_insert(slots, &mut filled, base + l, s);
+            }
+        }
+        debug_assert_eq!(filled, k);
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 pub(crate) use x86_blocked::{
-    avx2_dot_range, avx2_winners_range, avx512_dot_range, avx512_winners_range,
+    avx2_dot_range, avx2_topk_range, avx2_winners_range, avx512_dot_range, avx512_topk_range,
+    avx512_winners_range,
 };
 
 /// AVX2 and AVX-512 blocked sweeps. All `unsafe fn`s here are published
 /// only through kernel tables gated on `is_x86_feature_detected!`.
 #[cfg(target_arch = "x86_64")]
 mod x86_blocked {
-    use super::{reduce_lane_candidates, BlockedBitMatrix, LANES};
+    use super::{reduce_lane_candidates, topk_insert, BlockedBitMatrix, LANES};
     use crate::kernel::x86::popcnt_bytes_avx2;
     use crate::QueryBatch;
     use std::arch::x86_64::*;
@@ -746,6 +843,28 @@ mod x86_blocked {
     ) {
         // SAFETY: table selected only after avx2 detection.
         unsafe { avx2_winners_range_impl(m, batch, q_offset, out) }
+    }
+
+    pub(crate) fn avx512_topk_range(
+        m: &BlockedBitMatrix,
+        batch: &QueryBatch,
+        q_offset: usize,
+        k: usize,
+        out: &mut [(usize, u32)],
+    ) {
+        // SAFETY: table selected only after avx512f+vpopcntdq detection.
+        unsafe { avx512_topk_range_impl(m, batch, q_offset, k, out) }
+    }
+
+    pub(crate) fn avx2_topk_range(
+        m: &BlockedBitMatrix,
+        batch: &QueryBatch,
+        q_offset: usize,
+        k: usize,
+        out: &mut [(usize, u32)],
+    ) {
+        // SAFETY: table selected only after avx2 detection.
+        unsafe { avx2_topk_range_impl(m, batch, q_offset, k, out) }
     }
 
     /// One query × one block: per-lane popcount accumulator over the
@@ -823,6 +942,45 @@ mod x86_blocked {
             *slot = reduce_lane_candidates(rows, |l| {
                 (blocks[l] as usize * LANES + l, scores[l] as u32)
             });
+        }
+    }
+
+    /// Fused top-k sweep: once a query's k-best list is full, a whole
+    /// block is skipped with one vector compare against the k-th score —
+    /// only a lane that strictly beats the threshold (and therefore would
+    /// displace the current k-th entry even after tie-breaks) pays the
+    /// extract + insert cost. Padding lanes are excluded by `take`.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn avx512_topk_range_impl(
+        m: &BlockedBitMatrix,
+        batch: &QueryBatch,
+        q_offset: usize,
+        k: usize,
+        out: &mut [(usize, u32)],
+    ) {
+        let rows = m.rows();
+        let wpr = m.words_per_row();
+        let data = m.data().as_ptr();
+        for (q, slots) in out.chunks_exact_mut(k).enumerate() {
+            let qw = batch.query_words(q_offset + q);
+            let mut filled = 0usize;
+            for b in 0..m.row_blocks() {
+                let acc = avx512_block_acc(data.add(b * wpr * LANES), wpr, qw);
+                if filled == k {
+                    let thr = _mm512_set1_epi64(slots[k - 1].1 as i64);
+                    if _mm512_cmpgt_epu64_mask(acc, thr) == 0 {
+                        continue;
+                    }
+                }
+                let mut tmp = [0u32; LANES];
+                _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, _mm512_cvtepi64_epi32(acc));
+                let base = b * LANES;
+                let take = LANES.min(rows - base);
+                for (l, &s) in tmp.iter().enumerate().take(take) {
+                    topk_insert(slots, &mut filled, base + l, s);
+                }
+            }
+            debug_assert_eq!(filled, k);
         }
     }
 
@@ -934,16 +1092,57 @@ mod x86_blocked {
             });
         }
     }
+
+    /// Fused top-k sweep: full blocks are skipped with two signed 64-bit
+    /// compares against the k-th score (scores fit in i64, so signed
+    /// compares are exact); only a beating lane pays extract + insert.
+    /// Padding lanes are excluded by `take`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_topk_range_impl(
+        m: &BlockedBitMatrix,
+        batch: &QueryBatch,
+        q_offset: usize,
+        k: usize,
+        out: &mut [(usize, u32)],
+    ) {
+        let rows = m.rows();
+        let wpr = m.words_per_row();
+        let data = m.data().as_ptr();
+        for (q, slots) in out.chunks_exact_mut(k).enumerate() {
+            let qw = batch.query_words(q_offset + q);
+            let mut filled = 0usize;
+            for b in 0..m.row_blocks() {
+                let (acc_lo, acc_hi) = avx2_block_acc(data.add(b * wpr * LANES), wpr, qw);
+                if filled == k {
+                    let thr = _mm256_set1_epi64x(slots[k - 1].1 as i64);
+                    let gt = _mm256_or_si256(
+                        _mm256_cmpgt_epi64(acc_lo, thr),
+                        _mm256_cmpgt_epi64(acc_hi, thr),
+                    );
+                    if _mm256_movemask_epi8(gt) == 0 {
+                        continue;
+                    }
+                }
+                let scores = avx2_extract(acc_lo, acc_hi);
+                let base = b * LANES;
+                let take = LANES.min(rows - base);
+                for (l, &s) in scores.iter().enumerate().take(take) {
+                    topk_insert(slots, &mut filled, base + l, s);
+                }
+            }
+            debug_assert_eq!(filled, k);
+        }
+    }
 }
 
 #[cfg(target_arch = "aarch64")]
-pub(crate) use neon_blocked::{neon_dot_range, neon_winners_range};
+pub(crate) use neon_blocked::{neon_dot_range, neon_topk_range, neon_winners_range};
 
 /// NEON blocked sweeps: the 8-lane panel is four 128-bit vectors, with
 /// `vcnt` byte counts widened once per ≤ 31-word run.
 #[cfg(target_arch = "aarch64")]
 mod neon_blocked {
-    use super::{BlockedBitMatrix, LANES};
+    use super::{topk_insert, BlockedBitMatrix, LANES};
     use crate::QueryBatch;
     use std::arch::aarch64::*;
 
@@ -966,6 +1165,17 @@ mod neon_blocked {
     ) {
         // SAFETY: table selected only after neon detection.
         unsafe { neon_winners_range_impl(m, batch, q_offset, out) }
+    }
+
+    pub(crate) fn neon_topk_range(
+        m: &BlockedBitMatrix,
+        batch: &QueryBatch,
+        q_offset: usize,
+        k: usize,
+        out: &mut [(usize, u32)],
+    ) {
+        // SAFETY: table selected only after neon detection.
+        unsafe { neon_topk_range_impl(m, batch, q_offset, k, out) }
     }
 
     #[target_feature(enable = "neon")]
@@ -1045,6 +1255,35 @@ mod neon_blocked {
                 }
             }
             *slot = best;
+        }
+    }
+
+    /// Fused top-k sweep: once the k-best list is full, lanes that fail
+    /// to beat the k-th score fall through the insert's cheap first
+    /// branch; padding lanes are excluded by `take`.
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_topk_range_impl(
+        m: &BlockedBitMatrix,
+        batch: &QueryBatch,
+        q_offset: usize,
+        k: usize,
+        out: &mut [(usize, u32)],
+    ) {
+        let rows = m.rows();
+        let wpr = m.words_per_row();
+        let data = m.data().as_ptr();
+        for (q, slots) in out.chunks_exact_mut(k).enumerate() {
+            let qw = batch.query_words(q_offset + q);
+            let mut filled = 0usize;
+            for b in 0..m.row_blocks() {
+                let scores = neon_block_scores(data.add(b * wpr * LANES), wpr, qw);
+                let base = b * LANES;
+                let take = LANES.min(rows - base);
+                for (l, &s) in scores.iter().enumerate().take(take) {
+                    topk_insert(slots, &mut filled, base + l, s);
+                }
+            }
+            debug_assert_eq!(filled, k);
         }
     }
 }

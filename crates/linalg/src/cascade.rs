@@ -40,7 +40,7 @@
 //! sizes and the total number of activated row-dimensions — which is the
 //! telemetry `imc_sim` converts back into the paper's energy ladder.
 
-use crate::batch::{self, dot_words};
+use crate::batch::{self, multi_dot_words, topk_insert, TopK};
 use crate::bits::{BitMatrix, BitVector};
 use crate::blocked::SearchMemory;
 use crate::error::{LinalgError, Result};
@@ -573,6 +573,33 @@ impl CascadeResults {
     }
 }
 
+/// Per-query k-best lists plus activation telemetry of one cascade
+/// top-k search. The lists are bit-identical to
+/// [`crate::BitMatrix::topk_batch`] — same rows, same scores, same
+/// score-desc/row-asc order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeTopK {
+    topk: TopK,
+    stats: CascadeStats,
+}
+
+impl CascadeTopK {
+    /// The per-query k-best lists.
+    pub fn topk(&self) -> &TopK {
+        &self.topk
+    }
+
+    /// Consumes the results, yielding the k-best lists without a copy.
+    pub fn into_topk(self) -> TopK {
+        self.topk
+    }
+
+    /// Activation telemetry of the search.
+    pub fn stats(&self) -> &CascadeStats {
+        &self.stats
+    }
+}
+
 /// Exclusive end of the packed-word range covering bits `[.., hi)`.
 #[inline]
 fn word_end(hi: usize) -> usize {
@@ -782,12 +809,134 @@ fn prune_continuation_range<S>(
     }
 }
 
-/// Contiguous-memory continuation: the shared pruning skeleton with a
-/// row-major stage scorer. `dot` is the word-slice popcount kernel (the
-/// active-backend dispatcher in production; an explicit backend's table
-/// entry under test).
+/// The k-th best of `values(..)`, via a descending scratch buffer of
+/// `k` scores pre-filled with zeros (every score is ≥ 0 and callers
+/// guarantee at least `k` values, so the zeros are always displaced —
+/// or the k-th best really is 0). The manual shift-insert keeps the
+/// per-query cost branch-light: values at or below the current k-th
+/// fall through on one compare.
+fn kth_score(values: impl Iterator<Item = u32>, k: usize, buf: &mut Vec<u32>) -> u32 {
+    buf.clear();
+    buf.resize(k, 0);
+    let b = &mut buf[..k];
+    for s in values {
+        if s > b[k - 1] {
+            let mut i = k - 1;
+            while i > 0 && b[i - 1] < s {
+                b[i] = b[i - 1];
+                i -= 1;
+            }
+            b[i] = s;
+        }
+    }
+    b[k - 1]
+}
+
+/// The top-k analogue of [`prune_continuation_range`]: the prune
+/// threshold is the k-th best partial score instead of the single best.
+/// That bound stays exact: the k rows holding the k best partials can
+/// only grow, so the final k-th best score is at least the current k-th
+/// best partial — any row whose bound-capped potential falls strictly
+/// below it can neither enter the top-k nor tie into it. Those same k
+/// rows also always survive the prune (their own bound is ≥ their
+/// partial), so the shortlist never drops below `k`, and the k-th best
+/// over the shortlist equals the k-th best over all scored rows.
+/// `score_stage(k, global_query, cands, partials)` adds stage `k`'s dot
+/// to every shortlist row (no running-max contract here). `k` arrives
+/// pre-clamped to the row count; `out` holds `k` slots per query, filled
+/// score-desc then row-asc.
 #[allow(clippy::too_many_arguments)]
-fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
+fn prune_continuation_topk_range<S>(
+    rows: usize,
+    ends: &[usize],
+    row_suffix: &[u32],
+    batch: &QueryBatch,
+    k: usize,
+    q_offset: usize,
+    scores: &mut [u32],
+    out: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+    mut score_stage: S,
+) where
+    S: FnMut(usize, usize, &[u32], &mut [u32]),
+{
+    let stages = ends.len();
+    debug_assert!(k >= 1 && k <= rows);
+    debug_assert_eq!(scores.len() * k, out.len() * rows);
+    // Bounded-insert selection over an ascending row scan yields the
+    // exact score-desc/row-asc order (strict shifts leave a tying later
+    // row behind the earlier one).
+    fn select(rs: impl Iterator<Item = usize>, partials: &[u32], slots: &mut [(usize, u32)]) {
+        let mut filled = 0usize;
+        for r in rs {
+            topk_insert(slots, &mut filled, r, partials[r]);
+        }
+        debug_assert_eq!(filled, slots.len());
+    }
+    let mut q_suffix = vec![0u32; stages];
+    let mut cands: Vec<u32> = Vec::with_capacity(rows);
+    let mut kbuf: Vec<u32> = Vec::with_capacity(k);
+    stats.queries += out.len() / k;
+    for (q, slots) in out.chunks_exact_mut(k).enumerate() {
+        let partials = &mut scores[q * rows..(q + 1) * rows];
+        if stages == 1 {
+            // Degenerate plan: stage 0 was the exact search.
+            select(0..rows, partials, slots);
+            continue;
+        }
+        let mut kth = kth_score(partials.iter().copied(), k, &mut kbuf);
+        let gq = q_offset + q;
+        let qw = batch.query_words(gq);
+        let mut q_suffix_ready = false;
+        let mut prune =
+            |cands: &mut Vec<u32>, partials: &[u32], s: usize, kth: u32, from_all_rows: bool| {
+                let row_suf = &row_suffix[s * rows..(s + 1) * rows];
+                let keep_r = |r: usize| partials[r] as u64 + row_suf[r] as u64 >= kth as u64;
+                if from_all_rows {
+                    cands.clear();
+                    cands.extend((0..rows).filter(|&r| keep_r(r)).map(|r| r as u32));
+                } else {
+                    cands.retain(|&r| keep_r(r as usize));
+                }
+                if cands.len() > k {
+                    if !q_suffix_ready {
+                        suffix_ones(qw, ends, &mut q_suffix);
+                        q_suffix_ready = true;
+                    }
+                    let qs = q_suffix[s];
+                    cands.retain(|&r| {
+                        let r = r as usize;
+                        partials[r] as u64 + qs.min(row_suf[r]) as u64 >= kth as u64
+                    });
+                }
+            };
+        prune(&mut cands, partials, 0, kth, true);
+        for s in 1..stages {
+            score_stage(s, gq, &cands, partials);
+            stats.stage_rows[s] += cands.len() as u64;
+            stats.activated_dims += (cands.len() * (ends[s] - ends[s - 1])) as u64;
+            if s + 1 == stages {
+                break;
+            }
+            kth = kth_score(cands.iter().map(|&r| partials[r as usize]), k, &mut kbuf);
+            prune(&mut cands, partials, s, kth, false);
+        }
+        // After the final stage every survivor holds its exact score and
+        // the shortlist provably contains the true top-k rows; `cands`
+        // stays in ascending row order, so the bounded insert reproduces
+        // the workspace tie-break.
+        select(cands.iter().map(|&r| r as usize), partials, slots);
+    }
+}
+
+/// Contiguous-memory continuation: the shared pruning skeleton with a
+/// row-major stage scorer. `multi` is the multi-row word-slice popcount
+/// kernel (the active-backend dispatcher in production; an explicit
+/// backend's table entry under test): one call per (query, stage) scores
+/// the whole shortlist, so the SIMD path shares each staged-query load
+/// across rows instead of re-streaming it per flat-kernel call.
+#[allow(clippy::too_many_arguments)]
+fn continuation_range<M: Fn(&[u64], &[&[u64]], &mut [u32])>(
     m: &BitMatrix,
     batch: &QueryBatch,
     plan: &CascadePlan,
@@ -796,10 +945,12 @@ fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
     scores: &mut [u32],
     out: &mut [(usize, u32)],
     stats: &mut CascadeStats,
-    dot: F,
+    multi: M,
 ) {
     let ends = plan.ends();
     let mut qmasked: Vec<u64> = Vec::new();
+    let mut row_refs: Vec<&[u64]> = Vec::new();
+    let mut acc: Vec<u32> = Vec::new();
     prune_continuation_range(
         m.rows(),
         ends,
@@ -813,16 +964,66 @@ fn continuation_range<F: Fn(&[u64], &[u64]) -> u32>(
             let (lo, hi) = (ends[k - 1], ends[k]);
             let qs = stage_query(batch.query_words(gq), lo, hi, m.cols(), &mut qmasked);
             let (wlo, whi) = (lo / 64, word_end(hi));
+            row_refs.clear();
+            row_refs.extend(cands.iter().map(|&r| &m.row_words_pub(r as usize)[wlo..whi]));
+            acc.clear();
+            acc.resize(cands.len(), 0);
+            multi(qs, &row_refs, &mut acc);
             let mut best = 0;
-            for &r in cands {
+            for (&r, &d) in cands.iter().zip(&acc) {
                 let r = r as usize;
-                let s = partials[r] + dot(&m.row_words_pub(r)[wlo..whi], qs);
+                let s = partials[r] + d;
                 partials[r] = s;
                 if s > best {
                     best = s;
                 }
             }
             best
+        },
+    );
+}
+
+/// Contiguous-memory top-k continuation: [`prune_continuation_topk_range`]
+/// with the same multi-row stage scorer as [`continuation_range`].
+#[allow(clippy::too_many_arguments)]
+fn continuation_topk_range<M: Fn(&[u64], &[&[u64]], &mut [u32])>(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    row_suffix: &[u32],
+    k: usize,
+    q_offset: usize,
+    scores: &mut [u32],
+    out: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+    multi: M,
+) {
+    let ends = plan.ends();
+    let mut qmasked: Vec<u64> = Vec::new();
+    let mut row_refs: Vec<&[u64]> = Vec::new();
+    let mut acc: Vec<u32> = Vec::new();
+    prune_continuation_topk_range(
+        m.rows(),
+        ends,
+        row_suffix,
+        batch,
+        k,
+        q_offset,
+        scores,
+        out,
+        stats,
+        |s, gq, cands, partials| {
+            let (lo, hi) = (ends[s - 1], ends[s]);
+            let qs = stage_query(batch.query_words(gq), lo, hi, m.cols(), &mut qmasked);
+            let (wlo, whi) = (lo / 64, word_end(hi));
+            row_refs.clear();
+            row_refs.extend(cands.iter().map(|&r| &m.row_words_pub(r as usize)[wlo..whi]));
+            acc.clear();
+            acc.resize(cands.len(), 0);
+            multi(qs, &row_refs, &mut acc);
+            for (&r, &d) in cands.iter().zip(&acc) {
+                partials[r as usize] += d;
+            }
         },
     );
 }
@@ -867,6 +1068,7 @@ fn cascade_run(
         m.cols(),
         m.words_per_row_pub(),
         plan.stages(),
+        1,
         scores.data_mut(),
         &mut winners,
         &mut stats,
@@ -880,11 +1082,56 @@ fn cascade_run(
                 score_chunk,
                 winner_chunk,
                 local,
-                dot_words,
+                multi_dot_words,
             )
         },
     );
     CascadeResults { winners, stats }
+}
+
+/// Top-k pruning continuation + telemetry over precomputed stage-0
+/// scores — the shared tail of every top-k entry point. `k` is the
+/// caller's request; lists are clamped to the row count.
+fn cascade_run_topk(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    mut scores: ScoreMatrix,
+    row_suffix: &[u32],
+    k: usize,
+) -> CascadeTopK {
+    let rows = m.rows();
+    let q_total = batch.len();
+    let per_query = k.min(rows);
+    let mut entries = vec![(0usize, 0u32); q_total * per_query];
+    let mut stats = CascadeStats::zeroed(rows, m.cols(), plan.stages());
+    stats.stage_rows[0] = (q_total * rows) as u64;
+    stats.activated_dims = (q_total * rows * plan.ends()[0]) as u64;
+    chunked_continuation(
+        rows,
+        m.cols(),
+        m.words_per_row_pub(),
+        plan.stages(),
+        per_query,
+        scores.data_mut(),
+        &mut entries,
+        &mut stats,
+        |q_offset, score_chunk, out_chunk, local| {
+            continuation_topk_range(
+                m,
+                batch,
+                plan,
+                row_suffix,
+                per_query,
+                q_offset,
+                score_chunk,
+                out_chunk,
+                local,
+                multi_dot_words,
+            )
+        },
+    );
+    CascadeTopK { topk: TopK::from_flat(q_total, k, per_query, entries), stats }
 }
 
 /// Full cascade on the active backend: tiled stage-0 sweep, then the
@@ -897,6 +1144,19 @@ fn cascade_active(m: &BitMatrix, batch: &QueryBatch, plan: &CascadePlan) -> Casc
     let scores = stage0_scores(m, batch, plan.ends()[0]);
     let row_suffix = row_suffix_table(m, plan.ends());
     cascade_run(m, batch, plan, scores, &row_suffix)
+}
+
+/// Top-k analogue of [`cascade_active`]: per-call derivation, then the
+/// k-th-score pruning continuation.
+fn cascade_active_topk(
+    m: &BitMatrix,
+    batch: &QueryBatch,
+    plan: &CascadePlan,
+    k: usize,
+) -> CascadeTopK {
+    let scores = stage0_scores(m, batch, plan.ends()[0]);
+    let row_suffix = row_suffix_table(m, plan.ends());
+    cascade_run_topk(m, batch, plan, scores, &row_suffix, k)
 }
 
 /// The per-(plan, memory) derived artifacts of a cascade: the stage-0
@@ -1110,17 +1370,43 @@ impl BoundCascade {
         let scores = self.form.stage0_scores(&self.memory, batch);
         Ok(cascade_run(m, batch, &self.plan, scores, &self.form.row_suffix))
     }
+
+    /// Top-k cascade search over the bound memory — bit-identical lists
+    /// to [`SearchMemory::topk_batch`] (score desc, row asc), with no
+    /// per-call re-derivation. `k` is clamped to the row count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for `k == 0` and
+    /// [`LinalgError::ShapeMismatch`] when the batch dimensionality
+    /// differs from the memory's.
+    pub fn search_topk(&self, batch: &QueryBatch, k: usize) -> Result<CascadeTopK> {
+        if k == 0 {
+            return Err(LinalgError::Empty { op: "BoundCascade::search_topk" });
+        }
+        let m = self.memory.matrix();
+        if batch.dim() != m.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "BoundCascade::search_topk",
+                expected: m.cols(),
+                found: batch.dim(),
+            });
+        }
+        let scores = self.form.stage0_scores(&self.memory, batch);
+        Ok(cascade_run_topk(m, batch, &self.plan, scores, &self.form.row_suffix, k))
+    }
 }
 
 /// Runs a cascade continuation over all queries, chunked across scoped
 /// threads under the `rayon` feature: each chunk owns disjoint score and
-/// winner slices plus its own telemetry, merged after the join —
+/// output slices plus its own telemetry, merged after the join —
 /// bit-identical to the serial order because queries are independent.
-/// `run(q_offset, scores, winners, stats)` must process the chunk's
-/// queries exactly as the serial call would. Stage-0 counters are set
-/// wholesale by the caller and stay 0 in every chunk-local (continuations
-/// never write stage 0), so the general merge adds exactly the later
-/// stages.
+/// `out` holds `slots_per_query` entries per query (1 for winners, k for
+/// top-k lists); `run(q_offset, scores, out, stats)` must process the
+/// chunk's queries exactly as the serial call would. Stage-0 counters are
+/// set wholesale by the caller and stay 0 in every chunk-local
+/// (continuations never write stage 0), so the general merge adds exactly
+/// the later stages.
 #[cfg(feature = "rayon")]
 #[allow(clippy::too_many_arguments)]
 fn chunked_continuation<F>(
@@ -1128,18 +1414,19 @@ fn chunked_continuation<F>(
     dim: usize,
     words_per_row: usize,
     stages: usize,
+    slots_per_query: usize,
     scores: &mut [u32],
-    winners: &mut [(usize, u32)],
+    out: &mut [(usize, u32)],
     stats: &mut CascadeStats,
     run: F,
 ) where
     F: Fn(usize, &mut [u32], &mut [(usize, u32)], &mut CascadeStats) + Sync,
 {
-    let q = winners.len();
+    let q = out.len() / slots_per_query;
     let work = q * rows * words_per_row;
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     if threads < 2 || work < batch::PARALLEL_THRESHOLD || q < 2 * batch::QUERY_TILE {
-        run(0, scores, winners, stats);
+        run(0, scores, out, stats);
         return;
     }
     let chunks = threads.min(q.div_ceil(batch::QUERY_TILE));
@@ -1147,14 +1434,14 @@ fn chunked_continuation<F>(
     type Job<'a> = (usize, &'a mut [u32], &'a mut [(usize, u32)]);
     let mut jobs: Vec<Job<'_>> = Vec::with_capacity(chunks);
     let mut score_rest = scores;
-    let mut winner_rest = winners;
+    let mut out_rest = out;
     let mut offset = 0usize;
-    while !winner_rest.is_empty() {
-        let take = per_chunk.min(winner_rest.len());
-        let (w_head, w_tail) = winner_rest.split_at_mut(take);
+    while !out_rest.is_empty() {
+        let take = per_chunk.min(out_rest.len() / slots_per_query);
+        let (o_head, o_tail) = out_rest.split_at_mut(take * slots_per_query);
         let (s_head, s_tail) = score_rest.split_at_mut(take * rows);
-        jobs.push((offset, s_head, w_head));
-        winner_rest = w_tail;
+        jobs.push((offset, s_head, o_head));
+        out_rest = o_tail;
         score_rest = s_tail;
         offset += take;
     }
@@ -1162,10 +1449,10 @@ fn chunked_continuation<F>(
     let locals: Vec<CascadeStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
-            .map(|(q_offset, score_chunk, winner_chunk)| {
+            .map(|(q_offset, score_chunk, out_chunk)| {
                 scope.spawn(move || {
                     let mut local = CascadeStats::zeroed(rows, dim, stages);
-                    run(q_offset, score_chunk, winner_chunk, &mut local);
+                    run(q_offset, score_chunk, out_chunk, &mut local);
                     local
                 })
             })
@@ -1185,14 +1472,15 @@ fn chunked_continuation<F>(
     _dim: usize,
     _words_per_row: usize,
     _stages: usize,
+    _slots_per_query: usize,
     scores: &mut [u32],
-    winners: &mut [(usize, u32)],
+    out: &mut [(usize, u32)],
     stats: &mut CascadeStats,
     run: F,
 ) where
     F: Fn(usize, &mut [u32], &mut [(usize, u32)], &mut CascadeStats),
 {
-    run(0, scores, winners, stats);
+    run(0, scores, out, stats);
 }
 
 /// A cascade plan bound to a **column-segmented** memory: `P` equal-width
@@ -1311,6 +1599,107 @@ impl SegmentedCascade {
     /// with the bound layout or the batch dimensionality differs from
     /// the plan's, and [`LinalgError::Empty`] for empty partitions.
     pub fn search(&self, parts: &[SearchMemory], batch: &QueryBatch) -> Result<CascadeResults> {
+        let (mut scores, seg_batches) = self.stage0_setup(parts, batch)?;
+        let (rows, seg_len) = (self.rows, self.seg_len);
+        let q = batch.len();
+        let ends = self.plan.ends();
+        let stages = ends.len();
+        let mut winners = vec![(0usize, 0u32); q];
+        let mut stats = CascadeStats::zeroed(rows, self.plan.dim(), stages);
+        stats.stage_rows[0] = (q * rows) as u64;
+        stats.activated_dims = (q * rows * ends[0]) as u64;
+        chunked_continuation(
+            rows,
+            self.plan.dim(),
+            self.plan.dim().div_ceil(64),
+            stages,
+            1,
+            scores.data_mut(),
+            &mut winners,
+            &mut stats,
+            |q_offset, score_chunk, winner_chunk, local| {
+                segmented_continuation_range(
+                    parts,
+                    &seg_batches,
+                    batch,
+                    seg_len,
+                    ends,
+                    &self.row_suffix,
+                    q_offset,
+                    score_chunk,
+                    winner_chunk,
+                    local,
+                )
+            },
+        );
+        Ok(CascadeResults { winners, stats })
+    }
+
+    /// Top-k cascade search over the segment memories — per-query k-best
+    /// lists bit-identical to summing every partition's exact scores and
+    /// selecting with the score-desc/row-asc order. `k` is clamped to
+    /// the row count.
+    ///
+    /// # Errors
+    ///
+    /// As [`SegmentedCascade::search`], plus [`LinalgError::Empty`] for
+    /// `k == 0`.
+    pub fn search_topk(
+        &self,
+        parts: &[SearchMemory],
+        batch: &QueryBatch,
+        k: usize,
+    ) -> Result<CascadeTopK> {
+        if k == 0 {
+            return Err(LinalgError::Empty { op: "SegmentedCascade::search_topk" });
+        }
+        let (mut scores, seg_batches) = self.stage0_setup(parts, batch)?;
+        let (rows, seg_len) = (self.rows, self.seg_len);
+        let q = batch.len();
+        let ends = self.plan.ends();
+        let stages = ends.len();
+        let per_query = k.min(rows);
+        let mut entries = vec![(0usize, 0u32); q * per_query];
+        let mut stats = CascadeStats::zeroed(rows, self.plan.dim(), stages);
+        stats.stage_rows[0] = (q * rows) as u64;
+        stats.activated_dims = (q * rows * ends[0]) as u64;
+        chunked_continuation(
+            rows,
+            self.plan.dim(),
+            self.plan.dim().div_ceil(64),
+            stages,
+            per_query,
+            scores.data_mut(),
+            &mut entries,
+            &mut stats,
+            |q_offset, score_chunk, out_chunk, local| {
+                segmented_continuation_topk_range(
+                    parts,
+                    &seg_batches,
+                    batch,
+                    seg_len,
+                    ends,
+                    &self.row_suffix,
+                    per_query,
+                    q_offset,
+                    score_chunk,
+                    out_chunk,
+                    local,
+                )
+            },
+        );
+        Ok(CascadeTopK { topk: TopK::from_flat(q, k, per_query, entries), stats })
+    }
+
+    /// The shared head of [`SegmentedCascade::search`] and
+    /// [`SegmentedCascade::search_topk`]: validation, staleness
+    /// fingerprint, per-partition query segment batches, and the stage-0
+    /// accumulated sweep.
+    fn stage0_setup(
+        &self,
+        parts: &[SearchMemory],
+        batch: &QueryBatch,
+    ) -> Result<(ScoreMatrix, Vec<Option<QueryBatch>>)> {
         let (rows, seg_len) = check_segments(parts, &self.plan)?;
         if rows != self.rows || seg_len != self.seg_len {
             return Err(LinalgError::ShapeMismatch {
@@ -1337,23 +1726,18 @@ impl SegmentedCascade {
         );
         let q = batch.len();
         let ends = self.plan.ends();
-        let stages = ends.len();
         let aligned = seg_len.is_multiple_of(64);
         let seg0_count = ends[0] / seg_len;
 
-        // Per-partition query segment batches. Word-aligned segments
-        // slice the packed queries directly during the continuation, so
-        // only stage-0 partitions need a re-packed batch (their tiled
-        // sweeps want a QueryBatch); unaligned segments pre-pack every
-        // partition a later stage will touch.
+        // Per-partition query segment batches. Word-aligned segments are
+        // zero-copy views over the packed queries (both for stage-0 tiled
+        // sweeps and the continuation's direct word slices); unaligned
+        // segments pre-pack every partition any stage will touch.
         let build_seg_batch = |p: usize| -> QueryBatch {
             if aligned {
-                let w = seg_len / 64;
-                let mut data = Vec::with_capacity(q * w);
-                for i in 0..q {
-                    data.extend_from_slice(&batch.query_words(i)[p * w..(p + 1) * w]);
-                }
-                QueryBatch::from_matrix(BitMatrix::from_raw_words(q, seg_len, data))
+                batch
+                    .word_segment(p * seg_len, seg_len)
+                    .expect("segment boundaries validated against the batch width")
             } else {
                 let segs: Vec<BitVector> =
                     (0..q).map(|i| batch.query(i).slice(p * seg_len, seg_len)).collect();
@@ -1385,35 +1769,7 @@ impl SegmentedCascade {
         let seg_batches: Vec<Option<QueryBatch>> = (0..parts.len())
             .map(|p| (!aligned && p >= seg0_count).then(|| build_seg_batch(p)))
             .collect();
-
-        let mut winners = vec![(0usize, 0u32); q];
-        let mut stats = CascadeStats::zeroed(rows, self.plan.dim(), stages);
-        stats.stage_rows[0] = (q * rows) as u64;
-        stats.activated_dims = (q * rows * ends[0]) as u64;
-        chunked_continuation(
-            rows,
-            self.plan.dim(),
-            self.plan.dim().div_ceil(64),
-            stages,
-            scores.data_mut(),
-            &mut winners,
-            &mut stats,
-            |q_offset, score_chunk, winner_chunk, local| {
-                segmented_continuation_range(
-                    parts,
-                    &seg_batches,
-                    batch,
-                    seg_len,
-                    ends,
-                    &self.row_suffix,
-                    q_offset,
-                    score_chunk,
-                    winner_chunk,
-                    local,
-                )
-            },
-        );
-        Ok(CascadeResults { winners, stats })
+        Ok((scores, seg_batches))
     }
 }
 
@@ -1498,6 +1854,8 @@ fn segmented_continuation_range(
 ) {
     let aligned = seg_len.is_multiple_of(64);
     let wseg = seg_len / 64;
+    let mut row_refs: Vec<&[u64]> = Vec::new();
+    let mut acc: Vec<u32> = Vec::new();
     prune_continuation_range(
         parts[0].rows(),
         ends,
@@ -1511,27 +1869,90 @@ fn segmented_continuation_range(
             let (lo, hi) = (ends[k - 1], ends[k]);
             let (p_lo, p_hi) = (lo / seg_len, hi / seg_len);
             let qw = batch.query_words(gq);
+            acc.clear();
+            acc.resize(cands.len(), 0);
+            for (p, part) in parts.iter().enumerate().take(p_hi).skip(p_lo) {
+                let qs: &[u64] = if aligned {
+                    &qw[p * wseg..(p + 1) * wseg]
+                } else {
+                    seg_batches[p]
+                        .as_ref()
+                        .expect("unaligned continuation partitions are pre-packed")
+                        .query_words(gq)
+                };
+                let pm = part.matrix();
+                row_refs.clear();
+                row_refs.extend(cands.iter().map(|&r| pm.row_words_pub(r as usize)));
+                multi_dot_words(qs, &row_refs, &mut acc);
+            }
             let mut best = 0;
-            for &r in cands {
+            for (&r, &d) in cands.iter().zip(&acc) {
                 let r = r as usize;
-                let mut s = partials[r];
-                for (p, part) in parts.iter().enumerate().take(p_hi).skip(p_lo) {
-                    let qs: &[u64] = if aligned {
-                        &qw[p * wseg..(p + 1) * wseg]
-                    } else {
-                        seg_batches[p]
-                            .as_ref()
-                            .expect("unaligned continuation partitions are pre-packed")
-                            .query_words(gq)
-                    };
-                    s += dot_words(part.matrix().row_words_pub(r), qs);
-                }
+                let s = partials[r] + d;
                 partials[r] = s;
                 if s > best {
                     best = s;
                 }
             }
             best
+        },
+    );
+}
+
+/// The segmented analogue of [`continuation_topk_range`]: the top-k
+/// pruning skeleton with the partition-by-partition stage scorer of
+/// [`segmented_continuation_range`].
+#[allow(clippy::too_many_arguments)]
+fn segmented_continuation_topk_range(
+    parts: &[SearchMemory],
+    seg_batches: &[Option<QueryBatch>],
+    batch: &QueryBatch,
+    seg_len: usize,
+    ends: &[usize],
+    row_suffix: &[u32],
+    k: usize,
+    q_offset: usize,
+    scores: &mut [u32],
+    out: &mut [(usize, u32)],
+    stats: &mut CascadeStats,
+) {
+    let aligned = seg_len.is_multiple_of(64);
+    let wseg = seg_len / 64;
+    let mut row_refs: Vec<&[u64]> = Vec::new();
+    let mut acc: Vec<u32> = Vec::new();
+    prune_continuation_topk_range(
+        parts[0].rows(),
+        ends,
+        row_suffix,
+        batch,
+        k,
+        q_offset,
+        scores,
+        out,
+        stats,
+        |s, gq, cands, partials| {
+            let (lo, hi) = (ends[s - 1], ends[s]);
+            let (p_lo, p_hi) = (lo / seg_len, hi / seg_len);
+            let qw = batch.query_words(gq);
+            acc.clear();
+            acc.resize(cands.len(), 0);
+            for (p, part) in parts.iter().enumerate().take(p_hi).skip(p_lo) {
+                let qs: &[u64] = if aligned {
+                    &qw[p * wseg..(p + 1) * wseg]
+                } else {
+                    seg_batches[p]
+                        .as_ref()
+                        .expect("unaligned continuation partitions are pre-packed")
+                        .query_words(gq)
+                };
+                let pm = part.matrix();
+                row_refs.clear();
+                row_refs.extend(cands.iter().map(|&r| pm.row_words_pub(r as usize)));
+                multi_dot_words(qs, &row_refs, &mut acc);
+            }
+            for (&r, &d) in cands.iter().zip(&acc) {
+                partials[r as usize] += d;
+            }
         },
     );
 }
@@ -1574,6 +1995,28 @@ impl BitMatrix {
         check_cascade(self, batch, plan)?;
         Ok(cascade_active(self, batch, plan))
     }
+
+    /// Top-k cascade search: per-query k-best `(row, score)` lists
+    /// bit-identical to [`BitMatrix::topk_batch`] (score desc, row asc),
+    /// pruned against each query's running k-th-best score instead of
+    /// the single best. `k` is clamped to the row count.
+    ///
+    /// # Errors
+    ///
+    /// As [`BitMatrix::search_cascade`], plus [`LinalgError::Empty`] for
+    /// `k == 0`.
+    pub fn search_cascade_topk(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+        k: usize,
+    ) -> Result<CascadeTopK> {
+        if k == 0 {
+            return Err(LinalgError::Empty { op: "search_cascade_topk" });
+        }
+        check_cascade(self, batch, plan)?;
+        Ok(cascade_active_topk(self, batch, plan, k))
+    }
 }
 
 impl SearchMemory {
@@ -1607,6 +2050,36 @@ impl SearchMemory {
         let form = self.cascade_cache().get_or_derive(m, plan);
         let scores = form.stage0_scores(self, batch);
         Ok(cascade_run(m, batch, plan, scores, &form.row_suffix))
+    }
+
+    /// [`BitMatrix::search_cascade_topk`] over this memory's rows, with
+    /// the same per-(plan, memory) bound-form caching as
+    /// [`SearchMemory::search_cascade`] — repeated-batch top-k loops
+    /// derive the prefix sub-memory and row-suffix table once.
+    ///
+    /// # Errors
+    ///
+    /// As [`BitMatrix::search_cascade_topk`].
+    pub fn search_cascade_topk(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+        k: usize,
+    ) -> Result<CascadeTopK> {
+        if k == 0 {
+            return Err(LinalgError::Empty { op: "search_cascade_topk" });
+        }
+        let m = self.matrix();
+        check_cascade(m, batch, plan)?;
+        if plan.stages() == 1 {
+            // Degenerate plan on a pre-packed memory: reuse the blocked
+            // mirror directly instead of re-packing a full-width prefix.
+            let scores = self.dot_batch(batch)?;
+            return Ok(cascade_run_topk(m, batch, plan, scores, &[], k));
+        }
+        let form = self.cascade_cache().get_or_derive(m, plan);
+        let scores = form.stage0_scores(self, batch);
+        Ok(cascade_run_topk(m, batch, plan, scores, &form.row_suffix, k))
     }
 
     /// [`SearchMemory::search_cascade`] on an explicit backend — the
@@ -1661,9 +2134,69 @@ impl SearchMemory {
             &mut scores,
             &mut winners,
             &mut stats,
-            dot,
+            |qs: &[u64], rs: &[&[u64]], out: &mut [u32]| (table.multi_dot_words)(qs, rs, out),
         );
         Ok(CascadeResults { winners, stats })
+    }
+
+    /// [`SearchMemory::search_cascade_topk`] on an explicit backend —
+    /// the top-k analogue of [`SearchMemory::search_cascade_with`]
+    /// (serial; no thread chunking; stage 0 per-row through the
+    /// backend's flat word kernel, continuation through its multi-row
+    /// kernel, both bit-identical by the kernel contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`BitMatrix::search_cascade_topk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is unavailable on this host.
+    pub fn search_cascade_topk_with(
+        &self,
+        batch: &QueryBatch,
+        plan: &CascadePlan,
+        k: usize,
+        backend: Backend,
+    ) -> Result<CascadeTopK> {
+        assert!(backend.is_available(), "backend {backend} not available on this host");
+        let m = self.matrix();
+        check_cascade(m, batch, plan)?;
+        let table = kernel::table_for(backend);
+        let rows = m.rows();
+        let q_total = batch.len();
+        let ends = plan.ends();
+        let e0 = ends[0];
+        let w0 = word_end(e0);
+        // Serial stage 0 through the explicit backend's flat kernel.
+        let mut scores = vec![0u32; q_total * rows];
+        let mut qmasked = Vec::new();
+        for q in 0..q_total {
+            mask_stage(batch.query_words(q), 0, e0, &mut qmasked);
+            let out_row = &mut scores[q * rows..(q + 1) * rows];
+            for (r, slot) in out_row.iter_mut().enumerate() {
+                *slot = (table.dot_words)(&m.row_words_pub(r)[..w0], &qmasked);
+            }
+        }
+        let row_suffix = row_suffix_table(m, ends);
+        let per_query = k.min(rows);
+        let mut entries = vec![(0usize, 0u32); q_total * per_query];
+        let mut stats = CascadeStats::zeroed(rows, m.cols(), plan.stages());
+        stats.stage_rows[0] = (q_total * rows) as u64;
+        stats.activated_dims = (q_total * rows * e0) as u64;
+        continuation_topk_range(
+            m,
+            batch,
+            plan,
+            &row_suffix,
+            per_query,
+            0,
+            &mut scores,
+            &mut entries,
+            &mut stats,
+            |qs: &[u64], rs: &[&[u64]], out: &mut [u32]| (table.multi_dot_words)(qs, rs, out),
+        );
+        Ok(CascadeTopK { topk: TopK::from_flat(q_total, k, per_query, entries), stats })
     }
 }
 
@@ -2071,7 +2604,7 @@ mod tests {
             for &hi in plan.ends() {
                 mask_stage(q.as_words(), lo, hi, &mut masked);
                 let (wlo, whi) = (lo / 64, word_end(hi));
-                total += dot_words(&row.as_words()[wlo..whi], &masked);
+                total += batch::dot_words(&row.as_words()[wlo..whi], &masked);
                 lo = hi;
             }
             assert_eq!(total, q.dot(&row), "{plan:?}");

@@ -164,6 +164,26 @@ pub fn dot_words_with(backend: Backend, a: &[u64], b: &[u64]) -> u32 {
     (table_for(backend).dot_words)(a, b)
 }
 
+/// Multi-row popcount dot with an explicit backend: adds row `i`'s dot
+/// with `qs` into `out[i]`. The multi-row form is what the cascade
+/// continuations run — one pass per shortlist instead of one kernel
+/// call per row, so query loads and call overhead amortize across the
+/// shortlist. Bit-identical to `rows.len()` separate
+/// [`dot_words_with`] calls.
+///
+/// # Panics
+///
+/// Panics if the backend is unavailable on this host, `rows` and `out`
+/// have different lengths, or any row's length differs from `qs`.
+pub fn multi_dot_words_with(backend: Backend, qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+    assert!(backend.is_available(), "backend {backend} not available on this host");
+    assert_eq!(rows.len(), out.len(), "multi_dot_words: rows/out length mismatch");
+    for r in rows {
+        assert_eq!(r.len(), qs.len(), "multi_dot_words: length mismatch");
+    }
+    (table_for(backend).multi_dot_words)(qs, rows, out)
+}
+
 /// Popcount XOR (Hamming) with an explicit backend.
 ///
 /// # Panics
@@ -181,6 +201,11 @@ pub fn hamming_words_with(backend: Backend, a: &[u64], b: &[u64]) -> u32 {
 pub(crate) struct KernelTable {
     /// `popcount(a & b)` over equal-length word slices.
     pub(crate) dot_words: fn(&[u64], &[u64]) -> u32,
+    /// Adds each row's `popcount(row & qs)` into the matching `out`
+    /// slot — the cascade-shortlist form that amortizes query loads and
+    /// call overhead across rows. Callers guarantee `rows.len() ==
+    /// out.len()` and every row's length equals `qs.len()`.
+    pub(crate) multi_dot_words: fn(&[u64], &[&[u64]], &mut [u32]),
     /// `popcount(a ^ b)` over equal-length word slices.
     pub(crate) hamming_words: fn(&[u64], &[u64]) -> u32,
     /// Scores `q_count` queries starting at `q_offset` against every row
@@ -190,37 +215,51 @@ pub(crate) struct KernelTable {
     /// materialization.
     pub(crate) blocked_winners_range:
         fn(&BlockedBitMatrix, &QueryBatch, usize, &mut [(usize, u32)]),
+    /// k-best `(row, score)` per query (score desc, row asc), `k` slots
+    /// per query in `out`, no score materialization. `k` is pre-clamped
+    /// to the row count by the caller.
+    #[allow(clippy::type_complexity)]
+    pub(crate) blocked_topk_range:
+        fn(&BlockedBitMatrix, &QueryBatch, usize, usize, &mut [(usize, u32)]),
 }
 
 static SCALAR_TABLE: KernelTable = KernelTable {
     dot_words: scalar::dot_words,
+    multi_dot_words: scalar::multi_dot_words,
     hamming_words: scalar::hamming_words,
     blocked_dot_range: crate::blocked::scalar_dot_range,
     blocked_winners_range: crate::blocked::scalar_winners_range,
+    blocked_topk_range: crate::blocked::scalar_topk_range,
 };
 
 #[cfg(target_arch = "x86_64")]
 static AVX2_TABLE: KernelTable = KernelTable {
     dot_words: x86::dot_words_avx2,
+    multi_dot_words: x86::multi_dot_words_avx2,
     hamming_words: x86::hamming_words_avx2,
     blocked_dot_range: crate::blocked::avx2_dot_range,
     blocked_winners_range: crate::blocked::avx2_winners_range,
+    blocked_topk_range: crate::blocked::avx2_topk_range,
 };
 
 #[cfg(target_arch = "x86_64")]
 static AVX512_TABLE: KernelTable = KernelTable {
     dot_words: x86::dot_words_avx512,
+    multi_dot_words: x86::multi_dot_words_avx512,
     hamming_words: x86::hamming_words_avx512,
     blocked_dot_range: crate::blocked::avx512_dot_range,
     blocked_winners_range: crate::blocked::avx512_winners_range,
+    blocked_topk_range: crate::blocked::avx512_topk_range,
 };
 
 #[cfg(target_arch = "aarch64")]
 static NEON_TABLE: KernelTable = KernelTable {
     dot_words: aarch64::dot_words_neon,
+    multi_dot_words: aarch64::multi_dot_words_neon,
     hamming_words: aarch64::hamming_words_neon,
     blocked_dot_range: crate::blocked::neon_dot_range,
     blocked_winners_range: crate::blocked::neon_winners_range,
+    blocked_topk_range: crate::blocked::neon_topk_range,
 };
 
 /// The dispatch table of an explicit backend (assumed available).
@@ -259,6 +298,14 @@ pub(crate) mod scalar {
     pub(crate) fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
         debug_assert_eq!(a.len(), b.len());
         a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+
+    /// Adds each row's dot with `qs` into the matching `out` slot.
+    pub(crate) fn multi_dot_words(qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        debug_assert_eq!(rows.len(), out.len());
+        for (row, slot) in rows.iter().zip(out) {
+            *slot += dot_words(qs, row);
+        }
     }
 }
 
@@ -348,6 +395,87 @@ pub(crate) mod x86 {
         total
     }
 
+    /// Multi-row dot via per-row AVX2 sweeps: the nibble-LUT popcount
+    /// dominates each row's cost, so sharing query loads buys little —
+    /// the win over separate `dot_words` calls is the amortized dispatch.
+    pub(super) fn multi_dot_words_avx2(qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        debug_assert_eq!(rows.len(), out.len());
+        for (row, slot) in rows.iter().zip(out) {
+            *slot += dot_words_avx2(qs, row);
+        }
+    }
+
+    /// Multi-row dot with shared query loads: rows are processed in
+    /// register-width groups (up to 8 at a time, with a const-generic
+    /// remainder pass), each 512-bit query load feeding one
+    /// AND+VPOPCNTDQ accumulator per row — the cascade-shortlist shape
+    /// where per-call overhead and query streaming would otherwise
+    /// dominate. A top-5 shortlist is a single pass over the staged
+    /// query segment.
+    pub(super) fn multi_dot_words_avx512(qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        assert_eq!(rows.len(), out.len(), "multi_dot_words: rows/out length mismatch");
+        for r in rows {
+            assert_eq!(r.len(), qs.len(), "multi_dot_words: length mismatch");
+        }
+        // SAFETY (all calls below): published only behind an
+        // avx512f+vpopcntdq detection check; slice lengths are enforced
+        // above and each group slice is in bounds by construction.
+        unsafe {
+            let mut r = 0usize;
+            while rows.len() - r >= 8 {
+                multi_group_avx512::<8>(qs, &rows[r..r + 8], &mut out[r..r + 8]);
+                r += 8;
+            }
+            match rows.len() - r {
+                0 => {}
+                1 => multi_group_avx512::<1>(qs, &rows[r..], &mut out[r..]),
+                2 => multi_group_avx512::<2>(qs, &rows[r..], &mut out[r..]),
+                3 => multi_group_avx512::<3>(qs, &rows[r..], &mut out[r..]),
+                4 => multi_group_avx512::<4>(qs, &rows[r..], &mut out[r..]),
+                5 => multi_group_avx512::<5>(qs, &rows[r..], &mut out[r..]),
+                6 => multi_group_avx512::<6>(qs, &rows[r..], &mut out[r..]),
+                _ => multi_group_avx512::<7>(qs, &rows[r..], &mut out[r..]),
+            }
+        }
+    }
+
+    /// One group of `W` rows against the shared query segment: `W`
+    /// accumulators (`W` ≤ 8 keeps them all in zmm registers alongside
+    /// the query), one query load per 8 words.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn multi_group_avx512<const W: usize>(qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        debug_assert_eq!(rows.len(), W);
+        let n = qs.len();
+        let mut ptrs = [std::ptr::null::<u64>(); W];
+        for j in 0..W {
+            ptrs[j] = rows[j].as_ptr();
+        }
+        let mut acc = [_mm512_setzero_si512(); W];
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let q = _mm512_loadu_si512(qs.as_ptr().add(i) as *const _);
+            for j in 0..W {
+                let w = _mm512_loadu_si512(ptrs[j].add(i) as *const _);
+                acc[j] = _mm512_add_epi64(acc[j], _mm512_popcnt_epi64(_mm512_and_si512(q, w)));
+            }
+            i += 8;
+        }
+        let mut tot = [0u32; W];
+        for j in 0..W {
+            tot[j] = _mm512_reduce_add_epi64(acc[j]) as u32;
+        }
+        while i < n {
+            let q = qs[i];
+            for j in 0..W {
+                tot[j] += (q & *ptrs[j].add(i)).count_ones();
+            }
+            i += 1;
+        }
+        for j in 0..W {
+            out[j] += tot[j];
+        }
+    }
+
     /// `popcount(a OP b)` with native 64-bit lane popcounts (VPOPCNTDQ),
     /// 8 words per vector.
     #[target_feature(enable = "avx512f,avx512vpopcntdq")]
@@ -389,6 +517,15 @@ mod aarch64 {
         // SAFETY: published only behind a neon detection check; every
         // caller enforces a.len() == b.len() before the call.
         unsafe { combine_words_neon::<true>(a, b) }
+    }
+
+    /// Multi-row dot via per-row NEON sweeps; the win over separate
+    /// `dot_words` calls is the amortized dispatch.
+    pub(super) fn multi_dot_words_neon(qs: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        debug_assert_eq!(rows.len(), out.len());
+        for (row, slot) in rows.iter().zip(out) {
+            *slot += dot_words_neon(qs, row);
+        }
     }
 
     /// `popcount(a OP b)` via `vcnt` with byte accumulation over runs of

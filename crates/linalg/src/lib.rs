@@ -77,11 +77,13 @@ pub mod stats;
 mod vector;
 
 pub use batch::{
-    argmax_scores as argmax_u32, QueryBatch, QueryBatchBuilder, ScoreMatrix, SearchResults,
+    argmax_scores as argmax_u32, QueryBatch, QueryBatchBuilder, ScoreMatrix, SearchResults, TopK,
 };
 pub use bits::{BitMatrix, BitVector, BitView};
 pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
-pub use cascade::{BoundCascade, CascadePlan, CascadeResults, CascadeStats, SegmentedCascade};
+pub use cascade::{
+    BoundCascade, CascadePlan, CascadeResults, CascadeStats, CascadeTopK, SegmentedCascade,
+};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use vector::{argmax, axpy, dot, l2_norm, mean, normalize_l2, scale_in_place, variance};

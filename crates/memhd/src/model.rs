@@ -242,6 +242,33 @@ impl MemhdModel {
         self.binary_am.classify_batch(&batch).map_err(MemhdError::Hdc)
     }
 
+    /// The k best classes per row of `features`, ordered by descending
+    /// associative-search score (centroid ties break toward the lower
+    /// row, and a class repeats when several of its centroids place).
+    /// `predict_topk(features, 1)` agrees with
+    /// [`MemhdModel::predict_batch`] query for query; larger `k` serves
+    /// rankers and top-k-accuracy evaluation. `k` is clamped to the
+    /// centroid count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MemhdModel::predict`], plus [`MemhdError::Hdc`] for
+    /// `k == 0`.
+    pub fn predict_topk(&self, features: &Matrix, k: usize) -> Result<Vec<Vec<usize>>> {
+        // Validate k before the empty-batch shortcut, mirroring the
+        // cascade entry points' plan validation.
+        if k == 0 {
+            return Err(MemhdError::Hdc(hdc::HdcError::Linalg(hd_linalg::LinalgError::Empty {
+                op: "MemhdModel::predict_topk",
+            })));
+        }
+        if features.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let batch = self.encoder.encode_binary_batch(features).map_err(MemhdError::Hdc)?;
+        self.binary_am.classify_batch_topk(&batch, k).map_err(MemhdError::Hdc)
+    }
+
     /// Like [`MemhdModel::predict_batch`] but answers the associative
     /// searches through the progressive-precision cascade: a dimension
     /// prefix is scored for every centroid and provably-losing centroids
@@ -419,6 +446,34 @@ mod tests {
         let b = MemhdModel::fit(&cfg, &x, &y).unwrap();
         assert_eq!(a.binary_am().as_bit_matrix(), b.binary_am().as_bit_matrix());
         assert_eq!(a.history(), b.history());
+    }
+
+    #[test]
+    fn topk_predictions_rank_classes() {
+        let (x, y) = toy_features(15, 13);
+        let cfg = MemhdConfig::new(256, 9, 3).unwrap().with_epochs(5).with_seed(8);
+        let model = MemhdModel::fit(&cfg, &x, &y).unwrap();
+        let top1 = model.predict_topk(&x, 1).unwrap();
+        let exact = model.predict_batch(&x).unwrap();
+        assert_eq!(top1.iter().map(|t| t[0]).collect::<Vec<_>>(), exact);
+        assert!(top1.iter().all(|t| t.len() == 1));
+        // k is clamped to the centroid count; the slate is the per-row
+        // class sequence of the AM's own full top-k ranking.
+        let slates = model.predict_topk(&x, 12).unwrap();
+        let batch = model.encoder().encode_binary_batch(&x).unwrap();
+        let want = model.binary_am().classify_batch_topk(&batch, 12).unwrap();
+        assert_eq!(slates, want);
+        assert!(slates.iter().all(|t| t.len() == 9));
+        // Top-k accuracy is monotone in k and hits 100% at k == rows.
+        let hit_at = |k: usize| {
+            let pred = model.predict_topk(&x, k).unwrap();
+            pred.iter().zip(&y).filter(|(slate, &label)| slate.contains(&label)).count() as f64
+                / y.len() as f64
+        };
+        assert!(hit_at(1) <= hit_at(3));
+        assert_eq!(hit_at(9), 1.0);
+        assert!(model.predict_topk(&x, 0).is_err());
+        assert!(model.predict_topk(&Matrix::zeros(0, x.cols()), 3).unwrap().is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! so the merged result equals the unsharded one.
 
 use crate::error::{Result, ServeError};
-use crate::searchable::{Searchable, Winner};
+use crate::searchable::{check_topk, Searchable, Winner};
 use hd_linalg::{BoundCascade, CascadePlan, QueryBatch, SearchMemory};
 use std::sync::Arc;
 
@@ -136,6 +136,29 @@ impl Searchable for CascadeSearcher {
             .map(|&(row, score)| Winner { row, class: self.classes[row], score })
             .collect())
     }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        if batch.dim() != self.bound.memory().cols() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.bound.memory().cols(),
+                found: batch.dim(),
+            });
+        }
+        let results = self
+            .bound
+            .search_topk(&batch, k)
+            .map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        let topk = results.into_topk();
+        Ok((0..topk.len())
+            .map(|q| {
+                topk.hits(q)
+                    .iter()
+                    .map(|&(row, score)| Winner { row, class: self.classes[row], score })
+                    .collect()
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +197,43 @@ mod tests {
                 assert_eq!((w.row, w.score), reference[q]);
                 assert_eq!(w.class, classes[w.row]);
             }
+        }
+    }
+
+    #[test]
+    fn cascade_adapter_topk_matches_fused_sweep() {
+        let (memory, classes) = random_memory(24, 128, 61);
+        let mut rng = seeded(62);
+        let queries: Vec<BitVector> = (0..13)
+            .map(|_| BitVector::from_bools(&(0..128).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = Arc::new(QueryBatch::from_vectors(&queries).unwrap());
+        for plan in [
+            CascadePlan::exact(128),
+            CascadePlan::prefix(128, 32).unwrap(),
+            CascadePlan::uniform(128, 4).unwrap(),
+        ] {
+            let searcher = CascadeSearcher::new(memory.clone(), classes.clone(), plan).unwrap();
+            for k in [1usize, 4, 24, 30] {
+                let reference = memory.topk_batch(&batch, k).unwrap();
+                let lists = searcher.search_topk(Arc::clone(&batch), k).unwrap();
+                for (q, list) in lists.iter().enumerate() {
+                    let got: Vec<(usize, u32)> = list.iter().map(|w| (w.row, w.score)).collect();
+                    assert_eq!(got, reference.hits(q), "k {k}, query {q}");
+                    for w in list {
+                        assert_eq!(w.class, classes[w.row]);
+                    }
+                }
+            }
+            let searcher = CascadeSearcher::new(
+                memory.clone(),
+                classes.clone(),
+                CascadePlan::prefix(128, 32).unwrap(),
+            )
+            .unwrap();
+            assert!(searcher.search_topk(Arc::clone(&batch), 0).is_err());
+            let bad = Arc::new(QueryBatch::from_vectors(&[BitVector::zeros(63)]).unwrap());
+            assert!(searcher.search_topk(bad, 2).is_err());
         }
     }
 

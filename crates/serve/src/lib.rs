@@ -77,5 +77,5 @@ pub use cascade::CascadeSearcher;
 pub use error::{Result, ServeError};
 pub use registry::{Generation, ModelRegistry};
 pub use searchable::{Searchable, Winner};
-pub use server::{Pending, Prediction, ServeConfig, Server, ServerStats};
+pub use server::{Pending, PendingTopK, Prediction, ServeConfig, Server, ServerStats};
 pub use shard::ShardedSearcher;

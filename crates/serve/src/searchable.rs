@@ -59,11 +59,41 @@ pub trait Searchable: Send + Sync {
     /// differs from [`Searchable::dim`], and [`ServeError::Model`] for
     /// model-internal failures.
     fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>>;
+
+    /// Answers every query with its `min(k, rows)` best rows, sorted by
+    /// score descending then row ascending — the top-1 entry is exactly
+    /// the [`Searchable::search_winners`] winner.
+    ///
+    /// Every workspace adapter overrides this with the fused bounded
+    /// k-best sweep ([`hd_linalg::SearchMemory::topk_batch`] or its
+    /// layer's equivalent). The provided default only covers `k == 1`
+    /// (via [`Searchable::search_winners`]) so foreign argmax-only
+    /// implementations keep compiling; it reports `k > 1` as a model
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// As [`Searchable::search_winners`], plus
+    /// [`ServeError::InvalidConfig`] when `k == 0`.
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        if k == 1 {
+            return Ok(self.search_winners(batch)?.into_iter().map(|w| vec![w]).collect());
+        }
+        Err(ServeError::Model { reason: "model does not implement top-k search".into() })
+    }
 }
 
 fn check_dim(expected: usize, batch: &QueryBatch) -> Result<()> {
     if batch.dim() != expected {
         return Err(ServeError::DimensionMismatch { expected, found: batch.dim() });
+    }
+    Ok(())
+}
+
+pub(crate) fn check_topk(k: usize) -> Result<()> {
+    if k == 0 {
+        return Err(ServeError::InvalidConfig { reason: "top-k search requires k >= 1".into() });
     }
     Ok(())
 }
@@ -82,6 +112,18 @@ impl Searchable for hd_linalg::SearchMemory {
         let winners =
             self.winners_batch(&batch).map_err(|e| ServeError::Model { reason: e.to_string() })?;
         Ok(winners.into_iter().map(|(row, score)| Winner { row, class: row, score }).collect())
+    }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        check_dim(self.cols(), &batch)?;
+        let raw =
+            self.topk_batch(&batch, k).map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok((0..raw.len())
+            .map(|q| {
+                raw.hits(q).iter().map(|&(row, score)| Winner { row, class: row, score }).collect()
+            })
+            .collect())
     }
 }
 
@@ -105,6 +147,22 @@ impl Searchable for hdc::BinaryAm {
             .map(|(row, score)| Winner { row, class: self.class_of(row), score })
             .collect())
     }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        check_dim(self.dim(), &batch)?;
+        let hits =
+            self.search_topk(&batch, k).map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok(hits
+            .into_iter()
+            .map(|per_query| {
+                per_query
+                    .into_iter()
+                    .map(|h| Winner { row: h.row, class: h.class, score: h.score })
+                    .collect()
+            })
+            .collect())
+    }
 }
 
 impl Searchable for memhd::MemhdModel {
@@ -119,6 +177,10 @@ impl Searchable for memhd::MemhdModel {
     fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>> {
         self.binary_am().search_winners(batch)
     }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        Searchable::search_topk(self.binary_am(), batch, k)
+    }
 }
 
 /// Projects a mapped batch search's results into per-query [`Winner`]s
@@ -128,6 +190,21 @@ fn winners_from_mapped(stats: &imc_sim::BatchInferenceStats) -> Vec<Winner> {
         .map(|q| {
             let row = stats.predicted_rows[q];
             Winner { row, class: stats.predicted_classes[q], score: stats.scores.scores(q)[row] }
+        })
+        .collect()
+}
+
+/// Projects a mapped top-k search's results into per-query [`Winner`]
+/// lists (shared by the ideal and fault-injected mapping adapters).
+fn topk_from_mapped(stats: imc_sim::TopKBatchStats) -> Vec<Vec<Winner>> {
+    stats
+        .hits
+        .into_iter()
+        .map(|per_query| {
+            per_query
+                .into_iter()
+                .map(|h| Winner { row: h.row, class: h.class, score: h.score })
+                .collect()
         })
         .collect()
 }
@@ -147,6 +224,15 @@ impl Searchable for imc_sim::AmMapping {
             self.search_batch(&batch).map_err(|e| ServeError::Model { reason: e.to_string() })?;
         Ok(winners_from_mapped(&stats))
     }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        check_dim(self.dim(), &batch)?;
+        let stats = self
+            .search_batch_topk(&batch, k)
+            .map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok(topk_from_mapped(stats))
+    }
 }
 
 impl Searchable for imc_sim::FaultyAmMapping {
@@ -163,6 +249,15 @@ impl Searchable for imc_sim::FaultyAmMapping {
         let stats =
             self.search_batch(&batch).map_err(|e| ServeError::Model { reason: e.to_string() })?;
         Ok(winners_from_mapped(&stats))
+    }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        check_dim(Searchable::dim(self.as_mapping()), &batch)?;
+        let stats = self
+            .search_batch_topk(&batch, k)
+            .map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok(topk_from_mapped(stats))
     }
 }
 
@@ -181,6 +276,10 @@ macro_rules! baseline_searchable {
 
             fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>> {
                 self.binary_am().search_winners(batch)
+            }
+
+            fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+                Searchable::search_topk(self.binary_am(), batch, k)
             }
         }
     )*};
@@ -225,6 +324,84 @@ mod tests {
         assert_eq!(winners[0], Winner { row: 0, class: 1, score: 2 });
         assert_eq!(Searchable::dim(&am), 4);
         assert_eq!(Searchable::rows(&am), 2);
+    }
+
+    #[test]
+    fn adapters_agree_on_topk_and_default_covers_only_k1() {
+        let mem = SearchMemory::from_rows(&[
+            bits(&[1, 1, 0, 0]),
+            bits(&[0, 0, 1, 1]),
+            bits(&[1, 1, 0, 0]),
+        ])
+        .unwrap();
+        let batch = Arc::new(QueryBatch::from_vectors(&[bits(&[1, 1, 1, 0])]).unwrap());
+        // SearchMemory adapter: rows double as classes; duplicate rows
+        // tie and order by row index.
+        let lists = Searchable::search_topk(&mem, Arc::clone(&batch), 3).unwrap();
+        assert_eq!(
+            lists[0],
+            vec![
+                Winner { row: 0, class: 0, score: 2 },
+                Winner { row: 2, class: 2, score: 2 },
+                Winner { row: 1, class: 1, score: 1 },
+            ]
+        );
+        assert!(Searchable::search_topk(&mem, Arc::clone(&batch), 0).is_err());
+
+        // A foreign argmax-only implementation keeps working at k == 1
+        // through the provided default, and reports k > 1 as a model
+        // error instead of answering wrongly.
+        struct ArgmaxOnly(SearchMemory);
+        impl Searchable for ArgmaxOnly {
+            fn dim(&self) -> usize {
+                self.0.cols()
+            }
+            fn rows(&self) -> usize {
+                self.0.rows()
+            }
+            fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>> {
+                self.0.search_winners(batch)
+            }
+        }
+        let foreign = ArgmaxOnly(mem.clone());
+        let top1 = foreign.search_topk(Arc::clone(&batch), 1).unwrap();
+        assert_eq!(top1[0], vec![Winner { row: 0, class: 0, score: 2 }]);
+        assert!(matches!(
+            foreign.search_topk(Arc::clone(&batch), 2),
+            Err(ServeError::Model { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_adapter_topk_matches_am_topk() {
+        use hd_linalg::rng::seeded;
+        use rand::Rng;
+        let mut rng = seeded(9);
+        let centroids: Vec<(usize, BitVector)> = (0..6)
+            .map(|v| {
+                let b: Vec<bool> = (0..96).map(|_| rng.gen()).collect();
+                (v % 3, BitVector::from_bools(&b))
+            })
+            .collect();
+        let am = hdc::BinaryAm::from_centroids(3, centroids).unwrap();
+        let queries: Vec<BitVector> = (0..5)
+            .map(|_| BitVector::from_bools(&(0..96).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let batch = Arc::new(QueryBatch::from_vectors(&queries).unwrap());
+        for strategy in [
+            imc_sim::MappingStrategy::Basic,
+            imc_sim::MappingStrategy::Partitioned { partitions: 2 },
+        ] {
+            let mapping =
+                imc_sim::AmMapping::new(&am, imc_sim::ArraySpec::default(), strategy).unwrap();
+            for k in [1usize, 4, 8] {
+                assert_eq!(
+                    mapping.search_topk(Arc::clone(&batch), k).unwrap(),
+                    Searchable::search_topk(&am, Arc::clone(&batch), k).unwrap(),
+                    "mapped top-k must stay bit-exact against the software AM"
+                );
+            }
+        }
     }
 
     #[test]

@@ -79,6 +79,15 @@ pub struct Prediction {
     pub generation: u64,
 }
 
+/// What one flush produced for one query: the argmax winner, or the
+/// k-best slate of the whole cycle (every waiter truncates the shared
+/// slate to its own `k` — top-k lists are prefix-monotone in `k`).
+#[derive(Debug, Clone)]
+enum Answer {
+    Winner(Prediction),
+    TopK(Vec<Prediction>),
+}
+
 /// Shared completion state of one batch cycle: every query queued into
 /// the same flush shares this single allocation (amortizing what a
 /// per-query oneshot would spend on malloc, mutex, and condvar), and the
@@ -87,7 +96,7 @@ pub struct Prediction {
 struct BatchState {
     /// One entry per queued query, in submission order. Written exactly
     /// once, by the flush that answers the batch.
-    results: std::sync::OnceLock<Vec<Result<Prediction>>>,
+    results: std::sync::OnceLock<Vec<Result<Answer>>>,
     /// Whether any waiter parked on `cv` before the results landed.
     parked: Mutex<bool>,
     cv: Condvar,
@@ -103,7 +112,7 @@ impl BatchState {
     }
 
     /// Publishes the batch's results and wakes any parked waiters.
-    fn fill(&self, results: Vec<Result<Prediction>>) {
+    fn fill(&self, results: Vec<Result<Answer>>) {
         self.results.set(results).expect("each batch is flushed exactly once");
         // Synchronize with parkers: a waiter either sees the results on
         // its lock-free check, or sets `parked` under the lock and then
@@ -141,19 +150,65 @@ impl Pending {
     /// model-side failures, [`ServeError::Shutdown`] if the server shut
     /// down without answering.
     pub fn wait(self) -> Result<Prediction> {
-        if let Some(results) = self.batch.results.get() {
-            return results[self.index].clone();
+        // A plain submission sharing a cycle with top-k submissions is
+        // answered from the cycle's shared slate; its winner is the
+        // slate's top-1 entry (identical tie-break).
+        wait_for(&self.batch, self.index).map(|answer| match answer {
+            Answer::Winner(p) => p,
+            Answer::TopK(slate) => slate[0],
+        })
+    }
+}
+
+/// Blocks until `batch`'s results land, then clones entry `index`.
+fn wait_for(batch: &BatchState, index: usize) -> Result<Answer> {
+    if let Some(results) = batch.results.get() {
+        return results[index].clone();
+    }
+    let mut parked = batch.parked.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        // Re-check under the lock: fill() takes it after publishing,
+        // so a result published before we parked is visible here.
+        if let Some(results) = batch.results.get() {
+            return results[index].clone();
         }
-        let mut parked = self.batch.parked.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            // Re-check under the lock: fill() takes it after publishing,
-            // so a result published before we parked is visible here.
-            if let Some(results) = self.batch.results.get() {
-                return results[self.index].clone();
+        *parked = true;
+        parked = batch.cv.wait(parked).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// A submitted top-k query's handle: redeem it with
+/// [`PendingTopK::wait`].
+#[must_use = "a PendingTopK that is never waited on discards its predictions"]
+pub struct PendingTopK {
+    batch: Arc<BatchState>,
+    index: usize,
+    /// The k this submission asked for; the flush answers the whole
+    /// cycle at the largest pending k and the wait truncates back.
+    k: usize,
+}
+
+impl PendingTopK {
+    /// Whether the result is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.batch.results.get().is_some()
+    }
+
+    /// Blocks until the query is answered, returning its `min(k, rows)`
+    /// best rows sorted by score descending then row ascending.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pending::wait`].
+    pub fn wait(self) -> Result<Vec<Prediction>> {
+        wait_for(&self.batch, self.index).map(|answer| match answer {
+            // A k == 1 submission can land in a winners-only cycle.
+            Answer::Winner(p) => vec![p],
+            Answer::TopK(mut slate) => {
+                slate.truncate(self.k);
+                slate
             }
-            *parked = true;
-            parked = self.batch.cv.wait(parked).unwrap_or_else(PoisonError::into_inner);
-        }
+        })
     }
 }
 
@@ -186,6 +241,9 @@ struct Queue {
     builder: QueryBatchBuilder,
     /// Completion state shared by every query of the current cycle.
     state: Arc<BatchState>,
+    /// Largest k requested by the cycle's pending queries (1 = winners
+    /// only). The flush answers everyone at this k.
+    max_k: usize,
     /// When the oldest pending query arrived; `None` while empty.
     opened_at: Option<Instant>,
     shutdown: bool,
@@ -194,10 +252,11 @@ struct Queue {
 impl Queue {
     /// Moves the pending batch out (caller flushes it outside the lock)
     /// and opens a fresh cycle.
-    fn take_work(&mut self) -> (QueryBatch, Arc<BatchState>) {
+    fn take_work(&mut self) -> (QueryBatch, Arc<BatchState>, usize) {
         let batch = self.builder.take_batch().expect("take_work on a non-empty queue");
         self.opened_at = None;
-        (batch, std::mem::replace(&mut self.state, BatchState::new()))
+        let max_k = std::mem::replace(&mut self.max_k, 1);
+        (batch, std::mem::replace(&mut self.state, BatchState::new()), max_k)
     }
 }
 
@@ -222,7 +281,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn flush(&self, batch: QueryBatch, state: Arc<BatchState>, kind: FlushKind) {
+    fn flush(&self, batch: QueryBatch, state: Arc<BatchState>, max_k: usize, kind: FlushKind) {
         let snapshot = self.registry.snapshot();
         let queries = batch.len();
         self.stats.queries.fetch_add(queries as u64, Ordering::Relaxed);
@@ -232,13 +291,32 @@ impl Shared {
             FlushKind::Full => self.stats.full_flushes.fetch_add(1, Ordering::Relaxed),
             FlushKind::Deadline => self.stats.deadline_flushes.fetch_add(1, Ordering::Relaxed),
         };
+        let generation = snapshot.id();
+        let predict = move |w: &crate::searchable::Winner| Prediction {
+            row: w.row,
+            class: w.class,
+            score: w.score,
+            generation,
+        };
         // A panicking model must not unwind past the batch state: the
         // batch was already taken out of the queue, so an unfilled state
         // would strand its waiters forever — and a panic on the flusher
         // thread would additionally kill deadline flushing and the
         // shutdown drain. Contain it and answer the batch with an error.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            snapshot.model().search_winners(Arc::new(batch))
+            let batch = Arc::new(batch);
+            if max_k == 1 {
+                snapshot.model().search_winners(batch).map(|winners| {
+                    winners.iter().map(|w| Answer::Winner(predict(w))).collect::<Vec<_>>()
+                })
+            } else {
+                snapshot.model().search_topk(batch, max_k).map(|slates| {
+                    slates
+                        .into_iter()
+                        .map(|slate| Answer::TopK(slate.iter().map(&predict).collect()))
+                        .collect::<Vec<_>>()
+                })
+            }
         }))
         .unwrap_or_else(|payload| {
             let what = payload
@@ -248,23 +326,13 @@ impl Shared {
                 .unwrap_or_else(|| "non-string panic payload".into());
             Err(ServeError::Model { reason: format!("model panicked during flush: {what}") })
         });
-        let results: Vec<Result<Prediction>> = match result {
-            Ok(winners) if winners.len() == queries => winners
-                .into_iter()
-                .map(|w| {
-                    Ok(Prediction {
-                        row: w.row,
-                        class: w.class,
-                        score: w.score,
-                        generation: snapshot.id(),
-                    })
-                })
-                .collect(),
-            Ok(winners) => {
+        let results: Vec<Result<Answer>> = match result {
+            Ok(answers) if answers.len() == queries => answers.into_iter().map(Ok).collect(),
+            Ok(answers) => {
                 let err = ServeError::Model {
                     reason: format!(
-                        "model returned {} winners for {queries} queries",
-                        winners.len()
+                        "model returned {} answers for {queries} queries",
+                        answers.len()
                     ),
                 };
                 vec![Err(err); queries]
@@ -331,6 +399,7 @@ impl Server {
             queue: Mutex::new(Queue {
                 builder: QueryBatchBuilder::with_capacity(dim, reserve),
                 state: BatchState::new(),
+                max_k: 1,
                 opened_at: None,
                 shutdown: false,
             }),
@@ -397,32 +466,65 @@ impl Server {
     /// Returns [`ServeError::DimensionMismatch`] for a wrong-width query
     /// and [`ServeError::Shutdown`] after shutdown.
     pub fn submit(&self, query: BitView<'_>) -> Result<Pending> {
+        let (index, state, work) = self.enqueue(query, 1)?;
+        let pending = Pending { batch: state, index };
+        if let Some((batch, state, max_k)) = work {
+            self.shared.flush(batch, state, max_k, FlushKind::Full);
+        }
+        Ok(pending)
+    }
+
+    /// Submits one top-k query, returning a [`PendingTopK`] handle whose
+    /// [`PendingTopK::wait`] yields the query's `min(k, rows)` best rows
+    /// (score descending, then row ascending). Top-k submissions share
+    /// batch cycles with plain [`Server::submit`] traffic: the flush
+    /// answers the whole cycle at the largest pending k in one fused
+    /// sweep, and every handle truncates back to its own k.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit`], plus [`ServeError::InvalidConfig`] when
+    /// `k == 0`.
+    pub fn submit_topk(&self, query: BitView<'_>, k: usize) -> Result<PendingTopK> {
+        crate::searchable::check_topk(k)?;
+        let (index, state, work) = self.enqueue(query, k)?;
+        let pending = PendingTopK { batch: state, index, k };
+        if let Some((batch, state, max_k)) = work {
+            self.shared.flush(batch, state, max_k, FlushKind::Full);
+        }
+        Ok(pending)
+    }
+
+    /// Queues one query with its requested k, returning its index in the
+    /// cycle, the cycle's completion state, and — when this query filled
+    /// the batch — the work the caller must flush inline.
+    #[allow(clippy::type_complexity)]
+    fn enqueue(
+        &self,
+        query: BitView<'_>,
+        k: usize,
+    ) -> Result<(usize, Arc<BatchState>, Option<(QueryBatch, Arc<BatchState>, usize)>)> {
         if query.len() != self.dim() {
             return Err(ServeError::DimensionMismatch { expected: self.dim(), found: query.len() });
         }
-        let (pending, work) = {
-            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
-            if q.shutdown {
-                return Err(ServeError::Shutdown);
-            }
-            q.builder.push(query).expect("dimension checked above");
-            let index = q.builder.len() - 1;
-            if index == 0 {
-                q.opened_at = Some(Instant::now());
-                // Only a deep-parked flusher needs a wake-up; a lingering
-                // one will notice the queue on its next timed check.
-                if self.shared.flusher_parked.load(Ordering::Relaxed) {
-                    self.shared.deadline_cv.notify_one();
-                }
-            }
-            let pending = Pending { batch: Arc::clone(&q.state), index };
-            let work = (q.builder.len() >= self.shared.config.max_batch).then(|| q.take_work());
-            (pending, work)
-        };
-        if let Some((batch, state)) = work {
-            self.shared.flush(batch, state, FlushKind::Full);
+        let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.shutdown {
+            return Err(ServeError::Shutdown);
         }
-        Ok(pending)
+        q.builder.push(query).expect("dimension checked above");
+        q.max_k = q.max_k.max(k);
+        let index = q.builder.len() - 1;
+        if index == 0 {
+            q.opened_at = Some(Instant::now());
+            // Only a deep-parked flusher needs a wake-up; a lingering
+            // one will notice the queue on its next timed check.
+            if self.shared.flusher_parked.load(Ordering::Relaxed) {
+                self.shared.deadline_cv.notify_one();
+            }
+        }
+        let state = Arc::clone(&q.state);
+        let work = (q.builder.len() >= self.shared.config.max_batch).then(|| q.take_work());
+        Ok((index, state, work))
     }
 
     /// Submit-and-wait convenience: the single-call blocking entry point.
@@ -436,6 +538,17 @@ impl Server {
     /// As [`Server::submit`] and [`Pending::wait`].
     pub fn classify(&self, query: BitView<'_>) -> Result<Prediction> {
         self.submit(query)?.wait()
+    }
+
+    /// Submit-and-wait for a top-k query: the single-call blocking entry
+    /// point of [`Server::submit_topk`], with the same latency budget as
+    /// [`Server::classify`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_topk`] and [`PendingTopK::wait`].
+    pub fn classify_topk(&self, query: BitView<'_>, k: usize) -> Result<Vec<Prediction>> {
+        self.submit_topk(query, k)?.wait()
     }
 
     /// Shuts the server down: pending queries are drained and answered,
@@ -483,9 +596,9 @@ fn run_flusher(shared: &Shared) {
     loop {
         if q.shutdown {
             if !q.builder.is_empty() {
-                let (batch, state) = q.take_work();
+                let (batch, state, max_k) = q.take_work();
                 drop(q);
-                shared.flush(batch, state, FlushKind::Deadline);
+                shared.flush(batch, state, max_k, FlushKind::Deadline);
             }
             return;
         }
@@ -512,9 +625,9 @@ fn run_flusher(shared: &Shared) {
                 empty_checks = 0;
                 let elapsed = opened.elapsed();
                 if elapsed >= max_delay {
-                    let (batch, state) = q.take_work();
+                    let (batch, state, max_k) = q.take_work();
                     drop(q);
-                    shared.flush(batch, state, FlushKind::Deadline);
+                    shared.flush(batch, state, max_k, FlushKind::Deadline);
                     q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 } else {
                     q = shared
@@ -580,6 +693,59 @@ mod tests {
         assert!(stats.deadline_flushes >= 1, "{stats:?}");
         assert!(stats.largest_batch <= 16, "{stats:?}");
         assert!(stats.batches >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn mixed_k_submissions_share_one_cycle_and_truncate_back() {
+        let am = random_am(40, 128, 11);
+        let server = Server::start(
+            Arc::clone(&am) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 64, max_delay: Duration::from_millis(2) },
+        )
+        .unwrap();
+        let queries = random_queries(12, 128, 12);
+        // One pipelined window mixing plain argmax submissions with
+        // top-k asks of different depths (including k > rows, which
+        // clamps): the flush answers the cycle at the largest pending k
+        // and every handle truncates back to its own.
+        let ks = [1usize, 3, 7, 45];
+        let mut plain = Vec::new();
+        let mut ranked = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            if i % 2 == 0 {
+                plain.push((i, server.submit(q.as_view()).unwrap()));
+            } else {
+                let k = ks[(i / 2) % ks.len()];
+                ranked.push((i, k, server.submit_topk(q.as_view(), k).unwrap()));
+            }
+        }
+        let batch = hd_linalg::QueryBatch::from_vectors(&queries).unwrap();
+        let reference = am.search_topk(&batch, 45).unwrap();
+        for (i, p) in plain {
+            let got = p.wait().unwrap();
+            let want = &reference[i][0];
+            assert_eq!((got.row, got.class, got.score), (want.row, want.class, want.score));
+        }
+        for (i, k, p) in ranked {
+            let slate = p.wait().unwrap();
+            assert_eq!(slate.len(), k.min(am.num_centroids()), "query {i} k {k}");
+            for (got, want) in slate.iter().zip(&reference[i]) {
+                assert_eq!(
+                    (got.row, got.class, got.score),
+                    (want.row, want.class, want.score),
+                    "query {i} k {k}"
+                );
+                assert_eq!(got.generation, 1);
+            }
+        }
+        assert!(server.submit_topk(queries[0].as_view(), 0).is_err());
+        // The blocking convenience returns the same slate.
+        let slate = server.classify_topk(queries[0].as_view(), 3).unwrap();
+        let want: Vec<(usize, usize, u32)> =
+            reference[0][..3].iter().map(|h| (h.row, h.class, h.score)).collect();
+        let got: Vec<(usize, usize, u32)> =
+            slate.iter().map(|p| (p.row, p.class, p.score)).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -18,20 +18,36 @@
 //! the sharded cascade equals the unsharded search exactly.
 
 use crate::error::{Result, ServeError};
-use crate::searchable::{Searchable, Winner};
+use crate::searchable::{check_topk, Searchable, Winner};
 use hd_linalg::{BoundCascade, CascadePlan, QueryBatch, SearchMemory};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// What a worker posts back per job: its shard index plus the shard-local
-/// winners (or the kernel-level failure).
-type ShardReply = (usize, hd_linalg::Result<Vec<(usize, u32)>>);
+/// What one flush asks each shard to compute.
+#[derive(Clone, Copy)]
+enum ShardTask {
+    /// The argmax winner per query.
+    Winners,
+    /// The `min(k, shard rows)` best rows per query.
+    TopK(usize),
+}
 
-/// One dispatched unit of shard work: the shared batch plus the reply
-/// channel the worker posts a [`ShardReply`] to.
+/// A shard's answer, matching the dispatched [`ShardTask`] variant.
+enum ShardAnswer {
+    Winners(Vec<(usize, u32)>),
+    TopK(Vec<Vec<(usize, u32)>>),
+}
+
+/// What a worker posts back per job: its shard index plus the shard-local
+/// answer (or the kernel-level failure).
+type ShardReply = (usize, hd_linalg::Result<ShardAnswer>);
+
+/// One dispatched unit of shard work: the shared batch, the task, and
+/// the reply channel the worker posts a [`ShardReply`] to.
 struct Job {
     batch: Arc<QueryBatch>,
+    task: ShardTask,
     reply: SyncSender<ShardReply>,
 }
 
@@ -48,17 +64,27 @@ struct Shard {
     jobs: Option<Mutex<Sender<Job>>>,
 }
 
-/// Shard-local winners: the exact winners sweep, or the bound cascade
-/// when a plan is installed. Both produce bit-identical winners; only
-/// the activation cost differs, and neither path re-packs anything.
-fn shard_winners(
+/// Shard-local answer: the exact winners / fused top-k sweep, or the
+/// bound cascade equivalents when a plan is installed. Both paths
+/// produce bit-identical results; only the activation cost differs, and
+/// neither re-packs anything.
+fn shard_answer(
     memory: &SearchMemory,
     batch: &QueryBatch,
     cascade: Option<&BoundCascade>,
-) -> hd_linalg::Result<Vec<(usize, u32)>> {
-    match cascade {
-        Some(bound) => bound.search(batch).map(|r| r.into_winners()),
-        None => memory.winners_batch(batch),
+    task: ShardTask,
+) -> hd_linalg::Result<ShardAnswer> {
+    match (task, cascade) {
+        (ShardTask::Winners, Some(bound)) => {
+            bound.search(batch).map(|r| ShardAnswer::Winners(r.into_winners()))
+        }
+        (ShardTask::Winners, None) => memory.winners_batch(batch).map(ShardAnswer::Winners),
+        (ShardTask::TopK(k), Some(bound)) => {
+            bound.search_topk(batch, k).map(|r| ShardAnswer::TopK(r.into_topk().into_vecs()))
+        }
+        (ShardTask::TopK(k), None) => {
+            memory.topk_batch(batch, k).map(|t| ShardAnswer::TopK(t.into_vecs()))
+        }
     }
 }
 
@@ -192,14 +218,15 @@ impl ShardedSearcher {
                         // the blocked mirror stays hot and no re-packing
                         // ever happens on the search path.
                         while let Ok(job) = rx.recv() {
-                            let winners = shard_winners(
+                            let answer = shard_answer(
                                 &worker_memory,
                                 &job.batch,
                                 worker_cascade.as_deref(),
+                                job.task,
                             );
                             // A dropped reply receiver means the dispatch
                             // errored out early; keep serving later jobs.
-                            let _ = job.reply.send((idx, winners));
+                            let _ = job.reply.send((idx, answer));
                         }
                     })
                     .map_err(|e| ServeError::InvalidConfig {
@@ -299,6 +326,48 @@ impl ShardedSearcher {
         !self.workers.is_empty()
     }
 
+    /// Runs `task` on every shard — inline when no workers exist, else
+    /// fanned out to the pinned workers — and collects the answers in
+    /// shard order.
+    fn per_shard_answers(
+        &self,
+        batch: &Arc<QueryBatch>,
+        task: ShardTask,
+    ) -> Result<Vec<ShardAnswer>> {
+        let mut per_shard: Vec<Option<ShardAnswer>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        if self.workers.is_empty() {
+            for (slot, shard) in per_shard.iter_mut().zip(&self.shards) {
+                *slot = Some(
+                    shard_answer(&shard.memory, batch, shard.cascade.as_deref(), task)
+                        .map_err(|e| ServeError::Model { reason: e.to_string() })?,
+                );
+            }
+        } else {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(self.shards.len());
+            for shard in &self.shards {
+                let job = Job { batch: Arc::clone(batch), task, reply: reply_tx.clone() };
+                shard
+                    .jobs
+                    .as_ref()
+                    .expect("worker-backed searcher has a job channel per shard")
+                    .lock()
+                    .expect("shard sender lock poisoned")
+                    .send(job)
+                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
+            }
+            drop(reply_tx);
+            for _ in 0..self.shards.len() {
+                let (idx, answer) = reply_rx
+                    .recv()
+                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
+                per_shard[idx] =
+                    Some(answer.map_err(|e| ServeError::Model { reason: e.to_string() })?);
+            }
+        }
+        Ok(per_shard.into_iter().map(|a| a.expect("every shard replied")).collect())
+    }
+
     /// Merges per-shard winners (ordered by ascending shard) into global
     /// winners. Strict `>` keeps the earliest (lowest-offset) shard on
     /// ties, and each shard's local winner already carries its own
@@ -320,6 +389,44 @@ impl ShardedSearcher {
             })
             .collect()
     }
+
+    /// Merges per-shard k-best lists (ordered by ascending shard) into
+    /// the global k-best. Equal scores insert after their peers and
+    /// shards contribute in ascending-offset order (each shard list
+    /// already score-descending / local-row-ascending), so the merged
+    /// slate carries the global highest-score / lowest-row tie-break
+    /// exactly — bit-identical to the unsharded top-k.
+    fn merge_topk(
+        &self,
+        per_shard: Vec<Vec<Vec<(usize, u32)>>>,
+        queries: usize,
+        k: usize,
+    ) -> Vec<Vec<Winner>> {
+        let k = k.min(self.rows);
+        (0..queries)
+            .map(|q| {
+                let mut slots: Vec<(usize, u32)> = Vec::with_capacity(k);
+                for (shard, lists) in self.shards.iter().zip(&per_shard) {
+                    for &(local_row, score) in &lists[q] {
+                        if slots.len() == k {
+                            if score <= slots[k - 1].1 {
+                                // Shard lists are score-descending:
+                                // nothing later here can make the slate.
+                                break;
+                            }
+                            slots.pop();
+                        }
+                        let pos = slots.partition_point(|&(_, s)| s >= score);
+                        slots.insert(pos, (shard.offset + local_row, score));
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|(row, score)| Winner { row, class: self.classes[row], score })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 impl Searchable for ShardedSearcher {
@@ -336,39 +443,32 @@ impl Searchable for ShardedSearcher {
             return Err(ServeError::DimensionMismatch { expected: self.dim, found: batch.dim() });
         }
         let queries = batch.len();
-        let mut per_shard: Vec<Option<Vec<(usize, u32)>>> = vec![None; self.shards.len()];
-        if self.workers.is_empty() {
-            for (slot, shard) in per_shard.iter_mut().zip(&self.shards) {
-                *slot = Some(
-                    shard_winners(&shard.memory, &batch, shard.cascade.as_deref())
-                        .map_err(|e| ServeError::Model { reason: e.to_string() })?,
-                );
-            }
-        } else {
-            let (reply_tx, reply_rx) = mpsc::sync_channel(self.shards.len());
-            for shard in &self.shards {
-                let job = Job { batch: Arc::clone(&batch), reply: reply_tx.clone() };
-                shard
-                    .jobs
-                    .as_ref()
-                    .expect("worker-backed searcher has a job channel per shard")
-                    .lock()
-                    .expect("shard sender lock poisoned")
-                    .send(job)
-                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
-            }
-            drop(reply_tx);
-            for _ in 0..self.shards.len() {
-                let (idx, winners) = reply_rx
-                    .recv()
-                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
-                per_shard[idx] =
-                    Some(winners.map_err(|e| ServeError::Model { reason: e.to_string() })?);
-            }
-        }
-        let per_shard: Vec<Vec<(usize, u32)>> =
-            per_shard.into_iter().map(|w| w.expect("every shard replied")).collect();
+        let per_shard: Vec<Vec<(usize, u32)>> = self
+            .per_shard_answers(&batch, ShardTask::Winners)?
+            .into_iter()
+            .map(|a| match a {
+                ShardAnswer::Winners(w) => w,
+                ShardAnswer::TopK(_) => unreachable!("winners task answered with top-k"),
+            })
+            .collect();
         Ok(self.merge(per_shard, queries))
+    }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        if batch.dim() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, found: batch.dim() });
+        }
+        let queries = batch.len();
+        let per_shard: Vec<Vec<Vec<(usize, u32)>>> = self
+            .per_shard_answers(&batch, ShardTask::TopK(k))?
+            .into_iter()
+            .map(|a| match a {
+                ShardAnswer::TopK(lists) => lists,
+                ShardAnswer::Winners(_) => unreachable!("top-k task answered with winners"),
+            })
+            .collect();
+        Ok(self.merge_topk(per_shard, queries, k))
     }
 }
 
@@ -439,6 +539,78 @@ mod tests {
         let batch = Arc::new(QueryBatch::from_vectors(&[hot]).unwrap());
         let w = sharded.search_winners(batch).unwrap();
         assert_eq!((w[0].row, w[0].score), (0, 64));
+    }
+
+    #[test]
+    fn sharded_topk_matches_unsharded_for_every_shard_count() {
+        let (memory, classes) = random_memory(53, 96, 21);
+        let batch = random_batch(17, 96, 22);
+        for shards in [1usize, 2, 3, 4, 9] {
+            let sharded = ShardedSearcher::new(memory.clone(), classes.clone(), shards).unwrap();
+            for k in [1usize, 3, 7, 53, 60] {
+                let reference = memory.topk_batch(&batch, k).unwrap();
+                let lists = sharded.search_topk(Arc::clone(&batch), k).unwrap();
+                for (q, list) in lists.iter().enumerate() {
+                    let got: Vec<(usize, u32)> = list.iter().map(|w| (w.row, w.score)).collect();
+                    assert_eq!(got, reference.hits(q), "shards {shards}, k {k}, query {q}");
+                    for w in list {
+                        assert_eq!(w.class, classes[w.row]);
+                    }
+                }
+            }
+            assert!(sharded.search_topk(Arc::clone(&batch), 0).is_err());
+        }
+    }
+
+    #[test]
+    fn topk_merge_keeps_global_tie_break_across_shard_boundary() {
+        // Rows 0 and 16 are identical and land in different shards; the
+        // k-way merge must order the tie by global row index, not by
+        // shard arrival order.
+        let mut rows: Vec<BitVector> =
+            (0..24).map(|_| BitVector::from_bools(&[false; 64])).collect();
+        let hot = BitVector::from_bools(&[true; 64]);
+        rows[0] = hot.clone();
+        rows[16] = hot.clone();
+        let memory = SearchMemory::from_rows(&rows).unwrap();
+        let sharded = ShardedSearcher::new(memory, (0..24).collect(), 3).unwrap();
+        assert!(sharded.num_shards() >= 2);
+        let batch = Arc::new(QueryBatch::from_vectors(&[hot]).unwrap());
+        let lists = sharded.search_topk(batch, 4).unwrap();
+        let got: Vec<(usize, u32)> = lists[0].iter().map(|w| (w.row, w.score)).collect();
+        // The two tied winners first (row order), then the zero rows by
+        // row order.
+        assert_eq!(got, vec![(0, 64), (16, 64), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn cascade_sharded_topk_matches_unsharded() {
+        let (memory, classes) = random_memory(53, 192, 25);
+        let batch = random_batch(17, 192, 26);
+        for shards in [1usize, 3] {
+            for plan in [CascadePlan::exact(192), CascadePlan::prefix(192, 64).unwrap()] {
+                let sharded = ShardedSearcher::with_cascade(
+                    memory.clone(),
+                    classes.clone(),
+                    shards,
+                    plan.clone(),
+                )
+                .unwrap();
+                for k in [1usize, 5] {
+                    let reference = memory.topk_batch(&batch, k).unwrap();
+                    let lists = sharded.search_topk(Arc::clone(&batch), k).unwrap();
+                    for (q, list) in lists.iter().enumerate() {
+                        let got: Vec<(usize, u32)> =
+                            list.iter().map(|w| (w.row, w.score)).collect();
+                        assert_eq!(
+                            got,
+                            reference.hits(q),
+                            "shards {shards}, plan {plan:?}, k {k}, query {q}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -142,6 +142,84 @@ fn cascade_served_submitters_never_lose_queries() {
     assert_eq!(stats.queries, (THREADS * PER_THREAD) as u64, "no lost queries");
 }
 
+/// Sharded top-k under concurrent mixed-k submitters: every slate
+/// matches the unsharded fused sweep bit for bit — same rows, same
+/// order. The catalog stores every centroid twice, in shard-distant
+/// duplicate pairs, so nearly every query's k-best list crosses a shard
+/// boundary on a tie and exercises the merge's global low-row order.
+#[test]
+fn sharded_topk_agrees_with_unsharded_under_concurrent_mixed_k() {
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 200;
+    const WINDOW: usize = 40;
+    const ROWS: usize = 60;
+    let dim = 128;
+    // Rows r and r + 30 are identical: with 4 shards over 60 rows the
+    // pair always lands in different shards and ties on every query.
+    let half = random_queries(ROWS / 2, dim, 41);
+    let rows: Vec<BitVector> = half.iter().chain(half.iter()).cloned().collect();
+    let classes: Vec<usize> = (0..ROWS).map(|r| r % 7).collect();
+    let memory = hd_linalg::SearchMemory::from_rows(&rows).unwrap();
+    let sharded = ShardedSearcher::new(memory.clone(), classes.clone(), 4).unwrap();
+    assert!(sharded.num_shards() >= 2);
+    let server = Arc::new(
+        Server::start(
+            Arc::new(sharded) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+        )
+        .unwrap(),
+    );
+    let ks = [1usize, 3, 8, ROWS + 5];
+    let answered: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let memory = memory.clone();
+                let classes = classes.clone();
+                scope.spawn(move || {
+                    let queries = random_queries(PER_THREAD, dim, 4100 + t as u64);
+                    let mut answered = 0usize;
+                    for window in queries.chunks(WINDOW) {
+                        let pendings: Vec<_> = window
+                            .iter()
+                            .enumerate()
+                            .map(|(i, q)| {
+                                let k = ks[(t + i) % ks.len()];
+                                (k, server.submit_topk(q.as_view(), k).unwrap())
+                            })
+                            .collect();
+                        for (q, (k, p)) in window.iter().zip(pendings) {
+                            let slate = p.wait().unwrap();
+                            let batch =
+                                hd_linalg::QueryBatch::from_vectors(std::slice::from_ref(q))
+                                    .unwrap();
+                            let want = memory.topk_batch(&batch, k).unwrap();
+                            let got: Vec<(usize, u32)> =
+                                slate.iter().map(|pr| (pr.row, pr.score)).collect();
+                            assert_eq!(got, want.hits(0), "thread {t}, k {k}");
+                            for pr in &slate {
+                                assert_eq!(pr.class, classes[pr.row]);
+                            }
+                            // Shard-distant duplicates: a tied pair must
+                            // order by global row index.
+                            for pair in slate.windows(2) {
+                                if pair[0].score == pair[1].score {
+                                    assert!(pair[0].row < pair[1].row, "thread {t}, k {k}");
+                                }
+                            }
+                            answered += 1;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(answered.iter().sum::<usize>(), THREADS * PER_THREAD);
+    assert_eq!(server.stats().queries, (THREADS * PER_THREAD) as u64, "no lost queries");
+}
+
 /// With a batch size nothing ever fills, only the deadline flusher can
 /// answer — it must fire every round, including immediately after a
 /// previous flush.
