@@ -79,7 +79,11 @@ fn bench_serve(c: &mut Criterion) {
     {
         let server = Server::start(
             Arc::clone(&am) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
         )
         .expect("server");
         group.bench_with_input(
@@ -96,7 +100,11 @@ fn bench_serve(c: &mut Criterion) {
         let server = Arc::new(
             Server::start(
                 Arc::clone(&am) as Arc<dyn Searchable>,
-                ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+                ServeConfig {
+                    max_batch: 64,
+                    max_delay: Duration::from_micros(200),
+                    ..Default::default()
+                },
             )
             .expect("server"),
         );

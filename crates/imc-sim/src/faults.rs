@@ -154,7 +154,9 @@ impl FaultyAmMapping {
     /// layer can keep answering queries from the old snapshot while the
     /// degraded one is prepared and then republished atomically.
     /// `flipped_cells` of the result counts perturbation events across
-    /// both rounds (a double-flipped cell counts twice).
+    /// both rounds (a double-flipped cell counts twice); use
+    /// [`FaultyAmMapping::effective_flipped`] against a reference mapping
+    /// for the net corruption.
     ///
     /// # Errors
     ///
@@ -178,10 +180,29 @@ impl FaultyAmMapping {
         self.model
     }
 
-    /// Number of cells whose effective value differs from the programmed
-    /// value.
+    /// Number of perturbation **events** accumulated across
+    /// [`FaultyAmMapping::program`] and every subsequent
+    /// [`FaultyAmMapping::inject`] round. A cell flipped in two rounds
+    /// counts **twice** even though its final value may equal the
+    /// programmed one — this is a wear/activity counter, not a corruption
+    /// measure. For the number of cells that currently differ from a
+    /// reference mapping, use [`FaultyAmMapping::effective_flipped`].
     pub fn flipped_cells(&self) -> usize {
         self.flipped_cells
+    }
+
+    /// Number of cells whose **current** value differs from `ideal` — the
+    /// effective corruption, where an even number of flips on the same
+    /// cell cancels out. Contrast with [`FaultyAmMapping::flipped_cells`],
+    /// which counts perturbation events and can exceed this after
+    /// multiple injection rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if `ideal`'s logical shape
+    /// differs from this mapping's.
+    pub fn effective_flipped(&self, ideal: &AmMapping) -> Result<usize> {
+        self.mapping.diff_cells(ideal)
     }
 
     /// Associative search on the faulty arrays.
@@ -239,6 +260,12 @@ impl FaultyAmMapping {
     /// The underlying (perturbed) mapping.
     pub fn as_mapping(&self) -> &AmMapping {
         &self.mapping
+    }
+
+    /// Mutable access for the scrubbing layer, which reprograms corrupted
+    /// rows in place from a golden reference.
+    pub(crate) fn mapping_mut(&mut self) -> &mut AmMapping {
+        &mut self.mapping
     }
 }
 

@@ -38,6 +38,8 @@ mod energy;
 mod error;
 mod faults;
 mod mapping;
+mod replicate;
+mod scrub;
 mod spec;
 mod system;
 
@@ -49,5 +51,7 @@ pub use mapping::{
     AmMapping, BatchInferenceStats, CascadeBatchStats, InferenceStats, MappingStats,
     MappingStrategy, TopKBatchStats,
 };
+pub use replicate::ReplicatedAmMapping;
+pub use scrub::{ScrubConfig, ScrubReport, Scrubber};
 pub use spec::{tile_grid, ArraySpec, TileGrid};
 pub use system::{batch_system_report, system_report, BatchSystemReport, SystemReport};

@@ -795,6 +795,145 @@ impl AmMapping {
         }
     }
 
+    /// Reassembles the full `D`-bit logical row for stored vector `v`
+    /// from its per-partition segments. This is the programmed (possibly
+    /// faulted) content as the search kernels see it — the fault-tolerance
+    /// layers diff and repair through this view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if `v` is out of range.
+    pub fn logical_row(&self, v: usize) -> Result<BitVector> {
+        if v >= self.num_vectors {
+            return Err(ImcError::InvalidSpec {
+                reason: format!("row {v} out of range for {} stored vectors", self.num_vectors),
+            });
+        }
+        if self.partitions.len() == 1 {
+            return Ok(self.partitions[0].matrix().row(v));
+        }
+        Ok(if self.seg_len.is_multiple_of(64) {
+            let mut words = Vec::with_capacity(self.dim / 64);
+            for memory in &self.partitions {
+                words.extend_from_slice(memory.matrix().row(v).as_words());
+            }
+            BitVector::from_words(self.dim, words).expect("aligned segments concatenate")
+        } else {
+            let mut bools = vec![false; self.dim];
+            for (part, memory) in self.partitions.iter().enumerate() {
+                let m = memory.matrix();
+                for c in 0..self.seg_len {
+                    bools[part * self.seg_len + c] = m.get(v, c);
+                }
+            }
+            BitVector::from_bools(&bools)
+        })
+    }
+
+    /// Counts the programmed cells whose value differs from `other` — the
+    /// *effective* corruption between two mappings of the same model,
+    /// regardless of how many perturbation events produced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidSpec`] if the mappings' logical shapes
+    /// (dimensionality, stored-vector count, or partitioning) differ.
+    pub fn diff_cells(&self, other: &AmMapping) -> Result<usize> {
+        if self.dim != other.dim
+            || self.num_vectors != other.num_vectors
+            || self.seg_len != other.seg_len
+        {
+            return Err(ImcError::InvalidSpec {
+                reason: format!(
+                    "cannot diff mappings of different shapes: {}x{} (seg {}) vs {}x{} (seg {})",
+                    self.num_vectors,
+                    self.dim,
+                    self.seg_len,
+                    other.num_vectors,
+                    other.dim,
+                    other.seg_len
+                ),
+            });
+        }
+        let mut diff = 0usize;
+        for (a, b) in self.partitions.iter().zip(&other.partitions) {
+            for v in 0..self.num_vectors {
+                diff += a.matrix().row(v).hamming(&b.matrix().row(v)) as usize;
+            }
+        }
+        Ok(diff)
+    }
+
+    /// Per-partition [`SearchMemory`] handles, in partition order. The
+    /// replication layer votes over these matrices word-by-word.
+    pub(crate) fn partition_memories(&self) -> &[SearchMemory] {
+        &self.partitions
+    }
+
+    /// Builds a mapping with this one's metadata (spec, strategy, classes)
+    /// but freshly supplied partition matrices — the majority-vote readout
+    /// constructs its digital view this way. The bound cache starts empty.
+    pub(crate) fn clone_with_partition_matrices(&self, matrices: Vec<BitMatrix>) -> Result<Self> {
+        if matrices.len() != self.partitions.len() {
+            return Err(ImcError::InvalidSpec {
+                reason: format!(
+                    "expected {} partition matrices, got {}",
+                    self.partitions.len(),
+                    matrices.len()
+                ),
+            });
+        }
+        for m in &matrices {
+            if m.shape() != (self.num_vectors, self.seg_len) {
+                return Err(ImcError::InvalidSpec {
+                    reason: format!(
+                        "partition matrix shape {:?} does not match mapping ({}, {})",
+                        m.shape(),
+                        self.num_vectors,
+                        self.seg_len
+                    ),
+                });
+            }
+        }
+        Ok(AmMapping {
+            spec: self.spec,
+            strategy: self.strategy,
+            dim: self.dim,
+            num_vectors: self.num_vectors,
+            classes: self.classes.clone(),
+            seg_len: self.seg_len,
+            partitions: matrices.into_iter().map(SearchMemory::new).collect(),
+            segmented_bound: Mutex::new(None),
+        })
+    }
+
+    /// Reprograms logical row `v` to `bits`, touching only partitions
+    /// whose segment actually changed (each rebuilds its SIMD mirror at
+    /// most once). Returns the number of cells that flipped; any flip
+    /// drops the cached cascade bound artifacts so subsequent cascade
+    /// searches re-derive against the repaired bits.
+    pub(crate) fn overwrite_logical_row(&mut self, v: usize, bits: &BitVector) -> usize {
+        debug_assert_eq!(bits.len(), self.dim);
+        debug_assert!(v < self.num_vectors);
+        let mut flipped = 0usize;
+        for (part, memory) in self.partitions.iter_mut().enumerate() {
+            let segment = bits.slice(part * self.seg_len, self.seg_len);
+            let distance = memory.matrix().row(v).hamming(&segment) as usize;
+            if distance == 0 {
+                continue;
+            }
+            flipped += distance;
+            memory.modify_reporting(|matrix| {
+                matrix.set_row(v, &segment).expect("segment width matches partition matrix");
+                true
+            });
+        }
+        if flipped > 0 {
+            *self.segmented_bound.get_mut().unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
+        }
+        flipped
+    }
+
     /// Energy of one inference under `model` (Fig. 7's y-axis before
     /// normalization).
     pub fn inference_energy_pj(&self, model: &EnergyModel) -> f64 {

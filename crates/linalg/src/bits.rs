@@ -770,6 +770,139 @@ impl BitMatrix {
     pub fn payload_bits(&self) -> u64 {
         self.rows as u64 * self.cols as u64
     }
+
+    /// Bitwise majority vote across equally-shaped matrices: output bit
+    /// `(r, c)` is set iff a **strict** majority of the replicas set it.
+    /// Exact for an odd replica count; with an even count an exact tie
+    /// (`R/2` votes) resolves to 0. See [`majority_words`].
+    ///
+    /// This is the digital model of replicated-array readout: the same
+    /// logical memory programmed onto `R` independently-faulted physical
+    /// arrays reads back with per-cell error `O(p^2)` instead of `O(p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty replica slice and
+    /// [`LinalgError::ShapeMismatch`] when the shapes disagree.
+    pub fn bitwise_majority(replicas: &[&BitMatrix]) -> Result<BitMatrix> {
+        let first = replicas.first().ok_or(LinalgError::Empty { op: "bitwise_majority" })?;
+        for m in replicas {
+            if m.shape() != first.shape() {
+                let (expected, found) =
+                    if m.cols != first.cols { (first.cols, m.cols) } else { (first.rows, m.rows) };
+                return Err(LinalgError::ShapeMismatch { op: "bitwise_majority", expected, found });
+            }
+        }
+        let mut out = BitMatrix::zeros(first.rows, first.cols);
+        let words: Vec<&[u64]> = replicas.iter().map(|m| m.data.as_slice()).collect();
+        // Row tails are clean in every replica, so the word-level vote
+        // keeps them clean in the output (zero votes never win).
+        majority_words(&words, &mut out.data);
+        Ok(out)
+    }
+}
+
+/// Word-level bitwise majority vote: `out` bit `i` is set iff a
+/// **strict** majority (`> R/2`) of the `R` replica slices set bit `i`.
+/// Exact for odd `R`; with even `R` an exact tie (`R/2` votes) resolves
+/// to 0, so prefer odd replication. `R == 1` is a plain copy.
+///
+/// The vote runs entirely on packed words: replica words accumulate into
+/// `ceil(log2(R+1))` bit-sliced counter planes (a carry-save adder per
+/// bit lane), and the threshold compare is a bitwise borrow ripple — no
+/// per-bit extraction anywhere, so voting costs `O(R log R)` word ops
+/// per output word.
+///
+/// # Panics
+///
+/// Panics when `replicas` is empty or any slice length differs from
+/// `out`'s (the [`BitVector::majority`] / [`BitMatrix::bitwise_majority`]
+/// wrappers validate and return errors instead).
+pub fn majority_words(replicas: &[&[u64]], out: &mut [u64]) {
+    assert!(!replicas.is_empty(), "majority_words: no replicas");
+    for (i, r) in replicas.iter().enumerate() {
+        assert_eq!(r.len(), out.len(), "majority_words: replica {i} length mismatch");
+    }
+    match replicas {
+        [only] => out.copy_from_slice(only),
+        [a, b, c] => {
+            // Majority-of-3: one word of carry-save logic per lane.
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = (a[i] & b[i]) | ((a[i] | b[i]) & c[i]);
+            }
+        }
+        _ => {
+            let r = replicas.len();
+            let threshold = r / 2 + 1;
+            // Planes enough to count up to R without overflow.
+            let planes = (usize::BITS - r.leading_zeros()) as usize;
+            let mut counter = vec![0u64; planes];
+            for (i, slot) in out.iter_mut().enumerate() {
+                counter.iter_mut().for_each(|p| *p = 0);
+                for rep in replicas {
+                    // Carry-save add of one vote into the bit-sliced
+                    // counter (64 lanes at once).
+                    let mut carry = rep[i];
+                    for plane in counter.iter_mut() {
+                        let t = *plane & carry;
+                        *plane ^= carry;
+                        carry = t;
+                        if carry == 0 {
+                            break;
+                        }
+                    }
+                }
+                // Bitwise compare `counter >= threshold` per lane via the
+                // borrow ripple of `counter - threshold`: a lane ends with
+                // no borrow exactly when its count reached the threshold.
+                let mut borrow = 0u64;
+                for (j, &plane) in counter.iter().enumerate() {
+                    let t = if (threshold >> j) & 1 == 1 { u64::MAX } else { 0 };
+                    borrow = (!plane & (t | borrow)) | (t & borrow);
+                }
+                *slot = !borrow;
+            }
+        }
+    }
+}
+
+impl BitVector {
+    /// Bitwise majority vote across equally-sized vectors (see
+    /// [`majority_words`]): bit `i` of the result is set iff a strict
+    /// majority of the replicas set it. Exact for odd replica counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty replica slice and
+    /// [`LinalgError::ShapeMismatch`] when the lengths disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::BitVector;
+    ///
+    /// let a = BitVector::from_bools(&[true, true, false]);
+    /// let b = BitVector::from_bools(&[true, false, false]);
+    /// let c = BitVector::from_bools(&[false, true, true]);
+    /// let m = BitVector::majority(&[&a, &b, &c]).unwrap();
+    /// assert_eq!(m, BitVector::from_bools(&[true, true, false]));
+    /// ```
+    pub fn majority(replicas: &[&BitVector]) -> Result<BitVector> {
+        let first = replicas.first().ok_or(LinalgError::Empty { op: "majority" })?;
+        for v in replicas {
+            if v.len != first.len {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "majority",
+                    expected: first.len,
+                    found: v.len,
+                });
+            }
+        }
+        let mut out = BitVector::zeros(first.len);
+        let words: Vec<&[u64]> = replicas.iter().map(|v| v.words.as_slice()).collect();
+        majority_words(&words, &mut out.words);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -946,5 +1079,108 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_mismatch_panics() {
         BitVector::zeros(3).dot(&BitVector::zeros(4));
+    }
+
+    /// Per-bit reference vote to pin the word-level kernel against.
+    fn naive_majority(replicas: &[&BitVector]) -> BitVector {
+        let len = replicas[0].len();
+        let mut out = BitVector::zeros(len);
+        for i in 0..len {
+            let votes = replicas.iter().filter(|v| v.get(i)).count();
+            if votes > replicas.len() / 2 {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_vector(len: usize, seed: u64) -> BitVector {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let bools: Vec<bool> = (0..len).map(|_| next() & 1 == 1).collect();
+        BitVector::from_bools(&bools)
+    }
+
+    #[test]
+    fn majority_matches_naive_for_odd_and_even_counts() {
+        for len in [1usize, 63, 64, 65, 200] {
+            for r in 1..=6usize {
+                let owned: Vec<BitVector> =
+                    (0..r).map(|i| pseudo_random_vector(len, (len * 31 + i) as u64)).collect();
+                let refs: Vec<&BitVector> = owned.iter().collect();
+                let got = BitVector::majority(&refs).unwrap();
+                assert_eq!(got, naive_majority(&refs), "len={len} r={r}");
+                assert_eq!(got.count_ones() as usize, got.iter_ones().count());
+            }
+        }
+    }
+
+    #[test]
+    fn majority_of_one_is_identity() {
+        let v = pseudo_random_vector(130, 7);
+        assert_eq!(BitVector::majority(&[&v]).unwrap(), v);
+    }
+
+    #[test]
+    fn majority_even_tie_resolves_to_zero() {
+        let a = BitVector::ones(70);
+        let b = BitVector::zeros(70);
+        let m = BitVector::majority(&[&a, &b]).unwrap();
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn majority_keeps_tail_clean() {
+        // len=70 leaves 58 padding bits in the final word; all-ones
+        // replicas must still produce a clean tail.
+        let a = BitVector::ones(70);
+        let b = BitVector::ones(70);
+        let c = BitVector::ones(70);
+        let m = BitVector::majority(&[&a, &b, &c]).unwrap();
+        assert_eq!(m, BitVector::ones(70));
+        assert_eq!(m.count_ones(), 70);
+        // Round-trip through the validating constructor proves the tail
+        // words carry no stray bits.
+        assert!(BitVector::from_words(70, m.as_words().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn majority_rejects_empty_and_mismatched() {
+        assert!(matches!(BitVector::majority(&[]), Err(LinalgError::Empty { .. })));
+        let a = BitVector::zeros(10);
+        let b = BitVector::zeros(11);
+        assert!(matches!(
+            BitVector::majority(&[&a, &b]),
+            Err(LinalgError::ShapeMismatch { expected: 10, found: 11, .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_majority_votes_per_cell() {
+        let rows_a = vec![BitVector::ones(65), BitVector::zeros(65)];
+        let rows_b = vec![BitVector::ones(65), BitVector::ones(65)];
+        let rows_c = vec![BitVector::zeros(65), BitVector::zeros(65)];
+        let a = BitMatrix::from_rows(&rows_a).unwrap();
+        let b = BitMatrix::from_rows(&rows_b).unwrap();
+        let c = BitMatrix::from_rows(&rows_c).unwrap();
+        let m = BitMatrix::bitwise_majority(&[&a, &b, &c]).unwrap();
+        assert_eq!(m.row(0), BitVector::ones(65));
+        assert_eq!(m.row(1), BitVector::zeros(65));
+    }
+
+    #[test]
+    fn matrix_majority_rejects_shape_mismatch() {
+        let a = BitMatrix::zeros(2, 8);
+        let b = BitMatrix::zeros(3, 8);
+        assert!(matches!(
+            BitMatrix::bitwise_majority(&[&a, &b]),
+            Err(LinalgError::ShapeMismatch { expected: 2, found: 3, .. })
+        ));
+        assert!(matches!(BitMatrix::bitwise_majority(&[]), Err(LinalgError::Empty { .. })));
     }
 }

@@ -79,7 +79,7 @@ mod vector;
 pub use batch::{
     argmax_scores as argmax_u32, QueryBatch, QueryBatchBuilder, ScoreMatrix, SearchResults, TopK,
 };
-pub use bits::{BitMatrix, BitVector, BitView};
+pub use bits::{majority_words, BitMatrix, BitVector, BitView};
 pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
 pub use cascade::{
     BoundCascade, CascadePlan, CascadeResults, CascadeStats, CascadeTopK, SegmentedCascade,

@@ -195,4 +195,23 @@ proptest! {
             prop_assert_eq!(s.get(i), v.get(start + i), "bit {} (start {})", i, start);
         }
     }
+
+    /// The word-level majority kernel agrees with a per-bit vote for any
+    /// replica count, including the even-R tie-to-zero convention.
+    #[test]
+    fn majority_matches_per_bit_vote(
+        replicas in prop::collection::vec(bool_vec(131), 1..8),
+    ) {
+        let owned: Vec<BitVector> =
+            replicas.iter().map(|bits| BitVector::from_bools(bits)).collect();
+        let refs: Vec<&BitVector> = owned.iter().collect();
+        let voted = BitVector::majority(&refs).unwrap();
+        let threshold = refs.len() / 2;
+        for i in 0..131 {
+            let votes = replicas.iter().filter(|r| r[i]).count();
+            prop_assert_eq!(voted.get(i), votes > threshold, "bit {}", i);
+        }
+        // Clean-tail invariant survives the vote.
+        prop_assert!(BitVector::from_words(131, voted.as_words().to_vec()).is_ok());
+    }
 }

@@ -33,6 +33,15 @@ pub enum ServeError {
         /// What was wrong.
         reason: String,
     },
+    /// The submitter's deadline expired before the query's batch was
+    /// flushed and answered. The query itself is **not** lost: the flush
+    /// still computes and records its answer server-side; only this
+    /// waiter gave up.
+    Timeout,
+    /// The server is at its configured in-flight limit
+    /// ([`crate::ServeConfig::max_in_flight`]) and shed the query at
+    /// admission. Nothing was enqueued; the submitter may retry later.
+    Overloaded,
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +53,10 @@ impl fmt::Display for ServeError {
             ServeError::Shutdown => write!(f, "server shut down"),
             ServeError::Model { reason } => write!(f, "model error during flush: {reason}"),
             ServeError::InvalidConfig { reason } => write!(f, "invalid serve config: {reason}"),
+            ServeError::Timeout => write!(f, "deadline expired before the batch was answered"),
+            ServeError::Overloaded => {
+                write!(f, "server at in-flight capacity; query shed at admission")
+            }
         }
     }
 }
@@ -61,6 +74,8 @@ mod tests {
         assert!(ServeError::Shutdown.to_string().contains("shut down"));
         assert!(ServeError::Model { reason: "x".into() }.to_string().contains('x'));
         assert!(ServeError::InvalidConfig { reason: "y".into() }.to_string().contains('y'));
+        assert!(ServeError::Timeout.to_string().contains("deadline"));
+        assert!(ServeError::Overloaded.to_string().contains("capacity"));
     }
 
     #[test]

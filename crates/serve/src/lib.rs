@@ -56,6 +56,7 @@
 //! let server = Server::start(Arc::new(sharded), ServeConfig {
 //!     max_batch: 64,
 //!     max_delay: Duration::from_micros(100),
+//!     ..Default::default()
 //! })?;
 //! let pred = server.classify(BitVector::from_bools(&[true, true, true, false]).as_view())?;
 //! assert_eq!(pred.class, 0);

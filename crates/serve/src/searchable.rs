@@ -14,8 +14,10 @@
 //!   pre-encoded `D`-bit hypervectors; encoding stays with the client,
 //!   matching the paper's architecture where the encoding module and AM
 //!   are separate IMC structures);
-//! * [`imc_sim::AmMapping`] / [`imc_sim::FaultyAmMapping`] — mapped
-//!   (possibly fault-injected) arrays, bit-exact against software search;
+//! * [`imc_sim::AmMapping`] / [`imc_sim::FaultyAmMapping`] /
+//!   [`imc_sim::ReplicatedAmMapping`] — mapped (possibly fault-injected,
+//!   possibly replicated-with-majority-readout) arrays, bit-exact
+//!   against software search;
 //! * the four baselines ([`hd_baselines::BasicHdc`],
 //!   [`hd_baselines::QuantHd`], [`hd_baselines::SearcHd`],
 //!   [`hd_baselines::LeHdc`]) via their binary AMs.
@@ -81,6 +83,16 @@ pub trait Searchable: Send + Sync {
             return Ok(self.search_winners(batch)?.into_iter().map(|w| vec![w]).collect());
         }
         Err(ServeError::Model { reason: "model does not implement top-k search".into() })
+    }
+
+    /// Shards this model has permanently lost, ascending. Non-empty
+    /// means searches answer exactly over the *surviving* rows only —
+    /// the server flags such answers with [`crate::Prediction::degraded`]
+    /// rather than failing them. Must be monotone within one model
+    /// instance: a shard reported missing stays missing. The default
+    /// (for unsharded models) is "none".
+    fn missing_shards(&self) -> Vec<usize> {
+        Vec::new()
     }
 }
 
@@ -254,6 +266,32 @@ impl Searchable for imc_sim::FaultyAmMapping {
     fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
         check_topk(k)?;
         check_dim(Searchable::dim(self.as_mapping()), &batch)?;
+        let stats = self
+            .search_batch_topk(&batch, k)
+            .map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok(topk_from_mapped(stats))
+    }
+}
+
+impl Searchable for imc_sim::ReplicatedAmMapping {
+    fn dim(&self) -> usize {
+        self.majority_mapping().dim()
+    }
+
+    fn rows(&self) -> usize {
+        Searchable::rows(self.majority_mapping())
+    }
+
+    fn search_winners(&self, batch: Arc<QueryBatch>) -> Result<Vec<Winner>> {
+        check_dim(Searchable::dim(self.majority_mapping()), &batch)?;
+        let stats =
+            self.search_batch(&batch).map_err(|e| ServeError::Model { reason: e.to_string() })?;
+        Ok(winners_from_mapped(&stats))
+    }
+
+    fn search_topk(&self, batch: Arc<QueryBatch>, k: usize) -> Result<Vec<Vec<Winner>>> {
+        check_topk(k)?;
+        check_dim(Searchable::dim(self.majority_mapping()), &batch)?;
         let stats = self
             .search_batch_topk(&batch, k)
             .map_err(|e| ServeError::Model { reason: e.to_string() })?;

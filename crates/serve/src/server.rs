@@ -43,11 +43,16 @@ pub struct ServeConfig {
     /// Flush the pending batch once its oldest query has waited this
     /// long — the per-query latency budget under thin traffic.
     pub max_delay: Duration,
+    /// Admission limit: queries accepted but not yet answered by a
+    /// flush. At the limit new submissions are shed with
+    /// [`ServeError::Overloaded`] instead of queuing unboundedly behind
+    /// a slow model. `0` (the default) disables shedding.
+    pub max_in_flight: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 256, max_delay: Duration::from_micros(200) }
+        ServeConfig { max_batch: 256, max_delay: Duration::from_micros(200), max_in_flight: 0 }
     }
 }
 
@@ -56,10 +61,20 @@ impl ServeConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for a zero `max_batch`.
+    /// Returns [`ServeError::InvalidConfig`] for a zero `max_batch` or a
+    /// positive `max_in_flight` smaller than `max_batch` (every batch
+    /// must be admittable in full, or full flushes could never trigger).
     pub fn validate(&self) -> Result<()> {
         if self.max_batch == 0 {
             return Err(ServeError::InvalidConfig { reason: "max_batch must be positive".into() });
+        }
+        if self.max_in_flight != 0 && self.max_in_flight < self.max_batch {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "max_in_flight ({}) must be 0 or >= max_batch ({})",
+                    self.max_in_flight, self.max_batch
+                ),
+            });
         }
         Ok(())
     }
@@ -77,6 +92,12 @@ pub struct Prediction {
     /// Model generation that answered the query (see
     /// [`crate::ModelRegistry`]).
     pub generation: u64,
+    /// Whether the answering model was serving in degraded mode (one or
+    /// more shards permanently failed — see
+    /// [`crate::Searchable::missing_shards`]). A degraded answer is the
+    /// exact best over the *surviving* rows, flagged so callers can
+    /// retry elsewhere or accept reduced coverage, never silently wrong.
+    pub degraded: bool,
 }
 
 /// What one flush produced for one query: the argmax winner, or the
@@ -134,6 +155,9 @@ impl BatchState {
 pub struct Pending {
     batch: Arc<BatchState>,
     index: usize,
+    /// Absolute give-up point, set by the `_with_deadline` submission
+    /// entry points; `None` waits indefinitely.
+    deadline: Option<Instant>,
 }
 
 impl Pending {
@@ -142,26 +166,32 @@ impl Pending {
         self.batch.results.get().is_some()
     }
 
-    /// Blocks until the query is answered.
+    /// Blocks until the query is answered — or, for handles from
+    /// [`Server::submit_with_deadline`], until the deadline expires.
     ///
     /// # Errors
     ///
     /// Returns whatever the flush produced: [`ServeError::Model`] for
     /// model-side failures, [`ServeError::Shutdown`] if the server shut
-    /// down without answering.
+    /// down without answering, [`ServeError::Timeout`] when this
+    /// handle's deadline expired first (the query itself is still
+    /// answered server-side; only this waiter gave up).
     pub fn wait(self) -> Result<Prediction> {
         // A plain submission sharing a cycle with top-k submissions is
         // answered from the cycle's shared slate; its winner is the
         // slate's top-1 entry (identical tie-break).
-        wait_for(&self.batch, self.index).map(|answer| match answer {
+        wait_for(&self.batch, self.index, self.deadline).map(|answer| match answer {
             Answer::Winner(p) => p,
             Answer::TopK(slate) => slate[0],
         })
     }
 }
 
-/// Blocks until `batch`'s results land, then clones entry `index`.
-fn wait_for(batch: &BatchState, index: usize) -> Result<Answer> {
+/// Blocks until `batch`'s results land, then clones entry `index`. With
+/// a deadline, gives up with [`ServeError::Timeout`] once it passes —
+/// the batch state stays alive (the flush still fills it), only this
+/// waiter stops waiting.
+fn wait_for(batch: &BatchState, index: usize, deadline: Option<Instant>) -> Result<Answer> {
     if let Some(results) = batch.results.get() {
         return results[index].clone();
     }
@@ -173,7 +203,20 @@ fn wait_for(batch: &BatchState, index: usize) -> Result<Answer> {
             return results[index].clone();
         }
         *parked = true;
-        parked = batch.cv.wait(parked).unwrap_or_else(PoisonError::into_inner);
+        match deadline {
+            None => parked = batch.cv.wait(parked).unwrap_or_else(PoisonError::into_inner),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Err(ServeError::Timeout);
+                }
+                parked = batch
+                    .cv
+                    .wait_timeout(parked, d - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
     }
 }
 
@@ -186,6 +229,8 @@ pub struct PendingTopK {
     /// The k this submission asked for; the flush answers the whole
     /// cycle at the largest pending k and the wait truncates back.
     k: usize,
+    /// Absolute give-up point; `None` waits indefinitely.
+    deadline: Option<Instant>,
 }
 
 impl PendingTopK {
@@ -199,9 +244,10 @@ impl PendingTopK {
     ///
     /// # Errors
     ///
-    /// As [`Pending::wait`].
+    /// As [`Pending::wait`], including [`ServeError::Timeout`] for
+    /// deadline submissions.
     pub fn wait(self) -> Result<Vec<Prediction>> {
-        wait_for(&self.batch, self.index).map(|answer| match answer {
+        wait_for(&self.batch, self.index, self.deadline).map(|answer| match answer {
             // A k == 1 submission can land in a winners-only cycle.
             Answer::Winner(p) => vec![p],
             Answer::TopK(mut slate) => {
@@ -226,6 +272,12 @@ pub struct ServerStats {
     pub deadline_flushes: u64,
     /// Largest batch flushed so far.
     pub largest_batch: u64,
+    /// Queries shed at admission because the server was at
+    /// [`ServeConfig::max_in_flight`].
+    pub shed: u64,
+    /// Queries answered while the model reported missing shards (their
+    /// predictions carry [`Prediction::degraded`]).
+    pub degraded_queries: u64,
 }
 
 #[derive(Default)]
@@ -235,6 +287,8 @@ struct StatCounters {
     full_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
     largest_batch: AtomicU64,
+    shed: AtomicU64,
+    degraded_queries: AtomicU64,
 }
 
 struct Queue {
@@ -278,6 +332,14 @@ struct Shared {
     registry: ModelRegistry,
     config: ServeConfig,
     stats: StatCounters,
+    /// Queries accepted but not yet answered by a flush — the admission
+    /// gauge [`ServeConfig::max_in_flight`] sheds against. Incremented
+    /// under the queue lock at admission; decremented after each flush
+    /// publishes its results. Only maintained while admission control is
+    /// on (`max_in_flight != 0`): with it off the counter steers nothing,
+    /// and the per-query atomic increment sits inside the contended queue
+    /// critical section — measurable on the serve-throughput benches.
+    in_flight: AtomicU64,
 }
 
 impl Shared {
@@ -297,6 +359,9 @@ impl Shared {
             class: w.class,
             score: w.score,
             generation,
+            // Filled in after the sweep from the post-search shard
+            // health sample (see below).
+            degraded: false,
         };
         // A panicking model must not unwind past the batch state: the
         // batch was already taken out of the queue, so an unfilled state
@@ -327,7 +392,27 @@ impl Shared {
             Err(ServeError::Model { reason: format!("model panicked during flush: {what}") })
         });
         let results: Vec<Result<Answer>> = match result {
-            Ok(answers) if answers.len() == queries => answers.into_iter().map(Ok).collect(),
+            Ok(answers) if answers.len() == queries => {
+                // Sample shard health *after* the sweep: degradation is
+                // monotone within a generation, so a shard that died
+                // mid-search (making this sweep answer from the
+                // surviving rows only) is visible here. The converse
+                // race — a shard dying right after a complete sweep —
+                // only over-flags, never under-flags.
+                let mut answers = answers;
+                if !snapshot.model().missing_shards().is_empty() {
+                    self.stats.degraded_queries.fetch_add(queries as u64, Ordering::Relaxed);
+                    for answer in &mut answers {
+                        match answer {
+                            Answer::Winner(p) => p.degraded = true,
+                            Answer::TopK(slate) => {
+                                slate.iter_mut().for_each(|p| p.degraded = true);
+                            }
+                        }
+                    }
+                }
+                answers.into_iter().map(Ok).collect()
+            }
             Ok(answers) => {
                 let err = ServeError::Model {
                     reason: format!(
@@ -340,6 +425,12 @@ impl Shared {
             Err(e) => vec![Err(e); queries],
         };
         state.fill(results);
+        // Release the admission slots only after the results are
+        // published: a freed slot means a new submission can take the
+        // answered query's place in the next cycle.
+        if self.config.max_in_flight != 0 {
+            self.in_flight.fetch_sub(queries as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -360,6 +451,7 @@ impl Shared {
 /// let server = Server::start(Arc::new(am), ServeConfig {
 ///     max_batch: 8,
 ///     max_delay: std::time::Duration::from_micros(50),
+///     ..Default::default()
 /// }).unwrap();
 /// let query = BitVector::from_bools(&[true, true, true, false]);
 /// let prediction = server.classify(query.as_view()).unwrap();
@@ -408,6 +500,7 @@ impl Server {
             registry: ModelRegistry::new(model),
             config,
             stats: StatCounters::default(),
+            in_flight: AtomicU64::new(0),
         });
         let flusher_shared = Arc::clone(&shared);
         let flusher = std::thread::Builder::new()
@@ -454,7 +547,17 @@ impl Server {
             full_flushes: s.full_flushes.load(Ordering::Relaxed),
             deadline_flushes: s.deadline_flushes.load(Ordering::Relaxed),
             largest_batch: s.largest_batch.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            degraded_queries: s.degraded_queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Queries accepted but not yet answered by a flush (the gauge
+    /// [`ServeConfig::max_in_flight`] sheds against). Always 0 when
+    /// admission control is off (`max_in_flight == 0`): the gauge is
+    /// only maintained while something sheds against it.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Relaxed)
     }
 
     /// Submits one query, returning a [`Pending`] handle. If this query
@@ -466,8 +569,26 @@ impl Server {
     /// Returns [`ServeError::DimensionMismatch`] for a wrong-width query
     /// and [`ServeError::Shutdown`] after shutdown.
     pub fn submit(&self, query: BitView<'_>) -> Result<Pending> {
+        self.submit_inner(query, None)
+    }
+
+    /// As [`Server::submit`], but the returned handle's
+    /// [`Pending::wait`] gives up with [`ServeError::Timeout`] once
+    /// `timeout` has elapsed (measured from submission). The query is
+    /// still flushed and answered server-side — a timed-out waiter never
+    /// strands or corrupts its batch — so use this to bound caller
+    /// latency against slow models, not to cancel work.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit`].
+    pub fn submit_with_deadline(&self, query: BitView<'_>, timeout: Duration) -> Result<Pending> {
+        self.submit_inner(query, Some(Instant::now() + timeout))
+    }
+
+    fn submit_inner(&self, query: BitView<'_>, deadline: Option<Instant>) -> Result<Pending> {
         let (index, state, work) = self.enqueue(query, 1)?;
-        let pending = Pending { batch: state, index };
+        let pending = Pending { batch: state, index, deadline };
         if let Some((batch, state, max_k)) = work {
             self.shared.flush(batch, state, max_k, FlushKind::Full);
         }
@@ -486,9 +607,33 @@ impl Server {
     /// As [`Server::submit`], plus [`ServeError::InvalidConfig`] when
     /// `k == 0`.
     pub fn submit_topk(&self, query: BitView<'_>, k: usize) -> Result<PendingTopK> {
+        self.submit_topk_inner(query, k, None)
+    }
+
+    /// As [`Server::submit_topk`] with a [`Pending::wait`]-side deadline
+    /// (see [`Server::submit_with_deadline`] for the semantics).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_topk`].
+    pub fn submit_topk_with_deadline(
+        &self,
+        query: BitView<'_>,
+        k: usize,
+        timeout: Duration,
+    ) -> Result<PendingTopK> {
+        self.submit_topk_inner(query, k, Some(Instant::now() + timeout))
+    }
+
+    fn submit_topk_inner(
+        &self,
+        query: BitView<'_>,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<PendingTopK> {
         crate::searchable::check_topk(k)?;
         let (index, state, work) = self.enqueue(query, k)?;
-        let pending = PendingTopK { batch: state, index, k };
+        let pending = PendingTopK { batch: state, index, k, deadline };
         if let Some((batch, state, max_k)) = work {
             self.shared.flush(batch, state, max_k, FlushKind::Full);
         }
@@ -510,6 +655,18 @@ impl Server {
         let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if q.shutdown {
             return Err(ServeError::Shutdown);
+        }
+        let limit = self.shared.config.max_in_flight;
+        if limit != 0 {
+            if self.shared.in_flight.load(Ordering::Relaxed) >= limit as u64 {
+                self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded);
+            }
+            // Under the queue lock, so admission never over-admits a
+            // cycle (flushes decrement outside the lock, which can only
+            // free slots late — shedding slightly conservatively, never
+            // unboundedly).
+            self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
         }
         q.builder.push(query).expect("dimension checked above");
         q.max_k = q.max_k.max(k);
@@ -538,6 +695,22 @@ impl Server {
     /// As [`Server::submit`] and [`Pending::wait`].
     pub fn classify(&self, query: BitView<'_>) -> Result<Prediction> {
         self.submit(query)?.wait()
+    }
+
+    /// Submit-and-wait with a latency bound: gives up with
+    /// [`ServeError::Timeout`] once `timeout` elapses. The query is
+    /// still answered server-side (counted in [`Server::stats`]); only
+    /// this caller stops waiting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_with_deadline`] and [`Pending::wait`].
+    pub fn classify_with_deadline(
+        &self,
+        query: BitView<'_>,
+        timeout: Duration,
+    ) -> Result<Prediction> {
+        self.submit_with_deadline(query, timeout)?.wait()
     }
 
     /// Submit-and-wait for a top-k query: the single-call blocking entry
@@ -671,7 +844,11 @@ mod tests {
         let am = random_am(40, 128, 1);
         let server = Server::start(
             Arc::clone(&am) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 16, max_delay: Duration::from_micros(100) },
+            ServeConfig {
+                max_batch: 16,
+                max_delay: Duration::from_micros(100),
+                ..Default::default()
+            },
         )
         .unwrap();
         let queries = random_queries(50, 128, 2);
@@ -700,7 +877,11 @@ mod tests {
         let am = random_am(40, 128, 11);
         let server = Server::start(
             Arc::clone(&am) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 64, max_delay: Duration::from_millis(2) },
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_millis(2),
+                ..Default::default()
+            },
         )
         .unwrap();
         let queries = random_queries(12, 128, 12);
@@ -753,7 +934,11 @@ mod tests {
         let am = random_am(16, 64, 3);
         let server = Server::start(
             Arc::clone(&am) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 1024, max_delay: Duration::from_millis(1) },
+            ServeConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let q = random_queries(1, 64, 4).remove(0);
@@ -772,7 +957,7 @@ mod tests {
         let am_b = random_am(24, dim, 6);
         let server = Server::start(
             Arc::clone(&am_a) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 4, max_delay: Duration::from_millis(5) },
+            ServeConfig { max_batch: 4, max_delay: Duration::from_millis(5), ..Default::default() },
         )
         .unwrap();
         let q = random_queries(1, dim, 7).remove(0);
@@ -806,7 +991,11 @@ mod tests {
         let server = Server::start(
             Arc::clone(&am) as Arc<dyn Searchable>,
             // Deadline far away: only the shutdown drain can answer.
-            ServeConfig { max_batch: 1024, max_delay: Duration::from_secs(600) },
+            ServeConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_secs(600),
+                ..Default::default()
+            },
         )
         .unwrap();
         let queries = random_queries(5, 64, 10);
@@ -840,7 +1029,11 @@ mod tests {
             // Large max_batch: both flushes go through the deadline
             // flusher, so a contained panic is also proven not to kill
             // that thread.
-            ServeConfig { max_batch: 1024, max_delay: Duration::from_micros(200) },
+            ServeConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
         )
         .unwrap();
         let q = random_queries(1, 64, 20).remove(0);
@@ -862,7 +1055,7 @@ mod tests {
         let am = random_am(8, 64, 11);
         assert!(Server::start(
             am as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 0, max_delay: Duration::from_micros(1) }
+            ServeConfig { max_batch: 0, max_delay: Duration::from_micros(1), ..Default::default() }
         )
         .is_err());
     }
@@ -872,7 +1065,11 @@ mod tests {
         let memory = SearchMemory::from_rows(&random_queries(12, 64, 12)).unwrap();
         let server = Server::start(
             Arc::new(memory.clone()) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 4, max_delay: Duration::from_micros(50) },
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_micros(50),
+                ..Default::default()
+            },
         )
         .unwrap();
         let q = random_queries(1, 64, 13).remove(0);

@@ -16,12 +16,27 @@
 //! their own rows, and because each shard's cascade winners are
 //! bit-identical to its exact winners, the strict merge is untouched and
 //! the sharded cascade equals the unsharded search exactly.
+//!
+//! # Worker supervision
+//!
+//! A panicking shard worker must not poison the searcher. Each worker
+//! wraps its sweep in `catch_unwind`, posts the panic back, and exits;
+//! the dispatcher then **respawns the worker once** (the blocked mirror
+//! is immutable, so a fresh thread over the same `Arc`ed shard is safe)
+//! and retries the failed shards in a new collection round. A worker
+//! that dies again is **degraded**: its shard drops out permanently,
+//! searches answer exactly over the surviving rows, and the loss is
+//! reported through [`ShardedSearcher::missing_shards`] so the serving
+//! layer can flag the answers (see `Prediction::degraded`) instead of
+//! failing them. Deterministic kernel errors (e.g. a bad `k`) still fail
+//! the whole request — only worker *death* degrades.
 
 use crate::error::{Result, ServeError};
 use crate::searchable::{check_topk, Searchable, Winner};
 use hd_linalg::{BoundCascade, CascadePlan, QueryBatch, SearchMemory};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// What one flush asks each shard to compute.
@@ -39,9 +54,23 @@ enum ShardAnswer {
     TopK(Vec<Vec<(usize, u32)>>),
 }
 
-/// What a worker posts back per job: its shard index plus the shard-local
-/// answer (or the kernel-level failure).
-type ShardReply = (usize, hd_linalg::Result<ShardAnswer>);
+/// One shard's per-query `(local_row, score)` winners in the merge
+/// input, `None` when the shard has degraded out.
+type ShardWinners = Option<Vec<(usize, u32)>>;
+
+/// One shard's per-query score-descending k-best lists in the merge
+/// input, `None` when the shard has degraded out.
+type ShardTopKLists = Option<Vec<Vec<(usize, u32)>>>;
+
+/// What a worker computed for one job: the shard-local answer (or the
+/// deterministic kernel failure), or the panic that killed the worker.
+enum ShardOutcome {
+    Answer(hd_linalg::Result<ShardAnswer>),
+    Panicked(String),
+}
+
+/// What a worker posts back per job: its shard index plus the outcome.
+type ShardReply = (usize, ShardOutcome);
 
 /// One dispatched unit of shard work: the shared batch, the task, and
 /// the reply channel the worker posts a [`ShardReply`] to.
@@ -49,6 +78,19 @@ struct Job {
     batch: Arc<QueryBatch>,
     task: ShardTask,
     reply: SyncSender<ShardReply>,
+}
+
+/// Supervision state of one shard's worker, guarded by a mutex so
+/// concurrent flushes agree on who pays for a respawn.
+struct ShardSupervisor {
+    /// Job channel of the live worker; `None` once the shard degrades.
+    jobs: Option<Sender<Job>>,
+    /// Bumped on every respawn. Lets a flush tell "my worker died" apart
+    /// from "another flush already replaced it", so one death never
+    /// consumes the respawn budget twice.
+    generation: u64,
+    /// Remaining respawns before the shard degrades permanently.
+    respawns_left: u32,
 }
 
 struct Shard {
@@ -59,9 +101,72 @@ struct Shard {
     /// and row-suffix table derived once at construction); `None` runs
     /// the exact winners sweep.
     cascade: Option<Arc<BoundCascade>>,
-    /// Job channel of the pinned worker; `None` when the searcher runs
-    /// shards inline (single shard, or worker spawn disabled).
-    jobs: Option<Mutex<Sender<Job>>>,
+    /// Worker supervision state; `None` when the searcher runs shards
+    /// inline (single shard, or worker spawn disabled).
+    supervisor: Option<Mutex<ShardSupervisor>>,
+    /// Chaos failpoint: every pending count makes the worker panic on
+    /// its next job (see [`ShardedSearcher::inject_shard_panics`]).
+    chaos_panics: Arc<AtomicUsize>,
+}
+
+/// Renders a `catch_unwind` payload for the panic reply.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Spawns the pinned worker thread for shard `idx`. The worker answers
+/// jobs until its channel closes — or until a job panics, in which case
+/// it posts the panic back and exits so the supervisor can respawn it.
+fn spawn_worker(
+    idx: usize,
+    memory: Arc<SearchMemory>,
+    cascade: Option<Arc<BoundCascade>>,
+    chaos: Arc<AtomicUsize>,
+) -> Result<(Sender<Job>, JoinHandle<()>)> {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let handle = std::thread::Builder::new()
+        .name(format!("hd-serve-shard-{idx}"))
+        .spawn(move || {
+            // The worker owns its shard for its whole life: the blocked
+            // mirror stays hot and no re-packing ever happens on the
+            // search path.
+            while let Ok(job) = rx.recv() {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if chaos
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                        .is_ok()
+                    {
+                        panic!("injected chaos panic");
+                    }
+                    shard_answer(&memory, &job.batch, cascade.as_deref(), job.task)
+                }));
+                match outcome {
+                    Ok(answer) => {
+                        // A dropped reply receiver means the dispatch
+                        // errored out early; keep serving later jobs.
+                        let _ = job.reply.send((idx, ShardOutcome::Answer(answer)));
+                    }
+                    Err(payload) => {
+                        let _ =
+                            job.reply.send((idx, ShardOutcome::Panicked(panic_message(payload))));
+                        // A panicked sweep leaves no trustworthy state;
+                        // die and let the supervisor respawn the shard
+                        // from its immutable Arc'ed mirror.
+                        break;
+                    }
+                }
+            }
+        })
+        .map_err(|e| ServeError::InvalidConfig {
+            reason: format!("failed to spawn shard worker: {e}"),
+        })?;
+    Ok((tx, handle))
 }
 
 /// Shard-local answer: the exact winners / fused top-k sweep, or the
@@ -115,16 +220,20 @@ pub struct ShardedSearcher {
     /// Stage plan each shard runs (`None` = exact winners sweep).
     plan: Option<Arc<CascadePlan>>,
     shards: Vec<Shard>,
-    workers: Vec<JoinHandle<()>>,
+    /// Join handles of every worker ever spawned (respawns append from
+    /// `&self`, hence the mutex); drained and joined on drop.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ShardedSearcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner).len();
         f.debug_struct("ShardedSearcher")
             .field("dim", &self.dim)
             .field("rows", &self.rows)
             .field("shards", &self.shards.len())
-            .field("workers", &self.workers.len())
+            .field("workers", &workers)
+            .field("missing_shards", &self.missing_shards())
             .finish()
     }
 }
@@ -207,39 +316,33 @@ impl ShardedSearcher {
                 )),
                 None => None,
             };
-            let jobs = if spawn_workers {
-                let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
-                let worker_memory = Arc::clone(&memory);
-                let worker_cascade = cascade.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("hd-serve-shard-{idx}"))
-                    .spawn(move || {
-                        // The worker owns its shard for its whole life:
-                        // the blocked mirror stays hot and no re-packing
-                        // ever happens on the search path.
-                        while let Ok(job) = rx.recv() {
-                            let answer = shard_answer(
-                                &worker_memory,
-                                &job.batch,
-                                worker_cascade.as_deref(),
-                                job.task,
-                            );
-                            // A dropped reply receiver means the dispatch
-                            // errored out early; keep serving later jobs.
-                            let _ = job.reply.send((idx, answer));
-                        }
-                    })
-                    .map_err(|e| ServeError::InvalidConfig {
-                        reason: format!("failed to spawn shard worker: {e}"),
-                    })?;
+            let chaos_panics = Arc::new(AtomicUsize::new(0));
+            let supervisor = if spawn_workers {
+                let (tx, handle) = spawn_worker(
+                    idx,
+                    Arc::clone(&memory),
+                    cascade.clone(),
+                    Arc::clone(&chaos_panics),
+                )?;
                 workers.push(handle);
-                Some(Mutex::new(tx))
+                Some(Mutex::new(ShardSupervisor {
+                    jobs: Some(tx),
+                    generation: 0,
+                    respawns_left: 1,
+                }))
             } else {
                 None
             };
-            shards.push(Shard { offset, memory, cascade, jobs });
+            shards.push(Shard { offset, memory, cascade, supervisor, chaos_panics });
         }
-        Ok(ShardedSearcher { dim, rows, classes: Arc::new(classes), plan, shards, workers })
+        Ok(ShardedSearcher {
+            dim,
+            rows,
+            classes: Arc::new(classes),
+            plan,
+            shards,
+            workers: Mutex::new(workers),
+        })
     }
 
     /// Builds a sharded searcher over a [`hdc::BinaryAm`]'s centroid rows
@@ -323,62 +426,208 @@ impl ShardedSearcher {
 
     /// Whether shards execute on pinned worker threads (vs. inline).
     pub fn has_workers(&self) -> bool {
-        !self.workers.is_empty()
+        self.shards.iter().any(|s| s.supervisor.is_some())
+    }
+
+    /// Shards whose workers died and exhausted their respawn budget, in
+    /// ascending order. Searches keep answering **exactly over the
+    /// surviving rows**; a non-empty result means answers no longer
+    /// cover the full row space, which the serving layer surfaces as
+    /// `Prediction::degraded` instead of failing the queries.
+    pub fn missing_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.supervisor.as_ref().is_some_and(|m| {
+                    m.lock().unwrap_or_else(PoisonError::into_inner).jobs.is_none()
+                })
+            })
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Whether any shard has degraded out of the row space. See
+    /// [`ShardedSearcher::missing_shards`].
+    pub fn degraded(&self) -> bool {
+        !self.missing_shards().is_empty()
+    }
+
+    /// Chaos failpoint: makes `shard`'s worker panic on its next `count`
+    /// jobs. Each injected panic kills the worker exactly as a real
+    /// fault would; the supervisor's respawn-once-then-degrade path
+    /// takes over from there. Intended for tests and chaos harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `shard` is out of
+    /// range or the searcher runs inline (no workers to kill).
+    pub fn inject_shard_panics(&self, shard: usize, count: usize) -> Result<()> {
+        if !self.has_workers() {
+            return Err(ServeError::InvalidConfig {
+                reason: "cannot inject worker panics into an inline searcher".into(),
+            });
+        }
+        let Some(target) = self.shards.get(shard) else {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("shard {shard} out of range ({} shards)", self.shards.len()),
+            });
+        };
+        target.chaos_panics.store(count, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Sends one `task` job for shard `idx` to its worker, respawning on
+    /// a dead channel. Returns the worker generation the job landed on,
+    /// or `None` when the shard is (or just became) degraded.
+    fn dispatch(
+        &self,
+        idx: usize,
+        batch: &Arc<QueryBatch>,
+        task: ShardTask,
+        reply: &SyncSender<ShardReply>,
+    ) -> Option<u64> {
+        let shard = &self.shards[idx];
+        let sup = shard.supervisor.as_ref().expect("worker-backed searcher supervises shards");
+        let mut sup = sup.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let sender = sup.jobs.as_ref()?;
+            let job = Job { batch: Arc::clone(batch), task, reply: reply.clone() };
+            if sender.send(job).is_ok() {
+                return Some(sup.generation);
+            }
+            // The worker hung up between flushes; pay for a respawn here
+            // and retry the send on the fresh worker.
+            sup.jobs = None;
+            if !self.respawn_locked(idx, &mut sup) {
+                return None;
+            }
+        }
+    }
+
+    /// Respawns `idx`'s worker if budget remains. The caller holds the
+    /// supervisor lock with `jobs` already cleared.
+    fn respawn_locked(&self, idx: usize, sup: &mut ShardSupervisor) -> bool {
+        if sup.respawns_left == 0 {
+            return false;
+        }
+        sup.respawns_left -= 1;
+        let shard = &self.shards[idx];
+        match spawn_worker(
+            idx,
+            Arc::clone(&shard.memory),
+            shard.cascade.clone(),
+            Arc::clone(&shard.chaos_panics),
+        ) {
+            Ok((tx, handle)) => {
+                sup.jobs = Some(tx);
+                sup.generation += 1;
+                self.workers.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Handles a worker death observed at `failed_generation`: when
+    /// another flush already replaced the worker the replacement is
+    /// reused for free, otherwise the respawn budget is spent. Returns
+    /// whether `idx` has a live worker to retry on.
+    fn revive(&self, idx: usize, failed_generation: u64) -> bool {
+        let shard = &self.shards[idx];
+        let sup = shard.supervisor.as_ref().expect("worker-backed searcher supervises shards");
+        let mut sup = sup.lock().unwrap_or_else(PoisonError::into_inner);
+        if sup.generation > failed_generation {
+            return sup.jobs.is_some();
+        }
+        sup.jobs = None;
+        self.respawn_locked(idx, &mut sup)
     }
 
     /// Runs `task` on every shard — inline when no workers exist, else
-    /// fanned out to the pinned workers — and collects the answers in
-    /// shard order.
+    /// fanned out to the pinned workers under death-and-respawn
+    /// supervision — and collects the answers in shard order. A degraded
+    /// shard yields `None`; the merge then answers exactly over the
+    /// surviving rows.
+    ///
+    /// Collection is round-based: every round opens a **fresh** reply
+    /// channel, dispatches the still-unanswered shards, drops its own
+    /// sender, and drains until every job's sender clone is gone —
+    /// either the worker replied, or it died and dropped the queued job
+    /// (so a dead worker can never block the round). Shards whose
+    /// workers died are revived (or degraded) and retried next round.
     fn per_shard_answers(
         &self,
         batch: &Arc<QueryBatch>,
         task: ShardTask,
-    ) -> Result<Vec<ShardAnswer>> {
+    ) -> Result<Vec<Option<ShardAnswer>>> {
         let mut per_shard: Vec<Option<ShardAnswer>> =
             (0..self.shards.len()).map(|_| None).collect();
-        if self.workers.is_empty() {
+        if !self.has_workers() {
             for (slot, shard) in per_shard.iter_mut().zip(&self.shards) {
                 *slot = Some(
                     shard_answer(&shard.memory, batch, shard.cascade.as_deref(), task)
                         .map_err(|e| ServeError::Model { reason: e.to_string() })?,
                 );
             }
-        } else {
-            let (reply_tx, reply_rx) = mpsc::sync_channel(self.shards.len());
-            for shard in &self.shards {
-                let job = Job { batch: Arc::clone(batch), task, reply: reply_tx.clone() };
-                shard
-                    .jobs
-                    .as_ref()
-                    .expect("worker-backed searcher has a job channel per shard")
-                    .lock()
-                    .expect("shard sender lock poisoned")
-                    .send(job)
-                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
+            return Ok(per_shard);
+        }
+        let mut dead = vec![false; self.shards.len()];
+        let mut last_panic: Option<String> = None;
+        let mut pending: Vec<usize> = (0..self.shards.len()).collect();
+        while !pending.is_empty() {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(pending.len());
+            let mut dispatched: Vec<(usize, u64)> = Vec::with_capacity(pending.len());
+            for idx in pending.drain(..) {
+                match self.dispatch(idx, batch, task, &reply_tx) {
+                    Some(generation) => dispatched.push((idx, generation)),
+                    None => dead[idx] = true,
+                }
             }
             drop(reply_tx);
-            for _ in 0..self.shards.len() {
-                let (idx, answer) = reply_rx
-                    .recv()
-                    .map_err(|_| ServeError::Model { reason: "shard worker exited".into() })?;
-                per_shard[idx] =
-                    Some(answer.map_err(|e| ServeError::Model { reason: e.to_string() })?);
+            for (idx, outcome) in reply_rx.iter() {
+                match outcome {
+                    ShardOutcome::Answer(answer) => {
+                        per_shard[idx] =
+                            Some(answer.map_err(|e| ServeError::Model { reason: e.to_string() })?);
+                    }
+                    // The worker died; the retry below (keyed on the
+                    // missing answer) revives or degrades the shard.
+                    ShardOutcome::Panicked(msg) => last_panic = Some(msg),
+                }
+            }
+            for (idx, generation) in dispatched {
+                if per_shard[idx].is_none() && !dead[idx] {
+                    if self.revive(idx, generation) {
+                        pending.push(idx);
+                    } else {
+                        dead[idx] = true;
+                    }
+                }
             }
         }
-        Ok(per_shard.into_iter().map(|a| a.expect("every shard replied")).collect())
+        if per_shard.iter().all(Option::is_none) {
+            let detail = last_panic.map_or(String::new(), |msg| format!(" (last panic: {msg})"));
+            return Err(ServeError::Model {
+                reason: format!("all shard workers degraded{detail}"),
+            });
+        }
+        Ok(per_shard)
     }
 
     /// Merges per-shard winners (ordered by ascending shard) into global
     /// winners. Strict `>` keeps the earliest (lowest-offset) shard on
     /// ties, and each shard's local winner already carries its own
     /// lowest-row tie-break, so the merged winner is exactly the
-    /// unsharded one.
-    fn merge(&self, per_shard: Vec<Vec<(usize, u32)>>, queries: usize) -> Vec<Winner> {
+    /// unsharded one. Degraded shards (`None`) simply don't compete:
+    /// the winner is exact over the surviving rows.
+    fn merge(&self, per_shard: Vec<ShardWinners>, queries: usize) -> Vec<Winner> {
         (0..queries)
             .map(|q| {
                 let mut best = (0usize, 0u32);
                 let mut first = true;
                 for (shard, winners) in self.shards.iter().zip(&per_shard) {
+                    let Some(winners) = winners else { continue };
                     let (local_row, score) = winners[q];
                     if first || score > best.1 {
                         best = (shard.offset + local_row, score);
@@ -395,10 +644,12 @@ impl ShardedSearcher {
     /// shards contribute in ascending-offset order (each shard list
     /// already score-descending / local-row-ascending), so the merged
     /// slate carries the global highest-score / lowest-row tie-break
-    /// exactly — bit-identical to the unsharded top-k.
+    /// exactly — bit-identical to the unsharded top-k. Degraded shards
+    /// (`None`) contribute nothing: the slate is exact over the
+    /// surviving rows (and may come up short of `k`).
     fn merge_topk(
         &self,
-        per_shard: Vec<Vec<Vec<(usize, u32)>>>,
+        per_shard: Vec<ShardTopKLists>,
         queries: usize,
         k: usize,
     ) -> Vec<Vec<Winner>> {
@@ -407,6 +658,7 @@ impl ShardedSearcher {
             .map(|q| {
                 let mut slots: Vec<(usize, u32)> = Vec::with_capacity(k);
                 for (shard, lists) in self.shards.iter().zip(&per_shard) {
+                    let Some(lists) = lists else { continue };
                     for &(local_row, score) in &lists[q] {
                         if slots.len() == k {
                             if score <= slots[k - 1].1 {
@@ -443,12 +695,14 @@ impl Searchable for ShardedSearcher {
             return Err(ServeError::DimensionMismatch { expected: self.dim, found: batch.dim() });
         }
         let queries = batch.len();
-        let per_shard: Vec<Vec<(usize, u32)>> = self
+        let per_shard: Vec<ShardWinners> = self
             .per_shard_answers(&batch, ShardTask::Winners)?
             .into_iter()
-            .map(|a| match a {
-                ShardAnswer::Winners(w) => w,
-                ShardAnswer::TopK(_) => unreachable!("winners task answered with top-k"),
+            .map(|a| {
+                a.map(|a| match a {
+                    ShardAnswer::Winners(w) => w,
+                    ShardAnswer::TopK(_) => unreachable!("winners task answered with top-k"),
+                })
             })
             .collect();
         Ok(self.merge(per_shard, queries))
@@ -460,15 +714,21 @@ impl Searchable for ShardedSearcher {
             return Err(ServeError::DimensionMismatch { expected: self.dim, found: batch.dim() });
         }
         let queries = batch.len();
-        let per_shard: Vec<Vec<Vec<(usize, u32)>>> = self
+        let per_shard: Vec<ShardTopKLists> = self
             .per_shard_answers(&batch, ShardTask::TopK(k))?
             .into_iter()
-            .map(|a| match a {
-                ShardAnswer::TopK(lists) => lists,
-                ShardAnswer::Winners(_) => unreachable!("top-k task answered with winners"),
+            .map(|a| {
+                a.map(|a| match a {
+                    ShardAnswer::TopK(lists) => lists,
+                    ShardAnswer::Winners(_) => unreachable!("top-k task answered with winners"),
+                })
             })
             .collect();
         Ok(self.merge_topk(per_shard, queries, k))
+    }
+
+    fn missing_shards(&self) -> Vec<usize> {
+        ShardedSearcher::missing_shards(self)
     }
 }
 
@@ -476,9 +736,11 @@ impl Drop for ShardedSearcher {
     fn drop(&mut self) {
         // Closing the job channels ends the worker loops.
         for shard in &mut self.shards {
-            shard.jobs = None;
+            if let Some(sup) = &mut shard.supervisor {
+                sup.get_mut().unwrap_or_else(PoisonError::into_inner).jobs = None;
+            }
         }
-        for handle in self.workers.drain(..) {
+        for handle in self.workers.get_mut().unwrap_or_else(PoisonError::into_inner).drain(..) {
             let _ = handle.join();
         }
     }
@@ -700,5 +962,115 @@ mod tests {
             sharded.search_winners(batch),
             Err(ServeError::DimensionMismatch { expected: 64, found: 65 })
         ));
+    }
+
+    #[test]
+    fn injected_panic_respawns_worker_and_results_stay_exact() {
+        let (memory, classes) = random_memory(53, 96, 31);
+        let batch = random_batch(9, 96, 32);
+        let reference = memory.winners_batch(&batch).unwrap();
+        let sharded = ShardedSearcher::new(memory, classes, 3).unwrap();
+        assert!(sharded.has_workers());
+        sharded.inject_shard_panics(1, 1).unwrap();
+        let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+        for (q, w) in winners.iter().enumerate() {
+            assert_eq!((w.row, w.score), reference[q], "query {q}");
+        }
+        assert!(sharded.missing_shards().is_empty(), "one panic is absorbed by the respawn");
+        assert!(!sharded.degraded());
+        // The respawned worker keeps serving.
+        let again = sharded.search_winners(batch).unwrap();
+        for (q, w) in again.iter().enumerate() {
+            assert_eq!((w.row, w.score), reference[q], "query {q} after respawn");
+        }
+    }
+
+    #[test]
+    fn repeated_panics_degrade_shard_and_answers_cover_survivors() {
+        let mut rng = seeded(41);
+        let dim = 96;
+        let vectors: Vec<BitVector> = (0..53)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let memory = SearchMemory::from_rows(&vectors).unwrap();
+        let classes: Vec<usize> = (0..53).map(|r| r % 7).collect();
+        let batch = random_batch(9, dim, 42);
+        let sharded = ShardedSearcher::new(memory.clone(), classes.clone(), 3).unwrap();
+        assert!(sharded.num_shards() >= 2);
+        // More panics than the respawn budget: shard 0 dies for good.
+        sharded.inject_shard_panics(0, 100).unwrap();
+        let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+        assert_eq!(sharded.missing_shards(), vec![0]);
+        assert!(sharded.degraded());
+        // Degraded answers are exact over the surviving rows: rebuild the
+        // reference without shard 0's rows.
+        let parts = memory.split_rows(3).unwrap();
+        let lost = parts[1].0; // shard 0 covers rows [0, parts[1].0)
+        let survivors = SearchMemory::from_rows(&vectors[lost..]).unwrap();
+        let reference = survivors.winners_batch(&batch).unwrap();
+        for (q, w) in winners.iter().enumerate() {
+            let (local_row, score) = reference[q];
+            assert_eq!((w.row, w.score), (lost + local_row, score), "query {q}");
+            assert_eq!(w.class, classes[w.row]);
+        }
+        // Top-k likewise skips the dead shard.
+        let lists = sharded.search_topk(Arc::clone(&batch), 5).unwrap();
+        let topk = survivors.topk_batch(&batch, 5).unwrap();
+        for (q, list) in lists.iter().enumerate() {
+            let got: Vec<(usize, u32)> = list.iter().map(|w| (w.row - lost, w.score)).collect();
+            assert_eq!(got, topk.hits(q), "query {q}");
+        }
+        // Degradation is sticky; later searches stay degraded but exact.
+        assert_eq!(sharded.missing_shards(), vec![0]);
+    }
+
+    #[test]
+    fn all_shards_degraded_fails_instead_of_answering_empty() {
+        let (memory, classes) = random_memory(53, 96, 51);
+        let batch = random_batch(4, 96, 52);
+        let sharded = ShardedSearcher::new(memory, classes, 3).unwrap();
+        for shard in 0..sharded.num_shards() {
+            sharded.inject_shard_panics(shard, 100).unwrap();
+        }
+        assert!(matches!(
+            sharded.search_winners(Arc::clone(&batch)),
+            Err(ServeError::Model { .. })
+        ));
+        assert_eq!(sharded.missing_shards().len(), sharded.num_shards());
+    }
+
+    #[test]
+    fn chaos_injection_validated() {
+        let (memory, classes) = random_memory(53, 96, 61);
+        let sharded = ShardedSearcher::new(memory.clone(), classes.clone(), 3).unwrap();
+        assert!(sharded.inject_shard_panics(99, 1).is_err(), "out of range");
+        let inline = ShardedSearcher::new(memory, classes, 1).unwrap();
+        assert!(!inline.has_workers());
+        assert!(inline.inject_shard_panics(0, 1).is_err(), "inline has no workers");
+        assert!(inline.missing_shards().is_empty());
+    }
+
+    #[test]
+    fn degraded_shard_cascade_stays_exact_over_survivors() {
+        let mut rng = seeded(71);
+        let dim = 192;
+        let vectors: Vec<BitVector> = (0..53)
+            .map(|_| BitVector::from_bools(&(0..dim).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let memory = SearchMemory::from_rows(&vectors).unwrap();
+        let classes: Vec<usize> = (0..53).map(|r| r % 7).collect();
+        let batch = random_batch(9, dim, 72);
+        let plan = CascadePlan::prefix(dim, 64).unwrap();
+        let sharded = ShardedSearcher::with_cascade(memory.clone(), classes, 3, plan).unwrap();
+        sharded.inject_shard_panics(2, 100).unwrap();
+        let winners = sharded.search_winners(Arc::clone(&batch)).unwrap();
+        assert_eq!(sharded.missing_shards(), vec![2]);
+        let parts = memory.split_rows(3).unwrap();
+        let lost_offset = parts[2].0; // shard 2 covers the tail rows
+        let survivors = SearchMemory::from_rows(&vectors[..lost_offset]).unwrap();
+        let reference = survivors.winners_batch(&batch).unwrap();
+        for (q, w) in winners.iter().enumerate() {
+            assert_eq!((w.row, w.score), reference[q], "query {q}");
+        }
     }
 }

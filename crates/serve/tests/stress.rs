@@ -35,21 +35,15 @@ fn random_am(vectors: usize, dim: usize, seed: u64) -> BinaryAm {
 
 /// Submitters on many threads, pipelining windows of single-query
 /// submissions: every query is answered and matches the direct search.
-#[test]
-fn concurrent_submitters_never_lose_queries() {
+/// Shared by the per-configuration stress tests below.
+fn run_lost_queries_stress(shards: usize, config: ServeConfig, expect_coalesce: bool) {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 400;
     const WINDOW: usize = 50;
     let dim = 128;
     let am = Arc::new(random_am(64, dim, 1));
-    let sharded = ShardedSearcher::from_am(&am, 2).unwrap();
-    let server = Arc::new(
-        Server::start(
-            Arc::new(sharded) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
-        )
-        .unwrap(),
-    );
+    let sharded = ShardedSearcher::from_am(&am, shards).unwrap();
+    let server = Arc::new(Server::start(Arc::new(sharded) as Arc<dyn Searchable>, config).unwrap());
     let answered: Vec<usize> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
@@ -82,10 +76,48 @@ fn concurrent_submitters_never_lose_queries() {
     let stats = server.stats();
     assert_eq!(stats.queries, (THREADS * PER_THREAD) as u64, "every submission was accepted");
     assert!(stats.batches > 0);
-    assert!(
-        stats.largest_batch > 1,
-        "concurrent submissions should coalesce (largest batch {})",
-        stats.largest_batch
+    if expect_coalesce {
+        assert!(
+            stats.largest_batch > 1,
+            "concurrent submissions should coalesce (largest batch {})",
+            stats.largest_batch
+        );
+    }
+}
+
+#[test]
+fn concurrent_submitters_never_lose_queries() {
+    run_lost_queries_stress(
+        2,
+        ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200), ..Default::default() },
+        true,
+    );
+}
+
+/// With `max_batch` unreachable, ONLY the single deadline-flusher thread
+/// ever answers — the flat-combining inline path never triggers, so this
+/// pins the flusher's liveness under sustained multi-thread load.
+#[test]
+fn flusher_only_submitters_never_lose_queries() {
+    run_lost_queries_stress(
+        2,
+        ServeConfig {
+            max_batch: usize::MAX,
+            max_delay: Duration::from_micros(200),
+            ..Default::default()
+        },
+        true,
+    );
+}
+
+/// Four worker-backed shards under the same load: the supervised fan-out
+/// and strict merge hold up with more workers than submitter windows.
+#[test]
+fn multi_shard_submitters_never_lose_queries() {
+    run_lost_queries_stress(
+        4,
+        ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200), ..Default::default() },
+        true,
     );
 }
 
@@ -105,7 +137,11 @@ fn cascade_served_submitters_never_lose_queries() {
     let server = Arc::new(
         Server::start(
             Arc::new(sharded) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
         )
         .unwrap(),
     );
@@ -165,7 +201,11 @@ fn sharded_topk_agrees_with_unsharded_under_concurrent_mixed_k() {
     let server = Arc::new(
         Server::start(
             Arc::new(sharded) as Arc<dyn Searchable>,
-            ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
         )
         .unwrap(),
     );
@@ -229,7 +269,11 @@ fn deadline_flush_always_fires() {
     let am = Arc::new(random_am(16, dim, 2));
     let server = Server::start(
         Arc::clone(&am) as Arc<dyn Searchable>,
-        ServeConfig { max_batch: usize::MAX, max_delay: Duration::from_micros(300) },
+        ServeConfig {
+            max_batch: usize::MAX,
+            max_delay: Duration::from_micros(300),
+            ..Default::default()
+        },
     )
     .unwrap();
     let queries = random_queries(60, dim, 3);
@@ -276,7 +320,11 @@ fn snapshot_swap_never_mixes_generations() {
     let server = Arc::new(
         Server::start(
             model_for(1 % CLASS_MODELS),
-            ServeConfig { max_batch: 32, max_delay: Duration::from_micros(150) },
+            ServeConfig {
+                max_batch: 32,
+                max_delay: Duration::from_micros(150),
+                ..Default::default()
+            },
         )
         .unwrap(),
     );
@@ -386,7 +434,11 @@ fn cascade_swap_agrees_with_unsharded_and_never_mixes_generations() {
     let server = Arc::new(
         Server::start(
             model_for(1 % CLASS_MODELS, 0),
-            ServeConfig { max_batch: 32, max_delay: Duration::from_micros(150) },
+            ServeConfig {
+                max_batch: 32,
+                max_delay: Duration::from_micros(150),
+                ..Default::default()
+            },
         )
         .unwrap(),
     );

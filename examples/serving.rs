@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let server = Arc::new(Server::start(
         Arc::new(sharded),
-        ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200) },
+        ServeConfig { max_batch: 64, max_delay: Duration::from_micros(200), ..Default::default() },
     )?);
 
     // 3. Drive it from concurrent clients, each pipelining single-query
