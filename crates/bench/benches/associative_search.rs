@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hd_linalg::rng::seeded;
-use hd_linalg::{BitVector, BoundCascade, CascadePlan, QueryBatch};
+use hd_linalg::{
+    BitVector, BoundCascade, CascadePlan, CostModel, QueryBatch, ScoreMatrix, SearchMemory,
+};
 use hdc::BinaryAm;
 use imc_sim::{AmMapping, ArraySpec, MappingStrategy};
 use rand::Rng;
@@ -315,11 +317,132 @@ fn bench_cascade_repeat(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 8's calibrated-tuner and zero-repack segment-view paths.
+///
+/// `tuned_plan_10240x10` times `CascadePlan::tuned` itself — candidate
+/// plans priced with the once-per-host calibrated `CostModel` — on the
+/// imbalanced 10240×10 workload, asserting first that the calibrated
+/// tuner still converges to a multi-stage plan with a short prefix that
+/// classifies bit-identically to the exact sweep. The `segview_*` pair
+/// isolates the per-call segment re-pack the partitioned layouts used to
+/// pay on unaligned segment grids (dim 1600, P=16 → 100-bit segments,
+/// off the word grid): `segview_reuse` drives every partition through
+/// `QueryBatch::segments` (per-bit packed once, cached on the batch),
+/// `segview_repack` re-slices and re-packs every query segment on every
+/// call — the pre-PR 8 `AmMapping` behavior, kept here as the reference.
+/// Scores are asserted bit-identical across the two paths before timing.
+fn bench_cascade_calibrated(c: &mut Criterion) {
+    eprintln!("cascade_calibrated: calibrated cost model {}", CostModel::active());
+
+    // Tuner latency on the imbalanced 10240x10 workload (one dense
+    // majority centroid, nine sparse; mostly-majority traffic).
+    let dim = 10240usize;
+    let vectors = 10usize;
+    let mut rng = seeded(23);
+    let mut density_bits = |density: f32| -> BitVector {
+        BitVector::from_bools(&(0..dim).map(|_| rng.gen::<f32>() < density).collect::<Vec<_>>())
+    };
+    let mut rows = vec![density_bits(0.5)];
+    for _ in 1..vectors {
+        rows.push(density_bits(0.02));
+    }
+    let queries: Vec<BitVector> = (0..256)
+        .map(|i| {
+            let base = if i % 50 != 0 { 0 } else { 1 + i % (vectors - 1) };
+            let mut q = rows[base].clone();
+            for _ in 0..dim / 20 {
+                let bit = rng.gen_range(0..dim);
+                q.set(bit, !q.get(bit));
+            }
+            q
+        })
+        .collect();
+    let mem = SearchMemory::from_rows(&rows).expect("memory");
+    let batch = QueryBatch::from_vectors(&queries).expect("batch");
+    let plan = CascadePlan::tuned(&mem, &batch).expect("tuned plan");
+    assert!(plan.stages() > 1, "calibrated tuner must cascade here: {plan:?}");
+    assert!(plan.ends()[0] <= dim / 8, "prefix should be short: {plan:?}");
+    assert_eq!(
+        mem.search_cascade(&batch, &plan).expect("cascade").winners(),
+        mem.winners_batch(&batch).expect("exact").as_slice()
+    );
+    eprintln!("cascade_calibrated: tuned plan ends {:?}", plan.ends());
+
+    let mut group = c.benchmark_group("cascade_calibrated");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("tuned_plan_10240x10"),
+        &batch,
+        |b, batch| b.iter(|| CascadePlan::tuned(&mem, batch).expect("tuned").stages()),
+    );
+
+    // Segment-view reuse vs per-call re-pack on an unaligned grid.
+    let (sdim, srows, parts) = (1600usize, 64usize, 16usize);
+    let seg = sdim / parts; // 100 bits: off the word grid
+    let stored: Vec<BitVector> = (0..srows).map(|i| random_query(sdim, 40 + i as u64)).collect();
+    let memories: Vec<SearchMemory> = (0..parts)
+        .map(|p| {
+            let segs: Vec<BitVector> = stored.iter().map(|r| r.slice(p * seg, seg)).collect();
+            SearchMemory::from_rows(&segs).expect("partition memory")
+        })
+        .collect();
+    let squeries: Vec<BitVector> = (0..64).map(|i| random_query(sdim, 400 + i as u64)).collect();
+    let sbatch = QueryBatch::from_vectors(&squeries).expect("batch");
+    let mut scratch = ScoreMatrix::zeros(squeries.len(), srows);
+    let mut acc = vec![0u32; squeries.len() * srows];
+    let reuse = |batch: &QueryBatch, scratch: &mut ScoreMatrix, acc: &mut Vec<u32>| -> u64 {
+        acc.iter_mut().for_each(|a| *a = 0);
+        let segs = batch.segments(seg).expect("segment views");
+        for (p, memory) in memories.iter().enumerate() {
+            memory.dot_batch_into(&segs[p], scratch).expect("partition sweep");
+            for q in 0..batch.len() {
+                for (a, s) in acc[q * srows..(q + 1) * srows].iter_mut().zip(scratch.scores(q)) {
+                    *a += s;
+                }
+            }
+        }
+        acc.iter().map(|&a| u64::from(a)).sum()
+    };
+    let repack = |batch: &QueryBatch, scratch: &mut ScoreMatrix, acc: &mut Vec<u32>| -> u64 {
+        acc.iter_mut().for_each(|a| *a = 0);
+        for (p, memory) in memories.iter().enumerate() {
+            let packed: Vec<BitVector> =
+                (0..batch.len()).map(|i| batch.query(i).slice(p * seg, seg)).collect();
+            let seg_batch = QueryBatch::from_vectors(&packed).expect("segment batch");
+            memory.dot_batch_into(&seg_batch, scratch).expect("partition sweep");
+            for q in 0..batch.len() {
+                for (a, s) in acc[q * srows..(q + 1) * srows].iter_mut().zip(scratch.scores(q)) {
+                    *a += s;
+                }
+            }
+        }
+        acc.iter().map(|&a| u64::from(a)).sum()
+    };
+    assert_eq!(
+        reuse(&sbatch, &mut scratch, &mut acc),
+        repack(&sbatch, &mut scratch, &mut acc),
+        "segment views must be bit-identical to per-call re-packing"
+    );
+
+    group.throughput(Throughput::Elements(squeries.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("segview_reuse_1600x64", squeries.len()),
+        &sbatch,
+        |b, batch| b.iter(|| reuse(batch, &mut scratch, &mut acc)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("segview_repack_1600x64", squeries.len()),
+        &sbatch,
+        |b, batch| b.iter(|| repack(batch, &mut scratch, &mut acc)),
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_search,
     bench_search_batched,
     bench_cascade_search,
-    bench_cascade_repeat
+    bench_cascade_repeat,
+    bench_cascade_calibrated
 );
 criterion_main!(benches);

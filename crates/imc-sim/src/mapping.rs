@@ -433,14 +433,16 @@ impl AmMapping {
                 .dot_batch_into(batch, &mut scores)
                 .expect("basic layout matches the full query width");
         } else {
-            // Partitioned layout: view (word-aligned segments) or pack
-            // (unaligned) a segment batch per partition and accumulate
-            // the partials.
+            // Partitioned layout: drive every partition with the batch's
+            // cached segmented view (zero-copy windows on the word grid,
+            // one-time packs off it) and accumulate the partials —
+            // repeat batches stop rebuilding their segments every call.
+            let seg_batches =
+                batch.segments(self.seg_len).expect("mapping width is partitions x seg_len");
             let mut scratch = ScoreMatrix::zeros(0, 0);
             for (part, memory) in self.partitions.iter().enumerate() {
-                let seg_batch = self.segment_batch(batch, part);
                 memory
-                    .dot_batch_into(&seg_batch, &mut scratch)
+                    .dot_batch_into(&seg_batches[part], &mut scratch)
                     .expect("segment width matches partition matrix");
                 for i in 0..q {
                     let partials = scratch.scores(i);
@@ -464,23 +466,6 @@ impl AmMapping {
             predicted_classes,
             cycles_per_query: self.stats().cycles,
         })
-    }
-
-    /// The queries restricted to partition `part`'s dimension segment.
-    /// Word-aligned segment lengths (every power-of-two partitioning of a
-    /// word-aligned `D`) are zero-copy window views onto the packed batch;
-    /// only unaligned segment lengths re-pack per-bit.
-    fn segment_batch(&self, batch: &QueryBatch, part: usize) -> QueryBatch {
-        if self.seg_len.is_multiple_of(64) {
-            batch
-                .word_segment(part * self.seg_len, self.seg_len)
-                .expect("segment boundaries are word-aligned")
-        } else {
-            let segments: Vec<BitVector> = (0..batch.len())
-                .map(|i| batch.query(i).slice(part * self.seg_len, self.seg_len))
-                .collect();
-            QueryBatch::from_vectors(&segments).expect("segments are equal-length and non-empty")
-        }
     }
 
     /// Executes a batched **top-k** associative search on the mapped
@@ -522,11 +507,12 @@ impl AmMapping {
                 .collect()
         } else {
             let mut scores = ScoreMatrix::zeros(q, self.num_vectors);
+            let seg_batches =
+                batch.segments(self.seg_len).expect("mapping width is partitions x seg_len");
             let mut scratch = ScoreMatrix::zeros(0, 0);
             for (part, memory) in self.partitions.iter().enumerate() {
-                let seg_batch = self.segment_batch(batch, part);
                 memory
-                    .dot_batch_into(&seg_batch, &mut scratch)
+                    .dot_batch_into(&seg_batches[part], &mut scratch)
                     .expect("segment width matches partition matrix");
                 for i in 0..q {
                     let partials = scratch.scores(i);
@@ -1057,6 +1043,46 @@ mod tests {
             assert!(mapping.search_batch_topk(&batch, 0).is_err());
             let skinny = QueryBatch::from_vectors(&[random_query(64, 77)]).unwrap();
             assert!(mapping.search_batch_topk(&skinny, 2).is_err());
+        }
+    }
+
+    #[test]
+    fn unaligned_partitioned_batches_reuse_segment_views_bit_exactly() {
+        // seg_len = 300 / 3 = 100 (off the word grid): the per-bit
+        // segment re-pack now happens once per batch via
+        // QueryBatch::segments, so repeated searches of the same batch
+        // must stay bit-identical to the basic layout and to each other.
+        let am = random_am(4, 2, 300, 11);
+        let basic = AmMapping::new(&am, ArraySpec::default(), MappingStrategy::Basic).unwrap();
+        let part = AmMapping::new(
+            &am,
+            ArraySpec::default(),
+            MappingStrategy::Partitioned { partitions: 3 },
+        )
+        .unwrap();
+        let queries: Vec<BitVector> = (0..9).map(|s| random_query(300, 700 + s)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+
+        let reference = basic.search_batch(&batch).unwrap();
+        let first = part.search_batch(&batch).unwrap();
+        assert_eq!(first.scores, reference.scores);
+        assert_eq!(first.predicted_classes, reference.predicted_classes);
+        // The repeat call hits the batch's cached segment views.
+        let second = part.search_batch(&batch).unwrap();
+        assert_eq!(second.scores, first.scores);
+        assert_eq!(second.predicted_classes, first.predicted_classes);
+
+        let topk_ref = basic.search_batch_topk(&batch, 3).unwrap();
+        for _ in 0..2 {
+            let topk = part.search_batch_topk(&batch, 3).unwrap();
+            assert_eq!(topk.hits, topk_ref.hits);
+        }
+
+        let plan = CascadePlan::from_widths(300, &[100, 200]).unwrap();
+        for _ in 0..2 {
+            let cascade = part.search_batch_cascade(&batch, &plan).unwrap();
+            assert_eq!(cascade.predicted_rows, reference.predicted_rows);
+            assert_eq!(cascade.predicted_classes, reference.predicted_classes);
         }
     }
 

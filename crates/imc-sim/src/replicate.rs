@@ -146,7 +146,10 @@ impl ReplicatedAmMapping {
         self.majority.search(query)
     }
 
-    /// Batched associative search on the majority readout.
+    /// Batched associative search on the majority readout. Partitioned
+    /// layouts reuse the batch's cached per-segment views
+    /// ([`hd_linalg::QueryBatch::segments`]) through the underlying
+    /// [`AmMapping`], so repeated batches pay no per-call re-pack.
     ///
     /// # Errors
     ///

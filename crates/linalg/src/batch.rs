@@ -28,7 +28,7 @@ use crate::bits::{BitMatrix, BitVector, BitView};
 use crate::blocked::BlockedBitMatrix;
 use crate::error::{LinalgError, Result};
 use crate::kernel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Queries per register-blocked tile in the batched kernels.
 pub(crate) const QUERY_TILE: usize = 8;
@@ -145,7 +145,10 @@ fn pack_for_sweep(m: &BitMatrix, queries: usize) -> Option<BlockedBitMatrix> {
 /// reuses the packed words without touching the originals. The packed
 /// storage is shared (`Arc`), so clones — and the word-aligned
 /// column-segment views [`QueryBatch::word_segment`] hands out — are
-/// zero-copy.
+/// zero-copy. Column-partitioned layouts should go through
+/// [`QueryBatch::segments`], whose derived per-partition views (packed
+/// once even off the word grid) are cached on the batch and shared with
+/// clones.
 ///
 /// # Example
 ///
@@ -160,7 +163,7 @@ fn pack_for_sweep(m: &BitMatrix, queries: usize) -> Option<BlockedBitMatrix> {
 /// assert_eq!(batch.len(), 2);
 /// assert_eq!(batch.dim(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct QueryBatch {
     queries: Arc<BitMatrix>,
     /// First visible packed word of every row — non-zero only for
@@ -168,6 +171,37 @@ pub struct QueryBatch {
     word_lo: usize,
     /// Visible bits per query (the full width for non-segment batches).
     dim: usize,
+    /// Lazily-derived per-partition segment views ([`QueryBatch::segments`]),
+    /// keyed by segment length and shared across clones so repeat
+    /// searches of the same batch reuse one derivation.
+    seg_cache: Arc<Mutex<SegCache>>,
+}
+
+/// At most this many distinct partitionings are cached per batch — a
+/// batch is normally segmented exactly one way (its mapping's `D / P`),
+/// with one spare slot for mixed-layout pipelines.
+const SEG_CACHE_SLOTS: usize = 2;
+
+type SegCache = Vec<(usize, Arc<[QueryBatch]>)>;
+
+// The segment-view cache is a derivation, not data: equality, hashing
+// (none), and Debug output consider only the visible queries.
+impl PartialEq for QueryBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.word_lo == other.word_lo && self.dim == other.dim && self.queries == other.queries
+    }
+}
+
+impl Eq for QueryBatch {}
+
+impl std::fmt::Debug for QueryBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBatch")
+            .field("queries", &self.queries)
+            .field("word_lo", &self.word_lo)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
 }
 
 impl QueryBatch {
@@ -184,7 +218,12 @@ impl QueryBatch {
     /// Wraps an existing packed matrix (rows = queries).
     pub fn from_matrix(queries: BitMatrix) -> Self {
         let dim = queries.cols();
-        QueryBatch { queries: Arc::new(queries), word_lo: 0, dim }
+        QueryBatch {
+            queries: Arc::new(queries),
+            word_lo: 0,
+            dim,
+            seg_cache: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Number of queries `Q`.
@@ -275,7 +314,74 @@ impl QueryBatch {
             queries: Arc::clone(&self.queries),
             word_lo: self.word_lo + start / 64,
             dim: len,
+            seg_cache: Arc::new(Mutex::new(Vec::new())),
         })
+    }
+
+    /// The batch pre-sliced into its `dim / seg_len` consecutive
+    /// `seg_len`-bit segments — the zero-repack entry point for
+    /// column-partitioned layouts ([`crate::SegmentedCascade`],
+    /// `imc_sim`'s partitioned mappings). Segments on the word grid are
+    /// zero-copy [`QueryBatch::word_segment`] windows; segments off it
+    /// are per-bit re-packed **once**, cached on the batch, and shared
+    /// with every clone — repeated searches of the same batch stop
+    /// rebuilding their query segments on every call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `seg_len == 0` and
+    /// [`LinalgError::ShapeMismatch`] when `seg_len` does not divide the
+    /// batch width.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hd_linalg::{BitVector, QueryBatch};
+    ///
+    /// let batch = QueryBatch::from_vectors(&[BitVector::from_bools(&[true; 300])]).unwrap();
+    /// let segs = batch.segments(100).unwrap(); // 100 % 64 != 0: packed once
+    /// assert_eq!(segs.len(), 3);
+    /// assert_eq!(segs[1].query(0), batch.query(0).slice(100, 100));
+    /// // Repeat calls (and clones) hand back the same cached derivation.
+    /// assert!(std::sync::Arc::ptr_eq(&segs, &batch.clone().segments(100).unwrap()));
+    /// ```
+    pub fn segments(&self, seg_len: usize) -> Result<Arc<[QueryBatch]>> {
+        if seg_len == 0 {
+            return Err(LinalgError::Empty { op: "QueryBatch::segments" });
+        }
+        if !self.dim.is_multiple_of(seg_len) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "QueryBatch::segments",
+                expected: seg_len,
+                found: self.dim,
+            });
+        }
+        let mut cache = self.seg_cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((_, segs)) = cache.iter().find(|(s, _)| *s == seg_len) {
+            return Ok(Arc::clone(segs));
+        }
+        let parts = self.dim / seg_len;
+        let built: Vec<QueryBatch> = (0..parts)
+            .map(|p| {
+                let start = p * seg_len;
+                let end = start + seg_len;
+                if start.is_multiple_of(64) && (end.is_multiple_of(64) || end == self.dim) {
+                    self.word_segment(start, seg_len).expect("validated aligned window")
+                } else {
+                    // The one-time per-bit re-pack for segments off the
+                    // word grid — amortized by the cache below.
+                    let segs: Vec<BitVector> =
+                        (0..self.len()).map(|i| self.query(i).slice(start, seg_len)).collect();
+                    QueryBatch::from_vectors(&segs).expect("equal-width non-empty segments")
+                }
+            })
+            .collect();
+        let segs: Arc<[QueryBatch]> = built.into();
+        if cache.len() == SEG_CACHE_SLOTS {
+            cache.remove(0);
+        }
+        cache.push((seg_len, Arc::clone(&segs)));
+        Ok(segs)
     }
 
     #[inline]
@@ -1405,6 +1511,68 @@ mod tests {
         assert_eq!(argmax_scores(&[3, 5, 5, 1]), (1, 5));
         assert_eq!(argmax_scores(&[7]), (0, 7));
         assert_eq!(argmax_scores(&[0, 0, 0]), (0, 0));
+    }
+
+    #[test]
+    fn segments_match_per_bit_slices_on_every_grid() {
+        let mut rng = seeded(7);
+        // Word-aligned (64), unaligned (100, 50), and sub-word (25)
+        // partitionings all reproduce the per-bit slices exactly.
+        for (dim, seg_len) in [(256usize, 64usize), (300, 100), (300, 50), (100, 25), (130, 65)] {
+            let queries: Vec<BitVector> = (0..9).map(|_| random_bits(dim, &mut rng)).collect();
+            let batch = QueryBatch::from_vectors(&queries).unwrap();
+            let segs = batch.segments(seg_len).unwrap();
+            assert_eq!(segs.len(), dim / seg_len);
+            for (p, seg) in segs.iter().enumerate() {
+                assert_eq!((seg.len(), seg.dim()), (queries.len(), seg_len));
+                for (i, q) in queries.iter().enumerate() {
+                    assert_eq!(
+                        seg.query(i).to_bit_vector(),
+                        q.slice(p * seg_len, seg_len),
+                        "dim {dim} seg {seg_len} part {p} query {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_cache_is_shared_and_bounded() {
+        let mut rng = seeded(8);
+        let queries: Vec<BitVector> = (0..4).map(|_| random_bits(300, &mut rng)).collect();
+        let batch = QueryBatch::from_vectors(&queries).unwrap();
+        // Repeat calls and clones hand back the same Arc — the
+        // zero-repack guarantee for repeated unaligned batches.
+        let first = batch.segments(100).unwrap();
+        assert!(Arc::ptr_eq(&first, &batch.segments(100).unwrap()));
+        assert!(Arc::ptr_eq(&first, &batch.clone().segments(100).unwrap()));
+        // A second partitioning coexists (two cache slots)...
+        let other = batch.segments(150).unwrap();
+        assert!(Arc::ptr_eq(&other, &batch.segments(150).unwrap()));
+        assert!(Arc::ptr_eq(&first, &batch.segments(100).unwrap()));
+        // ...and a third evicts the oldest, which re-derives equal data.
+        let third = batch.segments(75).unwrap();
+        assert!(Arc::ptr_eq(&third, &batch.segments(75).unwrap()));
+        let rederived = batch.segments(100).unwrap();
+        assert!(!Arc::ptr_eq(&first, &rederived));
+        assert_eq!(first.as_ref(), rederived.as_ref());
+    }
+
+    #[test]
+    fn segments_validate_partitioning() {
+        let batch = QueryBatch::from_vectors(&[BitVector::zeros(128)]).unwrap();
+        assert!(matches!(
+            batch.segments(0),
+            Err(LinalgError::Empty { op: "QueryBatch::segments" })
+        ));
+        assert!(matches!(
+            batch.segments(100),
+            Err(LinalgError::ShapeMismatch { op: "QueryBatch::segments", .. })
+        ));
+        // The full width is a valid single-segment partitioning.
+        let whole = batch.segments(128).unwrap();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0], batch);
     }
 
     #[test]

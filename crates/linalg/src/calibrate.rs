@@ -1,0 +1,480 @@
+//! Once-per-host micro-calibration of the cascade tuner's cost model.
+//!
+//! [`crate::CascadePlan::tuned`] scores candidate stage plans with a
+//! deterministic cost model: a tiled stage-0 SIMD sweep priced at one
+//! unit per row-word, a per-row pruning continuation priced at a
+//! multiple of that, and fixed per-row / per-(query, stage) overheads.
+//! Those relative prices used to be hand-tuned constants; they are
+//! really properties of the host's kernels (how much faster the
+//! register-tiled sweep is than the shortlist-indirected continuation on
+//! *this* CPU with *this* dispatched backend). This module measures them
+//! once per host by timing the two real kernels — the blocked
+//! winners sweep and the `multi_dot_words` continuation, both through
+//! the same dispatch table the search paths use — on a small synthetic
+//! workload, and caches the result so every later process (and every
+//! later call in this one) resolves the same [`CostModel`].
+//!
+//! Resolution order of [`CostModel::active`]:
+//!
+//! 1. `HD_LINALG_CALIBRATION` env override: `fallback` (or `off`) pins
+//!    the compiled-in [`CostModel::fallback`] constants; `measure`
+//!    forces a fresh measurement (ignoring the cache, still writing
+//!    it); an explicit `cont=4.0,row=2.0,stage=8.0` triple pins exact
+//!    values. Unrecognized values warn once and fall back.
+//! 2. A scalar kernel backend — the `force-scalar` feature or
+//!    `HD_LINALG_BACKEND=scalar` — resolves to the fallback constants:
+//!    both "kernels" are the same portable loop there, so timing them
+//!    says nothing, and the scalar-forced CI leg stays reproducible.
+//! 3. The per-host cache file (`HD_LINALG_CALIBRATION_CACHE`, else
+//!    `$XDG_CACHE_HOME`/`$HOME/.cache` under `hd-linalg/`, else the
+//!    system temp dir), keyed by kernel backend.
+//! 4. A fresh [`CostModel::measure`], persisted to the cache
+//!    best-effort (atomic rename; a read-only filesystem just
+//!    re-measures next process).
+//!
+//! Measured parameters are clamped to a sane regime (a noisy container
+//! can stretch a timing, not invert the model's shape) and quantized, so
+//! a cached model is bit-stable across loads.
+
+use crate::blocked::SearchMemory;
+use crate::kernel::{self, Backend};
+use crate::{BitVector, QueryBatch};
+use std::fmt;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cache-format version; bump when the measurement or clamps change.
+const CACHE_VERSION: u32 = 1;
+
+/// The calibrated parameters of the cascade tuner's cost model, in
+/// stage-0 row-word units (one unit = the tiled SIMD sweep scoring one
+/// packed word of one row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Relative per-word cost of the per-row pruning continuation vs.
+    /// the tiled stage-0 sweep (shortlist indirection, no register
+    /// tiling). Clamped to `[1.25, 8.0]`.
+    pub cont_weight: f64,
+    /// Fixed per-row continuation overhead (candidate bookkeeping).
+    /// Clamped to `[0.0, 16.0]`.
+    pub row_overhead_words: f64,
+    /// Fixed per-query, per-stage overhead (pruning pass, lazy suffix
+    /// popcounts). Clamped to `[2.0, 64.0]`.
+    pub stage_overhead_words: f64,
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cont={},row={},stage={}",
+            self.cont_weight, self.row_overhead_words, self.stage_overhead_words
+        )
+    }
+}
+
+impl CostModel {
+    /// The compiled-in fallback: the historical hand-tuned constants,
+    /// used whenever measurement is unavailable or pinned off
+    /// (scalar-forced runs, `HD_LINALG_CALIBRATION=fallback`, timing
+    /// failures). Deterministic by construction.
+    pub const fn fallback() -> Self {
+        CostModel { cont_weight: 4.0, row_overhead_words: 2.0, stage_overhead_words: 8.0 }
+    }
+
+    /// The process-wide cost model, resolved once (see the module docs
+    /// for the resolution order) and identical on every later call.
+    pub fn active() -> Self {
+        static ACTIVE: OnceLock<CostModel> = OnceLock::new();
+        *ACTIVE.get_or_init(Self::resolve)
+    }
+
+    fn resolve() -> Self {
+        match std::env::var("HD_LINALG_CALIBRATION") {
+            Ok(raw) if !raw.is_empty() => {
+                let v = raw.trim().to_ascii_lowercase();
+                return match v.as_str() {
+                    "fallback" | "off" => Self::fallback(),
+                    "measure" => Self::measure_and_store(),
+                    _ => Self::parse(&raw).unwrap_or_else(|| {
+                        eprintln!(
+                            "hd_linalg: unrecognized HD_LINALG_CALIBRATION={raw:?} \
+                             (expected fallback|measure|cont=..,row=..,stage=..); \
+                             using the fallback constants"
+                        );
+                        Self::fallback()
+                    }),
+                };
+            }
+            _ => {}
+        }
+        let backend = kernel::active();
+        if backend == Backend::Scalar {
+            // Scalar sweep and scalar continuation are the same portable
+            // loop — there is nothing host-specific to measure, and the
+            // scalar-forced CI legs must stay reproducible.
+            return Self::fallback();
+        }
+        if let Some(cached) = cache_path(backend).and_then(|p| Self::load(&p, backend)) {
+            return cached;
+        }
+        Self::measure_and_store()
+    }
+
+    fn measure_and_store() -> Self {
+        let backend = kernel::active();
+        let model = Self::measure(backend);
+        if let Some(path) = cache_path(backend) {
+            let _ = model.store(&path, backend); // best-effort persistence
+        }
+        model
+    }
+
+    /// Parses an explicit `cont=4.0,row=2.0,stage=8.0` override (any
+    /// order, all three keys required). Values are clamped like measured
+    /// ones. Returns `None` on anything malformed.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (mut cont, mut row, mut stage) = (None, None, None);
+        for field in text.split(',') {
+            let (key, value) = field.split_once('=')?;
+            let value: f64 = value.trim().parse().ok()?;
+            if !value.is_finite() || value < 0.0 {
+                return None;
+            }
+            match key.trim() {
+                "cont" => cont = Some(value),
+                "row" => row = Some(value),
+                "stage" => stage = Some(value),
+                _ => return None,
+            }
+        }
+        Some(
+            CostModel {
+                cont_weight: cont?,
+                row_overhead_words: row?,
+                stage_overhead_words: stage?,
+            }
+            .clamped(),
+        )
+    }
+
+    /// Clamps every parameter into the regime the tuner's model shape is
+    /// valid for, then quantizes to 1/1024 units so a stored model
+    /// round-trips bit-identically through the decimal cache format.
+    pub fn clamped(self) -> Self {
+        let q = |x: f64| (x * 1024.0).round() / 1024.0;
+        CostModel {
+            cont_weight: q(self.cont_weight.clamp(1.25, 8.0)),
+            row_overhead_words: q(self.row_overhead_words.clamp(0.0, 16.0)),
+            stage_overhead_words: q(self.stage_overhead_words.clamp(2.0, 64.0)),
+        }
+    }
+
+    /// Measures the model for `backend` on a synthetic workload: a
+    /// deterministic 256-row × 4096-bit memory swept by 32 queries
+    /// (stage-0 unit price), `multi_dot_words` continuations at two
+    /// segment widths (per-word weight and per-row intercept), and the
+    /// per-(query, stage) pruning bookkeeping (lazy suffix popcounts +
+    /// shortlist rescan). Timing noise is bounded by best-of-reps and
+    /// the clamps; a degenerate measurement (zero or non-finite unit
+    /// price) returns [`CostModel::fallback`].
+    pub fn measure(backend: Backend) -> Self {
+        const ROWS: usize = 256;
+        const WORDS: usize = 64;
+        const DIM: usize = WORDS * 64;
+        const QUERIES: usize = 32;
+        const SHORTLIST: usize = 8;
+        const REPS: usize = 5;
+
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            // splitmix64: deterministic filler, no crate dependencies.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut packed = |words: usize| -> Vec<u64> { (0..words).map(|_| next()).collect() };
+        let rows: Vec<BitVector> = (0..ROWS)
+            .map(|_| BitVector::from_words(DIM, packed(WORDS)).expect("whole words"))
+            .collect();
+        let memory = SearchMemory::from_rows(&rows).expect("non-empty synthetic memory");
+        let queries: Vec<BitVector> = (0..QUERIES)
+            .map(|_| BitVector::from_words(DIM, packed(WORDS)).expect("whole words"))
+            .collect();
+        let batch = QueryBatch::from_vectors(&queries).expect("non-empty synthetic batch");
+
+        // Stage-0 unit price: the real fused winners sweep (blocked
+        // layout, query tiling) through the explicit-backend hook. On a
+        // scalar host no blocked mirror exists; the row-major sweep is
+        // the stage-0 kernel there.
+        let sweep_ns = min_time(REPS, || {
+            let winners = match memory.blocked() {
+                Some(blocked) => {
+                    blocked.winners_batch_with(&batch, backend).expect("validated shapes")
+                }
+                None => memory.winners_batch(&batch).expect("validated shapes"),
+            };
+            black_box(winners);
+        });
+        let t0 = sweep_ns / (QUERIES * ROWS * WORDS) as f64;
+
+        // Continuation price at two widths: per-row cost is
+        // `intercept + width × slope`, so two measurements solve both.
+        let row_words: Vec<&[u64]> = rows.iter().take(SHORTLIST).map(|r| r.as_words()).collect();
+        let mut out = [0u32; SHORTLIST];
+        let mut cont_per_row = |width: usize| -> f64 {
+            const ITERS: usize = 8;
+            let ns = min_time(REPS, || {
+                for _ in 0..ITERS {
+                    for q in 0..QUERIES {
+                        let qs = &batch.query_words(q)[..width];
+                        let rows_w: Vec<&[u64]> = row_words.iter().map(|r| &r[..width]).collect();
+                        kernel::multi_dot_words_with(backend, qs, &rows_w, &mut out);
+                        black_box(&out);
+                    }
+                }
+            });
+            ns / (ITERS * QUERIES * SHORTLIST) as f64
+        };
+        let (w_short, w_long) = (8usize, 32usize);
+        let per_row_short = cont_per_row(w_short);
+        let per_row_long = cont_per_row(w_long);
+        let t1 = (per_row_long - per_row_short) / (w_long - w_short) as f64;
+        let row_fix = per_row_short - w_short as f64 * t1;
+
+        // Per-(query, stage) bookkeeping: the lazy query-suffix popcount
+        // plus one shortlist rescan against the pruning bound.
+        let stage_ns = {
+            const ITERS: usize = 8;
+            let partials: Vec<u32> = (0..SHORTLIST as u32 * 2).collect();
+            let ns = min_time(REPS, || {
+                for _ in 0..ITERS {
+                    for q in 0..QUERIES {
+                        let suffix: u32 =
+                            batch.query_words(q)[WORDS / 2..].iter().map(|w| w.count_ones()).sum();
+                        let bound = black_box(suffix);
+                        let survivors = partials.iter().filter(|&&p| p + suffix >= bound).count();
+                        black_box(survivors);
+                    }
+                }
+            });
+            ns / (ITERS * QUERIES) as f64
+        };
+
+        if !(t0.is_finite() && t0 > 0.0 && t1.is_finite() && row_fix.is_finite()) {
+            return Self::fallback();
+        }
+        CostModel {
+            cont_weight: t1 / t0,
+            row_overhead_words: (row_fix / t0).max(0.0),
+            stage_overhead_words: stage_ns / t0,
+        }
+        .clamped()
+    }
+
+    /// Loads a cached model from `path`, returning `None` when the file
+    /// is missing, malformed, from another cache version, or was
+    /// measured for a different kernel backend.
+    pub fn load(path: &Path, backend: Backend) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let (mut version, mut found_backend) = (None, None);
+        let (mut cont, mut row, mut stage) = (None, None, None);
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=')?;
+            match key.trim() {
+                "version" => version = value.trim().parse::<u32>().ok(),
+                "backend" => found_backend = Some(value.trim().to_string()),
+                "cont_weight" => cont = value.trim().parse::<f64>().ok(),
+                "row_overhead_words" => row = value.trim().parse::<f64>().ok(),
+                "stage_overhead_words" => stage = value.trim().parse::<f64>().ok(),
+                _ => return None,
+            }
+        }
+        if version? != CACHE_VERSION || found_backend? != backend.name() {
+            return None;
+        }
+        let model = CostModel {
+            cont_weight: cont?,
+            row_overhead_words: row?,
+            stage_overhead_words: stage?,
+        };
+        // Reject values outside the clamp regime instead of silently
+        // re-clamping: an out-of-range file is corrupt, not calibrated.
+        (model == model.clamped()).then_some(model)
+    }
+
+    /// Persists the model to `path` (parent directories created, written
+    /// via a temp file + atomic rename so concurrent readers never see a
+    /// partial cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers treat persistence as
+    /// best-effort.
+    pub fn store(&self, path: &Path, backend: Backend) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "# hd-linalg cascade cost-model calibration (auto-generated)")?;
+            writeln!(f, "version={CACHE_VERSION}")?;
+            writeln!(f, "backend={}", backend.name())?;
+            writeln!(f, "cont_weight={}", self.cont_weight)?;
+            writeln!(f, "row_overhead_words={}", self.row_overhead_words)?;
+            writeln!(f, "stage_overhead_words={}", self.stage_overhead_words)?;
+        }
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
+    }
+}
+
+/// The per-host cache file for `backend`'s calibration:
+/// `HD_LINALG_CALIBRATION_CACHE` verbatim when set, else
+/// `<cache-base>/hd-linalg/cascade-cost-v1-<backend>.txt` where the base
+/// is `$XDG_CACHE_HOME`, `$HOME/.cache`, or the system temp dir.
+pub fn cache_path(backend: Backend) -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("HD_LINALG_CALIBRATION_CACHE") {
+        if !p.is_empty() {
+            return Some(PathBuf::from(p));
+        }
+    }
+    let base = std::env::var_os("XDG_CACHE_HOME")
+        .map(PathBuf::from)
+        .filter(|p| !p.as_os_str().is_empty())
+        .or_else(|| {
+            std::env::var_os("HOME")
+                .filter(|h| !h.is_empty())
+                .map(|h| PathBuf::from(h).join(".cache"))
+        })
+        .unwrap_or_else(std::env::temp_dir);
+    Some(
+        base.join("hd-linalg")
+            .join(format!("cascade-cost-v{CACHE_VERSION}-{}.txt", backend.name())),
+    )
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds.
+fn min_time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_matches_historical_hand_tuned_constants() {
+        let f = CostModel::fallback();
+        assert_eq!((f.cont_weight, f.row_overhead_words, f.stage_overhead_words), (4.0, 2.0, 8.0));
+        // The fallback itself sits inside the clamp regime.
+        assert_eq!(f, f.clamped());
+    }
+
+    #[test]
+    fn parse_accepts_triples_and_rejects_garbage() {
+        let m = CostModel::parse("cont=3.5,row=1.0,stage=10").unwrap();
+        assert_eq!((m.cont_weight, m.row_overhead_words, m.stage_overhead_words), (3.5, 1.0, 10.0));
+        // Order-insensitive, whitespace-tolerant, clamped.
+        let m = CostModel::parse("stage=1, cont = 100 ,row=0").unwrap();
+        assert_eq!((m.cont_weight, m.row_overhead_words, m.stage_overhead_words), (8.0, 0.0, 2.0));
+        for bad in [
+            "",
+            "cont=1",
+            "cont=1,row=2",
+            "cont=a,row=2,stage=3",
+            "x=1,row=2,stage=3",
+            "cont=-1,row=2,stage=3",
+            "cont=inf,row=2,stage=3",
+        ] {
+            assert!(CostModel::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn measure_stays_inside_the_clamp_regime() {
+        let m = CostModel::measure(kernel::active());
+        assert_eq!(m, m.clamped(), "measured model must be clamped+quantized: {m}");
+        assert!((1.25..=8.0).contains(&m.cont_weight), "{m}");
+        assert!((0.0..=16.0).contains(&m.row_overhead_words), "{m}");
+        assert!((2.0..=64.0).contains(&m.stage_overhead_words), "{m}");
+    }
+
+    #[test]
+    fn cache_roundtrip_is_bit_identical_and_backend_keyed() {
+        let dir = std::env::temp_dir().join(format!("hd-linalg-test-{}", std::process::id()));
+        let path = dir.join("roundtrip.txt");
+        let model = CostModel::parse("cont=2.625,row=1.5,stage=12.25").unwrap();
+        let backend = kernel::active();
+        model.store(&path, backend).unwrap();
+        // Deterministic across repeat loads.
+        assert_eq!(CostModel::load(&path, backend), Some(model));
+        assert_eq!(CostModel::load(&path, backend), Some(model));
+        // A different backend's cache never leaks across.
+        for other in Backend::available() {
+            if other != backend {
+                assert_eq!(CostModel::load(&path, other), None);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_out_of_regime_and_malformed_files() {
+        let dir = std::env::temp_dir().join(format!("hd-linalg-test-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let backend = kernel::active();
+        let cases = [
+            ("missing.txt", None),
+            ("junk.txt", Some("not a cache file")),
+            (
+                "out-of-regime.txt",
+                Some("version=1\nbackend=BACKEND\ncont_weight=99\nrow_overhead_words=1\nstage_overhead_words=8\n"),
+            ),
+            (
+                "old-version.txt",
+                Some("version=0\nbackend=BACKEND\ncont_weight=4\nrow_overhead_words=2\nstage_overhead_words=8\n"),
+            ),
+        ];
+        for (name, contents) in cases {
+            let path = dir.join(name);
+            if let Some(c) = contents {
+                std::fs::write(&path, c.replace("BACKEND", backend.name())).unwrap();
+            }
+            assert_eq!(CostModel::load(&path, backend), None, "{name}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn active_is_stable_across_calls() {
+        assert_eq!(CostModel::active(), CostModel::active());
+    }
+
+    /// The compile-time scalar kill switch pins the deterministic
+    /// fallback — the scalar-forced CI leg exercises exactly this path.
+    #[cfg(feature = "force-scalar")]
+    #[test]
+    fn force_scalar_resolves_to_fallback() {
+        assert_eq!(CostModel::active(), CostModel::fallback());
+    }
+}

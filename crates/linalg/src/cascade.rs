@@ -41,8 +41,9 @@
 //! telemetry `imc_sim` converts back into the paper's energy ladder.
 
 use crate::batch::{self, multi_dot_words, topk_insert, TopK};
-use crate::bits::{BitMatrix, BitVector};
+use crate::bits::BitMatrix;
 use crate::blocked::SearchMemory;
+use crate::calibrate::CostModel;
 use crate::error::{LinalgError, Result};
 use crate::kernel::{self, Backend};
 use crate::{QueryBatch, QueryBatchBuilder, ScoreMatrix};
@@ -243,7 +244,10 @@ impl CascadePlan {
     /// and replaying the bound on the sample measures it directly. Each
     /// candidate's measured per-stage shortlist sizes feed a deterministic
     /// cost model (tiled SIMD prefix sweep vs. the pricier per-row
-    /// continuation), a three-stage refinement of the best prefix is
+    /// continuation) whose relative prices come from the once-per-host
+    /// kernel calibration ([`crate::CostModel::active`]; pin
+    /// `HD_LINALG_CALIBRATION=fallback` for fully host-independent
+    /// plans), a three-stage refinement of the best prefix is
     /// tried, and the winner is kept only if it beats the exact sweep's
     /// modeled cost — workloads whose rows never separate early get
     /// [`CascadePlan::exact`] back, which *is* the right plan for them.
@@ -313,6 +317,19 @@ impl CascadePlan {
     /// }
     /// ```
     pub fn tuned_aligned(memory: &SearchMemory, sample: &QueryBatch, unit: usize) -> Result<Self> {
+        Self::tuned_aligned_with(memory, sample, unit, &CostModel::active())
+    }
+
+    /// [`CascadePlan::tuned_aligned`] under an explicit [`CostModel`] —
+    /// the hook deterministic tests and offline what-if analyses pin a
+    /// model with; production callers use the calibrated
+    /// [`CostModel::active`] via the public entry points.
+    fn tuned_aligned_with(
+        memory: &SearchMemory,
+        sample: &QueryBatch,
+        unit: usize,
+        model: &CostModel,
+    ) -> Result<Self> {
         let m = memory.matrix();
         if unit == 0 {
             return Err(LinalgError::Empty { op: "CascadePlan::tuned_aligned" });
@@ -368,11 +385,11 @@ impl CascadePlan {
                 w *= 2;
             }
         }
-        let exact_cost = modeled_exact_cost(m.rows(), dim, sub.len());
+        let exact_cost = modeled_exact_cost(m.rows(), dim, sub.len(), model, unit);
         let mut best: Option<(CascadePlan, f64)> = None;
         for &w in &widths {
             let plan = CascadePlan::prefix(dim, w).expect("0 < w < dim");
-            let cost = modeled_cost(&plan, cascade_active(m, sub, &plan).stats());
+            let cost = modeled_cost(&plan, cascade_active(m, sub, &plan).stats(), model, unit);
             if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((plan, cost));
             }
@@ -387,7 +404,7 @@ impl CascadePlan {
             if mid > e0 && mid < dim {
                 let plan = CascadePlan::from_widths(dim, &[e0, mid - e0, dim - mid])
                     .expect("strictly increasing boundaries");
-                let cost = modeled_cost(&plan, cascade_active(m, sub, &plan).stats());
+                let cost = modeled_cost(&plan, cascade_active(m, sub, &plan).stats(), model, unit);
                 if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                     best = Some((plan, cost));
                 }
@@ -402,38 +419,61 @@ impl CascadePlan {
 
 /// Queries the tuner replays candidate plans over, at most.
 const TUNE_SAMPLE_CAP: usize = 64;
-/// Relative per-word cost of the per-row pruning continuation vs. the
-/// tiled stage-0 SIMD sweep (shortlist indirection, no register tiling).
-const TUNE_CONT_WEIGHT: f64 = 4.0;
-/// Fixed per-row continuation overhead (candidate bookkeeping), in
-/// stage-0 word units.
-const TUNE_ROW_OVERHEAD_WORDS: f64 = 2.0;
-/// Fixed per-query, per-stage overhead (pruning pass, lazy suffix
-/// popcounts), in stage-0 word units.
-const TUNE_STAGE_OVERHEAD_WORDS: f64 = 8.0;
 
-/// Deterministic cost of one measured cascade, in stage-0 word units.
-fn modeled_cost(plan: &CascadePlan, stats: &CascadeStats) -> f64 {
+/// Packed words one stage `[prev, e)` drives per (query, row) on a
+/// layout whose stage grid is `unit`-bit segments.
+///
+/// On the word grid (`unit % 64 == 0`, including the contiguous
+/// `unit = 64` default) a stage reads words `[prev / 64, word_end(e))`:
+/// interior boundaries sit on the word grid, so only an unaligned
+/// *final* boundary pays a partial word, exactly once. Off the word
+/// grid (`unit % 64 != 0` — partitioned layouts with unaligned segment
+/// lengths) the storage is per-segment: each `unit`-bit segment lives in
+/// its own `word_end(unit)` padded words and a stage drives whole
+/// segments, so the per-stage count is segments × padded words — there
+/// is no seam word shared with a neighbouring stage. The previous
+/// accounting applied the contiguous word-window formula to every grid,
+/// which both double-charged a (nonexistent) shared seam word to the
+/// two stages meeting at each unaligned boundary and under-charged the
+/// padding sub-word segments actually drive.
+fn stage_words(prev: usize, e: usize, unit: usize) -> usize {
+    if unit.is_multiple_of(64) {
+        word_end(e) - prev / 64
+    } else {
+        (e - prev).div_ceil(unit) * word_end(unit)
+    }
+}
+
+/// Deterministic cost of one measured cascade under `model`, in stage-0
+/// word units, on a layout whose stage grid is `unit`-bit segments.
+fn modeled_cost(plan: &CascadePlan, stats: &CascadeStats, model: &CostModel, unit: usize) -> f64 {
     let queries = stats.queries() as f64;
     let mut prev = 0usize;
     let mut cost = 0.0;
     for (k, &e) in plan.ends().iter().enumerate() {
-        let stage_words = (word_end(e) - prev / 64) as f64;
+        let words = stage_words(prev, e, unit) as f64;
         let rows_in = stats.stage_rows()[k] as f64;
         cost += if k == 0 {
-            rows_in * stage_words
+            rows_in * words
         } else {
-            TUNE_CONT_WEIGHT * rows_in * stage_words + TUNE_ROW_OVERHEAD_WORDS * rows_in
+            model.cont_weight * rows_in * words + model.row_overhead_words * rows_in
         };
-        cost += queries * TUNE_STAGE_OVERHEAD_WORDS;
+        cost += queries * model.stage_overhead_words;
         prev = e;
     }
     cost
 }
 
 /// What the exact one-stage sweep models to, in the same units.
-fn modeled_exact_cost(rows: usize, dim: usize, queries: usize) -> f64 {
-    (queries * rows * word_end(dim)) as f64 + queries as f64 * TUNE_STAGE_OVERHEAD_WORDS
+fn modeled_exact_cost(
+    rows: usize,
+    dim: usize,
+    queries: usize,
+    model: &CostModel,
+    unit: usize,
+) -> f64 {
+    (queries * rows * stage_words(0, dim, unit)) as f64
+        + queries as f64 * model.stage_overhead_words
 }
 
 /// Activation telemetry of one cascade search — the quantity the paper's
@@ -1699,7 +1739,7 @@ impl SegmentedCascade {
         &self,
         parts: &[SearchMemory],
         batch: &QueryBatch,
-    ) -> Result<(ScoreMatrix, Vec<Option<QueryBatch>>)> {
+    ) -> Result<(ScoreMatrix, Arc<[QueryBatch]>)> {
         let (rows, seg_len) = check_segments(parts, &self.plan)?;
         if rows != self.rows || seg_len != self.seg_len {
             return Err(LinalgError::ShapeMismatch {
@@ -1726,24 +1766,14 @@ impl SegmentedCascade {
         );
         let q = batch.len();
         let ends = self.plan.ends();
-        let aligned = seg_len.is_multiple_of(64);
         let seg0_count = ends[0] / seg_len;
 
-        // Per-partition query segment batches. Word-aligned segments are
-        // zero-copy views over the packed queries (both for stage-0 tiled
-        // sweeps and the continuation's direct word slices); unaligned
-        // segments pre-pack every partition any stage will touch.
-        let build_seg_batch = |p: usize| -> QueryBatch {
-            if aligned {
-                batch
-                    .word_segment(p * seg_len, seg_len)
-                    .expect("segment boundaries validated against the batch width")
-            } else {
-                let segs: Vec<BitVector> =
-                    (0..q).map(|i| batch.query(i).slice(p * seg_len, seg_len)).collect();
-                QueryBatch::from_vectors(&segs).expect("equal-width non-empty segments")
-            }
-        };
+        // Per-partition query segment batches, via the batch's cached
+        // segmented view: word-aligned segments are zero-copy windows
+        // over the packed queries, unaligned ones were per-bit packed
+        // exactly once — repeat searches over the same batch reuse the
+        // same derivation instead of rebuilding it every flush.
+        let seg_batches = batch.segments(seg_len)?;
 
         // Stage 0: every covered partition's full tiled sweep,
         // accumulated digitally — identical structure to the exact
@@ -1751,12 +1781,11 @@ impl SegmentedCascade {
         let mut scores = ScoreMatrix::zeros(q, rows);
         let mut scratch = ScoreMatrix::zeros(0, 0);
         for (p, part) in parts.iter().enumerate().take(seg0_count) {
-            let seg_batch = build_seg_batch(p);
             if p == 0 {
-                part.dot_batch_into(&seg_batch, &mut scores)
+                part.dot_batch_into(&seg_batches[p], &mut scores)
                     .expect("segment width matches partition matrix");
             } else {
-                part.dot_batch_into(&seg_batch, &mut scratch)
+                part.dot_batch_into(&seg_batches[p], &mut scratch)
                     .expect("segment width matches partition matrix");
                 for i in 0..q {
                     let partials = scratch.scores(i);
@@ -1766,9 +1795,6 @@ impl SegmentedCascade {
                 }
             }
         }
-        let seg_batches: Vec<Option<QueryBatch>> = (0..parts.len())
-            .map(|p| (!aligned && p >= seg0_count).then(|| build_seg_batch(p)))
-            .collect();
         Ok((scores, seg_batches))
     }
 }
@@ -1842,7 +1868,7 @@ fn check_segments(parts: &[SearchMemory], plan: &CascadePlan) -> Result<(usize, 
 #[allow(clippy::too_many_arguments)]
 fn segmented_continuation_range(
     parts: &[SearchMemory],
-    seg_batches: &[Option<QueryBatch>],
+    seg_batches: &[QueryBatch],
     batch: &QueryBatch,
     seg_len: usize,
     ends: &[usize],
@@ -1852,8 +1878,6 @@ fn segmented_continuation_range(
     out: &mut [(usize, u32)],
     stats: &mut CascadeStats,
 ) {
-    let aligned = seg_len.is_multiple_of(64);
-    let wseg = seg_len / 64;
     let mut row_refs: Vec<&[u64]> = Vec::new();
     let mut acc: Vec<u32> = Vec::new();
     prune_continuation_range(
@@ -1868,18 +1892,10 @@ fn segmented_continuation_range(
         |k, gq, cands, partials| {
             let (lo, hi) = (ends[k - 1], ends[k]);
             let (p_lo, p_hi) = (lo / seg_len, hi / seg_len);
-            let qw = batch.query_words(gq);
             acc.clear();
             acc.resize(cands.len(), 0);
             for (p, part) in parts.iter().enumerate().take(p_hi).skip(p_lo) {
-                let qs: &[u64] = if aligned {
-                    &qw[p * wseg..(p + 1) * wseg]
-                } else {
-                    seg_batches[p]
-                        .as_ref()
-                        .expect("unaligned continuation partitions are pre-packed")
-                        .query_words(gq)
-                };
+                let qs: &[u64] = seg_batches[p].query_words(gq);
                 let pm = part.matrix();
                 row_refs.clear();
                 row_refs.extend(cands.iter().map(|&r| pm.row_words_pub(r as usize)));
@@ -1905,7 +1921,7 @@ fn segmented_continuation_range(
 #[allow(clippy::too_many_arguments)]
 fn segmented_continuation_topk_range(
     parts: &[SearchMemory],
-    seg_batches: &[Option<QueryBatch>],
+    seg_batches: &[QueryBatch],
     batch: &QueryBatch,
     seg_len: usize,
     ends: &[usize],
@@ -1916,8 +1932,6 @@ fn segmented_continuation_topk_range(
     out: &mut [(usize, u32)],
     stats: &mut CascadeStats,
 ) {
-    let aligned = seg_len.is_multiple_of(64);
-    let wseg = seg_len / 64;
     let mut row_refs: Vec<&[u64]> = Vec::new();
     let mut acc: Vec<u32> = Vec::new();
     prune_continuation_topk_range(
@@ -1933,18 +1947,10 @@ fn segmented_continuation_topk_range(
         |s, gq, cands, partials| {
             let (lo, hi) = (ends[s - 1], ends[s]);
             let (p_lo, p_hi) = (lo / seg_len, hi / seg_len);
-            let qw = batch.query_words(gq);
             acc.clear();
             acc.resize(cands.len(), 0);
             for (p, part) in parts.iter().enumerate().take(p_hi).skip(p_lo) {
-                let qs: &[u64] = if aligned {
-                    &qw[p * wseg..(p + 1) * wseg]
-                } else {
-                    seg_batches[p]
-                        .as_ref()
-                        .expect("unaligned continuation partitions are pre-packed")
-                        .query_words(gq)
-                };
+                let qs: &[u64] = seg_batches[p].query_words(gq);
                 let pm = part.matrix();
                 row_refs.clear();
                 row_refs.extend(cands.iter().map(|&r| pm.row_words_pub(r as usize)));
@@ -2609,5 +2615,76 @@ mod tests {
             }
             assert_eq!(total, q.dot(&row), "{plan:?}");
         }
+    }
+
+    #[test]
+    fn stage_words_counts_contiguous_and_segmented_grids() {
+        // Contiguous word grid (unit % 64 == 0): a stage reads the word
+        // window [prev/64, word_end(e)), seam words genuinely re-read.
+        assert_eq!(stage_words(0, 128, 64), 2);
+        assert_eq!(stage_words(128, 512, 64), 6);
+        assert_eq!(stage_words(0, 100, 64), 2); // unaligned final dim
+        assert_eq!(stage_words(128, 200, 128), 2);
+        // Segmented grid (unit % 64 != 0): per-segment padded storage,
+        // segments × word_end(unit), no shared seam word. The old
+        // contiguous formula charged stage [100, 200) of a unit=100
+        // layout word_end(200) - 100/64 = 3 words; the real kernels
+        // drive one 100-bit segment = 2 padded words.
+        assert_eq!(stage_words(0, 100, 100), 2);
+        assert_eq!(stage_words(100, 200, 100), 2);
+        assert_eq!(stage_words(100, 500, 100), 8);
+        // Sub-word segments: the old formula under-charged the padding
+        // (stage [64, 128) of a unit=32 layout looked like 1 word; it is
+        // two 32-bit segments in their own words).
+        assert_eq!(stage_words(0, 64, 32), 2);
+        assert_eq!(stage_words(64, 128, 32), 2);
+    }
+
+    #[test]
+    fn modeled_cost_charges_segmented_stages_without_seam_words() {
+        // Regression for the seam-word miscount: an unaligned-unit plan
+        // priced under a pinned model must match the hand-computed
+        // per-segment accounting, not the contiguous word-window one.
+        let model =
+            CostModel { cont_weight: 2.0, row_overhead_words: 1.0, stage_overhead_words: 4.0 };
+        let plan = CascadePlan::from_widths(200, &[100, 100]).unwrap();
+        let mut stats = CascadeStats::zeroed(10, 200, 2);
+        stats.queries = 2;
+        stats.stage_rows = vec![20, 6];
+        // unit = 100: both stages drive one 100-bit segment = 2 padded
+        // words. Stage 0: 20 rows × 2 words + 2 queries × 4 overhead.
+        // Stage 1: 2.0 × 6 rows × 2 words + 1.0 × 6 rows + 2 × 4.
+        let cost = modeled_cost(&plan, &stats, &model, 100);
+        assert_eq!(cost, (20.0 * 2.0 + 8.0) + (2.0 * 6.0 * 2.0 + 6.0 + 8.0));
+        // The pre-fix contiguous formula would have priced stage 1 at
+        // word_end(200) - 100/64 = 3 words (cost 98 total, not 86).
+        assert_ne!(cost, (20.0 * 2.0 + 8.0) + (2.0 * 6.0 * 3.0 + 6.0 + 8.0));
+        // Exact cost on the same segmented grid: 200 bits = two 100-bit
+        // segments = 4 padded words per (query, row).
+        let exact = modeled_exact_cost(10, 200, 2, &model, 100);
+        assert_eq!(exact, (2 * 10 * 4) as f64 + 2.0 * 4.0);
+        // The word grid keeps the contiguous window untouched.
+        let aligned = CascadePlan::from_widths(256, &[128, 128]).unwrap();
+        let mut astats = CascadeStats::zeroed(10, 256, 2);
+        astats.queries = 2;
+        astats.stage_rows = vec![20, 6];
+        let acost = modeled_cost(&aligned, &astats, &model, 64);
+        assert_eq!(acost, (20.0 * 2.0 + 8.0) + (2.0 * 6.0 * 2.0 + 6.0 + 8.0));
+    }
+
+    #[test]
+    fn tuned_aligned_with_pinned_model_is_deterministic_on_unaligned_units() {
+        // The explicit-model hook on an unaligned unit must produce a
+        // valid unit-gridded plan, stay deterministic, and stay exact.
+        let mut rng = seeded(48);
+        let (mem, batch) = imbalanced_setup(10, 500, 60, &mut rng);
+        let model = CostModel::fallback();
+        let plan = CascadePlan::tuned_aligned_with(&mem, &batch, 100, &model).unwrap();
+        assert_eq!(plan, CascadePlan::tuned_aligned_with(&mem, &batch, 100, &model).unwrap());
+        for &e in plan.ends() {
+            assert!(e == 500 || e.is_multiple_of(100), "boundary {e} off the unit grid");
+        }
+        let out = mem.search_cascade(&batch, &plan).unwrap();
+        assert_eq!(out.winners(), mem.winners_batch(&batch).unwrap().as_slice());
     }
 }

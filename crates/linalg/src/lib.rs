@@ -42,6 +42,9 @@
 //! winners, scores, and tie-breaks stay bit-identical to the exact sweep,
 //! and the returned [`CascadeStats`] reports how many row-dimensions were
 //! actually activated (the paper's Fig. 7 energy proxy).
+//! [`CascadePlan::tuned`] prices candidate plans with a once-per-host
+//! calibrated [`CostModel`] (see [`calibrate`]); scalar-forced and
+//! env-pinned runs resolve to deterministic fallback constants.
 //!
 //! # Example
 //!
@@ -67,6 +70,7 @@ mod batch;
 mod bits;
 #[allow(unsafe_code)]
 mod blocked;
+pub mod calibrate;
 mod cascade;
 mod error;
 #[allow(unsafe_code)]
@@ -81,6 +85,7 @@ pub use batch::{
 };
 pub use bits::{majority_words, BitMatrix, BitVector, BitView};
 pub use blocked::{BlockedBitMatrix, SearchMemory, LANES as BLOCK_LANES};
+pub use calibrate::CostModel;
 pub use cascade::{
     BoundCascade, CascadePlan, CascadeResults, CascadeStats, CascadeTopK, SegmentedCascade,
 };

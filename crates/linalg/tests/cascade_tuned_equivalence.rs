@@ -10,7 +10,7 @@
 //! (partitioned-layout) cascade obeys the same contract.
 
 use hd_linalg::kernel::Backend;
-use hd_linalg::{BitVector, CascadePlan, QueryBatch, SearchMemory, SegmentedCascade};
+use hd_linalg::{BitVector, CascadePlan, CostModel, QueryBatch, SearchMemory, SegmentedCascade};
 use proptest::prelude::*;
 
 fn bool_vec(len: usize) -> impl Strategy<Value = Vec<bool>> {
@@ -178,4 +178,48 @@ proptest! {
             prop_assert_eq!(stats.queries(), queries.len());
         }
     }
+
+    /// Any in-regime cost model survives the calibration cache's decimal
+    /// text format bit-identically, and repeated loads are deterministic
+    /// — the property that makes calibrated tuning stable across
+    /// processes on one host.
+    #[test]
+    fn calibration_cache_roundtrip_is_deterministic(
+        (cont, row, stage, case) in (0u32..=16_384, 0u32..=32_768, 0u32..=131_072, 0u64..u64::MAX)
+    ) {
+        // Quantized in-regime values (the cache only ever stores these).
+        let model = CostModel {
+            cont_weight: 1.25 + f64::from(cont) / 1024.0 * (8.0 - 1.25) / 16.0,
+            row_overhead_words: f64::from(row) / 1024.0 / 2.0,
+            stage_overhead_words: 2.0 + f64::from(stage) / 1024.0 * 62.0 / 128.0,
+        }
+        .clamped();
+        let dir = std::env::temp_dir()
+            .join(format!("hd-linalg-proptest-{}-{case:016x}", std::process::id()));
+        let path = dir.join("model.txt");
+        let backend = hd_linalg::kernel::active();
+        model.store(&path, backend).unwrap();
+        let first = CostModel::load(&path, backend);
+        prop_assert_eq!(first, Some(model));
+        // Deterministic across repeat loads, and store∘load is a fixed
+        // point (no drift through the decimal format).
+        prop_assert_eq!(CostModel::load(&path, backend), first);
+        first.unwrap().store(&path, backend).unwrap();
+        prop_assert_eq!(CostModel::load(&path, backend), first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The calibrated process-wide model is stable across calls and always
+/// inside the clamp regime, so every tuned plan in this suite prices
+/// candidates consistently. Under the compile-time scalar kill switch
+/// (the scalar-forced CI leg) it must be exactly the deterministic
+/// fallback constants.
+#[test]
+fn active_cost_model_is_stable_and_in_regime() {
+    let model = CostModel::active();
+    assert_eq!(model, CostModel::active());
+    assert_eq!(model, model.clamped());
+    #[cfg(feature = "force-scalar")]
+    assert_eq!(model, CostModel::fallback());
 }

@@ -84,7 +84,10 @@ impl CascadeSearcher {
     /// hand-picked — point `sample` at representative traffic and the
     /// adapter serves whatever plan the memory's popcount profile
     /// supports (possibly the exact one-stage plan, which is correct for
-    /// workloads the Hamming bound cannot prune).
+    /// workloads the Hamming bound cannot prune). Candidate plans are
+    /// priced with the once-per-host calibrated
+    /// [`hd_linalg::CostModel`]; pin `HD_LINALG_CALIBRATION=fallback`
+    /// when plans must be identical across hosts.
     ///
     /// # Errors
     ///
