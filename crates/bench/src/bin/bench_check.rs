@@ -24,7 +24,7 @@
 //! `--current <path>` (a `CRITERION_JSON` lines file), `--run` (invoke
 //! `cargo bench` itself; repeat `--bench <name>` to override which
 //! benches, default `associative_search` + `serve_throughput` +
-//! `topk_search` + `fault_tolerance` — the last records deterministic
+//! `wire_throughput` + `topk_search` + `fault_tolerance` — the last records deterministic
 //! accuracy percentages, not times, so its ratios are always 1.00x),
 //! `--smoke` (CI mode: like `--run` but only id presence is checked),
 //! `--threshold <pct>` (default 10). Numbers are only comparable
@@ -172,6 +172,7 @@ fn main() -> ExitCode {
         benches = vec![
             "associative_search".to_string(),
             "serve_throughput".to_string(),
+            "wire_throughput".to_string(),
             "topk_search".to_string(),
             "fault_tolerance".to_string(),
         ];

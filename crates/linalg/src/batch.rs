@@ -357,8 +357,14 @@ impl QueryBatch {
             });
         }
         let mut cache = self.seg_cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        if let Some((_, segs)) = cache.iter().find(|(s, _)| *s == seg_len) {
-            return Ok(Arc::clone(segs));
+        if let Some(pos) = cache.iter().position(|(s, _)| *s == seg_len) {
+            // LRU touch: move the hit to the back so the hot partitioning
+            // outlives transient one-off segmentations instead of being
+            // the next FIFO eviction victim.
+            let entry = cache.remove(pos);
+            let segs = Arc::clone(&entry.1);
+            cache.push(entry);
+            return Ok(segs);
         }
         let parts = self.dim / seg_len;
         let built: Vec<QueryBatch> = (0..parts)
@@ -377,7 +383,7 @@ impl QueryBatch {
             })
             .collect();
         let segs: Arc<[QueryBatch]> = built.into();
-        if cache.len() == SEG_CACHE_SLOTS {
+        while cache.len() >= SEG_CACHE_SLOTS {
             cache.remove(0);
         }
         cache.push((seg_len, Arc::clone(&segs)));
@@ -472,6 +478,51 @@ impl QueryBatchBuilder {
         self.data.extend_from_slice(query.as_words());
         self.len += 1;
         Ok(())
+    }
+
+    /// Appends already-packed queries in one word copy — the zero-repack
+    /// wire-ingest path. `words` must hold a whole number of
+    /// `dim().div_ceil(64)`-word rows laid out exactly as [`QueryBatch`]
+    /// stores them (row-major, little-endian bit order within each word);
+    /// a network frame whose payload uses that layout lands in the
+    /// builder with a single `memcpy` and no per-bit repacking. Returns
+    /// the number of queries appended.
+    ///
+    /// Padding bits past `dim()` in each row's last word are cleared
+    /// here: wire payloads are untrusted, and every other producer of
+    /// packed words in this crate maintains the clean-tail invariant the
+    /// popcount kernels rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty slice and
+    /// [`LinalgError::ShapeMismatch`] if `words.len()` is not a multiple
+    /// of the per-row word count.
+    pub fn push_packed_words(&mut self, words: &[u64]) -> Result<usize> {
+        if words.is_empty() {
+            return Err(LinalgError::Empty { op: "QueryBatchBuilder::push_packed_words" });
+        }
+        if !words.len().is_multiple_of(self.words_per_row) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "QueryBatchBuilder::push_packed_words",
+                expected: self.words_per_row,
+                found: words.len(),
+            });
+        }
+        let count = words.len() / self.words_per_row;
+        let start = self.data.len();
+        self.data.extend_from_slice(words);
+        let tail = self.dim % 64;
+        if tail != 0 {
+            let mask = (1u64 << tail) - 1;
+            let mut row_end = start + self.words_per_row - 1;
+            while row_end < self.data.len() {
+                self.data[row_end] &= mask;
+                row_end += self.words_per_row;
+            }
+        }
+        self.len += count;
+        Ok(count)
     }
 
     /// Moves the accumulated queries out as a packed [`QueryBatch`],
@@ -1550,12 +1601,114 @@ mod tests {
         let other = batch.segments(150).unwrap();
         assert!(Arc::ptr_eq(&other, &batch.segments(150).unwrap()));
         assert!(Arc::ptr_eq(&first, &batch.segments(100).unwrap()));
-        // ...and a third evicts the oldest, which re-derives equal data.
+        // ...and a third evicts the least-recently-used partitioning:
+        // 150 (100 was re-touched on its last hit), never the hot one.
         let third = batch.segments(75).unwrap();
         assert!(Arc::ptr_eq(&third, &batch.segments(75).unwrap()));
-        let rederived = batch.segments(100).unwrap();
-        assert!(!Arc::ptr_eq(&first, &rederived));
-        assert_eq!(first.as_ref(), rederived.as_ref());
+        assert!(Arc::ptr_eq(&first, &batch.segments(100).unwrap()));
+        let rederived = batch.segments(150).unwrap();
+        assert!(!Arc::ptr_eq(&other, &rederived));
+        assert_eq!(other.as_ref(), rederived.as_ref());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Any interleaving of `segments` calls across a batch and its
+        /// clone — more distinct `seg_len`s than cache slots, so
+        /// evictions and re-derivations happen constantly — always
+        /// returns views of exactly the requested `seg_len` whose bits
+        /// match a per-bit reference slice. A stale-keyed cache entry
+        /// (or an eviction bug handing back the wrong partitioning)
+        /// fails the width or content assertion immediately.
+        #[test]
+        fn segments_cache_never_serves_stale_seg_len(
+            ops in proptest::collection::vec(0usize..4, 1..24),
+            rows in 1usize..5,
+            seed in 0u64..(1u64 << 32),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let lens = [100usize, 150, 75, 300];
+            let mut rng = seeded(seed);
+            let queries: Vec<BitVector> = (0..rows).map(|_| random_bits(300, &mut rng)).collect();
+            let batch = QueryBatch::from_vectors(&queries).unwrap();
+            let clone = batch.clone();
+            for (i, &op) in ops.iter().enumerate() {
+                let seg_len = lens[op];
+                // Alternate between the original and the clone: they
+                // share one cache, so hits/evictions cross over.
+                let via = if i % 2 == 0 { &batch } else { &clone };
+                let segs = via.segments(seg_len).unwrap();
+                prop_assert_eq!(segs.len(), 300 / seg_len);
+                for (p, seg) in segs.iter().enumerate() {
+                    prop_assert_eq!(seg.dim(), seg_len);
+                    for q in 0..rows {
+                        prop_assert_eq!(
+                            seg.query(q).to_bit_vector(),
+                            batch.query(q).slice(p * seg_len, seg_len)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_packed_words_matches_per_query_push_and_cleans_tails() {
+        let mut rng = seeded(23);
+        for dim in [64usize, 130, 300] {
+            let queries: Vec<BitVector> = (0..6).map(|_| random_bits(dim, &mut rng)).collect();
+            // Wire layout: each query's packed words back to back.
+            let wpr = dim.div_ceil(64);
+            let mut words: Vec<u64> = Vec::with_capacity(6 * wpr);
+            for q in &queries {
+                words.extend_from_slice(q.as_words());
+            }
+            // Dirty the padding bits the way a hostile client could.
+            if dim % 64 != 0 {
+                for r in 0..queries.len() {
+                    words[r * wpr + wpr - 1] |= !0u64 << (dim % 64);
+                }
+            }
+            let mut packed = QueryBatchBuilder::new(dim);
+            assert_eq!(packed.push_packed_words(&words).unwrap(), queries.len());
+            assert_eq!(packed.len(), queries.len());
+            let mut reference = QueryBatchBuilder::new(dim);
+            for q in &queries {
+                reference.push(q.as_view()).unwrap();
+            }
+            // Bit-identical to the per-query path (tails cleaned), so
+            // the wire payload landed without any repacking step.
+            assert_eq!(packed.take_batch().unwrap(), reference.take_batch().unwrap());
+        }
+    }
+
+    #[test]
+    fn push_packed_words_rejects_bad_shapes_and_interleaves_with_push() {
+        let mut rng = seeded(24);
+        let dim = 130usize;
+        let wpr = dim.div_ceil(64);
+        let queries: Vec<BitVector> = (0..5).map(|_| random_bits(dim, &mut rng)).collect();
+        let mut b = QueryBatchBuilder::new(dim);
+        assert!(matches!(
+            b.push_packed_words(&[]),
+            Err(LinalgError::Empty { op: "QueryBatchBuilder::push_packed_words" })
+        ));
+        let stray = vec![0u64; wpr + 1];
+        assert!(matches!(
+            b.push_packed_words(&stray),
+            Err(LinalgError::ShapeMismatch { found: 4, .. })
+        ));
+        assert!(b.is_empty(), "failed pushes must not enqueue partial rows");
+        // Mixed single-query and packed-frame ingestion builds the same
+        // batch as packing everything up front.
+        b.push(queries[0].as_view()).unwrap();
+        let mut frame: Vec<u64> = Vec::new();
+        for q in &queries[1..4] {
+            frame.extend_from_slice(q.as_words());
+        }
+        assert_eq!(b.push_packed_words(&frame).unwrap(), 3);
+        b.push(queries[4].as_view()).unwrap();
+        assert_eq!(b.take_batch().unwrap(), QueryBatch::from_vectors(&queries).unwrap());
     }
 
     #[test]

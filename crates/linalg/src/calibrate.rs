@@ -126,9 +126,18 @@ impl CostModel {
 
     fn measure_and_store() -> Self {
         let backend = kernel::active();
+        Self::measured_with_cache(backend, cache_path(backend).as_deref())
+    }
+
+    /// Measures a fresh model and best-effort persists it to `cache`.
+    /// A missing or unwritable cache location (unset `$HOME`, read-only
+    /// filesystem, a file blocking the directory path) degrades to
+    /// measure-without-store: the returned model is always the fresh
+    /// measurement — never an error, never a silently stale constant.
+    fn measured_with_cache(backend: Backend, cache: Option<&Path>) -> Self {
         let model = Self::measure(backend);
-        if let Some(path) = cache_path(backend) {
-            let _ = model.store(&path, backend); // best-effort persistence
+        if let Some(path) = cache {
+            let _ = model.store(path, backend); // best-effort persistence
         }
         model
     }
@@ -347,19 +356,31 @@ impl CostModel {
 /// `<cache-base>/hd-linalg/cascade-cost-v1-<backend>.txt` where the base
 /// is `$XDG_CACHE_HOME`, `$HOME/.cache`, or the system temp dir.
 pub fn cache_path(backend: Backend) -> Option<PathBuf> {
-    if let Ok(p) = std::env::var("HD_LINALG_CALIBRATION_CACHE") {
-        if !p.is_empty() {
-            return Some(PathBuf::from(p));
-        }
+    cache_path_from(
+        std::env::var_os("HD_LINALG_CALIBRATION_CACHE").as_deref(),
+        std::env::var_os("XDG_CACHE_HOME").as_deref(),
+        std::env::var_os("HOME").as_deref(),
+        backend,
+    )
+}
+
+/// Pure resolution behind [`cache_path`], split out so the unset/empty
+/// `$HOME` degradation is unit-testable without racing the process
+/// environment. An unset or empty home never errors: the base falls
+/// through to the system temp dir.
+fn cache_path_from(
+    explicit: Option<&std::ffi::OsStr>,
+    xdg: Option<&std::ffi::OsStr>,
+    home: Option<&std::ffi::OsStr>,
+    backend: Backend,
+) -> Option<PathBuf> {
+    if let Some(p) = explicit.filter(|p| !p.is_empty()) {
+        return Some(PathBuf::from(p));
     }
-    let base = std::env::var_os("XDG_CACHE_HOME")
+    let base = xdg
+        .filter(|p| !p.is_empty())
         .map(PathBuf::from)
-        .filter(|p| !p.as_os_str().is_empty())
-        .or_else(|| {
-            std::env::var_os("HOME")
-                .filter(|h| !h.is_empty())
-                .map(|h| PathBuf::from(h).join(".cache"))
-        })
+        .or_else(|| home.filter(|h| !h.is_empty()).map(|h| PathBuf::from(h).join(".cache")))
         .unwrap_or_else(std::env::temp_dir);
     Some(
         base.join("hd-linalg")
@@ -468,6 +489,59 @@ mod tests {
     #[test]
     fn active_is_stable_across_calls() {
         assert_eq!(CostModel::active(), CostModel::active());
+    }
+
+    /// Forcing the cache-write failure path: a file where a directory is
+    /// needed makes `store` fail the way a read-only `$HOME` does, and
+    /// the resolution still hands back a fresh valid measurement — no
+    /// error, nothing silently served from a stale location.
+    #[test]
+    fn unwritable_cache_degrades_to_measure_without_store() {
+        let dir = std::env::temp_dir().join(format!("hd-linalg-test-ro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let path = blocker.join("sub").join("cache.txt");
+        let backend = kernel::active();
+        assert!(CostModel::fallback().store(&path, backend).is_err());
+        let model = CostModel::measured_with_cache(backend, Some(&path));
+        assert_eq!(
+            model,
+            model.clamped(),
+            "degraded path must still return a valid model: {model}"
+        );
+        assert!((1.25..=8.0).contains(&model.cont_weight), "{model}");
+        assert_eq!(CostModel::load(&path, backend), None, "nothing may have been stored");
+        // No cache location at all (unset HOME on a tmpdir-less host):
+        // same degradation, same valid model.
+        let uncached = CostModel::measured_with_cache(backend, None);
+        assert_eq!(uncached, uncached.clamped());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `cache_path_from` never errors on an unset or empty `$HOME`: the
+    /// base degrades XDG → HOME/.cache → system temp dir.
+    #[test]
+    fn cache_base_resolution_handles_unset_and_empty_home() {
+        use std::ffi::OsStr;
+        let backend = kernel::active();
+        let explicit = cache_path_from(Some(OsStr::new("/x/y.txt")), None, None, backend).unwrap();
+        assert_eq!(explicit, PathBuf::from("/x/y.txt"));
+        // An empty explicit override is ignored, not treated as a path.
+        let xdg = cache_path_from(
+            Some(OsStr::new("")),
+            Some(OsStr::new("/xdg")),
+            Some(OsStr::new("/home/u")),
+            backend,
+        )
+        .unwrap();
+        assert!(xdg.starts_with("/xdg/hd-linalg"), "{xdg:?}");
+        let home = cache_path_from(None, None, Some(OsStr::new("/home/u")), backend).unwrap();
+        assert!(home.starts_with("/home/u/.cache/hd-linalg"), "{home:?}");
+        for unset_home in [None, Some(OsStr::new(""))] {
+            let p = cache_path_from(None, None, unset_home, backend).unwrap();
+            assert!(p.starts_with(std::env::temp_dir()), "{p:?}");
+        }
     }
 
     /// The compile-time scalar kill switch pins the deterministic

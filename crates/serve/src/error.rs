@@ -42,6 +42,14 @@ pub enum ServeError {
     /// ([`crate::ServeConfig::max_in_flight`]) and shed the query at
     /// admission. Nothing was enqueued; the submitter may retry later.
     Overloaded,
+    /// A packed wire payload was rejected before enqueueing — its words
+    /// do not form whole `D`-bit queries (see
+    /// [`crate::Server::submit_packed`]). Nothing was enqueued; client
+    /// input must surface as a typed error, never a panic.
+    MalformedPayload {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -56,6 +64,9 @@ impl fmt::Display for ServeError {
             ServeError::Timeout => write!(f, "deadline expired before the batch was answered"),
             ServeError::Overloaded => {
                 write!(f, "server at in-flight capacity; query shed at admission")
+            }
+            ServeError::MalformedPayload { reason } => {
+                write!(f, "malformed packed payload: {reason}")
             }
         }
     }
@@ -76,6 +87,7 @@ mod tests {
         assert!(ServeError::InvalidConfig { reason: "y".into() }.to_string().contains('y'));
         assert!(ServeError::Timeout.to_string().contains("deadline"));
         assert!(ServeError::Overloaded.to_string().contains("capacity"));
+        assert!(ServeError::MalformedPayload { reason: "z".into() }.to_string().contains('z'));
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   hold, so a batch never mixes generations. This is the hook the
 //!   `imc_sim` fault-injection path uses to republish a degraded mapping
 //!   (see [`imc_sim::FaultyAmMapping::inject`]).
+//! * **Wire front-end** ([`net::WireServer`] / [`net::WireClient`]) — a
+//!   std-only TCP / Unix-domain-socket protocol whose QUERY payload *is*
+//!   the packed batch layout, so frames land in the pending batch as one
+//!   word copy ([`Server::submit_packed`]); responses stream back
+//!   per-flush with typed error frames for malformed input.
 //!
 //! Any associative memory in the workspace plugs in through the
 //! [`Searchable`] trait: `hdc::BinaryAm`, `memhd::MemhdModel` (its
@@ -69,6 +74,7 @@
 
 mod cascade;
 mod error;
+pub mod net;
 mod registry;
 mod searchable;
 mod server;

@@ -1,0 +1,224 @@
+//! A small blocking client for the wire protocol.
+//!
+//! [`WireClient`] is deliberately thin: it handshakes to learn the
+//! served model's shape, packs queries into QUERY frames (the packed
+//! words of a [`BitVector`] *are* the payload — no per-bit translation),
+//! and decodes whatever the server streams back. Sends and receives are
+//! independent, so a caller can pipeline many frames before collecting
+//! responses; responses arrive in submission order per connection.
+
+use super::wire::{self, ErrorBody, WireError};
+use super::{Stream, FLAG_DEGRADED, FT_ERROR, FT_HELLO_ACK, FT_RESPONSE};
+use crate::Prediction;
+use hd_linalg::BitVector;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// One frame received from the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireEvent {
+    /// A query was answered. `hits` is the top-k slate, best first
+    /// (length 1 for plain classification).
+    Response {
+        /// The query id assigned at send time.
+        id: u64,
+        /// The ranked hits, each carrying generation and degraded flag.
+        hits: Vec<Prediction>,
+    },
+    /// The server rejected a query (or the connection) with a typed
+    /// error frame.
+    Error(ErrorBody),
+}
+
+/// A blocking wire-protocol client over TCP or a Unix-domain socket.
+///
+/// Ids are assigned sequentially per client, starting at 0; the id range
+/// returned by the send methods matches the `id` fields of the
+/// responses that come back.
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+    dim: u32,
+    rows: u32,
+    generation: u64,
+    next_id: u64,
+}
+
+impl WireClient {
+    /// Connects over TCP and performs the HELLO handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on connect/transport failure,
+    /// [`WireError::Protocol`] if the peer is not a wire server,
+    /// [`WireError::Remote`] if the server answered the handshake with
+    /// an error frame.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Self::handshake(Stream::Tcp(stream))
+    }
+
+    /// Connects over a Unix-domain socket and performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::connect_tcp`].
+    #[cfg(unix)]
+    pub fn connect_uds<P: AsRef<std::path::Path>>(path: P) -> Result<Self, WireError> {
+        Self::handshake(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    fn handshake(stream: Stream) -> Result<Self, WireError> {
+        let write_half = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+        wire::write_hello(&mut writer)?;
+        writer.flush()?;
+        let header = wire::read_header(&mut reader)?;
+        match header.frame_type {
+            FT_HELLO_ACK => {}
+            FT_ERROR => return Err(wire::read_error_body(&mut reader)?.into_remote()),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected HELLO_ACK, got frame type {other}"
+                )))
+            }
+        }
+        let dim = wire::read_u32(&mut reader)?;
+        let rows = wire::read_u32(&mut reader)?;
+        let generation = wire::read_u64(&mut reader)?;
+        Ok(WireClient { reader, writer, dim, rows, generation, next_id: 0 })
+    }
+
+    /// The served model's hypervector dimensionality `D` (learned at
+    /// handshake).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// The served model's row count at handshake time.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The model generation at handshake time (responses carry the
+    /// generation that actually answered them, which may be newer after
+    /// a hot swap).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Packed `u64` words per query on this connection.
+    pub fn words_per_query(&self) -> u32 {
+        (self.dim as usize).div_ceil(64) as u32
+    }
+
+    /// Sends one QUERY frame asking for the top `k` hits of each query.
+    /// Returns the id range assigned to the queries, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] if any query's length differs from
+    /// [`WireClient::dim`] (caught locally — the server would answer
+    /// with an error frame anyway, but a mixed-length batch is a caller
+    /// bug), [`WireError::Io`] on transport failure.
+    pub fn send_queries(&mut self, queries: &[BitVector], k: u16) -> Result<Range<u64>, WireError> {
+        for q in queries {
+            if q.len() != self.dim as usize {
+                return Err(WireError::Protocol(format!(
+                    "query length {} does not match served dimensionality {}",
+                    q.len(),
+                    self.dim
+                )));
+            }
+        }
+        let wpq = self.words_per_query() as usize;
+        let mut words = Vec::with_capacity(queries.len() * wpq);
+        for q in queries {
+            words.extend_from_slice(q.as_words());
+        }
+        self.send_packed_words(&words, k)
+    }
+
+    /// Sends one QUERY frame of already-packed words (`words.len()` must
+    /// be a whole multiple of [`WireClient::words_per_query`]). The
+    /// zero-copy path for callers that keep queries packed end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on a ragged payload, [`WireError::Io`] on
+    /// transport failure.
+    pub fn send_packed_words(&mut self, words: &[u64], k: u16) -> Result<Range<u64>, WireError> {
+        let wpq = self.words_per_query() as usize;
+        if words.is_empty() || !words.len().is_multiple_of(wpq) {
+            return Err(WireError::Protocol(format!(
+                "payload of {} words is not a positive multiple of {wpq} words per query",
+                words.len()
+            )));
+        }
+        let count = (words.len() / wpq) as u64;
+        let first_id = self.next_id;
+        wire::write_query(&mut self.writer, k, first_id, wpq as u32, words)?;
+        self.writer.flush()?;
+        self.next_id += count;
+        Ok(first_id..first_id + count)
+    }
+
+    /// Receives the next frame from the server, blocking until one
+    /// arrives.
+    ///
+    /// Per-query rejections come back as [`WireEvent::Error`] (the
+    /// connection stays usable unless the error's code is
+    /// connection-fatal — see [`super::code`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on disconnect, [`WireError::Protocol`] on a
+    /// malformed server frame.
+    pub fn recv(&mut self) -> Result<WireEvent, WireError> {
+        let header = wire::read_header(&mut self.reader)?;
+        match header.frame_type {
+            FT_RESPONSE => {
+                let id = wire::read_u64(&mut self.reader)?;
+                let generation = wire::read_u64(&mut self.reader)?;
+                let degraded = header.flags & FLAG_DEGRADED != 0;
+                let mut hits = Vec::with_capacity(header.k as usize);
+                for _ in 0..header.k {
+                    let row = wire::read_u32(&mut self.reader)? as usize;
+                    let class = wire::read_u32(&mut self.reader)? as usize;
+                    let score = wire::read_u32(&mut self.reader)?;
+                    hits.push(Prediction { row, class, score, generation, degraded });
+                }
+                Ok(WireEvent::Response { id, hits })
+            }
+            FT_ERROR => Ok(WireEvent::Error(wire::read_error_body(&mut self.reader)?)),
+            other => Err(WireError::Protocol(format!("unexpected server frame type {other}"))),
+        }
+    }
+
+    /// Convenience wrapper: [`WireClient::recv`], but a received error
+    /// frame becomes [`WireError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::recv`], plus [`WireError::Remote`] for error
+    /// frames.
+    pub fn recv_response(&mut self) -> Result<(u64, Vec<Prediction>), WireError> {
+        match self.recv()? {
+            WireEvent::Response { id, hits } => Ok((id, hits)),
+            WireEvent::Error(body) => Err(body.into_remote()),
+        }
+    }
+}
+
+impl ErrorBody {
+    /// Converts a received error frame into [`WireError::Remote`].
+    pub fn into_remote(self) -> WireError {
+        WireError::Remote { id: self.id, code: self.code, message: self.message }
+    }
+}

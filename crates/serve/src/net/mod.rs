@@ -1,0 +1,749 @@
+//! TCP / Unix-domain-socket front-end for the micro-batching server.
+//!
+//! A std-only network layer (no external runtime): each listener runs a
+//! thread-per-connection accept loop, and each connection runs a reader
+//! thread (parse frames → [`crate::Server::submit_packed`]) plus a
+//! writer thread (wait pendings in FIFO order → stream response
+//! frames). Because co-flushed queries complete together, FIFO waiting
+//! streams each micro-batch flush back the moment it publishes —
+//! responses are per-flush, never a per-connection barrier.
+//!
+//! **Zero-repack ingest.** The QUERY payload *is* the
+//! [`hd_linalg::QueryBatchBuilder`] row layout: `count` rows of
+//! `words_per_query` packed little-endian `u64`s. The reader hands the
+//! whole payload to [`crate::Server::submit_packed`], which lands it in
+//! the pending batch as one word copy under one queue-lock acquisition.
+//!
+//! **Backpressure.** Two independent bounds:
+//! * per server — [`crate::ServeConfig::max_in_flight`] sheds whole
+//!   frames at admission with a typed `OVERLOADED` error frame;
+//! * per connection — [`WireConfig::conn_in_flight`] bounds queries
+//!   submitted but not yet written back. At the bound the reader stops
+//!   reading, which propagates to the client through TCP flow control.
+//!
+//! **Malformed input never panics a worker.** Recoverable violations
+//! (wrong dimensionality, `k == 0`, unknown model key, zero-query
+//! frames, shed frames) answer with a typed error frame and keep the
+//! connection open; unrecoverable ones (bad magic, unknown frame type,
+//! oversized declarations) answer with a final error frame and close —
+//! after every already-submitted query's response has been written.
+//! Queries in flight are never lost to a later bad frame.
+
+mod client;
+pub mod wire;
+
+pub use client::{WireClient, WireEvent};
+pub use wire::{
+    code, serve_error_code, ErrorBody, Header, WireError, CONNECTION_ERROR_ID, FLAG_DEGRADED,
+    FT_ERROR, FT_HELLO, FT_HELLO_ACK, FT_QUERY, FT_RESPONSE, HEADER_LEN, MAGIC,
+};
+
+use crate::{PendingTopK, ServeError, Server};
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Wire front-end tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Largest query count a single QUERY frame may declare. A frame
+    /// over the limit is connection-fatal ([`code::OVERSIZED_FRAME`]):
+    /// its declared payload cannot be trusted enough to drain.
+    pub max_frame_queries: u32,
+    /// Per-connection bound on queries submitted but not yet written
+    /// back. The reader blocks at the bound (TCP flow control carries
+    /// the backpressure to the client).
+    pub conn_in_flight: usize,
+    /// Sets `TCP_NODELAY` on accepted TCP connections (response frames
+    /// are small; Nagle batching would add artificial latency under the
+    /// micro-batcher's own deadline).
+    pub nodelay: bool,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig { max_frame_queries: 4096, conn_in_flight: 4096, nodelay: true }
+    }
+}
+
+impl WireConfig {
+    fn validate(&self) -> crate::Result<()> {
+        if self.max_frame_queries == 0 || self.conn_in_flight == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_frame_queries and conn_in_flight must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A duplex byte stream of either transport. Everything above this enum
+/// is transport-agnostic.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any thread parked in a
+    /// read or write on a clone of this stream.
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+            #[cfg(unix)]
+            Stream::Unix(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// How a listener's accept loop is unblocked at shutdown: a throwaway
+/// self-connection.
+enum AcceptWaker {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl AcceptWaker {
+    fn wake(&self) {
+        match self {
+            AcceptWaker::Tcp(addr) => drop(TcpStream::connect(addr)),
+            #[cfg(unix)]
+            AcceptWaker::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
+
+struct WireShared {
+    server: Arc<Server>,
+    config: WireConfig,
+    shutdown: AtomicBool,
+    /// Write-half clones of live connections, force-closed at shutdown.
+    /// Entries of finished connections are pruned opportunistically.
+    conns: Mutex<Vec<(Arc<Stream>, JoinHandle<()>)>>,
+    wakers: Mutex<Vec<AcceptWaker>>,
+    /// Unix socket paths to unlink at shutdown.
+    #[cfg(unix)]
+    uds_paths: Mutex<Vec<PathBuf>>,
+}
+
+/// The socket front-end: accepts TCP and/or Unix-domain connections and
+/// serves the wire protocol over an inner [`Server`].
+///
+/// One `WireServer` can run several listeners at once (e.g. a TCP port
+/// for remote clients and a UDS path for co-located ones); every
+/// connection feeds the same micro-batcher, so cross-connection traffic
+/// coalesces into shared flush cycles.
+///
+/// # Example
+///
+/// ```no_run
+/// use hd_serve::net::{WireClient, WireServer};
+/// use hd_serve::{Searchable, ServeConfig, Server};
+/// use hd_linalg::{BitVector, SearchMemory};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let memory = SearchMemory::from_rows(&vec![BitVector::zeros(256); 4])?;
+/// let server = Arc::new(Server::start(
+///     Arc::new(memory) as Arc<dyn Searchable>,
+///     ServeConfig::default(),
+/// )?);
+/// let wire = WireServer::start(Arc::clone(&server), Default::default())?;
+/// let addr = wire.listen_tcp("127.0.0.1:0")?; // ephemeral port
+/// let mut client = WireClient::connect_tcp(addr)?;
+/// let ids = client.send_queries(&[BitVector::zeros(256)], 1)?;
+/// let event = client.recv()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct WireServer {
+    shared: Arc<WireShared>,
+    accept_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("config", &self.shared.config)
+            .field("shutdown", &self.shared.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl WireServer {
+    /// Creates a front-end over `server` with no listeners yet; add them
+    /// with [`WireServer::listen_tcp`] / [`WireServer::listen_uds`].
+    ///
+    /// The front-end borrows the server: shutting the front-end down
+    /// closes sockets but leaves `server` running for in-process
+    /// callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero limits in
+    /// `config`.
+    pub fn start(server: Arc<Server>, config: WireConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(WireServer {
+            shared: Arc::new(WireShared {
+                server,
+                config,
+                shutdown: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                wakers: Mutex::new(Vec::new()),
+                #[cfg(unix)]
+                uds_paths: Mutex::new(Vec::new()),
+            }),
+            accept_threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Binds a TCP listener on `addr` and spawns its accept loop.
+    /// Returns the bound address — bind to port 0 for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] wrapping bind/spawn
+    /// failures, or [`ServeError::Shutdown`] after shutdown.
+    pub fn listen_tcp<A: ToSocketAddrs>(&self, addr: A) -> crate::Result<SocketAddr> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(ServeError::Shutdown);
+        }
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::InvalidConfig {
+            reason: format!("failed to bind TCP listener: {e}"),
+        })?;
+        let local = listener.local_addr().map_err(|e| ServeError::InvalidConfig {
+            reason: format!("failed to resolve bound TCP address: {e}"),
+        })?;
+        self.shared
+            .wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(AcceptWaker::Tcp(local));
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("hd-wire-tcp-{}", local.port()))
+            .spawn(move || accept_loop(&shared, listener))
+            .map_err(|e| ServeError::InvalidConfig {
+                reason: format!("failed to spawn accept thread: {e}"),
+            })?;
+        self.accept_threads.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+        Ok(local)
+    }
+
+    /// Binds a Unix-domain listener on `path` (removing a stale socket
+    /// file left by a previous process) and spawns its accept loop. The
+    /// socket file is unlinked at shutdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireServer::listen_tcp`].
+    #[cfg(unix)]
+    pub fn listen_uds<P: Into<PathBuf>>(&self, path: P) -> crate::Result<()> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(ServeError::Shutdown);
+        }
+        let path = path.into();
+        // A stale socket file from a crashed predecessor would fail the
+        // bind; only ever remove sockets, not regular files.
+        if let Ok(meta) = std::fs::symlink_metadata(&path) {
+            use std::os::unix::fs::FileTypeExt;
+            if meta.file_type().is_socket() {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        let listener = UnixListener::bind(&path).map_err(|e| ServeError::InvalidConfig {
+            reason: format!("failed to bind UDS listener on {}: {e}", path.display()),
+        })?;
+        let shared = Arc::clone(&self.shared);
+        self.shared
+            .wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(AcceptWaker::Unix(path.clone()));
+        self.shared.uds_paths.lock().unwrap_or_else(PoisonError::into_inner).push(path);
+        let handle = std::thread::Builder::new()
+            .name("hd-wire-uds".into())
+            .spawn(move || accept_loop_uds(&shared, listener))
+            .map_err(|e| ServeError::InvalidConfig {
+                reason: format!("failed to spawn accept thread: {e}"),
+            })?;
+        self.accept_threads.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+        Ok(())
+    }
+
+    /// Live connections currently registered (unreaped finished ones may
+    /// be counted until the next accept prunes them).
+    pub fn connections(&self) -> usize {
+        self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Shuts the front-end down: stops accepting, force-closes every
+    /// connection's socket, joins all connection and accept threads, and
+    /// unlinks UDS socket files. In-flight queries are still answered by
+    /// the inner server (their responses are written if the peer is
+    /// still reading). The inner [`Server`] itself keeps running — it
+    /// belongs to the caller. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loops with throwaway self-connections, then
+        // join them so no new connections register afterwards.
+        for waker in self.shared.wakers.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
+            waker.wake();
+        }
+        for handle in self.accept_threads.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
+            let _ = handle.join();
+        }
+        let conns: Vec<(Arc<Stream>, JoinHandle<()>)> =
+            self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
+        for (stream, _) in &conns {
+            stream.shutdown();
+        }
+        for (_, handle) in conns {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        for path in self.shared.uds_paths.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<WireShared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if shared.config.nodelay {
+                    let _ = stream.set_nodelay(true);
+                }
+                register_connection(shared, Stream::Tcp(stream));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, aborted handshakes)
+                // must not kill the listener.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_loop_uds(shared: &Arc<WireShared>, listener: UnixListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                register_connection(shared, Stream::Unix(stream));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Spawns the reader thread for a fresh connection and registers its
+/// write-half clone for forced shutdown. A connection whose clone or
+/// spawn fails is simply dropped (the client sees a closed socket).
+fn register_connection(shared: &Arc<WireShared>, stream: Stream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let write_half = Arc::new(write_half);
+    let conn_shared = Arc::clone(shared);
+    let conn_write = Arc::clone(&write_half);
+    let Ok(handle) = std::thread::Builder::new()
+        .name("hd-wire-conn".into())
+        .spawn(move || connection_reader(&conn_shared, stream, &conn_write))
+    else {
+        return;
+    };
+    let mut conns = shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+    // Reap finished connections so the registry doesn't grow with churn.
+    conns.retain(|(_, h)| !h.is_finished());
+    conns.push((write_half, handle));
+}
+
+/// What the reader queues for the writer thread. FIFO order *is* the
+/// response order: answers of one flush cycle complete together, so the
+/// writer streams each flush as it publishes.
+enum Outgoing {
+    HelloAck,
+    Answer { id: u64, pending: PendingTopK },
+    Error { id: u64, code: u16, message: String, fatal: bool },
+}
+
+/// Per-connection reader loop: parses frames, submits packed queries,
+/// queues outgoing work. Exits on disconnect, fatal protocol error, or
+/// forced socket shutdown; always joins its writer before returning so
+/// every in-flight query's response (or the final error frame) is
+/// written first.
+fn connection_reader(shared: &Arc<WireShared>, mut stream: Stream, write_half: &Arc<Stream>) {
+    let (tx, rx) = mpsc::sync_channel::<Outgoing>(shared.config.conn_in_flight);
+    let writer_shared = Arc::clone(shared);
+    let writer_half = Arc::clone(write_half);
+    let Ok(writer) = std::thread::Builder::new()
+        .name("hd-wire-write".into())
+        .spawn(move || connection_writer(&writer_shared, &writer_half, &rx))
+    else {
+        return;
+    };
+    read_frames(shared, &mut stream, &tx);
+    // Closing the channel lets the writer drain queued answers and exit;
+    // a fatal error frame queued last is written after them.
+    drop(tx);
+    let _ = writer.join();
+    // Unblock a peer still writing into a connection we abandoned.
+    stream.shutdown();
+}
+
+/// Sends on the bounded channel, blocking for backpressure. Returns
+/// `false` when the writer is gone (its socket died) — the reader then
+/// stops consuming frames.
+fn send_outgoing(tx: &SyncSender<Outgoing>, msg: Outgoing) -> bool {
+    tx.send(msg).is_ok()
+}
+
+fn read_frames(shared: &Arc<WireShared>, stream: &mut Stream, tx: &SyncSender<Outgoing>) {
+    let server = &shared.server;
+    let words_per_query = server.dim().div_ceil(64) as u32;
+    let mut words: Vec<u64> = Vec::new();
+    loop {
+        let header = match wire::read_header(stream) {
+            Ok(h) => h,
+            Err(WireError::Protocol(what)) => {
+                let _ = send_outgoing(
+                    tx,
+                    Outgoing::Error {
+                        id: CONNECTION_ERROR_ID,
+                        code: code::BAD_MAGIC,
+                        message: what,
+                        fatal: true,
+                    },
+                );
+                return;
+            }
+            // Disconnect (clean or mid-header) or forced shutdown.
+            Err(_) => return,
+        };
+        match header.frame_type {
+            FT_HELLO => {
+                if !send_outgoing(tx, Outgoing::HelloAck) {
+                    return;
+                }
+            }
+            FT_QUERY => {
+                if !handle_query_frame(shared, stream, tx, &header, words_per_query, &mut words) {
+                    return;
+                }
+            }
+            other => {
+                let _ = send_outgoing(
+                    tx,
+                    Outgoing::Error {
+                        id: CONNECTION_ERROR_ID,
+                        code: code::BAD_FRAME_TYPE,
+                        message: format!("unknown frame type {other}"),
+                        fatal: true,
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one QUERY frame; returns `false` when the connection must
+/// close (fatal error or disconnect).
+fn handle_query_frame(
+    shared: &Arc<WireShared>,
+    stream: &mut Stream,
+    tx: &SyncSender<Outgoing>,
+    header: &Header,
+    words_per_query: u32,
+    words: &mut Vec<u64>,
+) -> bool {
+    let server = &shared.server;
+    let payload_words = header.count as u64 * header.words_per_query as u64;
+    let recoverable =
+        |id: u64, code: u16, message: String| Outgoing::Error { id, code, message, fatal: false };
+    // Declared-size sanity first: everything past this point may trust
+    // `count` and `words_per_query` enough to drain the payload.
+    if header.count > shared.config.max_frame_queries
+        || header.words_per_query > words_per_query.max(1 << 16)
+    {
+        let _ = send_outgoing(
+            tx,
+            Outgoing::Error {
+                id: CONNECTION_ERROR_ID,
+                code: code::OVERSIZED_FRAME,
+                message: format!(
+                    "frame declares {} queries x {} words (limits: {} queries, {} words)",
+                    header.count,
+                    header.words_per_query,
+                    shared.config.max_frame_queries,
+                    words_per_query
+                ),
+                fatal: true,
+            },
+        );
+        return false;
+    }
+    // Recoverable rejections: consume the declared payload so the next
+    // frame parses, answer with a typed error frame, keep going. A
+    // truncated payload (peer died mid-frame) exits silently.
+    let reject = |stream: &mut Stream, code: u16, message: String| -> bool {
+        let first_id = match wire::read_u64(stream) {
+            Ok(id) => id,
+            Err(_) => return false,
+        };
+        if wire::drain(stream, payload_words * 8).is_err() {
+            return false;
+        }
+        send_outgoing(tx, recoverable(first_id, code, message))
+    };
+    if header.model_key != 0 {
+        return reject(
+            stream,
+            code::UNKNOWN_MODEL_KEY,
+            format!("model key {} unknown (this server serves key 0)", header.model_key),
+        );
+    }
+    if header.count == 0 {
+        return reject(stream, code::MALFORMED, "QUERY frame declares zero queries".into());
+    }
+    if header.words_per_query != words_per_query {
+        return reject(
+            stream,
+            code::DIMENSION_MISMATCH,
+            format!(
+                "frame packs {} words per query; D = {} needs {}",
+                header.words_per_query,
+                server.dim(),
+                words_per_query
+            ),
+        );
+    }
+    if header.k == 0 {
+        return reject(stream, code::BAD_K, "k must be at least 1".into());
+    }
+    let first_id = match wire::read_u64(stream) {
+        Ok(id) => id,
+        Err(_) => return false,
+    };
+    if wire::read_words(stream, payload_words as usize, words).is_err() {
+        // Mid-frame disconnect: nothing was submitted for this frame;
+        // earlier frames' answers still drain through the writer.
+        return false;
+    }
+    match server.submit_packed(words, header.k as usize) {
+        Ok(pendings) => {
+            for (i, pending) in pendings.into_iter().enumerate() {
+                if !send_outgoing(tx, Outgoing::Answer { id: first_id + i as u64, pending }) {
+                    return false;
+                }
+            }
+            true
+        }
+        Err(e @ ServeError::Shutdown) => {
+            let _ = send_outgoing(
+                tx,
+                Outgoing::Error {
+                    id: first_id,
+                    code: code::SHUTDOWN,
+                    message: e.to_string(),
+                    fatal: true,
+                },
+            );
+            false
+        }
+        Err(e) => send_outgoing(tx, recoverable(first_id, serve_error_code(&e), e.to_string())),
+    }
+}
+
+/// Per-connection writer loop: redeems pendings in FIFO order and
+/// streams frames back. The `BufWriter` is flushed whenever the queue
+/// goes momentarily empty, so each micro-batch flush leaves as one
+/// syscall burst without waiting for the connection to go idle.
+fn connection_writer(shared: &Arc<WireShared>, stream: &Arc<Stream>, rx: &Receiver<Outgoing>) {
+    let Ok(write_stream) = stream.try_clone() else { return };
+    let mut out = BufWriter::new(write_stream);
+    loop {
+        let msg = match rx.try_recv() {
+            Ok(msg) => msg,
+            Err(mpsc::TryRecvError::Empty) => {
+                if out.flush().is_err() {
+                    return;
+                }
+                match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break, // reader closed the channel
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => break,
+        };
+        let io = match msg {
+            Outgoing::HelloAck => {
+                let server = &shared.server;
+                let clamp = |v: usize| u32::try_from(v).unwrap_or(u32::MAX);
+                let snapshot = server.registry().snapshot();
+                wire::write_hello_ack(
+                    &mut out,
+                    clamp(server.dim()),
+                    clamp(snapshot.model().rows()),
+                    snapshot.id(),
+                )
+            }
+            Outgoing::Answer { id, pending } => match pending.wait() {
+                Ok(hits) => wire::write_response(&mut out, id, &hits),
+                Err(e) => wire::write_error(&mut out, id, serve_error_code(&e), &e.to_string()),
+            },
+            Outgoing::Error { id, code, message, fatal } => {
+                let res = wire::write_error(&mut out, id, code, &message);
+                if fatal {
+                    let _ = res.and_then(|()| out.flush());
+                    return;
+                }
+                res
+            }
+        };
+        if io.is_err() {
+            // The peer stopped reading; drain remaining messages without
+            // writing so blocked reader sends unblock, then exit. The
+            // queries themselves are still answered server-side.
+            for _ in rx.iter() {}
+            return;
+        }
+    }
+    let _ = out.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Searchable, ServeConfig};
+    use hd_linalg::BitVector;
+    use std::time::Duration;
+
+    fn tiny_server() -> Arc<Server> {
+        let rows: Vec<BitVector> = (0..8)
+            .map(|i| BitVector::from_bools(&(0..64).map(|b| (b + i) % 3 == 0).collect::<Vec<_>>()))
+            .collect();
+        let memory = hd_linalg::SearchMemory::from_rows(&rows).unwrap();
+        Arc::new(
+            Server::start(
+                Arc::new(memory) as Arc<dyn Searchable>,
+                ServeConfig {
+                    max_batch: 4,
+                    max_delay: Duration::from_micros(100),
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn config_rejects_zero_limits() {
+        let server = tiny_server();
+        for config in [
+            WireConfig { max_frame_queries: 0, ..Default::default() },
+            WireConfig { conn_in_flight: 0, ..Default::default() },
+        ] {
+            assert!(matches!(
+                WireServer::start(Arc::clone(&server), config),
+                Err(ServeError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_new_listeners() {
+        let wire = WireServer::start(tiny_server(), WireConfig::default()).unwrap();
+        let addr = wire.listen_tcp("127.0.0.1:0").unwrap();
+        assert_ne!(addr.port(), 0);
+        wire.shutdown();
+        wire.shutdown();
+        assert!(matches!(wire.listen_tcp("127.0.0.1:0"), Err(ServeError::Shutdown)));
+        assert_eq!(wire.connections(), 0);
+    }
+
+    #[test]
+    fn serve_error_codes_cover_the_wire_variants() {
+        assert_eq!(
+            serve_error_code(&ServeError::DimensionMismatch { expected: 1, found: 2 }),
+            code::DIMENSION_MISMATCH
+        );
+        assert_eq!(
+            serve_error_code(&ServeError::MalformedPayload { reason: String::new() }),
+            code::MALFORMED
+        );
+        assert_eq!(serve_error_code(&ServeError::Overloaded), code::OVERLOADED);
+        assert_eq!(serve_error_code(&ServeError::Shutdown), code::SHUTDOWN);
+        assert_eq!(serve_error_code(&ServeError::Model { reason: String::new() }), code::MODEL);
+    }
+}

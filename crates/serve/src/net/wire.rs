@@ -1,0 +1,486 @@
+//! The binary wire codec: framed, versioned, little-endian, zero-repack.
+//!
+//! Every frame is a fixed 24-byte header followed by a type-specific
+//! payload. All integers are little-endian. The QUERY payload is the
+//! batch layout itself — `count` rows of `words_per_query` packed `u64`
+//! words, exactly what [`hd_linalg::QueryBatchBuilder::push_packed_words`]
+//! ingests — so a frame lands in the server's pending batch as one word
+//! copy with no per-bit repacking on either side.
+//!
+//! ```text
+//! header (24 bytes)
+//! ┌────────────┬──────┬───────┬────────┬───────────┬─────────┬────────────────┐
+//! │ magic      │ type │ flags │ k      │ model key │ count   │ words_per_query│
+//! │ u32 "HDW1" │ u8   │ u8    │ u16    │ u64       │ u32     │ u32            │
+//! └────────────┴──────┴───────┴────────┴───────────┴─────────┴────────────────┘
+//!
+//! QUERY payload:     first_id u64, then count × words_per_query × u64
+//! RESPONSE payload:  id u64, generation u64, then k × (row u32, class u32, score u32)
+//!                    (flags bit 0 = degraded)
+//! ERROR payload:     id u64 (u64::MAX = connection-level), code u16,
+//!                    msg_len u16, msg_len UTF-8 bytes
+//! HELLO payload:     empty
+//! HELLO_ACK payload: dim u32, rows u32, generation u64
+//! ```
+//!
+//! The protocol version is baked into the magic (`HDW1`); an
+//! incompatible peer fails the magic check instead of mis-parsing.
+
+use crate::Prediction;
+use std::io::{Read, Write};
+
+/// Frame magic: the bytes `HDW1` read as a little-endian `u32`. The
+/// trailing `1` is the protocol version.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"HDW1");
+
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Client → server handshake; the server answers with
+/// [`FT_HELLO_ACK`].
+pub const FT_HELLO: u8 = 1;
+/// Server → client handshake answer carrying the served model's shape.
+pub const FT_HELLO_ACK: u8 = 2;
+/// Client → server packed query frame.
+pub const FT_QUERY: u8 = 3;
+/// Server → client answer for one query.
+pub const FT_RESPONSE: u8 = 4;
+/// Server → client typed error (per-query or connection-level).
+pub const FT_ERROR: u8 = 5;
+
+/// Response flag bit 0: the answering model was serving degraded (one or
+/// more shards permanently failed; the answer is exact over survivors).
+pub const FLAG_DEGRADED: u8 = 1;
+
+/// The `id` an [`FT_ERROR`] frame carries when the error concerns the
+/// connection itself rather than one identifiable query.
+pub const CONNECTION_ERROR_ID: u64 = u64::MAX;
+
+/// Typed wire error codes carried by [`FT_ERROR`] frames.
+pub mod code {
+    /// Frame magic mismatch — the peer is not speaking this protocol
+    /// (or this version). Connection-fatal.
+    pub const BAD_MAGIC: u16 = 1;
+    /// Unknown frame type. Connection-fatal.
+    pub const BAD_FRAME_TYPE: u16 = 2;
+    /// A frame's declared size exceeds the server's limits; the stream
+    /// position can no longer be trusted. Connection-fatal.
+    pub const OVERSIZED_FRAME: u16 = 3;
+    /// `words_per_query` disagrees with the served dimensionality. The
+    /// frame is drained and skipped; the connection stays usable.
+    pub const DIMENSION_MISMATCH: u16 = 4;
+    /// `k == 0` (or k exceeds the frame format's `u16`). Recoverable.
+    pub const BAD_K: u16 = 5;
+    /// The server shed the frame at admission
+    /// ([`crate::ServeError::Overloaded`]); retry later. Recoverable.
+    pub const OVERLOADED: u16 = 6;
+    /// The server is shutting down. Connection-fatal.
+    pub const SHUTDOWN: u16 = 7;
+    /// The model failed while answering ([`crate::ServeError::Model`]).
+    pub const MODEL: u16 = 8;
+    /// A non-zero model key was addressed; this server serves only the
+    /// default model (key 0). Recoverable.
+    pub const UNKNOWN_MODEL_KEY: u16 = 9;
+    /// Any other malformed payload (zero query count, ragged words).
+    /// Recoverable.
+    pub const MALFORMED: u16 = 10;
+}
+
+/// A decoded frame header (see the module docs for the layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Frame type (`FT_*`). Unknown values are the receiver's
+    /// [`code::BAD_FRAME_TYPE`] to reject — decoding only checks magic.
+    pub frame_type: u8,
+    /// Type-specific flag bits ([`FLAG_DEGRADED`] on responses).
+    pub flags: u8,
+    /// Requested k (queries) or hit count (responses).
+    pub k: u16,
+    /// Model key; `0` addresses the server's default (only) model. A
+    /// forward-compatibility hook for multi-tenant registries.
+    pub model_key: u64,
+    /// Queries in a QUERY frame; otherwise 0.
+    pub count: u32,
+    /// Packed `u64` words per query in a QUERY frame; otherwise 0.
+    pub words_per_query: u32,
+}
+
+impl Header {
+    /// A header with every field zeroed except the frame type.
+    pub fn new(frame_type: u8) -> Self {
+        Header { frame_type, flags: 0, k: 0, model_key: 0, count: 0, words_per_query: 0 }
+    }
+
+    /// Encodes the header into its 24-byte wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[4] = self.frame_type;
+        buf[5] = self.flags;
+        buf[6..8].copy_from_slice(&self.k.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.model_key.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.count.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.words_per_query.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a 24-byte wire header, checking only the magic (frame
+    /// types are validated by the receiver so it can answer with a typed
+    /// error frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Protocol`] on a magic mismatch.
+    pub fn decode(buf: &[u8; HEADER_LEN]) -> Result<Self, WireError> {
+        let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice"));
+        if magic != MAGIC {
+            return Err(WireError::Protocol(format!(
+                "bad frame magic {magic:#010x} (expected {MAGIC:#010x} = \"HDW1\")"
+            )));
+        }
+        Ok(Header {
+            frame_type: buf[4],
+            flags: buf[5],
+            k: u16::from_le_bytes(buf[6..8].try_into().expect("2-byte slice")),
+            model_key: u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice")),
+            count: u32::from_le_bytes(buf[16..20].try_into().expect("4-byte slice")),
+            words_per_query: u32::from_le_bytes(buf[20..24].try_into().expect("4-byte slice")),
+        })
+    }
+}
+
+/// Errors of the wire layer: transport failures, protocol violations by
+/// the peer, and typed error frames received from the server.
+#[derive(Debug)]
+pub enum WireError {
+    /// A socket read/write failed (including peer disconnects).
+    Io(std::io::Error),
+    /// The peer violated the framing protocol.
+    Protocol(String),
+    /// The server answered with an [`FT_ERROR`] frame.
+    Remote {
+        /// The query the error concerns, or [`CONNECTION_ERROR_ID`].
+        id: u64,
+        /// One of the [`code`] constants.
+        code: u16,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Protocol(what) => write!(f, "wire protocol violation: {what}"),
+            WireError::Remote { id, code, message } => {
+                write!(f, "server error frame (id {id}, code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Maps a [`crate::ServeError`] to its wire error code.
+pub fn serve_error_code(e: &crate::ServeError) -> u16 {
+    match e {
+        crate::ServeError::DimensionMismatch { .. } => code::DIMENSION_MISMATCH,
+        crate::ServeError::MalformedPayload { .. } => code::MALFORMED,
+        crate::ServeError::InvalidConfig { .. } => code::BAD_K,
+        crate::ServeError::Overloaded => code::OVERLOADED,
+        crate::ServeError::Shutdown => code::SHUTDOWN,
+        _ => code::MODEL,
+    }
+}
+
+/// Writes an [`FT_ERROR`] frame. Messages longer than `u16::MAX` bytes
+/// are truncated on a UTF-8 boundary.
+pub fn write_error<W: Write>(w: &mut W, id: u64, code: u16, message: &str) -> std::io::Result<()> {
+    let mut msg = message.as_bytes();
+    if msg.len() > u16::MAX as usize {
+        let mut cut = u16::MAX as usize;
+        while !message.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        msg = &message.as_bytes()[..cut];
+    }
+    w.write_all(&Header::new(FT_ERROR).encode())?;
+    w.write_all(&id.to_le_bytes())?;
+    w.write_all(&code.to_le_bytes())?;
+    w.write_all(&(msg.len() as u16).to_le_bytes())?;
+    w.write_all(msg)
+}
+
+/// Writes an [`FT_RESPONSE`] frame for one answered query. Row and
+/// class indices saturate at `u32::MAX` (a 4-billion-row memory exceeds
+/// this wire format). `generation` and `degraded` are taken from the
+/// slate's first entry when present.
+pub fn write_response<W: Write>(w: &mut W, id: u64, hits: &[Prediction]) -> std::io::Result<()> {
+    let clamp = |v: usize| u32::try_from(v).unwrap_or(u32::MAX);
+    let mut header = Header::new(FT_RESPONSE);
+    header.count = 1;
+    header.k = u16::try_from(hits.len()).unwrap_or(u16::MAX);
+    let (generation, degraded) = hits.first().map_or((0, false), |h| (h.generation, h.degraded));
+    if degraded {
+        header.flags |= FLAG_DEGRADED;
+    }
+    w.write_all(&header.encode())?;
+    w.write_all(&id.to_le_bytes())?;
+    w.write_all(&generation.to_le_bytes())?;
+    for h in hits.iter().take(header.k as usize) {
+        w.write_all(&clamp(h.row).to_le_bytes())?;
+        w.write_all(&clamp(h.class).to_le_bytes())?;
+        w.write_all(&h.score.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes an [`FT_QUERY`] frame: `count` queries of `words_per_query`
+/// packed words each, ids `first_id..first_id + count`.
+pub fn write_query<W: Write>(
+    w: &mut W,
+    k: u16,
+    first_id: u64,
+    words_per_query: u32,
+    words: &[u64],
+) -> std::io::Result<()> {
+    debug_assert!(
+        words_per_query > 0 && words.len().is_multiple_of(words_per_query as usize),
+        "query payload must be whole rows"
+    );
+    let mut header = Header::new(FT_QUERY);
+    header.k = k;
+    header.count = (words.len() / words_per_query as usize) as u32;
+    header.words_per_query = words_per_query;
+    w.write_all(&header.encode())?;
+    w.write_all(&first_id.to_le_bytes())?;
+    // One pass through a byte buffer: on little-endian hosts this is the
+    // identity transform of the in-memory words.
+    let mut buf = Vec::with_capacity(words.len() * 8);
+    for word in words {
+        buf.extend_from_slice(&word.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Writes an [`FT_HELLO`] frame.
+pub fn write_hello<W: Write>(w: &mut W) -> std::io::Result<()> {
+    w.write_all(&Header::new(FT_HELLO).encode())
+}
+
+/// Writes an [`FT_HELLO_ACK`] frame carrying the served model's shape.
+pub fn write_hello_ack<W: Write>(
+    w: &mut W,
+    dim: u32,
+    rows: u32,
+    generation: u64,
+) -> std::io::Result<()> {
+    w.write_all(&Header::new(FT_HELLO_ACK).encode())?;
+    w.write_all(&dim.to_le_bytes())?;
+    w.write_all(&rows.to_le_bytes())?;
+    w.write_all(&generation.to_le_bytes())
+}
+
+/// Reads exactly one frame header.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on transport failure (including a clean EOF before
+/// a full header), [`WireError::Protocol`] on bad magic.
+pub fn read_header<R: Read>(r: &mut R) -> Result<Header, WireError> {
+    let mut buf = [0u8; HEADER_LEN];
+    r.read_exact(&mut buf)?;
+    Header::decode(&buf)
+}
+
+/// Reads `n` little-endian `u64` words into `out` (cleared first).
+pub fn read_words<R: Read>(r: &mut R, n: usize, out: &mut Vec<u64>) -> std::io::Result<()> {
+    out.clear();
+    out.reserve(n);
+    let mut buf = [0u8; 8 * 512];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(512);
+        let bytes = &mut buf[..take * 8];
+        r.read_exact(bytes)?;
+        out.extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))));
+        remaining -= take;
+    }
+    Ok(())
+}
+
+/// Reads one little-endian `u64`.
+pub fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Reads one little-endian `u32`.
+pub fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads one little-endian `u16`.
+pub fn read_u16<R: Read>(r: &mut R) -> std::io::Result<u16> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+/// Drains and discards exactly `n` payload bytes — how the server skips
+/// the body of a recoverable bad frame and stays in sync with the
+/// stream.
+pub fn drain<R: Read>(r: &mut R, n: u64) -> std::io::Result<()> {
+    let copied = std::io::copy(&mut r.take(n), &mut std::io::sink())?;
+    if copied < n {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "peer disconnected mid-frame",
+        ));
+    }
+    Ok(())
+}
+
+/// Decoded body of an [`FT_ERROR`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// The query the error concerns, or [`CONNECTION_ERROR_ID`].
+    pub id: u64,
+    /// One of the [`code`] constants.
+    pub code: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Reads the payload of an [`FT_ERROR`] frame (header already consumed).
+pub fn read_error_body<R: Read>(r: &mut R) -> Result<ErrorBody, WireError> {
+    let id = read_u64(r)?;
+    let code = read_u16(r)?;
+    let len = read_u16(r)? as usize;
+    let mut msg = vec![0u8; len];
+    r.read_exact(&mut msg)?;
+    let message = String::from_utf8(msg)
+        .map_err(|_| WireError::Protocol("error frame message is not UTF-8".into()))?;
+    Ok(ErrorBody { id, code, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips_every_field() {
+        let h = Header {
+            frame_type: FT_QUERY,
+            flags: FLAG_DEGRADED,
+            k: 513,
+            model_key: 0xdead_beef_cafe_f00d,
+            count: 70_000,
+            words_per_query: 64,
+        };
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut buf = Header::new(FT_HELLO).encode();
+        buf[3] ^= 0xff;
+        assert!(matches!(Header::decode(&buf), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn error_frame_roundtrips_and_truncates_long_messages() {
+        let mut buf = Vec::new();
+        write_error(&mut buf, 42, code::OVERLOADED, "shed").unwrap();
+        let mut r = &buf[..];
+        let h = read_header(&mut r).unwrap();
+        assert_eq!(h.frame_type, FT_ERROR);
+        let body = read_error_body(&mut r).unwrap();
+        assert_eq!(body, ErrorBody { id: 42, code: code::OVERLOADED, message: "shed".into() });
+        // A message over the u16 length field truncates on a char
+        // boundary instead of corrupting the stream.
+        let long = "é".repeat(40_000); // 80 000 bytes
+        let mut buf = Vec::new();
+        write_error(&mut buf, 1, code::MODEL, &long).unwrap();
+        let mut r = &buf[..];
+        read_header(&mut r).unwrap();
+        let body = read_error_body(&mut r).unwrap();
+        assert!(body.message.len() <= u16::MAX as usize);
+        assert!(body.message.chars().all(|c| c == 'é'));
+        assert!(r.is_empty(), "no stray bytes after the declared length");
+    }
+
+    #[test]
+    fn query_frame_payload_is_the_packed_words_verbatim() {
+        let words = [0x0123_4567_89ab_cdefu64, !0, 0, 42];
+        let mut buf = Vec::new();
+        write_query(&mut buf, 3, 7, 2, &words).unwrap();
+        let mut r = &buf[..];
+        let h = read_header(&mut r).unwrap();
+        assert_eq!((h.frame_type, h.k, h.count, h.words_per_query), (FT_QUERY, 3, 2, 2));
+        assert_eq!(read_u64(&mut r).unwrap(), 7);
+        let mut out = Vec::new();
+        read_words(&mut r, 4, &mut out).unwrap();
+        assert_eq!(out, words);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn response_frame_roundtrips_hits_and_degraded_flag() {
+        let hits: Vec<Prediction> = (0..3)
+            .map(|i| Prediction {
+                row: i,
+                class: i % 2,
+                score: 100 - i as u32,
+                generation: 5,
+                degraded: true,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_response(&mut buf, 9, &hits).unwrap();
+        let mut r = &buf[..];
+        let h = read_header(&mut r).unwrap();
+        assert_eq!((h.frame_type, h.k, h.count), (FT_RESPONSE, 3, 1));
+        assert_eq!(h.flags & FLAG_DEGRADED, FLAG_DEGRADED);
+        assert_eq!(read_u64(&mut r).unwrap(), 9);
+        assert_eq!(read_u64(&mut r).unwrap(), 5);
+        for want in &hits {
+            assert_eq!(read_u32(&mut r).unwrap() as usize, want.row);
+            assert_eq!(read_u32(&mut r).unwrap() as usize, want.class);
+            assert_eq!(read_u32(&mut r).unwrap(), want.score);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn drain_skips_exactly_and_reports_truncation() {
+        let data = [1u8; 10];
+        let mut r = &data[..];
+        drain(&mut r, 4).unwrap();
+        assert_eq!(r.len(), 6);
+        assert!(drain(&mut r, 7).is_err(), "mid-frame disconnect must surface");
+    }
+
+    #[test]
+    fn truncated_header_is_an_io_error() {
+        let mut r = &Header::new(FT_HELLO).encode()[..HEADER_LEN - 1];
+        assert!(matches!(read_header(&mut r), Err(WireError::Io(_))));
+    }
+}

@@ -179,10 +179,14 @@ impl Pending {
     pub fn wait(self) -> Result<Prediction> {
         // A plain submission sharing a cycle with top-k submissions is
         // answered from the cycle's shared slate; its winner is the
-        // slate's top-1 entry (identical tie-break).
-        wait_for(&self.batch, self.index, self.deadline).map(|answer| match answer {
-            Answer::Winner(p) => p,
-            Answer::TopK(slate) => slate[0],
+        // slate's top-1 entry (identical tie-break). A foreign model
+        // returning an empty slate is a typed error, never an index
+        // panic in the waiter.
+        wait_for(&self.batch, self.index, self.deadline).and_then(|answer| match answer {
+            Answer::Winner(p) => Ok(p),
+            Answer::TopK(slate) => slate.first().copied().ok_or_else(|| ServeError::Model {
+                reason: "model returned an empty top-k slate".into(),
+            }),
         })
     }
 }
@@ -640,6 +644,97 @@ impl Server {
         Ok(pending)
     }
 
+    /// Submits a whole frame of already-packed queries in one queue
+    /// transaction — the wire front-end's ingest path (see
+    /// [`crate::net`]). `words` must hold one or more
+    /// `dim().div_ceil(64)`-word rows laid out exactly as a
+    /// [`QueryBatch`] stores them; they land in the pending batch via
+    /// [`QueryBatchBuilder::push_packed_words`] as one word copy, with
+    /// no per-bit repacking and a single lock acquisition for the whole
+    /// frame. The frame is admitted or shed atomically against
+    /// [`ServeConfig::max_in_flight`], and every query is answered at
+    /// `k` (`k == 1` yields one-entry slates; handles truncate like
+    /// [`Server::submit_topk`]). A frame that fills the batch is flushed
+    /// inline by the submitting thread, exactly like [`Server::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::MalformedPayload`] when `words` does not
+    /// form whole queries, [`ServeError::InvalidConfig`] when `k == 0`,
+    /// [`ServeError::Overloaded`] when admitting the frame would exceed
+    /// the in-flight limit (nothing is enqueued), and
+    /// [`ServeError::Shutdown`] after shutdown.
+    pub fn submit_packed(&self, words: &[u64], k: usize) -> Result<Vec<PendingTopK>> {
+        crate::searchable::check_topk(k)?;
+        let (start, count, state, work) = self.enqueue_packed(words, k)?;
+        let pendings = (start..start + count)
+            .map(|index| PendingTopK { batch: Arc::clone(&state), index, k, deadline: None })
+            .collect();
+        if let Some((batch, state, max_k)) = work {
+            self.shared.flush(batch, state, max_k, FlushKind::Full);
+        }
+        Ok(pendings)
+    }
+
+    /// Queues a frame of packed queries under one lock acquisition,
+    /// returning the first query's index in the cycle, the frame's query
+    /// count, the cycle's completion state, and — when the frame filled
+    /// the batch — the work the caller must flush inline.
+    #[allow(clippy::type_complexity)]
+    fn enqueue_packed(
+        &self,
+        words: &[u64],
+        k: usize,
+    ) -> Result<(usize, usize, Arc<BatchState>, Option<(QueryBatch, Arc<BatchState>, usize)>)> {
+        let words_per_query = self.dim().div_ceil(64);
+        if words.is_empty() || !words.len().is_multiple_of(words_per_query) {
+            return Err(ServeError::MalformedPayload {
+                reason: format!(
+                    "payload of {} words is not a positive multiple of the {words_per_query}-word \
+                     query width (D = {})",
+                    words.len(),
+                    self.dim()
+                ),
+            });
+        }
+        let count = words.len() / words_per_query;
+        let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        let limit = self.shared.config.max_in_flight;
+        if limit != 0 {
+            if self.shared.in_flight.load(Ordering::Relaxed) + count as u64 > limit as u64 {
+                self.shared.stats.shed.fetch_add(count as u64, Ordering::Relaxed);
+                return Err(ServeError::Overloaded);
+            }
+            // Matches the single-query rule (`in_flight + 1 > limit`
+            // sheds): a frame is admitted only whole, so the gauge never
+            // exceeds the limit.
+            self.shared.in_flight.fetch_add(count as u64, Ordering::Relaxed);
+        }
+        let start = q.builder.len();
+        if let Err(e) = q.builder.push_packed_words(words) {
+            // Shape was validated above, so this is unreachable — but a
+            // client-fed path never panics on principle. Undo the
+            // admission reservation before surfacing the typed error.
+            if limit != 0 {
+                self.shared.in_flight.fetch_sub(count as u64, Ordering::Relaxed);
+            }
+            return Err(ServeError::MalformedPayload { reason: e.to_string() });
+        }
+        q.max_k = q.max_k.max(k);
+        if start == 0 {
+            q.opened_at = Some(Instant::now());
+            if self.shared.flusher_parked.load(Ordering::Relaxed) {
+                self.shared.deadline_cv.notify_one();
+            }
+        }
+        let state = Arc::clone(&q.state);
+        let work = (q.builder.len() >= self.shared.config.max_batch).then(|| q.take_work());
+        Ok((start, count, state, work))
+    }
+
     /// Queues one query with its requested k, returning its index in the
     /// cycle, the cycle's completion state, and — when this query filled
     /// the batch — the work the caller must flush inline.
@@ -1058,6 +1153,134 @@ mod tests {
             ServeConfig { max_batch: 0, max_delay: Duration::from_micros(1), ..Default::default() }
         )
         .is_err());
+    }
+
+    /// Regression: a foreign model returning empty top-k slates used to
+    /// panic a plain waiter on `slate[0]`; it must surface as a typed
+    /// [`ServeError::Model`] instead.
+    #[test]
+    fn empty_slate_from_foreign_model_is_a_typed_error_not_a_panic() {
+        struct EmptySlateModel;
+        impl crate::Searchable for EmptySlateModel {
+            fn dim(&self) -> usize {
+                64
+            }
+            fn rows(&self) -> usize {
+                4
+            }
+            fn search_winners(
+                &self,
+                batch: Arc<hd_linalg::QueryBatch>,
+            ) -> Result<Vec<crate::Winner>> {
+                Ok(vec![crate::Winner { row: 0, class: 0, score: 0 }; batch.len()])
+            }
+            fn search_topk(
+                &self,
+                batch: Arc<hd_linalg::QueryBatch>,
+                _k: usize,
+            ) -> Result<Vec<Vec<crate::Winner>>> {
+                Ok(vec![Vec::new(); batch.len()])
+            }
+        }
+        let server = Server::start(
+            Arc::new(EmptySlateModel),
+            ServeConfig { max_batch: 2, max_delay: Duration::from_millis(5), ..Default::default() },
+        )
+        .unwrap();
+        let queries = random_queries(2, 64, 30);
+        // A plain submission sharing a cycle with a top-k one is
+        // answered from the (empty) shared slate.
+        let plain = server.submit(queries[0].as_view()).unwrap();
+        let ranked = server.submit_topk(queries[1].as_view(), 3).unwrap();
+        match plain.wait() {
+            Err(ServeError::Model { reason }) => {
+                assert!(reason.contains("empty"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected a Model error, got {other:?}"),
+        }
+        // The top-k waiter legitimately sees the empty slate.
+        assert_eq!(ranked.wait().unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn submit_packed_matches_per_query_submission() {
+        let dim = 130; // dirty-tail width
+        let am = random_am(40, dim, 31);
+        let server = Server::start(
+            Arc::clone(&am) as Arc<dyn Searchable>,
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_micros(100),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let queries = random_queries(20, dim, 32);
+        let mut words: Vec<u64> = Vec::new();
+        for q in &queries {
+            words.extend_from_slice(q.as_words());
+        }
+        // One oversized frame (> max_batch) plus a small one: the first
+        // flushes inline, the rest ride the deadline flusher.
+        let wpq = dim.div_ceil(64);
+        let mut pendings = server.submit_packed(&words[..16 * wpq], 1).unwrap();
+        pendings.extend(server.submit_packed(&words[16 * wpq..], 3).unwrap());
+        assert_eq!(pendings.len(), queries.len());
+        let batch = hd_linalg::QueryBatch::from_vectors(&queries).unwrap();
+        let reference = am.search_topk(&batch, 3).unwrap();
+        for (i, p) in pendings.into_iter().enumerate() {
+            let slate = p.wait().unwrap();
+            let want_len = if i < 16 { 1 } else { 3 };
+            assert_eq!(slate.len(), want_len, "query {i}");
+            for (got, want) in slate.iter().zip(&reference[i]) {
+                assert_eq!(
+                    (got.row, got.class, got.score),
+                    (want.row, want.class, want.score),
+                    "query {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn submit_packed_rejects_malformed_payloads_and_sheds_whole_frames() {
+        let dim = 64;
+        let am = random_am(8, dim, 33);
+        let server = Server::start(
+            Arc::clone(&am) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 4, max_delay: Duration::from_secs(600), max_in_flight: 4 },
+        )
+        .unwrap();
+        assert!(matches!(server.submit_packed(&[], 1), Err(ServeError::MalformedPayload { .. })));
+        assert!(matches!(
+            server.submit_packed(&[0u64; 2], 0),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // A misaligned payload needs a multi-word width: 100 bits = 2
+        // words/query, 3 words is one-and-a-half queries.
+        let wide =
+            Server::start(random_am(8, 100, 34) as Arc<dyn Searchable>, ServeConfig::default())
+                .unwrap();
+        assert!(matches!(
+            wide.submit_packed(&[0u64; 3], 1),
+            Err(ServeError::MalformedPayload { .. })
+        ));
+        // Admission: a 3-query frame fits the 4-slot gauge; a second
+        // 3-query frame would exceed it and is shed whole (nothing
+        // partially enqueued — the retry succeeds after capacity frees).
+        let held = server.submit_packed(&[1u64, 2, 3], 1).unwrap();
+        assert_eq!(server.in_flight(), 3);
+        assert!(matches!(server.submit_packed(&[4u64, 5, 6], 1), Err(ServeError::Overloaded)));
+        assert_eq!(server.in_flight(), 3);
+        assert_eq!(server.stats().shed, 3);
+        // One more single query fits exactly at the limit, fills the
+        // 4-slot batch, and flushes inline — freeing every slot.
+        let single = server.submit(BitVector::zeros(dim).as_view()).unwrap();
+        assert_eq!(server.in_flight(), 0);
+        for p in held {
+            p.wait().unwrap();
+        }
+        single.wait().unwrap();
     }
 
     #[test]

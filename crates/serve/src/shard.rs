@@ -193,6 +193,26 @@ fn shard_answer(
     }
 }
 
+/// Rejects a shard answer whose length disagrees with the batch — the
+/// invariant the merge paths index on (`winners[q]` / `lists[q]`). The
+/// search kernels uphold it by construction; converting a violation into
+/// a typed error here means a buggy kernel degrades one request instead
+/// of panicking the calling thread (which, on a direct
+/// [`ShardedSearcher`] user outside [`crate::Server`]'s catch_unwind,
+/// would unwind into the caller).
+fn check_answer_len(answer: &ShardAnswer, queries: usize, shard: usize) -> Result<()> {
+    let got = match answer {
+        ShardAnswer::Winners(w) => w.len(),
+        ShardAnswer::TopK(lists) => lists.len(),
+    };
+    if got != queries {
+        return Err(ServeError::Model {
+            reason: format!("shard {shard} answered {got} queries for a {queries}-query batch"),
+        });
+    }
+    Ok(())
+}
+
 /// A sharded, worker-backed [`Searchable`] over a row-partitioned
 /// associative memory.
 ///
@@ -564,11 +584,11 @@ impl ShardedSearcher {
         let mut per_shard: Vec<Option<ShardAnswer>> =
             (0..self.shards.len()).map(|_| None).collect();
         if !self.has_workers() {
-            for (slot, shard) in per_shard.iter_mut().zip(&self.shards) {
-                *slot = Some(
-                    shard_answer(&shard.memory, batch, shard.cascade.as_deref(), task)
-                        .map_err(|e| ServeError::Model { reason: e.to_string() })?,
-                );
+            for (idx, (slot, shard)) in per_shard.iter_mut().zip(&self.shards).enumerate() {
+                let answer = shard_answer(&shard.memory, batch, shard.cascade.as_deref(), task)
+                    .map_err(|e| ServeError::Model { reason: e.to_string() })?;
+                check_answer_len(&answer, batch.len(), idx)?;
+                *slot = Some(answer);
             }
             return Ok(per_shard);
         }
@@ -588,8 +608,10 @@ impl ShardedSearcher {
             for (idx, outcome) in reply_rx.iter() {
                 match outcome {
                     ShardOutcome::Answer(answer) => {
-                        per_shard[idx] =
-                            Some(answer.map_err(|e| ServeError::Model { reason: e.to_string() })?);
+                        let answer =
+                            answer.map_err(|e| ServeError::Model { reason: e.to_string() })?;
+                        check_answer_len(&answer, batch.len(), idx)?;
+                        per_shard[idx] = Some(answer);
                     }
                     // The worker died; the retry below (keyed on the
                     // missing answer) revives or degrades the shard.
@@ -616,7 +638,9 @@ impl ShardedSearcher {
     }
 
     /// Merges per-shard winners (ordered by ascending shard) into global
-    /// winners. Strict `>` keeps the earliest (lowest-offset) shard on
+    /// winners. Indexing `winners[q]` cannot panic: every present answer
+    /// was length-checked against the batch by `check_answer_len`.
+    /// Strict `>` keeps the earliest (lowest-offset) shard on
     /// ties, and each shard's local winner already carries its own
     /// lowest-row tie-break, so the merged winner is exactly the
     /// unsharded one. Degraded shards (`None`) simply don't compete:

@@ -1,0 +1,173 @@
+//! Property-based fuzzing of the wire codec and front-end: arbitrary
+//! byte streams, fuzzed headers with truncated payloads, and garbage
+//! trailing a valid frame must never panic a connection thread, never
+//! hang the peer, and never lose an in-flight query — every outcome is
+//! a parseable frame or a clean close.
+
+use hd_linalg::rng::seeded;
+use hd_linalg::{BitVector, SearchMemory};
+use hd_serve::net::wire::{self, WireError};
+use hd_serve::net::{
+    Header, WireClient, WireConfig, WireServer, FT_ERROR, FT_HELLO_ACK, FT_RESPONSE, HEADER_LEN,
+};
+use hd_serve::{Searchable, ServeConfig, Server, ShardedSearcher};
+use proptest::prelude::*;
+use rand::Rng as _;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const DIM: usize = 128;
+
+/// One shared served fixture for every proptest case (leaked: proptest
+/// cases are independent closures, and tearing a server down per case
+/// would dominate the suite's runtime).
+fn fixture_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let mut rng = seeded(4096);
+        let rows: Vec<BitVector> = (0..33)
+            .map(|_| BitVector::from_bools(&(0..DIM).map(|_| rng.gen()).collect::<Vec<_>>()))
+            .collect();
+        let classes: Vec<usize> = (0..rows.len()).map(|r| r % 3).collect();
+        let memory = SearchMemory::from_rows(&rows).unwrap();
+        let sharded = ShardedSearcher::new(memory, classes, 2).unwrap();
+        let server = Arc::new(
+            Server::start(
+                Arc::new(sharded) as Arc<dyn Searchable>,
+                ServeConfig {
+                    max_batch: 8,
+                    max_delay: Duration::from_micros(200),
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let wire = WireServer::start(Arc::clone(&server), WireConfig::default()).unwrap();
+        let addr = wire.listen_tcp("127.0.0.1:0").unwrap();
+        std::mem::forget(wire);
+        std::mem::forget(server);
+        addr
+    })
+}
+
+/// Reads frames until EOF, asserting each one parses as a known frame
+/// type. Returns the ids of RESPONSE frames, in arrival order.
+fn drain_frames(stream: &mut TcpStream) -> Vec<u64> {
+    let mut response_ids = Vec::new();
+    loop {
+        let header = match wire::read_header(stream) {
+            Ok(h) => h,
+            Err(WireError::Io(_)) => break, // clean close
+            Err(e) => panic!("server sent an unparseable frame: {e}"),
+        };
+        match header.frame_type {
+            FT_ERROR => {
+                wire::read_error_body(stream).unwrap();
+            }
+            FT_RESPONSE => {
+                response_ids.push(wire::read_u64(stream).unwrap());
+                let _generation = wire::read_u64(stream).unwrap();
+                wire::drain(stream, header.k as u64 * 12).unwrap();
+            }
+            FT_HELLO_ACK => {
+                wire::drain(stream, 16).unwrap();
+            }
+            other => panic!("server sent unknown frame type {other}"),
+        }
+    }
+    response_ids
+}
+
+/// A byte stream that is hostile but *shaped*: either raw bytes, or a
+/// syntactically valid header with fuzzed fields and an arbitrary
+/// (usually truncated) payload — exercising the validation ladder, the
+/// bounded drain, and mid-frame disconnects.
+fn hostile_bytes() -> impl Strategy<Value = Vec<u8>> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(0u8..=255, 0..96),
+        (0u8..8, 0u64..3, 0u32..10_000, 0u32..8),
+        proptest::collection::vec(0u8..=255, 0..128),
+    )
+        .prop_map(
+            |(raw_mode, raw, (frame_type, model_key, count, words_per_query), payload)| {
+                if raw_mode {
+                    return raw;
+                }
+                let header = Header {
+                    frame_type,
+                    flags: 0,
+                    k: (count & 0x7) as u16,
+                    model_key,
+                    count,
+                    words_per_query,
+                };
+                let mut bytes = header.encode().to_vec();
+                bytes.extend_from_slice(&payload);
+                bytes
+            },
+        )
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn header_decode_never_panics_and_roundtrips_valid_magic(
+        bytes in proptest::collection::vec(0u8..=255, HEADER_LEN..HEADER_LEN + 1)
+    ) {
+        let buf: [u8; HEADER_LEN] = bytes.try_into().unwrap();
+        match Header::decode(&buf) {
+            Ok(header) => {
+                // Valid magic: decode/encode must be the identity.
+                prop_assert_eq!(header.encode(), buf);
+            }
+            Err(WireError::Protocol(_)) => {} // bad magic
+            Err(e) => panic!("unexpected decode error: {e}"),
+        }
+    }
+
+    #[test]
+    fn server_answers_or_closes_on_hostile_streams(bytes in hostile_bytes()) {
+        let mut stream = TcpStream::connect(fixture_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(&bytes).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Must terminate: every frame parseable, then EOF — a read
+        // timeout here means a connection thread hung or panicked.
+        drain_frames(&mut stream);
+    }
+
+    #[test]
+    fn garbage_after_a_valid_frame_never_loses_the_query(trailing in hostile_bytes()) {
+        let mut rng = seeded(4097);
+        let query =
+            BitVector::from_bools(&(0..DIM).map(|_| rng.gen()).collect::<Vec<_>>());
+        let mut stream = TcpStream::connect(fixture_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut burst = Vec::new();
+        wire::write_query(&mut burst, 1, 7, (DIM / 64) as u32, query.as_words()).unwrap();
+        burst.extend_from_slice(&trailing);
+        stream.write_all(&burst).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let response_ids = drain_frames(&mut stream);
+        // Whatever the trailing bytes decode to, the valid query's
+        // answer must come back first.
+        prop_assert_eq!(response_ids.first(), Some(&7));
+    }
+}
+
+/// After every hostile case above, the fixture must still serve good
+/// traffic (runs last only by name luck, so assert it independently).
+#[test]
+fn fixture_survives_the_fuzz_suite() {
+    let mut rng = seeded(4098);
+    let query = BitVector::from_bools(&(0..DIM).map(|_| rng.gen()).collect::<Vec<_>>());
+    let mut client = WireClient::connect_tcp(fixture_addr()).unwrap();
+    let ids = client.send_queries(std::slice::from_ref(&query), 3).unwrap();
+    let (id, hits) = client.recv_response().unwrap();
+    assert_eq!(id, ids.start);
+    assert_eq!(hits.len(), 3);
+}
