@@ -8,7 +8,10 @@
 //! responses; responses arrive in submission order per connection.
 
 use super::wire::{self, ErrorBody, WireError};
-use super::{Stream, FLAG_DEGRADED, FT_ERROR, FT_HELLO_ACK, FT_RESPONSE};
+use super::{
+    Stream, FLAG_DEGRADED, FLAG_LIVENESS, FT_ERROR, FT_GOAWAY, FT_HELLO_ACK, FT_PING, FT_PONG,
+    FT_RESPONSE,
+};
 use crate::Prediction;
 use hd_linalg::BitVector;
 use std::io::{BufReader, BufWriter, Write};
@@ -16,6 +19,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Default bound on [`WireClient::connect_tcp`]'s connect attempt and on
+/// the HELLO_ACK wait of both transports — a hung or unroutable server
+/// fails the constructor instead of blocking it forever.
+pub(crate) const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One frame received from the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +40,21 @@ pub enum WireEvent {
     /// The server rejected a query (or the connection) with a typed
     /// error frame.
     Error(ErrorBody),
+    /// The server echoed a [`WireClient::send_ping`] probe.
+    Pong {
+        /// The nonce the probe carried.
+        nonce: u64,
+    },
+    /// The server stops accepting queries on this connection (graceful
+    /// drain or shutdown). Every query with an id at or below
+    /// `last_accepted` will still be answered; everything after it was
+    /// never accepted and must be retried on another connection.
+    /// `last_accepted` is [`super::GOAWAY_NONE`] when nothing was
+    /// accepted. May arrive more than once; repeats are harmless.
+    GoAway {
+        /// Id of the last accepted query on this connection.
+        last_accepted: u64,
+    },
 }
 
 /// A blocking wire-protocol client over TCP or a Unix-domain socket.
@@ -45,35 +69,93 @@ pub struct WireClient {
     dim: u32,
     rows: u32,
     generation: u64,
+    liveness: bool,
     next_id: u64,
 }
 
 impl WireClient {
-    /// Connects over TCP and performs the HELLO handshake.
+    /// Connects over TCP and performs the HELLO handshake, bounding both
+    /// the connect attempt and the HELLO_ACK wait by a default 30 s
+    /// timeout (use [`WireClient::connect_tcp_timeout`] to choose it) —
+    /// a hung, unroutable, or accept-and-stall server fails the call
+    /// instead of blocking it forever.
     ///
     /// # Errors
     ///
-    /// [`WireError::Io`] on connect/transport failure,
+    /// [`WireError::Io`] on connect/transport failure or timeout,
     /// [`WireError::Protocol`] if the peer is not a wire server,
     /// [`WireError::Remote`] if the server answered the handshake with
-    /// an error frame.
+    /// an error frame (e.g. [`super::code::CONNECTION_LIMIT`]).
     pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> Result<Self, WireError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_tcp_timeout(addr, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// [`WireClient::connect_tcp`] with an explicit bound. Every
+    /// resolved address is tried with [`TcpStream::connect_timeout`]
+    /// before giving up; the HELLO_ACK wait runs under a read timeout of
+    /// the same `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::connect_tcp`].
+    pub fn connect_tcp_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Self, WireError> {
+        let mut last_err: Option<std::io::Error> = None;
+        let mut stream = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some(stream) = stream else {
+            return Err(WireError::Io(last_err.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no socket addresses",
+                )
+            })));
+        };
         let _ = stream.set_nodelay(true);
-        Self::handshake(Stream::Tcp(stream))
+        Self::handshake(Stream::Tcp(stream), timeout)
     }
 
     /// Connects over a Unix-domain socket and performs the handshake.
+    /// The UDS connect itself is local and immediate, but the HELLO_ACK
+    /// wait is bounded like the TCP path's (default 30 s; see
+    /// [`WireClient::connect_uds_timeout`]) so a hung server cannot
+    /// block the constructor.
     ///
     /// # Errors
     ///
     /// As [`WireClient::connect_tcp`].
     #[cfg(unix)]
     pub fn connect_uds<P: AsRef<std::path::Path>>(path: P) -> Result<Self, WireError> {
-        Self::handshake(Stream::Unix(UnixStream::connect(path)?))
+        Self::connect_uds_timeout(path, DEFAULT_CONNECT_TIMEOUT)
     }
 
-    fn handshake(stream: Stream) -> Result<Self, WireError> {
+    /// [`WireClient::connect_uds`] with an explicit HELLO_ACK bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::connect_tcp`].
+    #[cfg(unix)]
+    pub fn connect_uds_timeout<P: AsRef<std::path::Path>>(
+        path: P,
+        timeout: Duration,
+    ) -> Result<Self, WireError> {
+        Self::handshake(Stream::Unix(UnixStream::connect(path)?), timeout)
+    }
+
+    fn handshake(stream: Stream, timeout: Duration) -> Result<Self, WireError> {
+        // Bound the HELLO_ACK wait; recv() restores unbounded blocking
+        // below unless the caller re-applies a deadline.
+        let _ = stream.set_read_timeout(Some(timeout));
         let write_half = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
         let mut writer = BufWriter::new(write_half);
@@ -89,10 +171,12 @@ impl WireClient {
                 )))
             }
         }
+        let liveness = header.flags & FLAG_LIVENESS != 0;
         let dim = wire::read_u32(&mut reader)?;
         let rows = wire::read_u32(&mut reader)?;
         let generation = wire::read_u64(&mut reader)?;
-        Ok(WireClient { reader, writer, dim, rows, generation, next_id: 0 })
+        let _ = reader.get_ref().set_read_timeout(None);
+        Ok(WireClient { reader, writer, dim, rows, generation, liveness, next_id: 0 })
     }
 
     /// The served model's hypervector dimensionality `D` (learned at
@@ -111,6 +195,29 @@ impl WireClient {
     /// a hot swap).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Whether the server advertised PING/PONG/GOAWAY support
+    /// ([`FLAG_LIVENESS`] on its HELLO_ACK). When `false` the peer
+    /// predates the liveness frames and must not be pinged — it would
+    /// close the connection on the unknown frame type.
+    pub fn liveness(&self) -> bool {
+        self.liveness
+    }
+
+    /// Applies (or clears, with `None`) a read deadline to subsequent
+    /// [`WireClient::recv`] calls. A deadline that expires surfaces as
+    /// [`WireError::Io`] with a timeout kind; the connection itself stays
+    /// open, but a recv abandoned mid-frame leaves the stream
+    /// desynchronized, so callers should treat a timed-out recv as
+    /// connection-fatal (as [`super::ResilientClient`] does).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Packed `u64` words per query on this connection.
@@ -169,49 +276,106 @@ impl WireClient {
         Ok(first_id..first_id + count)
     }
 
+    /// Sends a PING probe carrying `nonce`; the server echoes it back as
+    /// [`WireEvent::Pong`]. Callers must check [`WireClient::liveness`]
+    /// first — a pre-liveness server treats PING as an unknown frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] if the server did not advertise liveness,
+    /// [`WireError::Io`] on transport failure.
+    pub fn send_ping(&mut self, nonce: u64) -> Result<(), WireError> {
+        if !self.liveness {
+            return Err(WireError::Protocol(
+                "server did not advertise liveness support; PING would be fatal to it".into(),
+            ));
+        }
+        wire::write_ping(&mut self.writer, nonce)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
     /// Receives the next frame from the server, blocking until one
-    /// arrives.
+    /// arrives (or until a deadline set via
+    /// [`WireClient::set_read_timeout`] expires).
     ///
     /// Per-query rejections come back as [`WireEvent::Error`] (the
     /// connection stays usable unless the error's code is
-    /// connection-fatal — see [`super::code`]).
+    /// connection-fatal — see [`super::code`]). A server PING is
+    /// answered with a PONG internally and never surfaced; PONG and
+    /// GOAWAY frames surface as their own events. Unknown header-only
+    /// frame types from a newer server are skipped silently (the
+    /// forward-compatibility contract of the codec).
     ///
     /// # Errors
     ///
     /// [`WireError::Io`] on disconnect, [`WireError::Protocol`] on a
-    /// malformed server frame.
+    /// malformed server frame or an unknown frame that declares a
+    /// payload (the stream cannot be resynchronized past it).
     pub fn recv(&mut self) -> Result<WireEvent, WireError> {
-        let header = wire::read_header(&mut self.reader)?;
-        match header.frame_type {
-            FT_RESPONSE => {
-                let id = wire::read_u64(&mut self.reader)?;
-                let generation = wire::read_u64(&mut self.reader)?;
-                let degraded = header.flags & FLAG_DEGRADED != 0;
-                let mut hits = Vec::with_capacity(header.k as usize);
-                for _ in 0..header.k {
-                    let row = wire::read_u32(&mut self.reader)? as usize;
-                    let class = wire::read_u32(&mut self.reader)? as usize;
-                    let score = wire::read_u32(&mut self.reader)?;
-                    hits.push(Prediction { row, class, score, generation, degraded });
+        loop {
+            let header = wire::read_header(&mut self.reader)?;
+            match header.frame_type {
+                FT_RESPONSE => {
+                    let id = wire::read_u64(&mut self.reader)?;
+                    let generation = wire::read_u64(&mut self.reader)?;
+                    let degraded = header.flags & FLAG_DEGRADED != 0;
+                    let mut hits = Vec::with_capacity(header.k as usize);
+                    for _ in 0..header.k {
+                        let row = wire::read_u32(&mut self.reader)? as usize;
+                        let class = wire::read_u32(&mut self.reader)? as usize;
+                        let score = wire::read_u32(&mut self.reader)?;
+                        hits.push(Prediction { row, class, score, generation, degraded });
+                    }
+                    return Ok(WireEvent::Response { id, hits });
                 }
-                Ok(WireEvent::Response { id, hits })
+                FT_ERROR => return Ok(WireEvent::Error(wire::read_error_body(&mut self.reader)?)),
+                FT_PING if header.is_payload_free() => {
+                    wire::write_pong(&mut self.writer, header.model_key)?;
+                    self.writer.flush()?;
+                }
+                FT_PONG if header.is_payload_free() => {
+                    return Ok(WireEvent::Pong { nonce: header.model_key });
+                }
+                FT_GOAWAY if header.is_payload_free() => {
+                    return Ok(WireEvent::GoAway { last_accepted: header.model_key });
+                }
+                other if header.is_payload_free() => {
+                    let _ = other; // unknown but header-only: skip, stay in sync
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected server frame type {other} with a declared payload"
+                    )));
+                }
             }
-            FT_ERROR => Ok(WireEvent::Error(wire::read_error_body(&mut self.reader)?)),
-            other => Err(WireError::Protocol(format!("unexpected server frame type {other}"))),
         }
     }
 
     /// Convenience wrapper: [`WireClient::recv`], but a received error
-    /// frame becomes [`WireError::Remote`].
+    /// frame becomes [`WireError::Remote`]. Stray PONGs are skipped; a
+    /// GOAWAY (the server is draining and will not answer anything not
+    /// yet accepted) surfaces as [`WireError::Protocol`] — callers that
+    /// want to handle drain gracefully should use [`WireClient::recv`]
+    /// or [`super::ResilientClient`].
     ///
     /// # Errors
     ///
     /// As [`WireClient::recv`], plus [`WireError::Remote`] for error
     /// frames.
     pub fn recv_response(&mut self) -> Result<(u64, Vec<Prediction>), WireError> {
-        match self.recv()? {
-            WireEvent::Response { id, hits } => Ok((id, hits)),
-            WireEvent::Error(body) => Err(body.into_remote()),
+        loop {
+            match self.recv()? {
+                WireEvent::Response { id, hits } => return Ok((id, hits)),
+                WireEvent::Error(body) => return Err(body.into_remote()),
+                WireEvent::Pong { .. } => {}
+                WireEvent::GoAway { last_accepted } => {
+                    return Err(WireError::Protocol(format!(
+                        "server sent GOAWAY (last accepted id {last_accepted}) while a plain \
+                         response was expected"
+                    )));
+                }
+            }
         }
     }
 }

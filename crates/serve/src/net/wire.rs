@@ -21,10 +21,31 @@
 //!                    msg_len u16, msg_len UTF-8 bytes
 //! HELLO payload:     empty
 //! HELLO_ACK payload: dim u32, rows u32, generation u64
+//!                    (flags bit 0 = liveness: peer speaks PING/PONG/GOAWAY)
+//! PING payload:      empty (nonce rides in the header's model-key field)
+//! PONG payload:      empty (echoes the PING's nonce in model key)
+//! GOAWAY payload:    empty (model key = last-accepted query id,
+//!                    [`GOAWAY_NONE`] when none was accepted)
 //! ```
 //!
 //! The protocol version is baked into the magic (`HDW1`); an
 //! incompatible peer fails the magic check instead of mis-parsing.
+//!
+//! **Header-only frames and forward compatibility.** The liveness frames
+//! (PING, PONG, GOAWAY) carry their one `u64` of data in the header's
+//! model-key field and declare `count == 0`, `words_per_query == 0` —
+//! they have no payload at all. Because the header is fixed-size, a peer
+//! that does not understand such a frame stays byte-synchronized on the
+//! stream: the unknown frame is a *recoverable* error (answerable with a
+//! typed [`code::BAD_FRAME_TYPE`] error frame, connection kept), never a
+//! desync. Receivers in this crate extend that convention to any future
+//! frame type: an unknown type whose header declares no payload
+//! ([`Header::is_payload_free`]) is skipped or rejected recoverably,
+//! while an unknown type that *does* declare payload bytes is
+//! connection-fatal, because the stream position can no longer be
+//! trusted. A server advertises liveness support via [`FLAG_LIVENESS`]
+//! in the HELLO_ACK flags; clients must not PING a server that did not
+//! advertise it (an old server treats any unknown frame as fatal).
 
 use crate::Prediction;
 use std::io::{Read, Write};
@@ -47,10 +68,32 @@ pub const FT_QUERY: u8 = 3;
 pub const FT_RESPONSE: u8 = 4;
 /// Server → client typed error (per-query or connection-level).
 pub const FT_ERROR: u8 = 5;
+/// Liveness probe (either direction). Header-only: the probe nonce rides
+/// in the model-key field; the peer echoes it back in an [`FT_PONG`].
+pub const FT_PING: u8 = 6;
+/// Liveness answer: echoes the [`FT_PING`]'s nonce in the model-key
+/// field. Header-only.
+pub const FT_PONG: u8 = 7;
+/// Server → client: this connection stops accepting queries (drain or
+/// shutdown). Header-only; the model-key field carries the id of the
+/// last query this connection *accepted* ([`GOAWAY_NONE`] when none) so
+/// the client knows exactly which submissions will still be answered —
+/// everything after that id must be retried elsewhere.
+pub const FT_GOAWAY: u8 = 8;
 
 /// Response flag bit 0: the answering model was serving degraded (one or
 /// more shards permanently failed; the answer is exact over survivors).
 pub const FLAG_DEGRADED: u8 = 1;
+
+/// HELLO_ACK flag bit 0: the server speaks the liveness frames
+/// ([`FT_PING`] / [`FT_PONG`] / [`FT_GOAWAY`]). A client must only send
+/// PING to servers that advertised this (an older server treats unknown
+/// frame types as connection-fatal).
+pub const FLAG_LIVENESS: u8 = 1;
+
+/// The model-key value a [`FT_GOAWAY`] frame carries when the connection
+/// never accepted a query.
+pub const GOAWAY_NONE: u64 = u64::MAX;
 
 /// The `id` an [`FT_ERROR`] frame carries when the error concerns the
 /// connection itself rather than one identifiable query.
@@ -84,6 +127,15 @@ pub mod code {
     /// Any other malformed payload (zero query count, ragged words).
     /// Recoverable.
     pub const MALFORMED: u16 = 10;
+    /// The server is at its configured connection limit
+    /// ([`crate::net::WireConfig::max_connections`]) and refused this
+    /// connection at accept. Connection-fatal (the socket closes right
+    /// after the frame); retry later or elsewhere.
+    pub const CONNECTION_LIMIT: u16 = 11;
+    /// The peer let the connection idle past the server's
+    /// [`crate::net::WireConfig::idle_timeout`] and did not answer the
+    /// grace PING (or stalled mid-frame past the budget). Connection-fatal.
+    pub const IDLE_TIMEOUT: u16 = 12;
 }
 
 /// A decoded frame header (see the module docs for the layout).
@@ -109,6 +161,14 @@ impl Header {
     /// A header with every field zeroed except the frame type.
     pub fn new(frame_type: u8) -> Self {
         Header { frame_type, flags: 0, k: 0, model_key: 0, count: 0, words_per_query: 0 }
+    }
+
+    /// Whether this header declares no payload bytes at all (`count` and
+    /// `words_per_query` both zero). Unknown frame types that are
+    /// payload-free leave the stream synchronized and are recoverable;
+    /// unknown types that declare payload are connection-fatal.
+    pub fn is_payload_free(&self) -> bool {
+        self.count == 0 && self.words_per_query == 0
     }
 
     /// Encodes the header into its 24-byte wire form.
@@ -283,16 +343,45 @@ pub fn write_hello<W: Write>(w: &mut W) -> std::io::Result<()> {
 }
 
 /// Writes an [`FT_HELLO_ACK`] frame carrying the served model's shape.
+/// `flags` advertises capabilities ([`FLAG_LIVENESS`]).
 pub fn write_hello_ack<W: Write>(
     w: &mut W,
+    flags: u8,
     dim: u32,
     rows: u32,
     generation: u64,
 ) -> std::io::Result<()> {
-    w.write_all(&Header::new(FT_HELLO_ACK).encode())?;
+    let mut header = Header::new(FT_HELLO_ACK);
+    header.flags = flags;
+    w.write_all(&header.encode())?;
     w.write_all(&dim.to_le_bytes())?;
     w.write_all(&rows.to_le_bytes())?;
     w.write_all(&generation.to_le_bytes())
+}
+
+/// Writes a header-only [`FT_PING`] frame carrying `nonce` in the
+/// model-key field.
+pub fn write_ping<W: Write>(w: &mut W, nonce: u64) -> std::io::Result<()> {
+    let mut header = Header::new(FT_PING);
+    header.model_key = nonce;
+    w.write_all(&header.encode())
+}
+
+/// Writes a header-only [`FT_PONG`] frame echoing `nonce`.
+pub fn write_pong<W: Write>(w: &mut W, nonce: u64) -> std::io::Result<()> {
+    let mut header = Header::new(FT_PONG);
+    header.model_key = nonce;
+    w.write_all(&header.encode())
+}
+
+/// Writes a header-only [`FT_GOAWAY`] frame. `last_accepted` is the id
+/// of the last query this connection accepted for answering
+/// ([`GOAWAY_NONE`] when none): every accepted query's response still
+/// drains; later ids must be retried on another connection.
+pub fn write_goaway<W: Write>(w: &mut W, last_accepted: u64) -> std::io::Result<()> {
+    let mut header = Header::new(FT_GOAWAY);
+    header.model_key = last_accepted;
+    w.write_all(&header.encode())
 }
 
 /// Reads exactly one frame header.
@@ -476,6 +565,52 @@ mod tests {
         drain(&mut r, 4).unwrap();
         assert_eq!(r.len(), 6);
         assert!(drain(&mut r, 7).is_err(), "mid-frame disconnect must surface");
+    }
+
+    #[test]
+    fn liveness_frames_are_header_only_and_carry_their_data_in_model_key() {
+        let mut buf = Vec::new();
+        write_ping(&mut buf, 77).unwrap();
+        write_pong(&mut buf, 77).unwrap();
+        write_goaway(&mut buf, 41).unwrap();
+        write_goaway(&mut buf, GOAWAY_NONE).unwrap();
+        assert_eq!(buf.len(), 4 * HEADER_LEN, "liveness frames carry no payload");
+        let mut r = &buf[..];
+        for (ft, key) in [(FT_PING, 77), (FT_PONG, 77), (FT_GOAWAY, 41), (FT_GOAWAY, GOAWAY_NONE)] {
+            let h = read_header(&mut r).unwrap();
+            assert_eq!((h.frame_type, h.model_key), (ft, key));
+            assert!(h.is_payload_free(), "stream stays synchronized after an unknown one");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hello_ack_advertises_liveness_in_flags() {
+        let mut buf = Vec::new();
+        write_hello_ack(&mut buf, FLAG_LIVENESS, 256, 10, 3).unwrap();
+        let mut r = &buf[..];
+        let h = read_header(&mut r).unwrap();
+        assert_eq!(h.frame_type, FT_HELLO_ACK);
+        assert_eq!(h.flags & FLAG_LIVENESS, FLAG_LIVENESS);
+        assert_eq!(read_u32(&mut r).unwrap(), 256);
+        assert_eq!(read_u32(&mut r).unwrap(), 10);
+        assert_eq!(read_u64(&mut r).unwrap(), 3);
+        // An old-style ack (flags 0) reads as "no liveness support".
+        let mut buf = Vec::new();
+        write_hello_ack(&mut buf, 0, 1, 1, 0).unwrap();
+        let h = Header::decode(&buf[..HEADER_LEN].try_into().unwrap()).unwrap();
+        assert_eq!(h.flags & FLAG_LIVENESS, 0);
+    }
+
+    #[test]
+    fn payload_free_check_rejects_declared_payloads() {
+        let mut h = Header::new(FT_PING);
+        assert!(h.is_payload_free());
+        h.count = 1;
+        assert!(!h.is_payload_free());
+        h.count = 0;
+        h.words_per_query = 2;
+        assert!(!h.is_payload_free());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use hd_linalg::{BitVector, QueryBatch, SearchMemory};
 use hd_serve::net::wire::{self, ErrorBody};
 use hd_serve::net::{
     code, Header, WireClient, WireConfig, WireEvent, WireServer, CONNECTION_ERROR_ID, FT_ERROR,
-    FT_HELLO_ACK, FT_QUERY, FT_RESPONSE, HEADER_LEN,
+    FT_GOAWAY, FT_HELLO_ACK, FT_PING, FT_QUERY, FT_RESPONSE, GOAWAY_NONE, HEADER_LEN,
 };
 use hd_serve::{Prediction, Searchable, ServeConfig, Server, ShardedSearcher, Winner};
 use rand::Rng;
@@ -79,7 +79,7 @@ fn roundtrip_and_compare(client: &mut WireClient, server: &Server, queries: &[Bi
                 order.push(id);
                 got.insert(id, hits);
             }
-            WireEvent::Error(body) => panic!("unexpected error frame: {body:?}"),
+            other => panic!("unexpected event: {other:?}"),
         }
     }
     assert!(order.windows(2).all(|w| w[0] < w[1]), "responses arrive in submission order");
@@ -231,6 +231,12 @@ fn recoverable_bad_frames_answer_typed_errors_and_keep_the_connection() {
     let err = read_error_frame(&mut stream);
     assert_eq!((err.id, err.code), (40, code::UNKNOWN_MODEL_KEY));
 
+    // Unknown-but-header-only frame type (a future extension frame):
+    // the stream stays synchronized, so the rejection is recoverable.
+    stream.write_all(&Header::new(99).encode()).unwrap();
+    let err = read_error_frame(&mut stream);
+    assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::BAD_FRAME_TYPE));
+
     // After all of that, a good frame still answers on this connection.
     wire::write_query(&mut stream, 1, 50, wpq, query.as_words()).unwrap();
     let (id, hits) = read_response_frame(&mut stream);
@@ -254,9 +260,13 @@ fn fatal_bad_frames_answer_a_final_error_and_close() {
     assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::BAD_MAGIC));
     assert_eof(&mut stream);
 
-    // Unknown frame type.
+    // Unknown frame type declaring a payload: the stream position past
+    // it cannot be trusted, so the connection dies.
     let mut stream = raw_connect(addr);
-    stream.write_all(&Header::new(99).encode()).unwrap();
+    let mut header = Header::new(99);
+    header.count = 1;
+    header.words_per_query = 2;
+    stream.write_all(&header.encode()).unwrap();
     let err = read_error_frame(&mut stream);
     assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::BAD_FRAME_TYPE));
     assert_eof(&mut stream);
@@ -406,5 +416,232 @@ fn overload_sheds_whole_frames_with_a_typed_error_frame() {
     assert_eq!(hits.len(), 1);
     assert!(server.stats().shed >= 6, "the whole frame was shed");
     wire.shutdown();
+    server.shutdown();
+}
+
+/// A wire fixture with a short idle budget, for the liveness tests.
+fn idle_fixture(
+    seed: u64,
+    idle: Duration,
+    max_conns: usize,
+) -> (Arc<Server>, WireServer, SocketAddr) {
+    let sharded = sharded_fixture(seed);
+    let server = Arc::new(
+        Server::start(
+            sharded as Arc<dyn Searchable>,
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let config =
+        WireConfig { idle_timeout: Some(idle), max_connections: max_conns, ..Default::default() };
+    let wire = WireServer::start(Arc::clone(&server), config).unwrap();
+    let addr = wire.listen_tcp("127.0.0.1:0").unwrap();
+    (server, wire, addr)
+}
+
+/// Polls until `cond` holds or `deadline` passes; asserts it held.
+fn wait_until(deadline: Duration, what: &str, mut cond: impl FnMut() -> bool) {
+    let start = std::time::Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < deadline, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn idle_connection_gets_ping_grace_then_is_reaped() {
+    let idle = Duration::from_millis(100);
+    let (server, wire, addr) = idle_fixture(481, idle, 1024);
+    let mut stream = raw_connect(addr);
+    assert_eq!(wire.connections(), 1);
+
+    // Sitting idle draws a PING probe at the idle boundary; answering it
+    // proves liveness and buys a full fresh budget.
+    let header = wire::read_header(&mut stream).unwrap();
+    assert_eq!(header.frame_type, FT_PING);
+    wire::write_pong(&mut stream, header.model_key).unwrap();
+
+    // Going silent after the next probe exhausts the grace: the server
+    // answers a typed IDLE_TIMEOUT error and closes.
+    let header = wire::read_header(&mut stream).unwrap();
+    assert_eq!(header.frame_type, FT_PING, "a live-but-idle peer is probed again");
+    let err = read_error_frame(&mut stream);
+    assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::IDLE_TIMEOUT));
+    assert_eof(&mut stream);
+    wait_until(Duration::from_secs(5), "idle connection reaped", || wire.connections() == 0);
+
+    wire.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_mid_header_is_reaped_without_ping_grace() {
+    let idle = Duration::from_millis(100);
+    let (server, wire, addr) = idle_fixture(491, idle, 1024);
+    let mut stream = raw_connect(addr);
+
+    // Five header bytes, then silence: the peer owes bytes, so no PING —
+    // straight to a typed reap once the budget runs out.
+    stream.write_all(&MAGIC_PREFIX[..5]).unwrap();
+    let err = read_error_frame(&mut stream);
+    assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::IDLE_TIMEOUT));
+    assert_eof(&mut stream);
+    wait_until(Duration::from_secs(5), "stalled connection reaped", || wire.connections() == 0);
+
+    // A byte-at-a-time dribbler is caught by the same total budget even
+    // though each byte resets the per-read timeout.
+    let mut stream = raw_connect(addr);
+    let header = Header::new(FT_QUERY).encode();
+    let start = std::time::Instant::now();
+    let mut reaped_at = None;
+    for (i, byte) in header.iter().enumerate().take(HEADER_LEN - 1) {
+        std::thread::sleep(idle / 2);
+        if stream.write_all(std::slice::from_ref(byte)).is_err() {
+            reaped_at = Some(i);
+            break;
+        }
+    }
+    if reaped_at.is_none() {
+        // The writes may all have landed in socket buffers before the
+        // server closed; the read side still must see the typed reap.
+        let err = read_error_frame(&mut stream);
+        assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::IDLE_TIMEOUT));
+    }
+    assert!(
+        start.elapsed() >= idle,
+        "a dribbler must survive at least one full idle period before the reap"
+    );
+    wait_until(Duration::from_secs(5), "dribbling connection reaped", || wire.connections() == 0);
+
+    wire.shutdown();
+    server.shutdown();
+}
+
+const MAGIC_PREFIX: [u8; HEADER_LEN] = {
+    let mut buf = [0u8; HEADER_LEN];
+    let m = hd_serve::net::MAGIC.to_le_bytes();
+    buf[0] = m[0];
+    buf[1] = m[1];
+    buf[2] = m[2];
+    buf[3] = m[3];
+    buf
+};
+
+#[test]
+fn max_connections_gate_answers_a_typed_error_and_recovers() {
+    let (server, wire, addr) = idle_fixture(501, Duration::from_secs(60), 2);
+    let a = raw_connect(addr);
+    let _b = raw_connect(addr);
+    assert_eq!(wire.connections(), 2);
+
+    // The third connect is rejected with a typed frame before any
+    // handshake, on the accept thread.
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    let err = read_error_frame(&mut rejected);
+    assert_eq!((err.id, err.code), (CONNECTION_ERROR_ID, code::CONNECTION_LIMIT));
+    assert_eof(&mut rejected);
+
+    // Freeing a slot lets the next connect through (the gate prunes
+    // finished readers on every accept).
+    drop(a);
+    wait_until(Duration::from_secs(5), "freed slot accepted a new connection", || {
+        WireClient::connect_tcp(addr).is_ok()
+    });
+
+    wire.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn drain_flushes_in_flight_answers_then_says_goaway() {
+    // A slow model keeps answers in flight long enough for drain to
+    // overlap them deterministically.
+    let slow = SlowModel { inner: sharded_fixture(511), delay: Duration::from_millis(300) };
+    let server = Arc::new(
+        Server::start(
+            Arc::new(slow) as Arc<dyn Searchable>,
+            ServeConfig { max_batch: 8, max_delay: Duration::from_millis(1), ..Default::default() },
+        )
+        .unwrap(),
+    );
+    let queries = random_queries(4, 512);
+    let in_process: Vec<Vec<Prediction>> = queries
+        .iter()
+        .map(|q| server.submit_topk(q.as_view(), 1).unwrap().wait().unwrap())
+        .collect();
+
+    let wire = Arc::new(WireServer::start(Arc::clone(&server), WireConfig::default()).unwrap());
+    let addr = wire.listen_tcp("127.0.0.1:0").unwrap();
+    let mut client = WireClient::connect_tcp(addr).unwrap();
+    client.send_queries(&queries, 1).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let the frame reach admission
+
+    let drainer = {
+        let wire = Arc::clone(&wire);
+        std::thread::spawn(move || wire.drain(Duration::from_secs(30)))
+    };
+    wait_until(Duration::from_secs(5), "drain flag raised", || wire.is_draining());
+
+    // A connect during the drain window is answered GOAWAY (nothing was
+    // ever accepted on it) and closed, still on the accept thread.
+    let mut late = TcpStream::connect(addr).unwrap();
+    let header = wire::read_header(&mut late).unwrap();
+    assert_eq!(header.frame_type, FT_GOAWAY);
+    assert_eq!(header.model_key, GOAWAY_NONE);
+    assert_eof(&mut late);
+
+    // Every accepted answer flushes before the close; the GOAWAY carries
+    // the last accepted id.
+    let mut responses = Vec::new();
+    let mut goaway = None;
+    while responses.len() < queries.len() || goaway.is_none() {
+        match client.recv().unwrap() {
+            WireEvent::Response { id, hits } => responses.push((id, hits)),
+            WireEvent::GoAway { last_accepted } => goaway = Some(last_accepted),
+            other => panic!("unexpected event during drain: {other:?}"),
+        }
+    }
+    assert_eq!(goaway, Some(3), "GOAWAY names the last accepted id");
+    responses.sort_by_key(|(id, _)| *id);
+    for (i, (id, hits)) in responses.iter().enumerate() {
+        assert_eq!(*id, i as u64);
+        assert_eq!(hits, &in_process[i], "drained answers are bit-identical");
+    }
+    assert!(drainer.join().unwrap(), "every accepted answer flushed before the deadline");
+    assert_eq!(wire.connections(), 0);
+
+    // Idempotent: draining an already-drained front-end is a no-op true.
+    assert!(wire.drain(Duration::from_millis(1)));
+    server.shutdown();
+}
+
+#[test]
+fn config_rejects_zero_idle_timeout_and_max_connections() {
+    let sharded = sharded_fixture(521);
+    let server =
+        Arc::new(Server::start(sharded as Arc<dyn Searchable>, ServeConfig::default()).unwrap());
+    for config in [
+        WireConfig { idle_timeout: Some(Duration::ZERO), ..Default::default() },
+        WireConfig { max_connections: 0, ..Default::default() },
+    ] {
+        assert!(
+            matches!(
+                WireServer::start(Arc::clone(&server), config),
+                Err(hd_serve::ServeError::InvalidConfig { .. })
+            ),
+            "config {config:?} must be rejected"
+        );
+    }
+    // None disables reaping and is valid.
+    let wire = WireServer::start(
+        Arc::clone(&server),
+        WireConfig { idle_timeout: None, ..Default::default() },
+    );
+    assert!(wire.is_ok());
     server.shutdown();
 }

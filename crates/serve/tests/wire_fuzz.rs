@@ -8,7 +8,8 @@ use hd_linalg::rng::seeded;
 use hd_linalg::{BitVector, SearchMemory};
 use hd_serve::net::wire::{self, WireError};
 use hd_serve::net::{
-    Header, WireClient, WireConfig, WireServer, FT_ERROR, FT_HELLO_ACK, FT_RESPONSE, HEADER_LEN,
+    Header, RetryLedger, WireClient, WireConfig, WireServer, FT_ERROR, FT_GOAWAY, FT_HELLO_ACK,
+    FT_PING, FT_PONG, FT_RESPONSE, GOAWAY_NONE, HEADER_LEN,
 };
 use hd_serve::{Searchable, ServeConfig, Server, ShardedSearcher};
 use proptest::prelude::*;
@@ -74,6 +75,8 @@ fn drain_frames(stream: &mut TcpStream) -> Vec<u64> {
             FT_HELLO_ACK => {
                 wire::drain(stream, 16).unwrap();
             }
+            // Liveness frames are header-only: nothing further to read.
+            FT_PING | FT_PONG | FT_GOAWAY => {}
             other => panic!("server sent unknown frame type {other}"),
         }
     }
@@ -88,17 +91,26 @@ fn hostile_bytes() -> impl Strategy<Value = Vec<u8>> {
     (
         any::<bool>(),
         proptest::collection::vec(0u8..=255, 0..96),
-        (0u8..8, 0u64..3, 0u32..10_000, 0u32..8),
+        (
+            // Covers QUERY, the liveness frames (PING/PONG/GOAWAY), and
+            // unknown future types beyond them.
+            0u8..12,
+            0u8..=255,
+            // GOAWAY_NONE (u64::MAX) is a meaningful sentinel nonce.
+            proptest::sample::select(vec![0u64, 1, 2, u64::MAX]),
+            0u32..10_000,
+            0u32..8,
+        ),
         proptest::collection::vec(0u8..=255, 0..128),
     )
         .prop_map(
-            |(raw_mode, raw, (frame_type, model_key, count, words_per_query), payload)| {
+            |(raw_mode, raw, (frame_type, flags, model_key, count, words_per_query), payload)| {
                 if raw_mode {
                     return raw;
                 }
                 let header = Header {
                     frame_type,
-                    flags: 0,
+                    flags,
                     k: (count & 0x7) as u16,
                     model_key,
                     count,
@@ -156,6 +168,141 @@ proptest::proptest! {
         // Whatever the trailing bytes decode to, the valid query's
         // answer must come back first.
         prop_assert_eq!(response_ids.first(), Some(&7));
+    }
+
+    /// A PING with any nonce (including the GOAWAY_NONE sentinel) and
+    /// any flag bits is answered by a PONG echoing the nonce.
+    #[test]
+    fn ping_with_any_nonce_and_flags_is_ponged(
+        nonce_raw in any::<u64>(),
+        use_sentinel in any::<bool>(),
+        flags in 0u8..=255,
+    ) {
+        let nonce = if use_sentinel { GOAWAY_NONE } else { nonce_raw };
+        let mut stream = TcpStream::connect(fixture_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let header = Header {
+            frame_type: FT_PING,
+            flags,
+            k: 0,
+            model_key: nonce,
+            count: 0,
+            words_per_query: 0,
+        };
+        stream.write_all(&header.encode()).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let pong = wire::read_header(&mut stream).unwrap();
+        prop_assert_eq!(pong.frame_type, FT_PONG);
+        prop_assert_eq!(pong.model_key, nonce);
+    }
+
+    /// Liveness frames that declare an in-bounds payload are rejected
+    /// recoverably: the declared bytes are consumed, the connection
+    /// survives, and a QUERY sent afterwards is still answered.
+    #[test]
+    fn liveness_frames_with_payload_are_rejected_recoverably(
+        frame_type in proptest::sample::select(vec![FT_PING, FT_PONG, FT_GOAWAY]),
+        count in 1u32..4,
+        words_per_query in 1u32..4,
+        flags in 0u8..=255,
+    ) {
+        let mut rng = seeded(4099);
+        let query =
+            BitVector::from_bools(&(0..DIM).map(|_| rng.gen()).collect::<Vec<_>>());
+        let mut stream = TcpStream::connect(fixture_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let header = Header {
+            frame_type,
+            flags,
+            k: 0,
+            model_key: 1,
+            count,
+            words_per_query,
+        };
+        let mut burst = header.encode().to_vec();
+        burst.extend(vec![0xA5u8; (count * words_per_query) as usize * 8]);
+        wire::write_query(&mut burst, 1, 9, (DIM / 64) as u32, query.as_words()).unwrap();
+        stream.write_all(&burst).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let response_ids = drain_frames(&mut stream);
+        prop_assert_eq!(response_ids, vec![9]);
+    }
+
+    /// The retry ledger's exactly-once-observable contract, under
+    /// arbitrary interleavings of submissions, responses, duplicate
+    /// responses, overload rejections, GOAWAYs, and disconnects:
+    /// a delivered id is never resubmitted (enforced by panic inside
+    /// `record_submission`), never delivered twice, and the workload
+    /// still completes once a connection behaves.
+    #[test]
+    fn retry_ledger_is_exactly_once_under_arbitrary_disconnects(
+        total in 1usize..24,
+        ops in proptest::collection::vec((0u8..5, any::<u64>()), 0..256),
+    ) {
+        let mut ledger = RetryLedger::new(total);
+        let mut next_wire_id = 0u64;
+        let mut live: Vec<u64> = Vec::new(); // ids submitted this epoch
+        let mut seen = vec![false; total];
+
+        let submit_pending =
+            |ledger: &mut RetryLedger, next: &mut u64, live: &mut Vec<u64>| {
+                for ext in ledger.pending() {
+                    ledger.record_submission(*next, &[ext]);
+                    live.push(*next);
+                    *next += 1;
+                }
+            };
+
+        for (op, value) in ops {
+            match op {
+                // (Re)submit everything pending under fresh wire ids.
+                0 => submit_pending(&mut ledger, &mut next_wire_id, &mut live),
+                // A response for some previously submitted id —
+                // possibly one already answered or reverted.
+                1 if !live.is_empty() => {
+                    let wire_id = live[(value % live.len() as u64) as usize];
+                    if let Some(ext) = ledger.record_response(wire_id) {
+                        prop_assert!(!seen[ext], "answer for query {ext} delivered twice");
+                        seen[ext] = true;
+                    }
+                    // An exact duplicate must be swallowed.
+                    prop_assert_eq!(ledger.record_response(wire_id), None);
+                }
+                // An overload-style rejection reverts the id.
+                2 if !live.is_empty() => {
+                    let wire_id = live[(value % live.len() as u64) as usize];
+                    ledger.record_unanswered(wire_id);
+                }
+                // GOAWAY with an arbitrary last-accepted watermark.
+                3 => {
+                    let last_accepted =
+                        if value == u64::MAX { GOAWAY_NONE } else { value % (next_wire_id + 1) };
+                    ledger.record_goaway(last_accepted);
+                }
+                // Disconnect: a new epoch reverts all in-flight ids.
+                4 => {
+                    ledger.begin_epoch();
+                    live.clear();
+                }
+                _ => {}
+            }
+        }
+
+        // However hostile the schedule was, a cooperating connection
+        // finishes the job: drain to completion.
+        ledger.begin_epoch();
+        live.clear();
+        submit_pending(&mut ledger, &mut next_wire_id, &mut live);
+        for wire_id in live {
+            if let Some(ext) = ledger.record_response(wire_id) {
+                prop_assert!(!seen[ext], "answer for query {ext} delivered twice");
+                seen[ext] = true;
+            }
+        }
+        prop_assert!(ledger.is_complete());
+        prop_assert_eq!(ledger.delivered_count(), total);
+        prop_assert!(seen.iter().all(|&s| s), "every query delivered exactly once");
+        prop_assert!(ledger.pending().is_empty());
     }
 }
 

@@ -7,7 +7,10 @@
 //! Run with: `cargo run --release --example wire_serving`
 
 use hd_datasets::synthetic::SyntheticSpec;
-use hd_serve::net::{code, WireClient, WireConfig, WireEvent, WireServer};
+use hd_serve::net::{
+    code, ResilientClient, ResilientConfig, ResilientError, Target, WireClient, WireConfig,
+    WireEvent, WireServer,
+};
 use hd_serve::{ServeConfig, Server, ShardedSearcher};
 use hdc::Encoder;
 use memhd::{MemhdConfig, MemhdModel};
@@ -34,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. One front-end, two transports: an ephemeral TCP port for remote
     //    clients and a Unix socket for co-located ones. Every connection
     //    feeds the same micro-batcher, so traffic coalesces across them.
-    let wire = WireServer::start(Arc::clone(&server), WireConfig::default())?;
+    let wire = Arc::new(WireServer::start(Arc::clone(&server), WireConfig::default())?);
     let addr = wire.listen_tcp("127.0.0.1:0")?;
     let uds_path = std::env::temp_dir().join(format!("hd-wire-demo-{}.sock", std::process::id()));
     wire.listen_uds(&uds_path)?;
@@ -105,7 +108,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_, hits) = uds.recv_response()?;
     println!("same connection still serves: class {} for query 0", hits[0].class);
 
-    // 6. Clean shutdown closes sockets and unlinks the UDS file; the
+    // 6. ResilientClient: the same workload through the self-healing
+    //    wrapper — connect/request deadlines, reconnect under jittered
+    //    backoff, and a retry ledger that makes delivery exactly-once
+    //    even across resets and GOAWAYs.
+    let resilient_config = ResilientConfig {
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        ..Default::default()
+    };
+    let mut resilient =
+        ResilientClient::new(Target::Tcp(addr.to_string()), resilient_config.clone());
+    let slates = resilient.search(&queries[..16], 1)?;
+    println!(
+        "\nresilient client: {} / 16 answers delivered exactly once \
+         (generation pinned at {:?}, {} connection(s) used)",
+        slates.len(),
+        resilient.generation().unwrap_or_default(),
+        resilient.reconnects(),
+    );
+
+    // 7. Graceful drain: queries accepted before the drain are flushed
+    //    to completion, then the connection hears GOAWAY carrying the
+    //    last-accepted id — everything beyond it is safe to resubmit.
+    let mut tail = WireClient::connect_tcp(addr)?;
+    let ids = tail.send_queries(&queries[..8], 1)?;
+    // Receiving one answer proves the whole frame was accepted (a frame
+    // is admitted atomically) before the drain begins.
+    let _ = tail.recv_response()?;
+    let mut flushed = 1usize;
+    let drainer = {
+        let wire = Arc::clone(&wire);
+        std::thread::spawn(move || wire.drain(Duration::from_secs(5)))
+    };
+    loop {
+        match tail.recv()? {
+            WireEvent::Response { .. } => flushed += 1,
+            WireEvent::GoAway { last_accepted } => {
+                println!(
+                    "\ndrain: {flushed} / {} accepted answers flushed, then GOAWAY \
+                     (last accepted id {last_accepted} = every id sent; nothing to resubmit)",
+                    ids.end - ids.start
+                );
+                break;
+            }
+            other => println!("unexpected during drain: {other:?}"),
+        }
+    }
+    assert!(drainer.join().expect("drain thread"), "drain deadline was generous");
+
+    // A post-drain search fails with a typed, retries-exhausted error —
+    // the resilient client reports *why* instead of hanging.
+    match resilient.search(&queries[..1], 1) {
+        Err(ResilientError::RetriesExhausted { attempts, .. }) => {
+            println!(
+                "post-drain search: retries exhausted after {attempts} attempts (as designed)"
+            );
+        }
+        other => println!("unexpected post-drain outcome: {other:?}"),
+    }
+
+    // 8. Clean shutdown closes sockets and unlinks the UDS file; the
     //    in-process server outlives the front-end.
     wire.shutdown();
     println!(
